@@ -1,0 +1,60 @@
+"""Extension ablation — bagging (the paper's choice) vs boosting.
+
+§4.4.1 picks random forests for robustness and parameter-insensitivity.
+Follow-up AIOps systems often use gradient boosting on the same
+detector features; this bench quantifies the trade-off on the Table 1
+KPIs: AUCPR of the two ensembles trained on identical features and
+training sets. The expectation (and assertion) is parity within noise —
+which *supports* the paper's choice, since the forest needs less
+tuning.
+"""
+
+import pytest
+
+from repro.core.opprentice import _subsample_training
+from repro.evaluation import aucpr, brier_score
+from repro.ml import GradientBoosting, Imputer
+
+from _common import MAX_TRAIN_POINTS, bench_forest, print_header
+
+
+def run_boosting(kpis, feature_matrices, name):
+    series = kpis[name].series
+    matrix = feature_matrices[name]
+    split = 8 * series.points_per_week
+    imputer = Imputer().fit(matrix.values[:split])
+    features = imputer.transform(matrix.values)
+    labels = series.labels
+    train_x, train_y = _subsample_training(
+        features[:split], labels[:split], MAX_TRAIN_POINTS, 0
+    )
+    test_x, test_y = features[split:], labels[split:]
+
+    results = {}
+    for label, model in (
+        ("random forest", bench_forest(seed=9)),
+        ("gradient boosting", GradientBoosting(n_estimators=100, seed=9)),
+    ):
+        model.fit(train_x, train_y)
+        scores = model.predict_proba(test_x)
+        results[label] = (
+            aucpr(scores, test_y), brier_score(scores, test_y)
+        )
+    return results
+
+
+@pytest.mark.parametrize("name", ["PV", "#SR", "SRT"])
+def test_bagging_vs_boosting(benchmark, kpis, feature_matrices, name):
+    results = benchmark.pedantic(
+        lambda: run_boosting(kpis, feature_matrices, name),
+        rounds=1, iterations=1,
+    )
+    print_header(f"Extension [{name}]: bagging vs boosting on 133 features")
+    for label, (auc, brier) in results.items():
+        print(f"  {label:<18} AUCPR={auc:.3f}  Brier={brier:.4f}")
+    rf_auc = results["random forest"][0]
+    gbm_auc = results["gradient boosting"][0]
+    # Parity within noise — boosting does not invalidate the paper's
+    # random-forest choice on these features.
+    assert abs(rf_auc - gbm_auc) < 0.15
+    assert min(rf_auc, gbm_auc) > 0.5

@@ -1,0 +1,73 @@
+"""Fig 11 — incremental retraining vs fixed training sets.
+
+Compares the three 4-week-test training strategies of Table 2: I4 (all
+historical data = incremental retraining), R4 (recent 8 weeks), F4
+(first 8 weeks). Paper result: "I4 (also called incremental retraining)
+outperforms the other two training sets in most cases", with #SR being
+the exception where all three are similar because its anomaly types are
+simple and stable.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import F4, I4, R4
+from repro.core.opprentice import _subsample_training
+from repro.evaluation import aucpr
+from repro.ml import Imputer
+
+from _common import MAX_TRAIN_POINTS, bench_forest, print_header
+
+STRATEGIES = {"I4": I4, "R4": R4, "F4": F4}
+
+
+def run_fig11(kpis, feature_matrices, name):
+    """Per-strategy AUCPR series over the 4-week moving test sets."""
+    series = kpis[name].series
+    matrix = feature_matrices[name]
+    labels = series.labels
+    curves = {}
+    for sid, strategy in STRATEGIES.items():
+        curve = []
+        for split in strategy.splits(series):
+            train_rows = matrix.rows(split.train_begin, split.train_end)
+            train_labels = labels[split.train_begin: split.train_end]
+            imputer = Imputer().fit(train_rows)
+            train_x, train_y = _subsample_training(
+                imputer.transform(train_rows), train_labels,
+                MAX_TRAIN_POINTS, split.test_week,
+            )
+            model = bench_forest(seed=split.test_week)
+            model.fit(train_x, train_y)
+            scores = model.predict_proba(
+                imputer.transform(matrix.rows(split.test_begin, split.test_end))
+            )
+            curve.append(
+                aucpr(scores, labels[split.test_begin: split.test_end])
+            )
+        curves[sid] = np.array(curve)
+    return curves
+
+
+@pytest.mark.parametrize("name", ["PV", "#SR", "SRT"])
+def test_fig11_training_strategies(benchmark, kpis, feature_matrices, name):
+    curves = benchmark.pedantic(
+        lambda: run_fig11(kpis, feature_matrices, name), rounds=1, iterations=1
+    )
+    print_header(f"Fig 11 [{name}]: AUCPR per 4-week moving test set")
+    n_sets = len(curves["I4"])
+    print(f"{'set':>4} " + " ".join(f"{sid:>6}" for sid in STRATEGIES))
+    for i in range(n_sets):
+        print(
+            f"{i + 1:>4} "
+            + " ".join(f"{curves[sid][i]:6.3f}" for sid in STRATEGIES)
+        )
+    means = {sid: curve.mean() for sid, curve in curves.items()}
+    print("mean " + " ".join(f"{means[sid]:6.3f}" for sid in STRATEGIES))
+
+    # Shape: incremental retraining wins or ties on average, and is the
+    # best (or within noise of the best) in most moving test sets.
+    assert means["I4"] >= max(means["R4"], means["F4"]) - 0.02
+    best_per_set = np.maximum(curves["R4"], curves["F4"])
+    i4_wins = np.mean(curves["I4"] >= best_per_set - 0.05)
+    assert i4_wins >= 0.5

@@ -1,0 +1,102 @@
+"""Fig 12 — offline comparison of cThld-selection accuracy metrics.
+
+For every 1-week test set (I1), four metrics pick a cThld from that
+week's PR curve: PC-Score (the paper's), F-Score, SD(1,1) and the
+default 0.5. Under three operator preferences — moderate (0.66, 0.66),
+sensitive-to-precision (0.6, 0.8) and sensitive-to-recall (0.8, 0.6) —
+the paper reports two findings:
+
+1. only PC-Score *adapts* its chosen (recall, precision) to the
+   preference (the other metrics pick the same point regardless);
+2. PC-Score always lands the most weeks inside the preference box, for
+   the original box and the scaled-up ones.
+"""
+
+import numpy as np
+import pytest
+
+from repro.evaluation import (
+    AccuracyPreference,
+    DefaultCThld,
+    FScoreSelector,
+    PCScoreSelector,
+    SDSelector,
+)
+
+from _common import print_header
+
+PREFERENCES = {
+    "moderate": AccuracyPreference(0.66, 0.66),
+    "sensitive-to-precision": AccuracyPreference(0.6, 0.8),
+    "sensitive-to-recall": AccuracyPreference(0.8, 0.6),
+}
+
+SCALE_RATIOS = (1.0, 1.2, 1.5, 2.0)
+
+
+def selectors_for(preference):
+    return {
+        "PC-Score": PCScoreSelector(preference),
+        "F-Score": FScoreSelector(),
+        "SD(1,1)": SDSelector(),
+        "default cThld": DefaultCThld(),
+    }
+
+
+def run_fig12(weekly, name):
+    """(metric, preference) -> list of weekly (recall, precision)."""
+    ws = weekly[name]
+    points = {}
+    for pref_name, preference in PREFERENCES.items():
+        for metric_name, selector in selectors_for(preference).items():
+            weekly_points = []
+            for scores, labels in zip(ws.scores, ws.labels):
+                if labels.sum() == 0:
+                    continue
+                choice = selector.select(scores, labels)
+                weekly_points.append((choice.recall, choice.precision))
+            points[(metric_name, pref_name)] = weekly_points
+    return points
+
+
+def in_box_rate(points, preference, ratio):
+    scaled = preference.scaled(ratio)
+    return np.mean([
+        scaled.satisfied_by(r, p) for r, p in points
+    ])
+
+
+@pytest.mark.parametrize("name", ["PV", "#SR", "SRT"])
+def test_fig12_metric_comparison(benchmark, weekly_scores, name):
+    points = benchmark.pedantic(
+        lambda: run_fig12(weekly_scores, name), rounds=1, iterations=1
+    )
+    print_header(f"Fig 12 [{name}]: % of weeks inside the preference box")
+    for pref_name, preference in PREFERENCES.items():
+        print(f"  preference: {pref_name} "
+              f"(recall>={preference.recall}, precision>={preference.precision})")
+        for metric in ("PC-Score", "F-Score", "SD(1,1)", "default cThld"):
+            rates = [
+                100 * in_box_rate(points[(metric, pref_name)], preference, ratio)
+                for ratio in SCALE_RATIOS
+            ]
+            print(
+                f"    {metric:<14} "
+                + " ".join(f"{rate:5.1f}%" for rate in rates)
+                + f"   (box scale {SCALE_RATIOS})"
+            )
+
+    # Shape 1: PC-Score adapts to the preference; the other metrics pick
+    # identical points for every preference by construction.
+    for metric in ("F-Score", "SD(1,1)", "default cThld"):
+        assert (
+            points[(metric, "moderate")]
+            == points[(metric, "sensitive-to-precision")]
+        )
+    # Shape 2: PC-Score achieves at least as many in-box weeks as every
+    # other metric, for every preference, at the original box size.
+    for pref_name, preference in PREFERENCES.items():
+        pc_rate = in_box_rate(points[("PC-Score", pref_name)], preference, 1.0)
+        for metric in ("F-Score", "SD(1,1)", "default cThld"):
+            other = in_box_rate(points[(metric, pref_name)], preference, 1.0)
+            assert pc_rate >= other - 1e-9, (name, pref_name, metric)

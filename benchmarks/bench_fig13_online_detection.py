@@ -1,0 +1,102 @@
+"""Fig 7 + Fig 13 — online cThld prediction: EWMA vs 5-fold CV vs the
+offline best case.
+
+Fig 7 shows the best cThld drifting week to week (neighbouring weeks
+are more alike than the long-run average), which is why Opprentice
+predicts the next week's cThld with an EWMA over past best cThlds
+rather than cross-validating over all history. Fig 13 compares, per
+4-week moving window (stepping one day), the recall/precision achieved
+by EWMA-predicted cThlds, 5-fold-CV cThlds, and the offline best case;
+the paper reports EWMA achieving 40% / 23% / 110% more in-preference
+windows than 5-fold CV on PV / #SR / SRT.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import CrossValidationPredictor, EWMAPredictor, run_online
+from repro.evaluation import MODERATE_PREFERENCE
+
+from _common import print_header
+from repro.ml import RandomForest
+
+#: The 5-fold predictor refits the classifier five times per week, so
+#: this bench uses a lighter forest and training cap than the others.
+FIG13_TREES = 30
+FIG13_MAX_TRAIN = 4000
+
+
+def fig13_forest() -> RandomForest:
+    return RandomForest(n_estimators=FIG13_TREES, seed=13)
+
+
+def run_fig13(kpis, feature_matrices, name):
+    series = kpis[name].series
+    matrix = feature_matrices[name]
+    runs = {}
+    for label, predictor in (
+        ("EWMA", EWMAPredictor(MODERATE_PREFERENCE)),
+        ("5-fold", CrossValidationPredictor(MODERATE_PREFERENCE)),
+    ):
+        runs[label] = run_online(
+            series,
+            features=matrix,
+            classifier_factory=fig13_forest,
+            predictor=predictor,
+            preference=MODERATE_PREFERENCE,
+            max_train_points=FIG13_MAX_TRAIN,
+        )
+    return runs
+
+
+@pytest.mark.parametrize("name", ["PV", "#SR", "SRT"])
+def test_fig7_best_cthld_drift(benchmark, kpis, feature_matrices, weekly_scores, name):
+    """Fig 7: weekly best cThlds vary, and neighbouring weeks are more
+    similar than the overall spread."""
+    from repro.core import best_cthld
+
+    ws = weekly_scores[name]
+    bests = benchmark(
+        lambda: [
+            best_cthld(scores, labels, MODERATE_PREFERENCE)
+            for scores, labels in zip(ws.scores, ws.labels)
+        ]
+    )
+    bests = np.array(bests)
+    print_header(f"Fig 7 [{name}]: best cThld per week")
+    print("  " + " ".join(f"{b:.2f}" for b in bests))
+    spread = bests.max() - bests.min()
+    print(f"  spread={spread:.2f}")
+    # The drift the paper observed: best cThlds are not constant.
+    assert spread > 0.05
+
+
+@pytest.mark.parametrize("name", ["PV", "#SR", "SRT"])
+def test_fig13_ewma_vs_5fold(benchmark, kpis, feature_matrices, name):
+    runs = benchmark.pedantic(
+        lambda: run_fig13(kpis, feature_matrices, name), rounds=1, iterations=1
+    )
+    print_header(
+        f"Fig 13 [{name}]: 4-week moving windows inside the preference "
+        f"(recall>=0.66, precision>=0.66)"
+    )
+    rates = {}
+    for label, run in runs.items():
+        rates[label] = run.satisfaction_rate(window_weeks=4, step_days=1)
+        print(f"  {label:<9} {100 * rates[label]:5.1f}% of windows satisfied")
+    best_rate = runs["EWMA"].satisfaction_rate(
+        window_weeks=4, step_days=1, use_best=True
+    )
+    print(f"  {'best case':<9} {100 * best_rate:5.1f}% of windows satisfied")
+    detected = runs["EWMA"].n_detected()
+    total = runs["EWMA"].test_end - runs["EWMA"].test_begin
+    print(f"  EWMA detected {detected} anomalous points "
+          f"({100 * detected / total:.1f}% of the test region)")
+
+    # Shape: EWMA >= 5-fold (paper: 40% / 23% / 110% more in-preference
+    # windows), and the offline best case dominates both.
+    assert rates["EWMA"] >= rates["5-fold"] - 0.02
+    assert best_rate >= rates["EWMA"] - 0.02
+    # Opprentice's headline: it satisfies or approximates the preference
+    # most of the time.
+    assert rates["EWMA"] >= 0.4

@@ -1,0 +1,63 @@
+"""Fig 14 + §5.7 — labeling time vs anomalous windows per month.
+
+Paper findings: (1) labeling time for a month of data grows with the
+number of anomalous *windows* in that month (one drag per window), not
+with anomalous points; (2) a month costs under 6 minutes; (3) the
+totals are ~16 / 17 / 6 minutes for PV / #SR / SRT — versus the 8-12
+*days* of detector tuning reported by the interviewed operators.
+"""
+
+import numpy as np
+import pytest
+
+from repro.data import labeling_costs, total_labeling_minutes
+
+from _common import print_header
+
+#: §5.7 anecdotes: operator-reported days spent tuning basic detectors.
+TUNING_DAYS = {"SVD": 8, "Holt-Winters + historical average": 12, "TSD": 10}
+
+
+@pytest.mark.parametrize("name", ["PV", "#SR", "SRT"])
+def test_fig14_labeling_time(benchmark, kpis, name):
+    series = kpis[name].series
+    costs = benchmark(lambda: labeling_costs(series))
+
+    print_header(f"Fig 14 [{name}]: per-month labeling cost")
+    for cost in costs:
+        print(
+            f"  month {cost.month + 1}: {cost.n_windows:>3} windows, "
+            f"{cost.n_points:>6} points -> {cost.minutes:.1f} min"
+        )
+    total = total_labeling_minutes(series)
+    print(f"  total: {total:.1f} minutes")
+
+    # Shape 1: every month stays under the 6-minute bound of §5.7.
+    assert max(c.minutes for c in costs) < 6.0
+    # Shape 2: labeling time increases with the window count (rank
+    # correlation over months, where window counts actually vary).
+    windows = np.array([c.n_windows for c in costs], dtype=float)
+    minutes = np.array([c.minutes for c in costs])
+    if len(set(windows)) > 2:
+        correlation = np.corrcoef(windows, minutes)[0, 1]
+        assert correlation > 0.5
+    # Shape 3: total labeling time is tens of minutes at most —
+    # thousands of times less than the reported tuning days.
+    assert total < 30.0
+    worst_tuning_minutes = min(TUNING_DAYS.values()) * 8 * 60  # 8h days
+    assert total < worst_tuning_minutes / 100.0
+
+
+def test_labeling_vs_tuning_summary(benchmark, kpis):
+    totals = benchmark(
+        lambda: {
+            name: total_labeling_minutes(result.series)
+            for name, result in kpis.items()
+        }
+    )
+    print_header("§5.7: labeling time vs tuning time")
+    for name, minutes in totals.items():
+        print(f"  label {name:<4} once: {minutes:5.1f} minutes")
+    for detector, days in TUNING_DAYS.items():
+        print(f"  tune  {detector:<34}: ~{days} days (operator interview)")
+    assert sum(totals.values()) < 60.0

@@ -1,0 +1,158 @@
+"""Fig 9 + Table 4 — random forest vs basic detectors vs static
+combinations.
+
+Fig 9: AUCPR ranking of the random forest (I1 incremental retraining,
+test from week 9) against all 133 detector configurations and the two
+static combination baselines. Paper result: the forest ranks 1st on PV
+and #SR and 2nd on SRT (0.01 behind), while both static combinations
+rank low because they weight inaccurate configurations equally.
+
+Table 4: maximum precision at recall >= 0.66. Paper: the forest exceeds
+0.8 on all three KPIs and beats both combination baselines; the best
+basic detector differs per KPI.
+"""
+
+import numpy as np
+import pytest
+
+from repro.combiners import MajorityVote, NormalizationSchema
+from repro.evaluation import aucpr, max_precision_at_recall
+
+from _common import print_header
+
+#: Weeks of initial training data (test starts at week 9).
+TRAIN_WEEKS = 8
+
+
+def _test_region(kpis, feature_matrices, weekly, name):
+    series = kpis[name].series
+    matrix = feature_matrices[name]
+    ws = weekly[name]
+    begin, end = ws.test_begin, ws.test_end
+    return series, matrix, ws, begin, end
+
+
+def run_fig9(kpis, feature_matrices, weekly, name):
+    """All approaches' scores over the test region; returns a dict
+    approach -> (aucpr, max precision at recall >= 0.66)."""
+    series, matrix, ws, begin, end = _test_region(
+        kpis, feature_matrices, weekly, name
+    )
+    labels = series.labels[begin:end]
+    train_rows = matrix.rows(0, TRAIN_WEEKS * series.points_per_week)
+    test_rows = matrix.rows(begin, end)
+
+    results = {}
+    rf_scores = ws.all_scores
+    results["random forest"] = (
+        aucpr(rf_scores, labels),
+        max_precision_at_recall(rf_scores, labels, 0.66),
+    )
+    for combiner in (NormalizationSchema(), MajorityVote()):
+        combiner.fit(train_rows)
+        scores = combiner.score(test_rows)
+        results[combiner.name] = (
+            aucpr(scores, labels),
+            max_precision_at_recall(scores, labels, 0.66),
+        )
+    for j, config_name in enumerate(matrix.names):
+        scores = test_rows[:, j]
+        if not np.isfinite(scores).any():
+            continue
+        results[config_name] = (
+            aucpr(scores, labels),
+            max_precision_at_recall(scores, labels, 0.66),
+        )
+    return results
+
+
+@pytest.mark.parametrize("name", ["PV", "#SR", "SRT"])
+def test_fig9_aucpr_ranking(benchmark, kpis, feature_matrices, weekly_scores, name):
+    results = benchmark.pedantic(
+        lambda: run_fig9(kpis, feature_matrices, weekly_scores, name),
+        rounds=1, iterations=1,
+    )
+    ranked = sorted(results.items(), key=lambda kv: -kv[1][0])
+    ranks = {approach: i + 1 for i, (approach, _) in enumerate(ranked)}
+
+    print_header(f"Fig 9 [{name}]: AUCPR ranking ({len(ranked)} approaches)")
+    for approach, (auc, _) in ranked[:8]:
+        marker = " <-- RF" if approach == "random forest" else ""
+        print(f"  #{ranks[approach]:>3}  AUCPR={auc:.3f}  {approach}{marker}")
+    for baseline in ("normalization scheme", "majority-vote"):
+        print(
+            f"  #{ranks[baseline]:>3}  AUCPR={results[baseline][0]:.3f}  {baseline}"
+        )
+
+    # Paired bootstrap of RF vs the best basic configuration ([50]'s
+    # point: Fig 9 photo-finishes need uncertainty, not just ranks).
+    from repro.evaluation import compare_aucpr
+
+    series = kpis[name].series
+    matrix = feature_matrices[name]
+    ws = weekly_scores[name]
+    labels = series.labels[ws.test_begin: ws.test_end]
+    best_basic_name = next(
+        approach for approach, _ in ranked
+        if approach not in (
+            "random forest", "normalization scheme", "majority-vote"
+        )
+    )
+    comparison = compare_aucpr(
+        ws.all_scores,
+        matrix.rows(ws.test_begin, ws.test_end)[
+            :, matrix.names.index(best_basic_name)
+        ],
+        labels,
+        n_rounds=200,
+    )
+    print(
+        f"  RF vs best basic ({best_basic_name}): "
+        f"dAUCPR={comparison.difference:+.3f} "
+        f"[{comparison.interval.lower:+.3f}, {comparison.interval.upper:+.3f}] "
+        f"{'significant' if comparison.significant else 'statistical tie'}"
+    )
+
+    # Shape assertions. Paper: the forest "performs similarly to or
+    # even better than the most accurate basic detector" (ranks 1/1/2
+    # there; here it lands in the top handful of 136, within a few
+    # percent of the best config — see EXPERIMENTS.md), while the
+    # static combinations rank low because they weight inaccurate
+    # configurations equally.
+    best_auc = ranked[0][1][0]
+    rf_auc = results["random forest"][0]
+    assert ranks["random forest"] <= 12
+    assert rf_auc >= 0.9 * best_auc
+    assert ranks["random forest"] < ranks["normalization scheme"]
+    assert ranks["random forest"] < ranks["majority-vote"]
+    assert ranks["normalization scheme"] > 8
+    assert ranks["majority-vote"] > 8
+
+
+@pytest.mark.parametrize("name", ["PV", "#SR", "SRT"])
+def test_table4_max_precision(benchmark, kpis, feature_matrices, weekly_scores, name):
+    results = benchmark.pedantic(
+        lambda: run_fig9(kpis, feature_matrices, weekly_scores, name),
+        rounds=1, iterations=1,
+    )
+    basic = {
+        approach: row for approach, row in results.items()
+        if approach not in (
+            "random forest", "normalization scheme", "majority-vote"
+        )
+    }
+    top3 = sorted(basic.items(), key=lambda kv: -kv[1][0])[:3]
+
+    print_header(f"Table 4 [{name}]: max precision at recall >= 0.66")
+    print(f"  random forest        {results['random forest'][1]:.2f}")
+    print(f"  normalization scheme {results['normalization scheme'][1]:.2f}")
+    print(f"  majority-vote        {results['majority-vote'][1]:.2f}")
+    for i, (approach, (_, precision)) in enumerate(top3, 1):
+        print(f"  basic #{i} {approach:<32} {precision:.2f}")
+
+    rf_precision = results["random forest"][1]
+    # Paper shape: the forest satisfies the preference with headroom and
+    # beats both static combinations decisively.
+    assert rf_precision >= 0.66
+    assert rf_precision > results["normalization scheme"][1]
+    assert rf_precision > results["majority-vote"][1]

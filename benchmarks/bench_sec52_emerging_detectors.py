@@ -1,0 +1,71 @@
+"""§5.2 — plugging emerging detectors into Opprentice.
+
+"Opprentice is not limited to the detectors we used, and can
+incorporate emerging detectors, as long as they meet our detector
+requirements." This bench extends the 133-configuration bank with
+Brutlag's aberrant-behaviour detector [13], two-sided CUSUM, and
+Seasonal Hybrid ESD (17 extra configurations) and verifies that
+
+* the extended forest never loses accuracy (the forest absorbs the new
+  features without any tuning), and
+* the new detectors earn non-trivial feature importance when they help.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import FeatureExtractor
+from repro.core.opprentice import _subsample_training
+from repro.detectors import build_configs, default_detectors, extended_detectors
+from repro.evaluation import aucpr
+from repro.ml import Imputer
+
+from _common import MAX_TRAIN_POINTS, bench_forest, print_header
+
+
+def run_extended(kpis, feature_matrices, name):
+    series = kpis[name].series
+    base_matrix = feature_matrices[name]
+    extra_configs = build_configs(
+        default_detectors(series.interval) + extended_detectors(series.interval)
+    )
+    extended_matrix = FeatureExtractor(extra_configs).extract(series)
+
+    split = 8 * series.points_per_week
+    labels = series.labels
+    results = {}
+    importances = None
+    for label, matrix in (("table 3 bank", base_matrix),
+                          ("+ brutlag/cusum", extended_matrix)):
+        imputer = Imputer().fit(matrix.values[:split])
+        features = imputer.transform(matrix.values)
+        train_x, train_y = _subsample_training(
+            features[:split], labels[:split], MAX_TRAIN_POINTS, 0
+        )
+        model = bench_forest(seed=52)
+        model.fit(train_x, train_y)
+        results[label] = aucpr(
+            model.predict_proba(features[split:]), labels[split:]
+        )
+        if label == "+ brutlag/cusum":
+            importances = model.feature_importances()
+    new_share = float(importances[133:].sum())
+    return results, new_share, extended_matrix.names[133:]
+
+
+@pytest.mark.parametrize("name", ["SRT"])
+def test_emerging_detectors_plug_in(benchmark, kpis, feature_matrices, name):
+    results, new_share, new_names = benchmark.pedantic(
+        lambda: run_extended(kpis, feature_matrices, name),
+        rounds=1, iterations=1,
+    )
+    print_header(f"§5.2 [{name}]: extending the bank with emerging detectors")
+    for label, auc in results.items():
+        print(f"  {label:<16} AUCPR={auc:.3f}")
+    print(f"  importance share of the new configurations: {new_share:.1%}")
+
+    # Shape: adding detectors without tuning does not hurt (the Fig 10
+    # robustness property), and the forest actually uses them.
+    assert results["+ brutlag/cusum"] >= results["table 3 bank"] - 0.03
+    assert new_share > 0.0
+    assert len(new_names) == 17

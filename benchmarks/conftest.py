@@ -1,0 +1,34 @@
+"""Session fixtures for the benchmarks; heavy lifting in _common.py."""
+
+from typing import Dict
+
+import pytest
+
+from repro.core import FeatureExtractor, FeatureMatrix
+from repro.data import InjectionResult, make_all
+
+from _common import WeeklyScores, run_i1_weekly_scores
+
+
+@pytest.fixture(scope="session")
+def kpis() -> Dict[str, InjectionResult]:
+    """The three Table 1 KPIs with exact ground truth."""
+    return make_all()
+
+
+@pytest.fixture(scope="session")
+def feature_matrices(kpis) -> Dict[str, FeatureMatrix]:
+    """133-column severity matrices, one per KPI."""
+    return {
+        name: FeatureExtractor().extract(result.series)
+        for name, result in kpis.items()
+    }
+
+
+@pytest.fixture(scope="session")
+def weekly_scores(kpis, feature_matrices) -> Dict[str, WeeklyScores]:
+    """I1 weekly random-forest scores, one per KPI."""
+    return {
+        name: run_i1_weekly_scores(name, kpis[name], feature_matrices[name])
+        for name in kpis
+    }

@@ -1,0 +1,98 @@
+"""Plugging an emerging detector into Opprentice (§5.2: "Opprentice is
+not limited to the detectors we used, and can incorporate emerging
+detectors, as long as they meet our detector requirements").
+
+This example implements a new basic detector from scratch — a causal
+*rate-of-change* detector that measures the relative derivative of a
+short moving average — registers it alongside a handful of stock
+configurations, and shows the feature mattering in the trained forest.
+
+Usage: python examples/custom_detector.py
+"""
+
+from typing import Dict
+
+import numpy as np
+
+from repro import Opprentice
+from repro.data import make_kpi
+from repro.data.datasets import PV_PROFILE
+from repro.detectors import Detector, EWMA, SimpleMA, SimpleThreshold, TSDMad, build_configs
+from repro.detectors.base import ParamValue, rolling_mean
+from repro.ml import RandomForest
+from repro.timeseries import TimeSeries
+
+
+class RateOfChange(Detector):
+    """Severity = |relative change of the smoothed signal|.
+
+    A new detector only needs three methods: ``params`` (for the
+    feature name), ``warmup``, and a causal ``severities``.
+    """
+
+    kind = "rate-of-change"
+
+    def __init__(self, window: int):
+        if window < 2:
+            raise ValueError("window must be >= 2")
+        self.window = window
+
+    def params(self) -> Dict[str, ParamValue]:
+        return {"win": self.window}
+
+    def warmup(self) -> int:
+        return 2 * self.window
+
+    def severities(self, series: TimeSeries) -> np.ndarray:
+        values = self._validate(series)
+        smoothed = rolling_mean(values, self.window)
+        out = np.full(len(values), np.nan)
+        if len(values) <= 2 * self.window:
+            return out
+        previous = smoothed[: -self.window]
+        current = smoothed[self.window:]
+        with np.errstate(invalid="ignore", divide="ignore"):
+            change = np.abs(current - previous) / np.maximum(
+                np.abs(previous), 1e-9
+            )
+        out[self.window:] = change
+        return out
+
+
+def main() -> None:
+    kpi = make_kpi(PV_PROFILE, weeks=6).series
+    split = 4 * kpi.points_per_week
+    train, test = kpi.slice(0, split), kpi.slice(split, len(kpi))
+
+    ppw = kpi.points_per_week
+    stock = [
+        SimpleThreshold(),
+        SimpleMA(10),
+        EWMA(0.5),
+        TSDMad(1, ppw),
+    ]
+    custom = [RateOfChange(6), RateOfChange(18)]
+    configs = build_configs(stock + custom)
+    print("Detector bank:")
+    for config in configs:
+        print(f"  [{config.index}] {config.name}")
+
+    opprentice = Opprentice(
+        configs=configs,
+        classifier_factory=lambda: RandomForest(n_estimators=30, seed=0),
+    )
+    opprentice.fit(train)
+    recall, precision = opprentice.detect(test).accuracy()
+    print(f"\nAccuracy with the custom detector: recall={recall:.2f} "
+          f"precision={precision:.2f}")
+
+    importances = opprentice.classifier_.feature_importances()
+    print("\nForest feature importances (gini):")
+    for config, importance in sorted(
+        zip(configs, importances), key=lambda pair: -pair[1]
+    ):
+        print(f"  {importance:5.1%}  {config.name}")
+
+
+if __name__ == "__main__":
+    main()

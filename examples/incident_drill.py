@@ -1,0 +1,78 @@
+"""Incident drill: how does a trained detector ride out real incidents?
+
+Chaos-engineering style exercise: train Opprentice on a clean history,
+then script four realistic incidents (outage + recovery, gradual
+degradation, flash crowd, cascading failure) into the following weeks
+and check, per incident phase, whether alerts fire — including the
+per-detection explanations that tell the operator *why*.
+
+Usage: python examples/incident_drill.py
+"""
+
+import numpy as np
+
+from repro import Opprentice
+from repro.core import alerts_from_predictions, explain_features
+from repro.data import SCENARIOS, SeasonalProfile, generate_kpi
+from repro.ml import RandomForest
+
+
+def main() -> None:
+    generated = generate_kpi(
+        weeks=6,
+        interval=3600,
+        profile=SeasonalProfile(base_level=100.0, daily_amplitude=0.5,
+                                noise_scale=0.02, trend=0.0),
+        seed=7,
+        name="drill-kpi",
+    )
+    clean = generated.series
+    ppw = clean.points_per_week
+    split = 4 * ppw
+
+    print("Training on 4 clean weeks + light synthetic anomalies...")
+    from repro.data import inject_anomalies
+
+    train = inject_anomalies(
+        clean.slice(0, split), target_fraction=0.05, seed=8, mean_window=4.0
+    ).series
+    opprentice = Opprentice(
+        classifier_factory=lambda: RandomForest(n_estimators=25, seed=0)
+    )
+    opprentice.fit(train)
+
+    live = clean.slice(split, len(clean))
+    for name, scenario in SCENARIOS.items():
+        incident = scenario(live, at=2 * 24)  # two days into the window
+        detection = opprentice.detect(incident.series)
+        alerts = alerts_from_predictions(
+            incident.series, detection.predictions, detection.scores,
+            min_duration_points=2,
+        )
+        hit_phases = []
+        for window, phase in zip(incident.windows, incident.phases):
+            hit = any(
+                a.begin_index < window.end and window.begin < a.end_index
+                for a in alerts
+            )
+            hit_phases.append((phase, hit))
+        print(f"\n=== {name} ===")
+        for phase, hit in hit_phases:
+            print(f"  {'ALERTED' if hit else 'missed '}  {phase}")
+        if alerts:
+            # Explain the strongest detection of the first alert.
+            first = alerts[0]
+            matrix = opprentice.extractor.extract(incident.series)
+            peak = first.begin_index + int(
+                np.nanargmax(detection.scores[first.begin_index: first.end_index])
+            )
+            explanation = explain_features(
+                opprentice, matrix.values[peak]
+            )[0]
+            print("  why (top detectors at the alert peak):")
+            for line in explanation.render(k=3).splitlines()[1:]:
+                print("  " + line)
+
+
+if __name__ == "__main__":
+    main()

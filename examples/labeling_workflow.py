@@ -1,0 +1,82 @@
+"""The full operator workflow of Fig 3: label -> train -> detect ->
+alert, using the labeling-tool substrate.
+
+The paper's operators label anomalies by dragging windows in a GUI.
+Here a scripted labeling session plays the operator (the same
+`LabelingTool` also runs interactively: `tool.run(sys.stdin)`), then
+Opprentice trains on the labelled data, detects the next week, and
+raises duration-filtered alerts. Finally the Fig 14 time model reports
+how long the labeling would have taken a human.
+
+Usage: python examples/labeling_workflow.py
+"""
+
+from repro import Opprentice
+from repro.core import alerts_from_predictions
+from repro.data import LabelingTimeModel, make_kpi
+from repro.data.datasets import SRT_PROFILE
+from repro.labeling import LabelingTool
+from repro.ml import RandomForest
+from repro.timeseries import TimeSeries, points_to_windows
+
+
+def main() -> None:
+    # Ground truth exists only to script the "operator"; the pipeline
+    # never sees it.
+    result = make_kpi(SRT_PROFILE, weeks=6)
+    truth_windows = result.windows
+    unlabeled = TimeSeries(
+        values=result.series.values,
+        interval=result.series.interval,
+        name="SRT",
+    )
+    split = 5 * unlabeled.points_per_week
+    history = unlabeled.slice(0, split)
+
+    print("Operator labels 5 weeks of history with the console tool...")
+    tool = LabelingTool(history)
+    print(tool.render())
+    for window in truth_windows:
+        if window.end <= split:
+            tool.execute(f"l {window.begin} {window.end}")
+    session = tool.session
+    print(f"  {session.n_label_actions()} label drags, "
+          f"{int(session.to_labels().sum())} anomalous points")
+
+    model = LabelingTimeModel()
+    minutes = model.month_minutes(len(history), session.n_label_actions())
+    print(f"  estimated human labeling time: {minutes:.1f} minutes (Fig 14 model)")
+
+    print("\nTraining Opprentice on the operator's labels...")
+    opprentice = Opprentice(
+        classifier_factory=lambda: RandomForest(n_estimators=25, seed=0)
+    )
+    opprentice.fit(session.labeled_series())
+
+    print("Detecting the 6th week and raising alerts...")
+    incoming = unlabeled.slice(split, len(unlabeled))
+    detection = opprentice.detect(incoming)
+    alerts = alerts_from_predictions(
+        incoming, detection.predictions, detection.scores,
+        min_duration_points=2,
+    )
+    print(f"  {len(alerts)} alerts (continuous anomalies >= 2 points):")
+    for alert in alerts:
+        print(
+            f"    points [{alert.begin_index}, {alert.end_index}) "
+            f"peak score {alert.peak_score:.2f}"
+        )
+
+    # How did we do against the (hidden) truth?
+    truth = result.series.labels[split:]
+    hits = sum(
+        1 for window in points_to_windows(truth)
+        if any(a.begin_index < window.end and window.begin < a.end_index
+               for a in alerts)
+    )
+    print(f"  true anomalous windows in the week: "
+          f"{len(points_to_windows(truth))}, hit by alerts: {hits}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+"""Running Opprentice as a live monitoring service.
+
+Simulates a production deployment on an SRT-like KPI:
+
+1. bootstrap on 4 weeks of operator-labelled history;
+2. ingest the 5th week point by point through the true detector
+   streams (§4.3.2's online mode) — alerts open and close in real time;
+3. at week's end the operator labels the new data (simulated from the
+   ground truth) and the service retrains incrementally, updating the
+   cThld by the EWMA rule;
+4. ingest the 6th week with the refreshed model.
+
+Usage: python examples/streaming_service.py
+"""
+
+from repro.core import MonitoringService
+from repro.data import make_kpi
+from repro.data.datasets import SRT_PROFILE
+from repro.ml import RandomForest
+
+
+def main() -> None:
+    result = make_kpi(SRT_PROFILE, weeks=6)
+    series = result.series
+    ppw = series.points_per_week
+    split = 4 * ppw
+
+    def on_alert(event):
+        timestamp = series.start + event.begin_index * series.interval
+        print(f"  [{event.kind:>6}] t={timestamp}s "
+              f"points=[{event.begin_index}, {event.end_index}) "
+              f"peak={event.peak_score:.2f}")
+
+    service = MonitoringService(
+        classifier_factory=lambda: RandomForest(n_estimators=25, seed=0),
+        min_duration_points=2,
+        alert_callback=on_alert,
+    )
+
+    print("Bootstrapping on 4 labelled weeks...")
+    service.bootstrap(series.slice(0, split))
+    print(f"  initial cThld = {service.cthld:.3f}")
+
+    print("\nWeek 5 — live ingestion:")
+    for value in series.values[split: split + ppw]:
+        service.ingest(value)
+
+    print("\nOperator labels week 5; incremental retraining...")
+    week5_windows = [
+        w for w in result.windows if split <= w.begin < split + ppw
+    ]
+    service.submit_labels(week5_windows)
+    new_cthld = service.retrain()
+    print(f"  new cThld = {new_cthld:.3f} "
+          f"(EWMA over the week's best cThld)")
+
+    print("\nWeek 6 — live ingestion with the refreshed model:")
+    for value in series.values[split + ppw:]:
+        service.ingest(value)
+
+    stats = service.stats
+    print(
+        f"\nTotals: {stats.points_ingested} points ingested, "
+        f"{stats.anomalous_points} anomalous, "
+        f"{stats.alerts_opened} alerts, "
+        f"{stats.retrain_rounds} retraining round(s)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+This environment has setuptools but not the ``wheel`` package, so PEP
+660 editable installs (``pip install -e .``) cannot build an editable
+wheel. ``python setup.py develop`` installs the same editable hook
+without needing wheel; metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

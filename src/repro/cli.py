@@ -1,0 +1,424 @@
+"""Command-line interface: the operator workflow from a shell.
+
+The Fig 3 loop as subcommands over CSV files and JSON models::
+
+    repro generate --kpi PV --weeks 8 --out pv.csv      # synthetic KPI
+    repro summarize pv.csv                              # Table 1 row
+    repro label pv.csv --out labeled.csv                # console tool
+    repro train labeled.csv --model model.json          # fit + cThld
+    repro detect new.csv --model model.json             # alerts
+    repro evaluate labeled.csv --model model.json       # recall/precision
+
+CSV format: ``timestamp,value[,label]`` (see `repro.timeseries.io`).
+Models are the JSON artifacts of `repro.core.persistence`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Opprentice (IMC 2015) KPI anomaly detection",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    generate = commands.add_parser(
+        "generate", help="generate a synthetic Table 1 KPI as CSV"
+    )
+    generate.add_argument(
+        "--kpi", choices=["PV", "#SR", "SRT"], default="PV",
+        help="which Table 1 profile to generate",
+    )
+    generate.add_argument("--weeks", type=float, default=None,
+                          help="length override (default: the Table 1 length)")
+    generate.add_argument("--seed-offset", type=int, default=0)
+    generate.add_argument("--paper-interval", action="store_true",
+                          help="use the paper's exact sampling interval")
+    generate.add_argument("--no-labels", action="store_true",
+                          help="omit the ground-truth label column")
+    generate.add_argument("--out", required=True, help="output CSV path")
+
+    summarize = commands.add_parser(
+        "summarize", help="print the Table 1 statistics of a KPI CSV"
+    )
+    summarize.add_argument("csv", help="input CSV")
+    summarize.add_argument("--interval", type=int, default=None)
+
+    label = commands.add_parser(
+        "label", help="label anomaly windows with the console tool"
+    )
+    label.add_argument("csv", help="input CSV (labels ignored)")
+    label.add_argument("--out", required=True, help="labelled CSV output")
+    label.add_argument("--interval", type=int, default=None)
+    label.add_argument(
+        "--commands", default=None,
+        help="semicolon-separated tool commands (scripted labeling); "
+             "omit for an interactive session on stdin",
+    )
+
+    train = commands.add_parser(
+        "train", help="train Opprentice on a labelled CSV"
+    )
+    train.add_argument("csv", help="labelled input CSV")
+    train.add_argument("--model", required=True, help="output model JSON")
+    train.add_argument("--interval", type=int, default=None)
+    train.add_argument("--recall", type=float, default=0.66,
+                       help="preference: minimum recall")
+    train.add_argument("--precision", type=float, default=0.66,
+                       help="preference: minimum precision")
+    train.add_argument("--trees", type=int, default=50)
+    train.add_argument("--max-train-points", type=int, default=None)
+    train.add_argument("--seed", type=int, default=0)
+
+    detect = commands.add_parser(
+        "detect", help="detect anomalies with a trained model"
+    )
+    detect.add_argument("csv", help="input CSV")
+    detect.add_argument("--model", required=True, help="model JSON")
+    detect.add_argument("--interval", type=int, default=None)
+    detect.add_argument("--out", default=None,
+                        help="write timestamp,value,label CSV of detections")
+    detect.add_argument("--min-duration", type=int, default=1,
+                        help="suppress anomalies shorter than this many points")
+    detect.add_argument("--explain", action="store_true",
+                        help="print the top contributing detector "
+                             "configurations for each alert")
+
+    evaluate = commands.add_parser(
+        "evaluate", help="score a model against a labelled CSV"
+    )
+    evaluate.add_argument("csv", help="labelled input CSV")
+    evaluate.add_argument("--model", required=True, help="model JSON")
+    evaluate.add_argument("--interval", type=int, default=None)
+
+    report = commands.add_parser(
+        "report",
+        help="full paper-style evaluation of a labelled CSV "
+             "(online loop + AUCPR ranking vs every configuration)",
+    )
+    report.add_argument("csv", help="labelled input CSV (> 9 weeks)")
+    report.add_argument("--interval", type=int, default=None)
+    report.add_argument("--recall", type=float, default=0.66)
+    report.add_argument("--precision", type=float, default=0.66)
+    report.add_argument("--trees", type=int, default=30)
+    report.add_argument("--max-train-points", type=int, default=6000)
+    report.add_argument("--top", type=int, default=8,
+                        help="approaches to list in the ranking")
+
+    drift = commands.add_parser(
+        "drift",
+        help="feature-drift report between a reference CSV (what the "
+             "model was trained on) and a recent CSV",
+    )
+    drift.add_argument("reference", help="reference (training-era) CSV")
+    drift.add_argument("recent", help="recent CSV")
+    drift.add_argument("--interval", type=int, default=None)
+    drift.add_argument("--top", type=int, default=8)
+
+    triage = commands.add_parser(
+        "triage",
+        help="suggest which windows of a CSV the operator should label "
+             "next, ranked by a trained model's anomaly scores",
+    )
+    triage.add_argument("csv", help="input CSV (unlabelled or partially "
+                                    "labelled)")
+    triage.add_argument("--model", required=True, help="model JSON")
+    triage.add_argument("--interval", type=int, default=None)
+    triage.add_argument("--threshold", type=float, default=0.3,
+                        help="score threshold for candidate windows")
+    triage.add_argument("--max", type=int, default=10,
+                        help="maximum suggestions")
+
+    resample = commands.add_parser(
+        "resample", help="aggregate a CSV onto a coarser grid"
+    )
+    resample.add_argument("csv", help="input CSV")
+    resample.add_argument("--to", type=int, required=True,
+                          help="target interval in seconds")
+    resample.add_argument("--aggregate", default="mean",
+                          choices=["mean", "max", "min", "median", "sum"])
+    resample.add_argument("--interval", type=int, default=None)
+    resample.add_argument("--out", required=True, help="output CSV")
+    return parser
+
+
+# ----------------------------------------------------------------------
+# Subcommand implementations
+# ----------------------------------------------------------------------
+def _cmd_generate(args) -> int:
+    from .data import PROFILES, make_kpi
+    from .timeseries import write_csv
+
+    profile = PROFILES[args.kpi]
+    result = make_kpi(
+        profile,
+        weeks=args.weeks,
+        seed_offset=args.seed_offset,
+        paper_interval=args.paper_interval,
+        with_anomalies=not args.no_labels,
+    )
+    series = result.series
+    if args.no_labels:
+        from .timeseries import TimeSeries
+
+        series = TimeSeries(
+            values=series.values, interval=series.interval,
+            start=series.start, name=series.name,
+        )
+    write_csv(series, args.out)
+    print(
+        f"wrote {len(series)} points of {args.kpi} "
+        f"({len(result.windows)} anomaly windows) to {args.out}"
+    )
+    return 0
+
+
+def _cmd_summarize(args) -> int:
+    from .timeseries import read_csv, summarize
+
+    series = read_csv(args.csv, interval=args.interval, name=args.csv)
+    print(summarize(series).row())
+    return 0
+
+
+def _cmd_label(args) -> int:
+    from .labeling import LabelingTool
+    from .timeseries import TimeSeries, read_csv, write_csv
+
+    loaded = read_csv(args.csv, interval=args.interval, name=args.csv)
+    series = TimeSeries(
+        values=loaded.values, interval=loaded.interval,
+        start=loaded.start, name=loaded.name,
+    )
+    tool = LabelingTool(series, output=sys.stdout)
+    if args.commands is not None:
+        for command in args.commands.split(";"):
+            if not tool.execute(command.strip()):
+                break
+        session = tool.session
+    else:
+        session = tool.run(sys.stdin)
+    labelled = session.labeled_series()
+    write_csv(labelled, args.out)
+    print(
+        f"wrote {int(labelled.labels.sum())} anomalous points "
+        f"({len(session.windows)} windows) to {args.out}"
+    )
+    return 0
+
+
+def _cmd_train(args) -> int:
+    from .core import Opprentice, save_model
+    from .evaluation import AccuracyPreference
+    from .ml import RandomForest
+    from .timeseries import read_csv
+
+    series = read_csv(args.csv, interval=args.interval, name=args.csv)
+    if not series.is_labeled:
+        print("error: training CSV has no label column", file=sys.stderr)
+        return 2
+    opprentice = Opprentice(
+        preference=AccuracyPreference(args.recall, args.precision),
+        classifier_factory=lambda: RandomForest(
+            n_estimators=args.trees, seed=args.seed
+        ),
+        max_train_points=args.max_train_points,
+        seed=args.seed,
+    )
+    opprentice.fit(series)
+    save_model(opprentice, args.model)
+    print(
+        f"trained on {len(series)} points "
+        f"({series.anomaly_fraction():.1%} anomalous); "
+        f"cThld={opprentice.cthld_:.3f}; model -> {args.model}"
+    )
+    return 0
+
+
+def _load_model_for(args):
+    from .core import Opprentice, load_model
+
+    return load_model(args.model, opprentice=Opprentice())
+
+
+def _cmd_detect(args) -> int:
+    from .core import alerts_from_predictions, duration_filter
+    from .timeseries import read_csv, write_csv
+
+    series = read_csv(args.csv, interval=args.interval, name=args.csv)
+    opprentice = _load_model_for(args)
+    result = opprentice.detect(series)
+    predictions = duration_filter(result.predictions, args.min_duration)
+    alerts = alerts_from_predictions(
+        series, predictions, result.scores, min_duration_points=1
+    )
+    n_points = int((predictions == 1).sum())
+    print(
+        f"{n_points} anomalous points in {len(series)} "
+        f"({len(alerts)} alerts at min duration {args.min_duration})"
+    )
+    explain_matrix = None
+    if args.explain and alerts:
+        explain_matrix = opprentice.extractor.extract(series)
+    for alert in alerts:
+        print(
+            f"  alert t=[{alert.begin_timestamp}, {alert.end_timestamp}) "
+            f"points={alert.duration_points} peak={alert.peak_score:.2f}"
+        )
+        if explain_matrix is not None:
+            from .core import explain_features
+
+            window_scores = result.scores[alert.begin_index: alert.end_index]
+            peak = alert.begin_index + int(np.nanargmax(window_scores))
+            explanation = explain_features(
+                opprentice, explain_matrix.values[peak]
+            )[0]
+            for contribution in explanation.top(3):
+                print(
+                    f"      {contribution.contribution:+.3f} "
+                    f"{contribution.name}"
+                )
+    if args.out:
+        write_csv(series.with_labels(np.maximum(predictions, 0)), args.out)
+        print(f"detections -> {args.out}")
+    return 0
+
+
+def _cmd_evaluate(args) -> int:
+    from .evaluation import aucpr, evaluate_threshold
+    from .timeseries import read_csv
+
+    series = read_csv(args.csv, interval=args.interval, name=args.csv)
+    if not series.is_labeled:
+        print("error: evaluation CSV has no label column", file=sys.stderr)
+        return 2
+    opprentice = _load_model_for(args)
+    scores = opprentice.anomaly_scores(series)
+    recall, precision = evaluate_threshold(
+        scores, series.labels, opprentice.cthld_
+    )
+    satisfied = opprentice.preference.satisfied_by(recall, precision)
+    print(f"AUCPR     {aucpr(scores, series.labels):.3f}")
+    print(f"recall    {recall:.3f}")
+    print(f"precision {precision:.3f}")
+    print(
+        f"preference (recall>={opprentice.preference.recall}, "
+        f"precision>={opprentice.preference.precision}): "
+        f"{'satisfied' if satisfied else 'NOT satisfied'}"
+    )
+    return 0
+
+
+def _cmd_resample(args) -> int:
+    from .timeseries import read_csv, to_interval, write_csv
+
+    series = read_csv(args.csv, interval=args.interval, name=args.csv)
+    coarse = to_interval(series, args.to, aggregate=args.aggregate)
+    write_csv(coarse, args.out)
+    print(
+        f"{len(series)} points @ {series.interval}s -> "
+        f"{len(coarse)} points @ {coarse.interval}s ({args.aggregate}) "
+        f"-> {args.out}"
+    )
+    return 0
+
+
+def _cmd_drift(args) -> int:
+    from .core import FeatureExtractor, feature_drift
+    from .timeseries import read_csv
+
+    reference = read_csv(args.reference, interval=args.interval)
+    recent = read_csv(args.recent, interval=args.interval)
+    if reference.interval != recent.interval:
+        print("error: the two CSVs have different intervals", file=sys.stderr)
+        return 2
+    extractor = FeatureExtractor()
+    reference_matrix = extractor.extract(reference)
+    recent_matrix = extractor.extract(recent)
+    report = feature_drift(
+        reference_matrix.values, recent_matrix.values,
+        names=reference_matrix.names,
+    )
+    print(report.render(k=args.top))
+    return 0
+
+
+def _cmd_triage(args) -> int:
+    from .labeling import suggest_windows, triage_queue_minutes
+    from .timeseries import read_csv
+
+    series = read_csv(args.csv, interval=args.interval, name=args.csv)
+    opprentice = _load_model_for(args)
+    scores = opprentice.anomaly_scores(series)
+    labeled_mask = None
+    if series.is_labeled:
+        labeled_mask = series.labels.astype(bool)
+    candidates = suggest_windows(
+        scores,
+        labeled_mask=labeled_mask,
+        score_threshold=args.threshold,
+        max_candidates=args.max,
+    )
+    if not candidates:
+        print("nothing to triage: no unlabelled high-score windows")
+        return 0
+    minutes = triage_queue_minutes(candidates)
+    print(f"{len(candidates)} windows to review (~{minutes:.1f} min):")
+    for candidate in candidates:
+        window = candidate.window
+        print(
+            f"  points [{window.begin}, {window.end})  "
+            f"peak={candidate.peak_score:.2f} mean={candidate.mean_score:.2f}"
+        )
+    return 0
+
+
+def _cmd_report(args) -> int:
+    from .evaluation import AccuracyPreference, evaluate_kpi
+    from .ml import RandomForest
+    from .timeseries import read_csv
+
+    series = read_csv(args.csv, interval=args.interval, name=args.csv)
+    if not series.is_labeled:
+        print("error: report requires a labelled CSV", file=sys.stderr)
+        return 2
+    report = evaluate_kpi(
+        series,
+        preference=AccuracyPreference(args.recall, args.precision),
+        classifier_factory=lambda: RandomForest(
+            n_estimators=args.trees, seed=0
+        ),
+        max_train_points=args.max_train_points,
+    )
+    print(report.render(top_k=args.top))
+    return 0
+
+
+_COMMANDS = {
+    "generate": _cmd_generate,
+    "summarize": _cmd_summarize,
+    "label": _cmd_label,
+    "train": _cmd_train,
+    "detect": _cmd_detect,
+    "evaluate": _cmd_evaluate,
+    "report": _cmd_report,
+    "drift": _cmd_drift,
+    "triage": _cmd_triage,
+    "resample": _cmd_resample,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

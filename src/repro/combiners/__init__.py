@@ -1,0 +1,13 @@
+"""Static baselines: combiners (§5.3.1) and the tuned-detector workflow."""
+
+from .base import StaticCombiner
+from .majority_vote import MajorityVote
+from .normalization import NormalizationSchema
+from .tuned import TunedBasicDetector
+
+__all__ = [
+    "StaticCombiner",
+    "NormalizationSchema",
+    "MajorityVote",
+    "TunedBasicDetector",
+]

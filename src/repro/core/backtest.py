@@ -1,0 +1,120 @@
+"""Preference backtesting: what accuracy would each preference get?
+
+§2.2: "The trade-off between [precision and recall] is often adjusted
+according to real demands. For example, busy operators are more
+sensitive to precision ... operators would care more about recall if a
+KPI, e.g., revenue, is critical." Before committing to a preference,
+operators can backtest several against labelled history:
+:func:`backtest_preferences` runs the full online loop once per
+preference and tabulates per-preference satisfaction, mean accuracy and
+alert volume — the decision table for choosing R and P.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+from ..evaluation import (
+    MODERATE_PREFERENCE,
+    SENSITIVE_TO_PRECISION,
+    SENSITIVE_TO_RECALL,
+    AccuracyPreference,
+)
+from .feature_matrix import FeatureExtractor
+from .opprentice import default_classifier_factory, run_online
+
+#: The three Fig 12 preferences, the natural starting grid.
+DEFAULT_PREFERENCE_GRID = (
+    MODERATE_PREFERENCE,
+    SENSITIVE_TO_PRECISION,
+    SENSITIVE_TO_RECALL,
+)
+
+
+@dataclass(frozen=True)
+class PreferenceOutcome:
+    """Backtest results for one candidate preference."""
+
+    preference: AccuracyPreference
+    satisfaction_rate: float
+    mean_recall: float
+    mean_precision: float
+    detected_points: int
+    detected_fraction: float
+
+    def row(self) -> str:
+        return (
+            f"recall>={self.preference.recall:.2f} & "
+            f"precision>={self.preference.precision:.2f}: "
+            f"{self.satisfaction_rate:6.1%} windows satisfied | "
+            f"mean r={self.mean_recall:.2f} p={self.mean_precision:.2f} | "
+            f"{self.detected_points} detections "
+            f"({self.detected_fraction:.1%} of points)"
+        )
+
+
+def backtest_preferences(
+    series,
+    *,
+    preferences: Sequence[AccuracyPreference] = DEFAULT_PREFERENCE_GRID,
+    configs=None,
+    classifier_factory: Optional[Callable] = None,
+    max_train_points: Optional[int] = None,
+    window_weeks: int = 4,
+) -> List[PreferenceOutcome]:
+    """Run the online loop under each candidate preference.
+
+    Features are extracted once and shared; the classifier retraining
+    runs per preference because the cThld feedback loop differs.
+    Returns outcomes in the order the preferences were given.
+    """
+    if not series.is_labeled:
+        raise ValueError("backtesting requires a labelled series")
+    if not preferences:
+        raise ValueError("need at least one candidate preference")
+    classifier_factory = classifier_factory or default_classifier_factory
+    extractor = FeatureExtractor(configs)
+    matrix = extractor.extract(series)
+
+    outcomes = []
+    for preference in preferences:
+        run = run_online(
+            series,
+            configs=extractor.configs(series),
+            preference=preference,
+            classifier_factory=classifier_factory,
+            features=matrix,
+            max_train_points=max_train_points,
+        )
+        effective_window = min(window_weeks, len(run.outcomes))
+        detected = run.n_detected()
+        test_points = run.test_end - run.test_begin
+        outcomes.append(
+            PreferenceOutcome(
+                preference=preference,
+                satisfaction_rate=run.satisfaction_rate(
+                    window_weeks=effective_window
+                ),
+                mean_recall=float(
+                    np.mean([o.recall for o in run.outcomes])
+                ),
+                mean_precision=float(
+                    np.mean([o.precision for o in run.outcomes])
+                ),
+                detected_points=detected,
+                detected_fraction=detected / test_points,
+            )
+        )
+    return outcomes
+
+
+def render_backtest(outcomes: Sequence[PreferenceOutcome]) -> str:
+    """The decision table as text."""
+    if not outcomes:
+        raise ValueError("no outcomes to render")
+    lines = ["preference backtest (online loop per candidate):"]
+    lines += [f"  {outcome.row()}" for outcome in outcomes]
+    return "\n".join(lines)

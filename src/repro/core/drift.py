@@ -1,0 +1,175 @@
+"""Concept-drift monitoring.
+
+§2.1 assumes "operators have no concept drift regarding anomalies",
+which held for the months studied — but a deployed system should
+*verify* that assumption continuously. This module watches two drift
+surfaces:
+
+* **data drift** — the severity feature distributions shift between the
+  training window and recent data, measured by the population stability
+  index (PSI) per configuration. Large PSI means the detectors are
+  seeing a different KPI than the one the forest was trained on.
+* **label/performance drift** — the weekly best cThlds (already tracked
+  by the EWMA machinery) or weekly accuracy trend away from the
+  training regime.
+
+A :class:`DriftReport` names the most-drifted configurations so the
+operator knows *what* changed, not just that something did.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+#: Conventional PSI interpretation thresholds.
+PSI_MODERATE = 0.1
+PSI_MAJOR = 0.25
+
+
+def population_stability_index(
+    reference: np.ndarray,
+    recent: np.ndarray,
+    *,
+    n_bins: int = 10,
+) -> float:
+    """PSI between a reference and a recent sample of one feature.
+
+    Bins are reference deciles; both distributions are smoothed so empty
+    bins do not produce infinities. NaN values are excluded (they carry
+    the warm-up/missing convention, not distributional information).
+    """
+    if n_bins < 2:
+        raise ValueError(f"n_bins must be >= 2, got {n_bins}")
+    reference = np.asarray(reference, dtype=np.float64)
+    recent = np.asarray(recent, dtype=np.float64)
+    reference = reference[np.isfinite(reference)]
+    recent = recent[np.isfinite(recent)]
+    if len(reference) < n_bins or len(recent) == 0:
+        raise ValueError("need enough finite points in both samples")
+
+    quantiles = np.linspace(0.0, 1.0, n_bins + 1)[1:-1]
+    edges = np.unique(np.quantile(reference, quantiles))
+    ref_counts = np.bincount(
+        np.searchsorted(edges, reference, side="left"),
+        minlength=len(edges) + 1,
+    ).astype(np.float64)
+    rec_counts = np.bincount(
+        np.searchsorted(edges, recent, side="left"),
+        minlength=len(edges) + 1,
+    ).astype(np.float64)
+    # Laplace smoothing keeps empty bins finite.
+    ref_frac = (ref_counts + 0.5) / (ref_counts.sum() + 0.5 * len(ref_counts))
+    rec_frac = (rec_counts + 0.5) / (rec_counts.sum() + 0.5 * len(rec_counts))
+    return float(np.sum((rec_frac - ref_frac) * np.log(rec_frac / ref_frac)))
+
+
+@dataclass(frozen=True)
+class FeatureDrift:
+    """Drift of one detector configuration's severity distribution."""
+
+    name: str
+    psi: float
+
+    @property
+    def level(self) -> str:
+        if self.psi >= PSI_MAJOR:
+            return "major"
+        if self.psi >= PSI_MODERATE:
+            return "moderate"
+        return "stable"
+
+
+@dataclass
+class DriftReport:
+    """Per-configuration drift between training and recent windows."""
+
+    features: List[FeatureDrift]
+
+    def top(self, k: int = 5) -> List[FeatureDrift]:
+        return sorted(self.features, key=lambda f: -f.psi)[:k]
+
+    @property
+    def max_psi(self) -> float:
+        if not self.features:
+            raise ValueError("report has no features")
+        return max(f.psi for f in self.features)
+
+    @property
+    def drifted_fraction(self) -> float:
+        """Fraction of configurations at moderate-or-worse drift."""
+        if not self.features:
+            raise ValueError("report has no features")
+        return float(
+            np.mean([f.psi >= PSI_MODERATE for f in self.features])
+        )
+
+    def render(self, k: int = 5) -> str:
+        lines = [
+            f"feature drift: max PSI {self.max_psi:.3f}, "
+            f"{self.drifted_fraction:.0%} of configurations >= moderate"
+        ]
+        for feature in self.top(k):
+            lines.append(
+                f"  PSI {feature.psi:6.3f} ({feature.level:<8}) {feature.name}"
+            )
+        return "\n".join(lines)
+
+
+def feature_drift(
+    reference_rows: np.ndarray,
+    recent_rows: np.ndarray,
+    names: Optional[Sequence[str]] = None,
+    *,
+    n_bins: int = 10,
+) -> DriftReport:
+    """PSI of every feature column between two row windows.
+
+    Columns without enough finite data in either window are skipped
+    (e.g. a detector whose warm-up covers the whole reference window).
+    """
+    reference_rows = np.asarray(reference_rows, dtype=np.float64)
+    recent_rows = np.asarray(recent_rows, dtype=np.float64)
+    if reference_rows.ndim != 2 or recent_rows.ndim != 2:
+        raise ValueError("row windows must be 2-D")
+    if reference_rows.shape[1] != recent_rows.shape[1]:
+        raise ValueError(
+            f"column mismatch: {reference_rows.shape[1]} vs "
+            f"{recent_rows.shape[1]}"
+        )
+    n_features = reference_rows.shape[1]
+    if names is not None and len(names) != n_features:
+        raise ValueError("names length must match the feature count")
+
+    features = []
+    for j in range(n_features):
+        try:
+            psi = population_stability_index(
+                reference_rows[:, j], recent_rows[:, j], n_bins=n_bins
+            )
+        except ValueError:
+            continue
+        features.append(
+            FeatureDrift(
+                name=names[j] if names is not None else f"feature {j}",
+                psi=psi,
+            )
+        )
+    return DriftReport(features=features)
+
+
+def cthld_drift(best_cthlds: Sequence[float], *, window: int = 4) -> float:
+    """Drift signal over the weekly best-cThld series (Fig 7): the
+    absolute difference between the means of the last ``window`` weeks
+    and the preceding history. Near 0 = the threshold regime is stable.
+    """
+    best_cthlds = np.asarray(list(best_cthlds), dtype=np.float64)
+    if len(best_cthlds) <= window:
+        raise ValueError(
+            f"need more than {window} weeks, got {len(best_cthlds)}"
+        )
+    recent = best_cthlds[-window:]
+    history = best_cthlds[:-window]
+    return float(abs(recent.mean() - history.mean()))

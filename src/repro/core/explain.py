@@ -1,0 +1,113 @@
+"""Explaining detections: which detector configurations fired.
+
+§6 argues detection results "should be reported to operators and let
+operators decide how to deal with them". A bare anomaly probability is
+hard to act on; an explanation of *which detectors drove it* tells the
+operator what kind of anomaly the forest saw (a seasonal violation? a
+level shift? jitter?). This module decomposes a forest prediction into
+per-configuration contributions via the trees' decision paths and maps
+them back to detector names.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from ..ml import RandomForest
+from .opprentice import Opprentice
+
+
+@dataclass(frozen=True)
+class FeatureContribution:
+    """One detector configuration's share of an anomaly probability."""
+
+    name: str
+    contribution: float
+    severity: float
+
+
+@dataclass(frozen=True)
+class DetectionExplanation:
+    """Decomposition of one point's anomaly probability.
+
+    ``bias + sum(contributions) == probability`` (for the fully grown
+    forests Opprentice trains, this is exactly the reported vote
+    probability).
+    """
+
+    probability: float
+    bias: float
+    contributions: List[FeatureContribution]
+
+    def top(self, k: int = 5) -> List[FeatureContribution]:
+        """The k configurations pushing hardest toward "anomaly"."""
+        ranked = sorted(
+            self.contributions, key=lambda c: -c.contribution
+        )
+        return ranked[:k]
+
+    def render(self, k: int = 5) -> str:
+        lines = [
+            f"anomaly probability {self.probability:.2f} "
+            f"(baseline {self.bias:.2f})"
+        ]
+        for contribution in self.top(k):
+            lines.append(
+                f"  {contribution.contribution:+.3f}  {contribution.name} "
+                f"(severity {contribution.severity:.3g})"
+            )
+        return "\n".join(lines)
+
+
+def explain_features(
+    opprentice: Opprentice, feature_rows: np.ndarray
+) -> List[DetectionExplanation]:
+    """Explain predictions for raw (unimputed) feature rows."""
+    if opprentice.classifier_ is None or opprentice.imputer_ is None:
+        raise ValueError("explain requires a fitted Opprentice")
+    classifier = opprentice.classifier_
+    if not isinstance(classifier, RandomForest):
+        raise TypeError(
+            "path-based explanations need a RandomForest classifier, got "
+            f"{type(classifier).__name__}"
+        )
+    feature_rows = np.atleast_2d(np.asarray(feature_rows, dtype=np.float64))
+    names = opprentice.extractor.names
+    imputed = opprentice.imputer_.transform(feature_rows)
+    contributions = classifier.prediction_contributions(imputed)
+    probabilities = classifier.predict_proba(imputed)
+
+    explanations = []
+    for row in range(feature_rows.shape[0]):
+        explanations.append(
+            DetectionExplanation(
+                probability=float(probabilities[row]),
+                bias=float(contributions[row, -1]),
+                contributions=[
+                    FeatureContribution(
+                        name=names[j],
+                        contribution=float(contributions[row, j]),
+                        severity=float(feature_rows[row, j]),
+                    )
+                    for j in range(len(names))
+                ],
+            )
+        )
+    return explanations
+
+
+def explain_point(
+    opprentice: Opprentice, series, index: int
+) -> DetectionExplanation:
+    """Explain the detection of one point of a series.
+
+    Extracts features over the whole series (so windowed detectors have
+    context) and decomposes the prediction at ``index``.
+    """
+    matrix = opprentice.extractor.extract(series)
+    if not 0 <= index < matrix.n_points:
+        raise IndexError(f"index {index} outside series of {matrix.n_points}")
+    return explain_features(opprentice, matrix.values[index])[0]

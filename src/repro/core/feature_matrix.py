@@ -1,0 +1,160 @@
+"""Assembling the severity feature matrix (§4.3).
+
+"Multiple detectors are applied to the KPI data in parallel to extract
+features" — here, every registered configuration contributes one column
+of severities. Feature extraction, training and classification all work
+on individual data points (§4.3.1), so the matrix has one row per grid
+point of the KPI.
+
+Holt-Winters configurations are computed through the vectorised batch
+runner (64 configurations in one pass); everything else is already
+vectorised per configuration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..detectors import DetectorConfig, configs_for
+from ..detectors.holt_winters import HoltWinters, batch_severities
+from ..timeseries import TimeSeries
+
+
+@dataclass
+class FeatureMatrix:
+    """An (n_points, n_configs) severity matrix with column metadata.
+
+    ``values[t, j]`` is configuration ``j``'s severity for point ``t``;
+    NaN inside warm-up windows and at missing points.
+    """
+
+    values: np.ndarray
+    names: List[str]
+
+    def __post_init__(self) -> None:
+        if self.values.ndim != 2:
+            raise ValueError(f"matrix must be 2-D, got {self.values.shape}")
+        if self.values.shape[1] != len(self.names):
+            raise ValueError(
+                f"{self.values.shape[1]} columns vs {len(self.names)} names"
+            )
+
+    @property
+    def n_points(self) -> int:
+        return self.values.shape[0]
+
+    @property
+    def n_features(self) -> int:
+        return self.values.shape[1]
+
+    def rows(self, begin: int, end: int) -> np.ndarray:
+        """The feature rows for points [begin, end)."""
+        if begin < 0 or end > self.n_points or begin > end:
+            raise ValueError(
+                f"rows [{begin}, {end}) outside matrix of {self.n_points}"
+            )
+        return self.values[begin:end]
+
+    def column(self, name: str) -> np.ndarray:
+        """One configuration's severities by feature name."""
+        try:
+            index = self.names.index(name)
+        except ValueError:
+            raise KeyError(f"no feature named {name!r}") from None
+        return self.values[:, index]
+
+
+class FeatureExtractor:
+    """Runs a detector bank over series to produce feature matrices.
+
+    Parameters
+    ----------
+    configs:
+        Detector configurations; defaults to the Table 3 bank sized for
+        the first series passed to :meth:`extract`.
+    workers:
+        Thread count for parallel extraction (§5.8: "all the detectors
+        can run in parallel"). The numpy-heavy detectors (SVD, the
+        seasonal matrices) release the GIL, so threads give a real
+        speed-up; 1 (default) runs sequentially.
+    """
+
+    def __init__(
+        self,
+        configs: Optional[Sequence[DetectorConfig]] = None,
+        *,
+        workers: int = 1,
+    ):
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self._configs: Optional[List[DetectorConfig]] = (
+            list(configs) if configs is not None else None
+        )
+        self.workers = workers
+
+    def configs(self, series: Optional[TimeSeries] = None) -> List[DetectorConfig]:
+        if self._configs is None:
+            if series is None:
+                raise ValueError(
+                    "no configs set and no series to derive them from"
+                )
+            self._configs = configs_for(series)
+        return self._configs
+
+    @property
+    def names(self) -> List[str]:
+        if self._configs is None:
+            raise RuntimeError("extractor has no configs yet")
+        return [c.name for c in self._configs]
+
+    def extract(self, series: TimeSeries) -> FeatureMatrix:
+        """The full severity matrix for ``series``."""
+        configs = self.configs(series)
+        n = len(series)
+        matrix = np.full((n, len(configs)), np.nan)
+
+        # Group the Holt-Winters configurations per season length and
+        # run each group through the vectorised batch loop.
+        hw_groups: dict = {}
+        for config in configs:
+            detector = config.detector
+            if isinstance(detector, HoltWinters):
+                hw_groups.setdefault(detector.season_points, []).append(config)
+
+        for season, group in hw_groups.items():
+            severities = batch_severities(
+                series.values,
+                np.array([c.detector.alpha for c in group]),
+                np.array([c.detector.beta for c in group]),
+                np.array([c.detector.gamma for c in group]),
+                season,
+            )
+            for j, config in enumerate(group):
+                matrix[:, config.index] = severities[:, j]
+
+        remaining = [
+            c for c in configs if not isinstance(c.detector, HoltWinters)
+        ]
+        if self.workers > 1 and len(remaining) > 1:
+            from concurrent.futures import ThreadPoolExecutor
+
+            def run(config: DetectorConfig):
+                return config.index, config.detector.severities(series)
+
+            with ThreadPoolExecutor(max_workers=self.workers) as pool:
+                for index, severities in pool.map(run, remaining):
+                    matrix[:, index] = severities
+        else:
+            for config in remaining:
+                matrix[:, config.index] = config.detector.severities(series)
+        return FeatureMatrix(values=matrix, names=[c.name for c in configs])
+
+
+def extract_features(
+    series: TimeSeries, configs: Optional[Sequence[DetectorConfig]] = None
+) -> FeatureMatrix:
+    """One-shot convenience wrapper around :class:`FeatureExtractor`."""
+    return FeatureExtractor(configs).extract(series)

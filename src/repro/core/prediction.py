@@ -1,0 +1,148 @@
+"""Online cThld prediction (§4.5.2).
+
+The best cThld for a week can only be computed after that week's ground
+truth exists, so online detection must *predict* the cThld for the
+upcoming week. Two predictors are compared in Fig 13:
+
+* **EWMA** (Opprentice's choice): ``cThld_p[i] = alpha * cThld_b[i-1] +
+  (1 - alpha) * cThld_p[i-1]`` with ``alpha = 0.8`` "to quickly catch up
+  with the cThld variation"; the first week is initialised by 5-fold
+  cross-validation.
+* **5-fold cross-validation** every week (the baseline), which Fig 7
+  explains underperforms because best cThlds drift week to week and
+  resemble their *neighbours* more than the whole history.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Callable, Optional
+
+import numpy as np
+
+from ..evaluation import (
+    AccuracyPreference,
+    PCScoreSelector,
+    cross_validate_cthld,
+)
+
+#: §4.5.2: "We use alpha = 0.8 in this paper".
+EWMA_CTHLD_ALPHA = 0.8
+
+
+class CThldPredictor(abc.ABC):
+    """Predicts the cThld to use for the next test window."""
+
+    name: str = "predictor"
+
+    @abc.abstractmethod
+    def predict(
+        self,
+        classifier_factory: Callable[[], object],
+        train_features: np.ndarray,
+        train_labels: np.ndarray,
+    ) -> float:
+        """The cThld for the upcoming window, given the training set the
+        classifier was (re)trained on."""
+
+    def observe_best(self, best_cthld: float) -> None:
+        """Feed back the offline best cThld of the window that just
+        finished (no-op for stateless predictors)."""
+
+
+class CrossValidationPredictor(CThldPredictor):
+    """Re-run 5-fold cross-validation on all history every week."""
+
+    name = "5-fold"
+
+    def __init__(self, preference: AccuracyPreference, k: int = 5):
+        self.preference = preference
+        self.k = k
+
+    def predict(
+        self,
+        classifier_factory: Callable[[], object],
+        train_features: np.ndarray,
+        train_labels: np.ndarray,
+    ) -> float:
+        return cross_validate_cthld(
+            classifier_factory,
+            train_features,
+            train_labels,
+            self.preference,
+            k=self.k,
+        )
+
+
+class EWMAPredictor(CThldPredictor):
+    """Opprentice's EWMA-of-best-cThlds predictor.
+
+    State machine: before the first prediction it falls back to 5-fold
+    cross-validation ("For the first week, we use 5-fold
+    cross-validation to initialize cThld_p[1]"); afterwards each
+    :meth:`observe_best` folds the finished week's best cThld into the
+    prediction.
+    """
+
+    name = "EWMA"
+
+    def __init__(
+        self,
+        preference: AccuracyPreference,
+        alpha: float = EWMA_CTHLD_ALPHA,
+        k: int = 5,
+    ):
+        if not 0.0 <= alpha <= 1.0:
+            raise ValueError(f"alpha must be in [0, 1], got {alpha}")
+        self.preference = preference
+        self.alpha = alpha
+        self.k = k
+        self._prediction: Optional[float] = None
+
+    @property
+    def current(self) -> Optional[float]:
+        """The current prediction (None before initialisation)."""
+        return self._prediction
+
+    def predict(
+        self,
+        classifier_factory: Callable[[], object],
+        train_features: np.ndarray,
+        train_labels: np.ndarray,
+    ) -> float:
+        if self._prediction is None:
+            self._prediction = cross_validate_cthld(
+                classifier_factory,
+                train_features,
+                train_labels,
+                self.preference,
+                k=self.k,
+            )
+        return self._prediction
+
+    def observe_best(self, best_cthld: float) -> None:
+        if not 0.0 <= best_cthld <= 1.0:
+            raise ValueError(f"best_cthld must be in [0, 1], got {best_cthld}")
+        if self._prediction is None:
+            # Best observed before any prediction: adopt it outright.
+            self._prediction = best_cthld
+        else:
+            self._prediction = (
+                self.alpha * best_cthld + (1.0 - self.alpha) * self._prediction
+            )
+
+
+def best_cthld(
+    scores: np.ndarray,
+    labels: np.ndarray,
+    preference: AccuracyPreference,
+) -> float:
+    """The offline ("oracle") best cThld of a finished window: the
+    PC-Score maximiser over its PR curve (§4.5.2). Returns 0.5 when the
+    window has no anomalies (every threshold is equally hopeless)."""
+    labels = np.asarray(labels)
+    finite = np.isfinite(np.asarray(scores, dtype=np.float64))
+    if labels[finite].sum() == 0:
+        return 0.5
+    choice = PCScoreSelector(preference).select(scores, labels)
+    return choice.threshold

@@ -1,0 +1,232 @@
+"""An operational monitoring service around the Opprentice pipeline.
+
+This is the deployment wrapper a downstream team would run (Fig 3's two
+halves glued together): points stream in, alerts stream out, operator
+labels arrive periodically, and the classifier retrains incrementally
+on all labelled history with the cThld tracked by the EWMA rule.
+
+    service = MonitoringService(preference=..., min_duration_points=2)
+    service.bootstrap(labeled_history)         # initial training (>= warm-up)
+    for value in live_feed:
+        events = service.ingest(value)         # [] or [opened/closed alerts]
+    service.submit_labels(windows)             # operator's weekly labeling
+    service.retrain()                          # weekly incremental retrain
+
+The service never looks at future data: detection uses the streaming
+detectors, and retraining uses only points the operator has labelled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+from ..detectors import DetectorConfig
+from ..evaluation import MODERATE_PREFERENCE, AccuracyPreference
+from ..ml import Classifier
+from ..timeseries import AnomalyWindow, TimeSeries, merge_windows, windows_to_points
+from .opprentice import Opprentice, default_classifier_factory
+from .prediction import best_cthld
+from .streaming import StreamingDetector
+
+
+@dataclass(frozen=True)
+class AlertEvent:
+    """An alert lifecycle event emitted by :meth:`MonitoringService.ingest`."""
+
+    kind: str  # "opened" | "closed"
+    begin_index: int
+    end_index: int  # exclusive; == begin for a just-opened alert
+    peak_score: float
+
+
+@dataclass
+class ServiceStats:
+    """Counters exposed for dashboards."""
+
+    points_ingested: int = 0
+    anomalous_points: int = 0
+    alerts_opened: int = 0
+    retrain_rounds: int = 0
+
+
+class MonitoringService:
+    """Streaming detection + alerting + incremental retraining."""
+
+    def __init__(
+        self,
+        *,
+        configs: Optional[Sequence[DetectorConfig]] = None,
+        preference: AccuracyPreference = MODERATE_PREFERENCE,
+        classifier_factory: Callable[[], Classifier] = default_classifier_factory,
+        min_duration_points: int = 1,
+        max_train_points: Optional[int] = None,
+        alert_callback: Optional[Callable[[AlertEvent], None]] = None,
+    ):
+        if min_duration_points < 1:
+            raise ValueError("min_duration_points must be >= 1")
+        self._opprentice = Opprentice(
+            configs=configs,
+            preference=preference,
+            classifier_factory=classifier_factory,
+            max_train_points=max_train_points,
+        )
+        self.min_duration_points = min_duration_points
+        self._alert_callback = alert_callback
+        self.stats = ServiceStats()
+
+        self._history: Optional[TimeSeries] = None
+        self._label_windows: List[AnomalyWindow] = []
+        self._labeled_until = 0
+        self._streaming: Optional[StreamingDetector] = None
+        self._scores: List[float] = []
+        self._pending_values: List[float] = []
+        self._run_begin: Optional[int] = None
+        self._run_scores: List[float] = []
+
+    # ------------------------------------------------------------------
+    @property
+    def opprentice(self) -> Opprentice:
+        return self._opprentice
+
+    @property
+    def history_length(self) -> int:
+        base = len(self._history) if self._history is not None else 0
+        return base + len(self._pending_values)
+
+    @property
+    def cthld(self) -> float:
+        if self._opprentice.cthld_ is None:
+            raise RuntimeError("service is not bootstrapped")
+        return self._opprentice.cthld_
+
+    # ------------------------------------------------------------------
+    def bootstrap(self, labeled_history: TimeSeries) -> None:
+        """Initial training on operator-labelled history (§4.1: "label
+        anomalies in the historical data at the beginning")."""
+        if not labeled_history.is_labeled:
+            raise ValueError("bootstrap requires a labelled series")
+        self._history = labeled_history.copy()
+        self._labeled_until = len(labeled_history)
+        from ..timeseries import points_to_windows
+
+        self._label_windows = points_to_windows(labeled_history.labels)
+        self._opprentice.fit(labeled_history)
+        self._streaming = StreamingDetector(
+            self._opprentice, history=labeled_history
+        )
+        self._scores = [float("nan")] * len(labeled_history)
+        self._pending_values = []
+
+    # ------------------------------------------------------------------
+    def ingest(self, value: float) -> List[AlertEvent]:
+        """Process one incoming point; returns alert lifecycle events."""
+        if self._streaming is None:
+            raise RuntimeError("bootstrap() must run before ingest()")
+        decision = self._streaming.push(value)
+        self._pending_values.append(float(value))
+        self._scores.append(decision.score)
+        self.stats.points_ingested += 1
+
+        events: List[AlertEvent] = []
+        index = decision.index
+        if decision.is_anomaly:
+            self.stats.anomalous_points += 1
+            if self._run_begin is None:
+                self._run_begin = index
+                self._run_scores = []
+            self._run_scores.append(decision.score)
+            run_length = index - self._run_begin + 1
+            if run_length == self.min_duration_points:
+                # The run just crossed the duration filter: open.
+                events.append(
+                    AlertEvent(
+                        kind="opened",
+                        begin_index=self._run_begin,
+                        end_index=index + 1,
+                        peak_score=max(self._run_scores),
+                    )
+                )
+                self.stats.alerts_opened += 1
+        else:
+            if self._run_begin is not None:
+                run_length = index - self._run_begin
+                if run_length >= self.min_duration_points:
+                    events.append(
+                        AlertEvent(
+                            kind="closed",
+                            begin_index=self._run_begin,
+                            end_index=index,
+                            peak_score=max(self._run_scores),
+                        )
+                    )
+                self._run_begin = None
+                self._run_scores = []
+        if self._alert_callback is not None:
+            for event in events:
+                self._alert_callback(event)
+        return events
+
+    # ------------------------------------------------------------------
+    def submit_labels(self, windows: Sequence[AnomalyWindow]) -> None:
+        """Operator labels for ingested (not yet labelled) data. Indices
+        are absolute (matching :class:`AlertEvent` indices)."""
+        total = self.history_length
+        for window in windows:
+            if window.end > total:
+                raise ValueError(
+                    f"window {window} beyond ingested history ({total})"
+                )
+        self._label_windows = merge_windows(
+            list(self._label_windows) + list(windows)
+        )
+
+    def retrain(self) -> float:
+        """Incremental retraining on all ingested data (§3.2).
+
+        All pending points become labelled history (anomalous where the
+        operator submitted windows), the best cThld of the newly
+        labelled span feeds the EWMA predictor, and the classifier and
+        detector streams are rebuilt. Returns the new cThld.
+        """
+        if self._history is None:
+            raise RuntimeError("bootstrap() must run before retrain()")
+        if not self._pending_values:
+            raise ValueError("no new data since the last retraining round")
+
+        new_values = np.asarray(self._pending_values)
+        extension = TimeSeries(
+            values=new_values,
+            interval=self._history.interval,
+            start=self._history.start
+            + len(self._history) * self._history.interval,
+            labels=np.zeros(len(new_values), dtype=np.int8),
+            name=self._history.name,
+        )
+        combined = self._history.concat(extension)
+        labels = windows_to_points(self._label_windows, len(combined))
+        combined = combined.with_labels(labels)
+
+        # Feed the finished span's best cThld into the EWMA predictor.
+        span_scores = np.asarray(self._scores[self._labeled_until:])
+        span_labels = labels[self._labeled_until:]
+        if len(span_scores) and span_labels.sum() > 0:
+            best = best_cthld(
+                span_scores, span_labels, self._opprentice.preference
+            )
+            self._opprentice.cthld_predictor.observe_best(best)
+
+        self._opprentice.fit(combined)
+        self._opprentice.cthld_ = self._opprentice.cthld_predictor.predict(
+            self._opprentice.classifier_factory,
+            self._opprentice._train_features,
+            self._opprentice._train_labels,
+        )
+        self._streaming = StreamingDetector(self._opprentice, history=combined)
+        self._history = combined
+        self._labeled_until = len(combined)
+        self._pending_values = []
+        self.stats.retrain_rounds += 1
+        return self.cthld

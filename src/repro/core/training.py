@@ -1,0 +1,116 @@
+"""Training-set strategies of Table 2.
+
+All test sets start from the 9th week and move one week per step; the
+strategies differ in what earlier data they train on:
+
+====  ====================  =====================
+ID    Training set          Test set
+====  ====================  =====================
+I1    all historical data   1-week moving window
+I4    all historical data   4-week moving window
+R4    recent 8-week data    4-week moving window
+F4    first 8-week data     4-week moving window
+====  ====================  =====================
+
+I1 is Opprentice's own *incremental retraining* fashion; I4/R4/F4 feed
+the Fig 11 comparison. Splits are expressed as point-index ranges into
+a series/feature matrix, so one feature extraction serves every split.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List
+
+from ..timeseries import TimeSeries
+
+#: Week (1-based, paper counting) where testing starts: "The test sets
+#: all start from the 9th week".
+FIRST_TEST_WEEK = 9
+#: Weeks of initial training data before the first test week.
+INITIAL_TRAIN_WEEKS = 8
+
+
+@dataclass(frozen=True)
+class TrainTestSplit:
+    """Point-index ranges of one moving-window step.
+
+    ``test_week`` is the 1-based paper-style index of the first test
+    week in this step (9, 10, ...).
+    """
+
+    train_begin: int
+    train_end: int
+    test_begin: int
+    test_end: int
+    test_week: int
+
+    def __post_init__(self) -> None:
+        if not (
+            0 <= self.train_begin <= self.train_end <= self.test_end
+            and self.train_end <= self.test_begin < self.test_end
+        ):
+            raise ValueError(f"inconsistent split {self}")
+
+
+@dataclass(frozen=True)
+class TrainingStrategy:
+    """One Table 2 row.
+
+    ``history`` controls the training window: ``"all"`` (incremental
+    retraining), ``"recent"`` (trailing ``history_weeks``), or
+    ``"first"`` (the fixed initial ``history_weeks``).
+    """
+
+    id: str
+    history: str
+    test_weeks: int
+    history_weeks: int = INITIAL_TRAIN_WEEKS
+
+    def __post_init__(self) -> None:
+        if self.history not in ("all", "recent", "first"):
+            raise ValueError(f"unknown history mode {self.history!r}")
+        if self.test_weeks < 1 or self.history_weeks < 1:
+            raise ValueError("window sizes must be >= 1 week")
+
+    def splits(self, series: TimeSeries) -> Iterator[TrainTestSplit]:
+        """All moving-window splits that fit in ``series``."""
+        ppw = series.points_per_week
+        n = len(series)
+        first_test_begin = (FIRST_TEST_WEEK - 1) * ppw
+        step = 0
+        while True:
+            test_begin = first_test_begin + step * ppw
+            test_end = test_begin + self.test_weeks * ppw
+            if test_end > n:
+                return
+            if self.history == "all":
+                train_begin = 0
+            elif self.history == "recent":
+                train_begin = max(0, test_begin - self.history_weeks * ppw)
+            else:  # "first"
+                train_begin = 0
+            if self.history == "first":
+                train_end = min(self.history_weeks * ppw, test_begin)
+            else:
+                train_end = test_begin
+            yield TrainTestSplit(
+                train_begin=train_begin,
+                train_end=train_end,
+                test_begin=test_begin,
+                test_end=test_end,
+                test_week=FIRST_TEST_WEEK + step,
+            )
+            step += 1
+
+    def n_splits(self, series: TimeSeries) -> int:
+        return sum(1 for _ in self.splits(series))
+
+
+#: The four Table 2 strategies.
+I1 = TrainingStrategy(id="I1", history="all", test_weeks=1)
+I4 = TrainingStrategy(id="I4", history="all", test_weeks=4)
+R4 = TrainingStrategy(id="R4", history="recent", test_weeks=4)
+F4 = TrainingStrategy(id="F4", history="first", test_weeks=4)
+
+STRATEGIES: List[TrainingStrategy] = [I1, I4, R4, F4]

@@ -1,0 +1,110 @@
+"""Detection across KPIs of the same type (§6).
+
+"Some KPIs are of the same type and operators often care about similar
+types of anomalies for them... the classifier trained upon those
+labeled data can be used to detect across the same type of KPIs. Note
+that, in order to reuse the classifier for the data of different
+scales, the anomaly features extracted by basic detectors should be
+normalized."
+
+:class:`SeverityNormalizer` makes a feature matrix scale-free by
+dividing every configuration's severities by a robust per-KPI scale
+statistic (a high training quantile), so a classifier trained on one
+KPI's normalised features applies to a scaled sibling.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from ..detectors import DetectorConfig
+from ..evaluation import MODERATE_PREFERENCE, AccuracyPreference
+from ..ml import Classifier, Imputer
+from ..timeseries import TimeSeries
+from .feature_matrix import FeatureExtractor
+from .opprentice import DetectionResult, default_classifier_factory
+from .prediction import best_cthld
+
+
+class SeverityNormalizer:
+    """Per-KPI severity scaling for cross-KPI classifier reuse.
+
+    Each configuration's severities are divided by that KPI's own
+    ``quantile`` severity (computed over the rows the normaliser is
+    fitted on). Unlike the Imputer/StandardScaler pair, the statistics
+    are re-fitted *per target KPI* — that is the whole point: the
+    classifier sees scale-free features from every KPI.
+    """
+
+    def __init__(self, quantile: float = 0.95):
+        if not 0.5 <= quantile < 1.0:
+            raise ValueError(f"quantile must be in [0.5, 1), got {quantile}")
+        self.quantile = quantile
+
+    def normalize(self, features: np.ndarray) -> np.ndarray:
+        features = np.asarray(features, dtype=np.float64)
+        if features.ndim != 2:
+            raise ValueError(f"features must be 2-D, got {features.shape}")
+        cleaned = np.where(np.isfinite(features), features, np.nan)
+        with np.errstate(all="ignore"):
+            scales = np.nanquantile(cleaned, self.quantile, axis=0)
+        scales = np.where(
+            np.isfinite(scales) & (scales > 0), scales, 1.0
+        )
+        return features / scales
+
+
+class TransferDetector:
+    """Train once on a labelled KPI, detect on same-type siblings.
+
+    The workflow of §6: "operators only have to label one or just a few
+    KPIs. Then the classifier trained upon those labeled data can be
+    used to detect across the same type of KPIs."
+    """
+
+    def __init__(
+        self,
+        configs: Optional[Sequence[DetectorConfig]] = None,
+        preference: AccuracyPreference = MODERATE_PREFERENCE,
+        classifier_factory: Callable[[], Classifier] = default_classifier_factory,
+        normalizer: Optional[SeverityNormalizer] = None,
+    ):
+        self.extractor = FeatureExtractor(configs)
+        self.preference = preference
+        self.classifier_factory = classifier_factory
+        self.normalizer = normalizer or SeverityNormalizer()
+        self.classifier_: Optional[Classifier] = None
+        self.imputer_: Optional[Imputer] = None
+        self.cthld_: float = 0.5
+
+    def fit(self, series: TimeSeries) -> "TransferDetector":
+        """Train on one labelled source KPI (normalised features)."""
+        if not series.is_labeled:
+            raise ValueError("fit requires a labelled series")
+        matrix = self.extractor.extract(series)
+        normalized = self.normalizer.normalize(matrix.values)
+        self.imputer_ = Imputer().fit(normalized)
+        imputed = self.imputer_.transform(normalized)
+        self.classifier_ = self.classifier_factory()
+        self.classifier_.fit(imputed, series.labels)
+        scores = self.classifier_.predict_proba(imputed)
+        self.cthld_ = best_cthld(scores, series.labels, self.preference)
+        return self
+
+    def detect(self, series: TimeSeries) -> DetectionResult:
+        """Detect on a (possibly unlabelled) same-type KPI at any scale."""
+        if self.classifier_ is None or self.imputer_ is None:
+            raise RuntimeError("TransferDetector is not fitted")
+        matrix = self.extractor.extract(series)
+        normalized = self.normalizer.normalize(matrix.values)
+        scores = self.classifier_.predict_proba(
+            self.imputer_.transform(normalized)
+        )
+        return DetectionResult(
+            series=series,
+            scores=scores,
+            cthld=self.cthld_,
+            predictions=(scores >= self.cthld_).astype(np.int8),
+        )

@@ -1,0 +1,184 @@
+"""Anomaly injection with exact ground truth.
+
+§2.1 of the paper describes the anomaly patterns operators care about:
+"jitters, slow ramp-ups, sudden spikes and dips" at different severity
+levels (e.g. a sudden drop by 20% or 50%). Each injector here implements
+one of those patterns; :func:`inject_anomalies` places a mix of them
+until a target anomaly fraction (§5.1: 7.8% / 2.8% / 7.4% of points) is
+reached, and returns the exact ground-truth windows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Tuple
+
+import numpy as np
+
+from ..timeseries import AnomalyWindow, TimeSeries, merge_windows, windows_to_points
+
+#: An injector mutates a value slice in place given (values, rng, level).
+Injector = Callable[[np.ndarray, np.random.Generator, float], None]
+
+
+def _local_scale(values: np.ndarray) -> float:
+    """Mean magnitude of the window, ignoring missing points (injectors
+    must not let a NaN poison the whole window)."""
+    finite = values[np.isfinite(values)]
+    return float(np.abs(finite).mean()) if len(finite) else 0.0
+
+
+def inject_spike(values: np.ndarray, rng: np.random.Generator, level: float) -> None:
+    """Sudden upward spike: values rise by 20%-300% with a sharp attack
+    and exponential decay."""
+    n = len(values)
+    magnitude = level * _local_scale(values)
+    envelope = np.exp(-np.arange(n) / max(n / 3.0, 1.0))
+    values += magnitude * envelope
+
+
+def inject_dip(values: np.ndarray, rng: np.random.Generator, level: float) -> None:
+    """Sudden drop: e.g. "a sudden drop by 20% or 50%" (§2.1). The drop
+    fraction scales with the severity level (default levels of 0.5-2.5
+    give 22%-72% drops)."""
+    drop = min(0.9, 0.1 + 0.25 * level)
+    values *= 1.0 - drop
+
+
+def inject_ramp(values: np.ndarray, rng: np.random.Generator, level: float) -> None:
+    """Slow ramp-up reaching ``level`` times the local mean at the end."""
+    n = len(values)
+    magnitude = level * _local_scale(values)
+    values += magnitude * np.linspace(0.0, 1.0, n)
+
+
+def inject_jitter(values: np.ndarray, rng: np.random.Generator, level: float) -> None:
+    """Continuous jitter: alternating noise much larger than normal
+    (the pattern the search engine's "MA of diff" detector targets)."""
+    scale = 0.15 * (1.0 + level) * max(_local_scale(values), 1e-12)
+    signs = np.where(np.arange(len(values)) % 2 == 0, 1.0, -1.0)
+    values += signs * rng.uniform(0.5, 1.5, size=len(values)) * scale
+
+
+def inject_level_shift(
+    values: np.ndarray, rng: np.random.Generator, level: float
+) -> None:
+    """Sustained level shift up or down for the whole window."""
+    direction = 1.0 if rng.random() < 0.5 else -1.0
+    shift = (0.25 + 0.25 * level) * _local_scale(values)
+    values += direction * shift
+
+
+#: The default anomaly mix, weighted roughly by how often each pattern
+#: appears in operational volume KPIs.
+DEFAULT_INJECTORS: Dict[str, Tuple[Injector, float]] = {
+    "spike": (inject_spike, 0.3),
+    "dip": (inject_dip, 0.3),
+    "ramp": (inject_ramp, 0.1),
+    "jitter": (inject_jitter, 0.15),
+    "level_shift": (inject_level_shift, 0.15),
+}
+
+
+@dataclass
+class InjectionResult:
+    """A labelled series plus per-window metadata."""
+
+    series: TimeSeries
+    windows: List[AnomalyWindow]
+    kinds: List[str]
+
+    @property
+    def labels(self) -> np.ndarray:
+        return windows_to_points(self.windows, len(self.series))
+
+
+def inject_anomalies(
+    series: TimeSeries,
+    *,
+    target_fraction: float,
+    seed: int = 0,
+    mean_window: float = 8.0,
+    max_window: int = 60,
+    injectors: Dict[str, Tuple[Injector, float]] | None = None,
+    severity_range: Tuple[float, float] = (0.5, 2.5),
+) -> InjectionResult:
+    """Inject anomaly windows until ``target_fraction`` of points are
+    anomalous, and return the labelled series with ground truth.
+
+    Windows are placed uniformly at random without overlap; window
+    lengths are geometric with mean ``mean_window`` points. Severity
+    levels are drawn uniformly from ``severity_range`` so the data
+    contain both subtle and blatant anomalies, as in real KPIs.
+    """
+    if not 0.0 < target_fraction < 0.5:
+        raise ValueError(
+            f"target_fraction must be in (0, 0.5), got {target_fraction}"
+        )
+    injectors = injectors or DEFAULT_INJECTORS
+    names = list(injectors)
+    weights = np.array([injectors[k][1] for k in names], dtype=float)
+    weights /= weights.sum()
+
+    rng = np.random.default_rng(seed)
+    n = len(series)
+    values = series.values.copy()
+    occupied = np.zeros(n, dtype=bool)
+    windows: List[AnomalyWindow] = []
+    kinds: List[str] = []
+    target_points = int(round(target_fraction * n))
+    anomalous_points = 0
+    attempts = 0
+    max_attempts = 50 * max(target_points, 1)
+
+    while anomalous_points < target_points and attempts < max_attempts:
+        attempts += 1
+        length = min(max_window, 1 + int(rng.geometric(1.0 / mean_window)))
+        length = min(length, target_points - anomalous_points + 2)
+        start = int(rng.integers(0, max(n - length, 1)))
+        end = start + length
+        # Keep one point of separation so truth windows stay distinct.
+        lo, hi = max(0, start - 1), min(n, end + 1)
+        if occupied[lo:hi].any():
+            continue
+        kind = names[int(rng.choice(len(names), p=weights))]
+        level = float(rng.uniform(*severity_range))
+        injectors[kind][0](values[start:end], rng, level)
+        occupied[start:end] = True
+        windows.append(AnomalyWindow(start, end))
+        kinds.append(kind)
+        anomalous_points += length
+
+    if series.missing_mask.any():
+        values[series.missing_mask] = np.nan
+    windows = merge_windows(windows)
+    labelled = TimeSeries(
+        values=values,
+        interval=series.interval,
+        start=series.start,
+        labels=windows_to_points(windows, n),
+        name=series.name,
+    )
+    return InjectionResult(series=labelled, windows=windows, kinds=kinds)
+
+
+def drop_points(
+    series: TimeSeries, *, fraction: float, seed: int = 0
+) -> TimeSeries:
+    """Knock out a random fraction of points (NaN) to simulate the
+    "dirty data" missing-point problem of §6."""
+    if not 0.0 <= fraction < 1.0:
+        raise ValueError(f"fraction must be in [0, 1), got {fraction}")
+    rng = np.random.default_rng(seed)
+    values = series.values.copy()
+    n_drop = int(round(fraction * len(series)))
+    if n_drop:
+        idx = rng.choice(len(series), size=n_drop, replace=False)
+        values[idx] = np.nan
+    return TimeSeries(
+        values=values,
+        interval=series.interval,
+        start=series.start,
+        labels=series.labels,
+        name=series.name,
+    )

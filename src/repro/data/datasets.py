@@ -1,0 +1,293 @@
+"""Dataset profiles matching Table 1 of the paper.
+
+Three KPIs are reproduced:
+
+========  ========  ======  ===========  =====  =========
+KPI       interval  weeks   seasonality  Cv     anomalies
+========  ========  ======  ===========  =====  =========
+PV        1 min     25      strong       0.48   7.8%
+#SR       1 min     19      weak         2.1    2.8%
+SRT       60 min    16      moderate     0.07   7.4%
+========  ========  ======  ===========  =====  =========
+
+By default PV and #SR are generated at a 10-minute interval so the full
+evaluation suite (which retrains a random forest every week for up to 17
+moving test sets) runs on one machine in minutes; pass
+``paper_interval=True`` for the 1-minute grid. All other Table 1
+characteristics are matched by construction and validated in the tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from ..timeseries import MINUTE
+from .anomalies import InjectionResult, inject_anomalies
+from .generator import SeasonalProfile, generate_kpi
+
+
+@dataclass(frozen=True)
+class KPIProfile:
+    """Everything needed to regenerate one of the paper's KPIs."""
+
+    name: str
+    weeks: float
+    interval: int
+    paper_interval_seconds: int
+    anomaly_fraction: float
+    signal: SeasonalProfile
+    seed: int
+    mean_anomaly_window: float = 8.0
+    #: Severity range of injected anomalies. SRT uses subtler anomalies
+    #: so its overall Cv stays at the Table 1 value of 0.07.
+    severity_range: tuple = (0.5, 2.5)
+    #: Optional anomaly-pattern mix overriding the default injector
+    #: weights (e.g. #SR anomalies are overwhelmingly upward spikes,
+    #: which is why the paper finds simple threshold its best detector).
+    injector_mix: dict | None = None
+
+
+#: PV — search page views. Strongly seasonal daily volume curve with a
+#: weekday/weekend effect; Cv ~ 0.48 comes almost entirely from the
+#: seasonal swing.
+PV_PROFILE = KPIProfile(
+    name="PV",
+    weeks=25,
+    interval=10 * MINUTE,
+    paper_interval_seconds=1 * MINUTE,
+    anomaly_fraction=0.078,
+    signal=SeasonalProfile(
+        base_level=1000.0,
+        daily_amplitude=0.9,
+        daily_harmonics=3,
+        weekend_factor=0.75,
+        trend=0.08,
+        noise_scale=0.02,
+        noise_ar=0.5,
+        multiplicative_noise=True,
+    ),
+    seed=1001,
+)
+
+#: #SR — number of slow responses of the search data centers. Spiky,
+#: weakly seasonal count data; the overall Cv ~ 2.1 comes from the
+#: anomalous spikes themselves plus moderate background bursts. The
+#: anomalies are overwhelmingly *upward spikes that exceed the normal
+#: burst range*, matching the paper's finding that a simple static
+#: threshold is the single best basic detector for this KPI.
+SR_PROFILE = KPIProfile(
+    name="#SR",
+    weeks=19,
+    interval=10 * MINUTE,
+    paper_interval_seconds=1 * MINUTE,
+    anomaly_fraction=0.028,
+    signal=SeasonalProfile(
+        base_level=20.0,
+        daily_amplitude=0.25,
+        daily_harmonics=2,
+        weekend_factor=0.95,
+        trend=0.0,
+        noise_scale=0.5,
+        noise_ar=0.3,
+        multiplicative_noise=False,
+        burst_rate=0.004,
+        burst_scale=1.5,
+        burst_length=4.0,
+    ),
+    seed=2002,
+    mean_anomaly_window=5.0,
+    severity_range=(10.0, 40.0),
+    injector_mix={"spike": 0.8, "level_shift": 0.1, "jitter": 0.1},
+)
+
+#: SRT — 80th percentile of search response time. Tightly concentrated
+#: around its mean (Cv ~ 0.07) with a moderate daily rhythm.
+SRT_PROFILE = KPIProfile(
+    name="SRT",
+    weeks=16,
+    interval=60 * MINUTE,
+    paper_interval_seconds=60 * MINUTE,
+    anomaly_fraction=0.074,
+    signal=SeasonalProfile(
+        base_level=400.0,
+        daily_amplitude=0.09,
+        daily_harmonics=2,
+        weekend_factor=0.99,
+        trend=0.01,
+        noise_scale=0.018,
+        noise_ar=0.4,
+        multiplicative_noise=True,
+    ),
+    seed=3003,
+    mean_anomaly_window=4.0,
+    severity_range=(0.12, 0.45),
+)
+
+PROFILES: Dict[str, KPIProfile] = {
+    "PV": PV_PROFILE,
+    "#SR": SR_PROFILE,
+    "SRT": SRT_PROFILE,
+}
+
+#: TRAFFIC — aggregated traffic volume of an ISP ([5] in the paper;
+#: §5.1 argues PV "are visually similar to other kinds of volume data",
+#: naming exactly this KPI). Strong diurnal swing, pronounced weekend
+#: drop, occasional dips from maintenance.
+TRAFFIC_PROFILE = KPIProfile(
+    name="TRAFFIC",
+    weeks=12,
+    interval=10 * MINUTE,
+    paper_interval_seconds=5 * MINUTE,
+    anomaly_fraction=0.05,
+    signal=SeasonalProfile(
+        base_level=8000.0,
+        daily_amplitude=0.8,
+        daily_harmonics=2,
+        weekend_factor=0.6,
+        trend=0.05,
+        noise_scale=0.03,
+        noise_ar=0.6,
+        multiplicative_noise=True,
+    ),
+    seed=4004,
+    mean_anomaly_window=6.0,
+    injector_mix={"dip": 0.5, "level_shift": 0.3, "spike": 0.2},
+)
+
+#: RTT — round-trip time of an ISP path ([6] in the paper, also named
+#: in §5.1). Latency-like: tight around the mean with congestion spikes.
+RTT_PROFILE = KPIProfile(
+    name="RTT",
+    weeks=12,
+    interval=10 * MINUTE,
+    paper_interval_seconds=1 * MINUTE,
+    anomaly_fraction=0.06,
+    signal=SeasonalProfile(
+        base_level=45.0,
+        daily_amplitude=0.12,
+        daily_harmonics=2,
+        weekend_factor=0.97,
+        trend=0.0,
+        noise_scale=0.03,
+        noise_ar=0.5,
+        multiplicative_noise=True,
+    ),
+    seed=5005,
+    mean_anomaly_window=5.0,
+    severity_range=(0.3, 1.2),
+    injector_mix={"spike": 0.5, "level_shift": 0.3, "jitter": 0.2},
+)
+
+#: The §5.1 "other domains" profiles, kept separate from the Table 1
+#: trio so the paper-exact experiments stay untouched.
+EXTRA_PROFILES: Dict[str, KPIProfile] = {
+    "TRAFFIC": TRAFFIC_PROFILE,
+    "RTT": RTT_PROFILE,
+}
+
+
+def make_kpi(
+    profile: KPIProfile,
+    *,
+    seed_offset: int = 0,
+    weeks: float | None = None,
+    paper_interval: bool = False,
+    with_anomalies: bool = True,
+) -> InjectionResult:
+    """Generate one KPI from its profile, with ground-truth labels.
+
+    Parameters
+    ----------
+    seed_offset:
+        Added to the profile seed, so independent replicas of the same
+        KPI can be drawn for robustness experiments.
+    weeks:
+        Override the Table 1 length (shorter runs for unit tests).
+    paper_interval:
+        Use the paper's exact sampling interval (1 minute for PV/#SR).
+    with_anomalies:
+        If false, return the clean series with all-zero labels.
+    """
+    interval = profile.paper_interval_seconds if paper_interval else profile.interval
+    generated = generate_kpi(
+        weeks=weeks if weeks is not None else profile.weeks,
+        interval=interval,
+        profile=profile.signal,
+        seed=profile.seed + seed_offset,
+        name=profile.name,
+    )
+    if not with_anomalies:
+        clean = generated.series.with_labels([0] * len(generated.series))
+        return InjectionResult(series=clean, windows=[], kinds=[])
+    injectors = None
+    if profile.injector_mix is not None:
+        from .anomalies import DEFAULT_INJECTORS
+
+        injectors = {
+            kind: (DEFAULT_INJECTORS[kind][0], weight)
+            for kind, weight in profile.injector_mix.items()
+        }
+    return inject_anomalies(
+        generated.series,
+        target_fraction=profile.anomaly_fraction,
+        seed=profile.seed + seed_offset + 77,
+        mean_window=profile.mean_anomaly_window,
+        severity_range=profile.severity_range,
+        injectors=injectors,
+    )
+
+
+def make_pv(**kwargs) -> InjectionResult:
+    """The PV KPI (Fig 1a): strongly seasonal search page views."""
+    return make_kpi(PV_PROFILE, **kwargs)
+
+
+def make_sr(**kwargs) -> InjectionResult:
+    """The #SR KPI (Fig 1b): spiky slow-response counts."""
+    return make_kpi(SR_PROFILE, **kwargs)
+
+
+def make_srt(**kwargs) -> InjectionResult:
+    """The SRT KPI (Fig 1c): 80th-percentile search response time."""
+    return make_kpi(SRT_PROFILE, **kwargs)
+
+
+def make_all(**kwargs) -> Dict[str, InjectionResult]:
+    """All three KPIs, keyed by name, in the paper's order."""
+    return {name: make_kpi(profile, **kwargs) for name, profile in PROFILES.items()}
+
+
+def same_type_kpis(
+    profile: KPIProfile, *, count: int, scale_spread: float = 4.0, **kwargs
+) -> List[InjectionResult]:
+    """KPIs "of the same type" at different scales (§6: e.g. PV
+    originated from different ISPs). Each replica shares the profile's
+    shape but has its own seed and a random overall scale, exercising
+    the cross-KPI transfer path."""
+    import numpy as np
+
+    if count < 1:
+        raise ValueError(f"count must be >= 1, got {count}")
+    rng = np.random.default_rng(profile.seed + 555)
+    replicas = []
+    for i in range(count):
+        scale = float(rng.uniform(1.0, scale_spread))
+        scaled_signal = SeasonalProfile(
+            **{
+                **profile.signal.__dict__,
+                "base_level": profile.signal.base_level * scale,
+            }
+        )
+        scaled = KPIProfile(
+            name=f"{profile.name}-{i}",
+            weeks=profile.weeks,
+            interval=profile.interval,
+            paper_interval_seconds=profile.paper_interval_seconds,
+            anomaly_fraction=profile.anomaly_fraction,
+            signal=scaled_signal,
+            seed=profile.seed,
+            mean_anomaly_window=profile.mean_anomaly_window,
+        )
+        replicas.append(make_kpi(scaled, seed_offset=31 * (i + 1), **kwargs))
+    return replicas

@@ -1,0 +1,180 @@
+"""Synthetic seasonal KPI generator.
+
+The paper evaluates on three proprietary KPIs from a top global search
+engine (PV, #SR, SRT). We cannot obtain those traces, so this module
+generates synthetic KPIs whose published characteristics (Table 1:
+sampling interval, length, seasonality strength, coefficient of
+variation) are matched by construction. The generator composes:
+
+* a smooth daily profile (random Fourier series, fixed per KPI seed),
+* a weekly modulation (weekday/weekend effect),
+* a slow trend,
+* autocorrelated (AR(1)) multiplicative or additive noise,
+* optional heavy-tailed bursts for spiky KPIs such as #SR.
+
+Anomalies are injected separately (`repro.data.anomalies`) so the ground
+truth windows are known exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from ..timeseries import TimeSeries
+
+
+@dataclass
+class SeasonalProfile:
+    """Parameters of the synthetic KPI signal.
+
+    The defaults produce a PV-like strongly seasonal volume curve; the
+    dataset profiles in :mod:`repro.data.datasets` override them to match
+    each Table 1 row.
+    """
+
+    #: Mean level of the KPI (arbitrary units; paper hides absolutes).
+    base_level: float = 1000.0
+    #: Peak-to-trough amplitude of the daily cycle, as a fraction of base.
+    daily_amplitude: float = 0.6
+    #: Number of Fourier harmonics in the daily shape (more = bumpier).
+    daily_harmonics: int = 4
+    #: Weekend level relative to weekdays (1.0 = no weekly effect).
+    weekend_factor: float = 0.8
+    #: Linear trend over the whole series, as a fraction of base.
+    trend: float = 0.05
+    #: Standard deviation of the AR(1) noise, as a fraction of base.
+    noise_scale: float = 0.03
+    #: AR(1) coefficient of the noise (0 = white).
+    noise_ar: float = 0.6
+    #: If true the noise multiplies the seasonal curve, else it adds.
+    multiplicative_noise: bool = True
+    #: Rate (per point) of heavy-tailed bursts; 0 disables them.
+    burst_rate: float = 0.0
+    #: Scale of burst magnitudes, as a multiple of base_level.
+    burst_scale: float = 3.0
+    #: Mean duration of a burst, in points.
+    burst_length: float = 3.0
+    #: Clip the signal at zero (volumes and counts cannot go negative).
+    non_negative: bool = True
+
+
+@dataclass
+class GeneratedKPI:
+    """Output of :func:`generate_kpi`: the clean series plus components."""
+
+    series: TimeSeries
+    seasonal: np.ndarray = field(repr=False)
+    noise: np.ndarray = field(repr=False)
+
+
+def _daily_shape(rng: np.random.Generator, harmonics: int, points: int) -> np.ndarray:
+    """A smooth positive daily profile with unit mean, from random
+    Fourier coefficients. The same seed always yields the same shape, so
+    a KPI keeps its identity across runs."""
+    phase = 2.0 * np.pi * np.arange(points) / points
+    shape = np.zeros(points)
+    for k in range(1, harmonics + 1):
+        amplitude = rng.normal(0.0, 1.0 / k)
+        offset = rng.uniform(0.0, 2.0 * np.pi)
+        shape += amplitude * np.cos(k * phase + offset)
+    # Normalise to zero mean, unit peak amplitude.
+    shape -= shape.mean()
+    peak = np.abs(shape).max()
+    if peak > 0:
+        shape /= peak
+    return shape
+
+
+def _ar1_noise(
+    rng: np.random.Generator, n: int, scale: float, ar: float
+) -> np.ndarray:
+    """AR(1) noise with stationary standard deviation ``scale``."""
+    if not 0.0 <= ar < 1.0:
+        raise ValueError(f"noise_ar must be in [0, 1), got {ar}")
+    innovation_scale = scale * np.sqrt(1.0 - ar * ar)
+    innovations = rng.normal(0.0, innovation_scale, size=n)
+    noise = np.empty(n)
+    state = rng.normal(0.0, scale)
+    for i in range(n):
+        state = ar * state + innovations[i]
+        noise[i] = state
+    return noise
+
+
+def _bursts(
+    rng: np.random.Generator, n: int, profile: SeasonalProfile
+) -> np.ndarray:
+    """Heavy-tailed additive bursts (the background spikiness of #SR).
+
+    These are *not* labelled anomalies — they are the KPI's normal
+    behaviour, which is exactly what makes spiky KPIs hard to detect on.
+    """
+    bursts = np.zeros(n)
+    if profile.burst_rate <= 0.0:
+        return bursts
+    n_bursts = rng.poisson(profile.burst_rate * n)
+    for _ in range(n_bursts):
+        start = int(rng.integers(0, n))
+        length = max(1, int(rng.exponential(profile.burst_length)))
+        magnitude = rng.pareto(2.5) * profile.burst_scale * profile.base_level
+        envelope = np.exp(-np.arange(length) / max(profile.burst_length, 1.0))
+        end = min(start + length, n)
+        bursts[start:end] += magnitude * envelope[: end - start]
+    return bursts
+
+
+def generate_kpi(
+    *,
+    weeks: float,
+    interval: int,
+    profile: Optional[SeasonalProfile] = None,
+    seed: int = 0,
+    name: str = "",
+    start: int = 0,
+) -> GeneratedKPI:
+    """Generate a clean (anomaly-free) KPI series.
+
+    Parameters
+    ----------
+    weeks:
+        Length of the series in weeks.
+    interval:
+        Sampling interval in seconds.
+    profile:
+        Signal parameters; defaults to a PV-like profile.
+    seed:
+        RNG seed; the KPI is fully reproducible from it.
+    """
+    if weeks <= 0:
+        raise ValueError(f"weeks must be positive, got {weeks}")
+    profile = profile or SeasonalProfile()
+    rng = np.random.default_rng(seed)
+    points_per_day = (24 * 3600) // interval
+    if points_per_day * interval != 24 * 3600:
+        raise ValueError(f"interval {interval}s does not divide one day")
+    n = int(round(weeks * 7 * points_per_day))
+
+    daily = _daily_shape(rng, profile.daily_harmonics, points_per_day)
+    day_index = np.arange(n) // points_per_day
+    phase = np.arange(n) % points_per_day
+    weekday = day_index % 7
+
+    seasonal = 1.0 + profile.daily_amplitude * daily[phase]
+    weekly = np.where(weekday >= 5, profile.weekend_factor, 1.0)
+    trend = 1.0 + profile.trend * np.arange(n) / max(n - 1, 1)
+    curve = profile.base_level * seasonal * weekly * trend
+
+    noise = _ar1_noise(rng, n, profile.noise_scale, profile.noise_ar)
+    if profile.multiplicative_noise:
+        values = curve * (1.0 + noise)
+    else:
+        values = curve + profile.base_level * noise
+    values = values + _bursts(rng, n, profile)
+    if profile.non_negative:
+        values = np.maximum(values, 0.0)
+
+    series = TimeSeries(values=values, interval=interval, start=start, name=name)
+    return GeneratedKPI(series=series, seasonal=curve, noise=noise)

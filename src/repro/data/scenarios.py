@@ -1,0 +1,155 @@
+"""Named incident scenarios for demos, tests and chaos-style drills.
+
+§2.1 lists the anomaly patterns operators care about in the abstract
+(jitters, slow ramp-ups, sudden spikes and dips); real incidents are
+*sequences* of those patterns. Each scenario here scripts a realistic
+multi-phase incident onto a clean KPI and returns the exact ground
+truth, so detector behaviour through an incident lifecycle can be
+studied deterministically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List
+
+import numpy as np
+
+from ..timeseries import AnomalyWindow, TimeSeries, windows_to_points
+
+
+@dataclass
+class Incident:
+    """A scripted incident: the labelled series and phase annotations."""
+
+    series: TimeSeries
+    windows: List[AnomalyWindow]
+    #: Human-readable phase descriptions, parallel to ``windows``.
+    phases: List[str]
+
+    @property
+    def labels(self) -> np.ndarray:
+        return windows_to_points(self.windows, len(self.series))
+
+
+def _finalize(series: TimeSeries, values, windows, phases) -> Incident:
+    # Phases are kept distinct even when their windows touch (the whole
+    # point of a scripted incident is its phase structure), so the
+    # windows are sorted but deliberately NOT merged.
+    windows = sorted(windows)
+    labelled = TimeSeries(
+        values=values,
+        interval=series.interval,
+        start=series.start,
+        labels=windows_to_points(windows, len(series)),
+        name=series.name,
+    )
+    return Incident(series=labelled, windows=windows, phases=phases)
+
+
+def outage_and_recovery(
+    series: TimeSeries, *, at: int, outage_points: int = 12,
+    recovery_points: int = 24, depth: float = 0.85,
+) -> Incident:
+    """A hard outage: traffic collapses, then ramps back to normal.
+
+    Phase 1: sudden drop to ``(1 - depth)`` of normal for
+    ``outage_points``. Phase 2: linear recovery ramp over
+    ``recovery_points``.
+    """
+    n = len(series)
+    if not 0 <= at < n - outage_points - recovery_points:
+        raise ValueError("incident does not fit in the series")
+    if not 0.0 < depth <= 1.0:
+        raise ValueError(f"depth must be in (0, 1], got {depth}")
+    values = series.values.copy()
+    outage_end = at + outage_points
+    recovery_end = outage_end + recovery_points
+    values[at:outage_end] *= 1.0 - depth
+    ramp = np.linspace(1.0 - depth, 1.0, recovery_points, endpoint=False)
+    values[outage_end:recovery_end] *= ramp
+    return _finalize(
+        series, values,
+        [AnomalyWindow(at, outage_end), AnomalyWindow(outage_end, recovery_end)],
+        ["outage", "recovery ramp"],
+    )
+
+
+def gradual_degradation(
+    series: TimeSeries, *, at: int, build_points: int = 36,
+    plateau_points: int = 24, magnitude: float = 0.6,
+) -> Incident:
+    """A slow burn: the KPI drifts upward (e.g. latency creep from a
+    leaking deployment), plateaus, then is fixed abruptly."""
+    n = len(series)
+    if not 0 <= at < n - build_points - plateau_points:
+        raise ValueError("incident does not fit in the series")
+    values = series.values.copy()
+    build_end = at + build_points
+    plateau_end = build_end + plateau_points
+    drift = np.linspace(0.0, magnitude, build_points)
+    values[at:build_end] *= 1.0 + drift
+    values[build_end:plateau_end] *= 1.0 + magnitude
+    return _finalize(
+        series, values,
+        [AnomalyWindow(at, build_end), AnomalyWindow(build_end, plateau_end)],
+        ["gradual build-up", "degraded plateau"],
+    )
+
+
+def flash_crowd(
+    series: TimeSeries, *, at: int, surge_points: int = 8,
+    tail_points: int = 16, magnitude: float = 2.5,
+) -> Incident:
+    """A flash crowd: a sharp surge followed by an elevated decaying
+    tail (breaking-news traffic, retry storms)."""
+    n = len(series)
+    if not 0 <= at < n - surge_points - tail_points:
+        raise ValueError("incident does not fit in the series")
+    values = series.values.copy()
+    surge_end = at + surge_points
+    tail_end = surge_end + tail_points
+    values[at:surge_end] *= 1.0 + magnitude
+    decay = magnitude * np.exp(
+        -(np.arange(tail_points) + 1.0) / (tail_points / 3.0)
+    )
+    values[surge_end:tail_end] *= 1.0 + decay
+    return _finalize(
+        series, values,
+        [AnomalyWindow(at, surge_end), AnomalyWindow(surge_end, tail_end)],
+        ["surge", "decaying tail"],
+    )
+
+
+def cascading_failure(
+    series: TimeSeries, *, at: int, stages: int = 3,
+    stage_points: int = 10, gap_points: int = 20,
+    magnitude: float = 1.0,
+) -> Incident:
+    """A cascade: repeated, worsening spikes separated by lulls (one
+    backend failing after another)."""
+    n = len(series)
+    span = stages * stage_points + (stages - 1) * gap_points
+    if stages < 2:
+        raise ValueError("a cascade needs at least 2 stages")
+    if not 0 <= at < n - span:
+        raise ValueError("incident does not fit in the series")
+    values = series.values.copy()
+    windows, phases = [], []
+    cursor = at
+    for stage in range(stages):
+        end = cursor + stage_points
+        values[cursor:end] *= 1.0 + magnitude * (stage + 1)
+        windows.append(AnomalyWindow(cursor, end))
+        phases.append(f"cascade stage {stage + 1}")
+        cursor = end + gap_points
+    return _finalize(series, values, windows, phases)
+
+
+#: Scenario registry for data-driven drills.
+SCENARIOS: Dict[str, Callable[..., Incident]] = {
+    "outage_and_recovery": outage_and_recovery,
+    "gradual_degradation": gradual_degradation,
+    "flash_crowd": flash_crowd,
+    "cascading_failure": cascading_failure,
+}

@@ -1,0 +1,206 @@
+"""The unified detector model of §4.3.1.
+
+Every basic detector follows::
+
+    data point --(detector with parameters)--> severity --(sThld)--> {1, 0}
+
+In Opprentice detectors never apply the sThld themselves — a *detector
+configuration* (detector + sampled parameters) is a feature extractor
+whose output severity becomes one column of the learning feature matrix.
+
+Two execution modes are provided:
+
+* :meth:`Detector.severities` — vectorised batch computation over a whole
+  series. This is what training and the moving-window evaluation use.
+* :meth:`Detector.stream` — an online stream processing one point at a
+  time, as required by §4.3.2 ("once a data point arrives, its severity
+  should be calculated by the detectors without waiting for any
+  subsequent data"). Batch and stream must agree point-for-point; the
+  test suite enforces this for every registered configuration.
+
+Both modes are **causal**: the severity of point *t* depends only on
+points ``0..t``. Points inside a detector's warm-up window (§4.3.2) get
+``NaN`` severity and are skipped during detection.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Union
+
+import numpy as np
+
+from ..timeseries import TimeSeries
+
+ParamValue = Union[int, float, str]
+
+
+class DetectorError(ValueError):
+    """Raised for invalid detector parameters or inputs."""
+
+
+class SeverityStream(abc.ABC):
+    """Online severity computation: one :meth:`update` per data point."""
+
+    @abc.abstractmethod
+    def update(self, value: float) -> float:
+        """Consume the next point and return its severity (NaN while the
+        detector is warming up or the value is missing)."""
+
+
+class Detector(abc.ABC):
+    """A basic anomaly detector acting as a severity (feature) extractor.
+
+    Subclasses set :attr:`kind` (the Table 3 detector name) and define
+    the parameters in their constructor. ``params()`` must return the
+    constructor arguments so a configuration has a stable feature name.
+    """
+
+    #: Human-readable detector family name (e.g. "simple MA").
+    kind: str = "detector"
+
+    @abc.abstractmethod
+    def params(self) -> Dict[str, ParamValue]:
+        """The sampled parameter values identifying this configuration."""
+
+    @abc.abstractmethod
+    def warmup(self) -> int:
+        """Number of leading points whose severity is undefined (NaN)."""
+
+    @abc.abstractmethod
+    def severities(self, series: TimeSeries) -> np.ndarray:
+        """Severity of every point of ``series`` (vectorised, causal)."""
+
+    def stream(self) -> SeverityStream:
+        """An online stream for this configuration.
+
+        The default implementation re-runs the batch computation on a
+        growing buffer — O(n^2) but exactly consistent with
+        :meth:`severities`. Detectors with cheap recurrences override
+        this with a true O(1)-per-point stream.
+        """
+        return _BufferedStream(self)
+
+    # ------------------------------------------------------------------
+    @property
+    def feature_name(self) -> str:
+        """Stable identifier, e.g. ``"ewma(alpha=0.3)"``."""
+        params = self.params()
+        if not params:
+            return self.kind
+        inner = ",".join(f"{k}={params[k]}" for k in sorted(params))
+        return f"{self.kind}({inner})"
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<{type(self).__name__} {self.feature_name}>"
+
+    # ------------------------------------------------------------------
+    # Shared helpers for subclasses
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _validate(series: TimeSeries) -> np.ndarray:
+        values = np.asarray(series.values, dtype=np.float64)
+        if values.ndim != 1:
+            raise DetectorError(f"expected 1-D values, got {values.shape}")
+        return values
+
+
+class _BufferedStream(SeverityStream):
+    """Generic stream: recompute the batch severities on a buffer.
+
+    A `max_history` cap bounds the per-point cost; it is chosen to cover
+    the detector's warm-up window with slack so results match the batch
+    mode for every detector whose memory is window-bounded.
+    """
+
+    def __init__(self, detector: Detector, interval: int = 60):
+        self._detector = detector
+        self._interval = interval
+        self._values: List[float] = []
+
+    def update(self, value: float) -> float:
+        self._values.append(float(value))
+        series = TimeSeries(
+            values=np.asarray(self._values), interval=self._interval
+        )
+        return float(self._detector.severities(series)[-1])
+
+
+@dataclass(frozen=True)
+class DetectorConfig:
+    """One of the 133 configurations: a detector bound to its feature
+    column index in the feature matrix."""
+
+    index: int
+    detector: Detector
+
+    @property
+    def name(self) -> str:
+        return self.detector.feature_name
+
+
+def rolling_mean(values: np.ndarray, window: int) -> np.ndarray:
+    """Causal rolling mean of the *previous* ``window`` points.
+
+    ``out[t]`` is the mean of ``values[t-window : t]`` — the current
+    point is excluded, so prediction-based detectors stay causal. The
+    first ``window`` entries are NaN. A missing (NaN) point makes only
+    the windows that contain it NaN; it does not poison the rest of the
+    series (dirty-data handling, §6).
+    """
+    if window <= 0:
+        raise DetectorError(f"window must be positive, got {window}")
+    n = len(values)
+    out = np.full(n, np.nan)
+    if n <= window:
+        return out
+    if np.isfinite(values).all():
+        # Fast cumulative-sum path for clean data.
+        cumsum = np.cumsum(np.concatenate([[0.0], values]))
+        out[window:] = (cumsum[window:-1] - cumsum[:-window - 1]) / window
+    else:
+        windows = np.lib.stride_tricks.sliding_window_view(values, window)
+        out[window:] = windows[:-1].mean(axis=1)
+    return out
+
+
+def rolling_std(values: np.ndarray, window: int) -> np.ndarray:
+    """Causal rolling standard deviation of the previous ``window``
+    points (current point excluded), NaN during warm-up. NaN points
+    invalidate only the windows containing them."""
+    if window <= 1:
+        raise DetectorError(f"window must be > 1 for std, got {window}")
+    n = len(values)
+    out = np.full(n, np.nan)
+    if n <= window:
+        return out
+    if np.isfinite(values).all():
+        cumsum = np.cumsum(np.concatenate([[0.0], values]))
+        cumsq = np.cumsum(np.concatenate([[0.0], values * values]))
+        total = cumsum[window:-1] - cumsum[:-window - 1]
+        total_sq = cumsq[window:-1] - cumsq[:-window - 1]
+        variance = np.maximum(total_sq / window - (total / window) ** 2, 0.0)
+        out[window:] = np.sqrt(variance)
+    else:
+        windows = np.lib.stride_tricks.sliding_window_view(values, window)
+        out[window:] = windows[:-1].std(axis=1)
+    return out
+
+
+def phase_view(values: np.ndarray, period: int) -> np.ndarray:
+    """Reshape a series into an (occurrence, phase) matrix, padding the
+    final partial period with NaN. Used by seasonal detectors that
+    compare each point with the same phase in previous periods."""
+    if period <= 0:
+        raise DetectorError(f"period must be positive, got {period}")
+    n = len(values)
+    n_rows = -(-n // period)
+    padded = np.full(n_rows * period, np.nan)
+    padded[:n] = values
+    return padded.reshape(n_rows, period)
+
+
+def build_configs(detectors: Iterable[Detector]) -> List[DetectorConfig]:
+    """Assign stable feature-column indices to a detector list."""
+    return [DetectorConfig(i, d) for i, d in enumerate(detectors)]

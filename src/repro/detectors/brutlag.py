@@ -1,0 +1,145 @@
+"""Brutlag's aberrant-behaviour detector [13] (LISA 2000).
+
+Brutlag extends Holt-Winters with a *confidence band*: alongside the
+forecast, an exponentially weighted estimate of the seasonal absolute
+deviation ``d`` is maintained,
+
+.. math::
+
+    d_t = \\gamma |v_t - \\hat v_t| + (1 - \\gamma) d_{t-m}
+
+and a point is aberrant when it leaves ``[forecast - delta * d,
+forecast + delta * d]``. In the unified severity model (§4.3.1) the
+severity is the *band-relative deviation* ``|v - forecast| / d`` — the
+sThld then plays the role of Brutlag's scaling factor delta (classically
+2-3).
+
+This detector is not part of the Table 3 bank; it is registered through
+:func:`repro.detectors.registry.extended_detectors` as a demonstration
+of §5.2's claim that "emerging detectors ... can be easily plugged into
+Opprentice".
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict
+
+import numpy as np
+
+from ..timeseries import TimeSeries
+from .base import Detector, DetectorError, ParamValue, SeverityStream
+
+#: Sampled parameter grid used by ``extended_detectors``.
+BRUTLAG_GRID = (0.3, 0.5, 0.7)
+
+
+class Brutlag(Detector):
+    """Holt-Winters forecasting with confidence-band severities."""
+
+    kind = "brutlag"
+
+    def __init__(
+        self,
+        alpha: float,
+        beta: float,
+        gamma: float,
+        season_points: int,
+    ):
+        for name, value in (("alpha", alpha), ("beta", beta), ("gamma", gamma)):
+            if not 0.0 < value < 1.0:
+                raise DetectorError(f"{name} must be in (0, 1), got {value}")
+        if season_points <= 1:
+            raise DetectorError(f"season_points must be > 1, got {season_points}")
+        self.alpha = alpha
+        self.beta = beta
+        self.gamma = gamma
+        self.season_points = season_points
+
+    def params(self) -> Dict[str, ParamValue]:
+        return {"alpha": self.alpha, "beta": self.beta, "gamma": self.gamma}
+
+    def warmup(self) -> int:
+        # One season to initialise the state + one to seed deviations.
+        return 2 * self.season_points
+
+    def severities(self, series: TimeSeries) -> np.ndarray:
+        values = self._validate(series)
+        stream = self.stream()
+        return np.fromiter(
+            (stream.update(v) for v in values), dtype=np.float64, count=len(values)
+        )
+
+    def stream(self) -> SeverityStream:
+        return _BrutlagStream(
+            self.alpha, self.beta, self.gamma, self.season_points
+        )
+
+
+class _BrutlagStream(SeverityStream):
+    """Online Holt-Winters + seasonal deviation band."""
+
+    def __init__(self, alpha: float, beta: float, gamma: float, season: int):
+        self._alpha = alpha
+        self._beta = beta
+        self._gamma = gamma
+        self._season = season
+        self._init_buffer: list = []
+        self._seasonals: list = []
+        self._deviations: list = []
+        self._level = 0.0
+        self._trend = 0.0
+        self._t = 0
+
+    def _initialise(self) -> None:
+        finite = [v for v in self._init_buffer if not math.isnan(v)]
+        mean = sum(finite) / len(finite) if finite else 0.0
+        self._level = mean
+        self._trend = 0.0
+        self._seasonals = [
+            (v - mean) if not math.isnan(v) else 0.0 for v in self._init_buffer
+        ]
+        # Seed the deviation band with the mean absolute seasonal
+        # residual of the first season (a neutral, scale-matched start).
+        spread = (
+            sum(abs(v - mean) for v in finite) / len(finite) if finite else 1.0
+        )
+        self._deviations = [max(spread, 1e-12)] * self._season
+
+    def update(self, value: float) -> float:
+        value = float(value)
+        season = self._season
+        if self._t < season:
+            self._init_buffer.append(value)
+            self._t += 1
+            if self._t == season:
+                self._initialise()
+            return float("nan")
+
+        phase = self._t % season
+        seasonal = self._seasonals[phase]
+        deviation = self._deviations[phase]
+        forecast = self._level + self._trend + seasonal
+        in_warmup = self._t < 2 * season
+        self._t += 1
+        if math.isnan(value):
+            return float("nan")
+
+        severity = abs(value - forecast) / max(deviation, 1e-12)
+        last_level = self._level
+        self._level = (
+            self._alpha * (value - seasonal)
+            + (1.0 - self._alpha) * (last_level + self._trend)
+        )
+        self._trend = (
+            self._beta * (self._level - last_level)
+            + (1.0 - self._beta) * self._trend
+        )
+        self._seasonals[phase] = (
+            self._gamma * (value - self._level) + (1.0 - self._gamma) * seasonal
+        )
+        self._deviations[phase] = (
+            self._gamma * abs(value - forecast)
+            + (1.0 - self._gamma) * deviation
+        )
+        return float("nan") if in_warmup else severity

@@ -1,0 +1,75 @@
+"""The "Diff" detector used by the studied search engine (§5.2).
+
+Diff "simply measures anomaly severities using the differences between
+the current point and the point of last slot, the point of last day,
+and the point of last week" — three configurations (Table 3), one per
+lag.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict
+
+import numpy as np
+
+from ..timeseries import TimeSeries
+from .base import Detector, DetectorError, ParamValue, SeverityStream
+
+#: The three Table 3 lags, expressed as (name, days) pairs; last-slot is
+#: a one-point lag regardless of interval.
+LAG_NAMES = ("last-slot", "last-day", "last-week")
+
+
+class Diff(Detector):
+    """Severity = |v[t] - v[t - lag]|.
+
+    Parameters
+    ----------
+    lag_name:
+        One of ``"last-slot"``, ``"last-day"``, ``"last-week"``.
+    lag_points:
+        The lag expressed in grid points (1 for last-slot; the registry
+        computes day/week lags from the KPI interval).
+    """
+
+    kind = "diff"
+
+    def __init__(self, lag_name: str, lag_points: int):
+        if lag_name not in LAG_NAMES:
+            raise DetectorError(
+                f"lag_name must be one of {LAG_NAMES}, got {lag_name!r}"
+            )
+        if lag_points <= 0:
+            raise DetectorError(f"lag_points must be positive, got {lag_points}")
+        self.lag_name = lag_name
+        self.lag_points = lag_points
+
+    def params(self) -> Dict[str, ParamValue]:
+        return {"lag": self.lag_name}
+
+    def warmup(self) -> int:
+        return self.lag_points
+
+    def severities(self, series: TimeSeries) -> np.ndarray:
+        values = self._validate(series)
+        out = np.full(len(values), np.nan)
+        if len(values) > self.lag_points:
+            out[self.lag_points:] = np.abs(
+                values[self.lag_points:] - values[:-self.lag_points]
+            )
+        return out
+
+    def stream(self) -> SeverityStream:
+        return _DiffStream(self.lag_points)
+
+
+class _DiffStream(SeverityStream):
+    def __init__(self, lag_points: int):
+        self._history: deque = deque(maxlen=lag_points + 1)
+
+    def update(self, value: float) -> float:
+        self._history.append(float(value))
+        if len(self._history) < self._history.maxlen:
+            return float("nan")
+        return abs(self._history[-1] - self._history[0])

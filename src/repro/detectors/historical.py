@@ -1,0 +1,188 @@
+"""Historical average / historical MAD detectors [5].
+
+"Historical average assumes the data follow Gaussian distribution, and
+uses how many times of standard deviation the point is away from the
+mean as the severity" (§4.3.1). The Gaussian is fitted per *time of
+day*: for point *t* the sample is the values at the same time-of-day on
+each of the previous ``win * 7`` days (Table 3: ``win = 1..5`` weeks).
+
+The MAD variant replaces (mean, std) with (median, 1.4826 * MAD), the
+standard robust scale estimate, improving robustness to dirty data
+(§5.2, §6).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from ..timeseries import TimeSeries
+from .base import Detector, DetectorError, ParamValue, SeverityStream
+
+#: Table 3 window grid, in weeks.
+HISTORICAL_WINDOWS_WEEKS = (1, 2, 3, 4, 5)
+
+#: Consistency constant making MAD estimate the Gaussian sigma.
+MAD_TO_SIGMA = 1.4826
+
+
+class _HistoricalBase(Detector):
+    """Same-time-of-day history matrix shared by both variants."""
+
+    def __init__(self, window_weeks: int, points_per_day: int):
+        if window_weeks <= 0:
+            raise DetectorError(
+                f"window_weeks must be positive, got {window_weeks}"
+            )
+        if points_per_day <= 0:
+            raise DetectorError(
+                f"points_per_day must be positive, got {points_per_day}"
+            )
+        self.window_weeks = window_weeks
+        self.points_per_day = points_per_day
+        self.window_days = 7 * window_weeks
+
+    def params(self) -> Dict[str, ParamValue]:
+        return {"win": f"{self.window_weeks}w"}
+
+    def warmup(self) -> int:
+        return self.window_days * self.points_per_day
+
+    def _history(self, values: np.ndarray) -> np.ndarray:
+        """history[i, k] = value at the same time-of-day, k+1 days before
+        point ``warmup + i``."""
+        n = len(values)
+        start = self.warmup()
+        indices = np.arange(start, n)
+        offsets = (np.arange(1, self.window_days + 1) * self.points_per_day)
+        return values[indices[:, np.newaxis] - offsets[np.newaxis, :]]
+
+    def _scale_floor(self, values: np.ndarray) -> float:
+        """Floor for the scale estimate so constant histories do not
+        yield infinite severities. Computed from the warm-up prefix only
+        so severities stay causal (appending future data must never
+        change past severities)."""
+        prefix = values[: self.warmup()]
+        magnitude = np.nanmean(np.abs(prefix)) if len(prefix) else np.nan
+        if not np.isfinite(magnitude) or magnitude == 0.0:
+            return 1e-12
+        return 1e-6 * float(magnitude)
+
+
+class _HistoricalStream(SeverityStream):
+    """Ring-buffer stream over the same-time-of-day history.
+
+    The scale floor matches the batch mode: 1e-6 of the mean magnitude
+    of the warm-up prefix (fixed once the warm-up completes).
+    """
+
+    def __init__(self, detector: "_HistoricalBase"):
+        self._detector = detector
+        size = detector.warmup()
+        self._ring = np.full(size, np.nan)
+        self._count = 0
+        self._prefix_abs_sum = 0.0
+        self._prefix_n = 0
+        self._floor: float | None = None
+
+    def update(self, value: float) -> float:
+        value = float(value)
+        detector = self._detector
+        size = len(self._ring)
+        position = self._count % size
+        if self._count < size:
+            # Warm-up: accumulate the floor statistic over finite
+            # prefix values (matching the batch nanmean semantics).
+            if np.isfinite(value):
+                self._prefix_abs_sum += abs(value)
+                self._prefix_n += 1
+            severity = float("nan")
+        else:
+            if self._floor is None:
+                if self._prefix_n and self._prefix_abs_sum > 0.0:
+                    self._floor = 1e-6 * (
+                        self._prefix_abs_sum / self._prefix_n
+                    )
+                else:
+                    self._floor = 1e-12
+            offsets = (
+                position
+                - np.arange(1, detector.window_days + 1) * detector.points_per_day
+            ) % size
+            history = self._ring[offsets]
+            severity = detector._score_one(value, history, self._floor)
+        self._ring[position] = value
+        self._count += 1
+        return severity
+
+
+class HistoricalAverage(_HistoricalBase):
+    """Severity = |v - mean| / std over the same-time-of-day history."""
+
+    kind = "historical average"
+
+    def stream(self) -> SeverityStream:
+        return _HistoricalStream(self)
+
+    def _score_one(
+        self, value: float, history: np.ndarray, floor: float
+    ) -> float:
+        finite = history[np.isfinite(history)]
+        if len(finite) == 0:
+            return float("nan")
+        mean = float(finite.mean())
+        std = float(finite.std())
+        return abs(value - mean) / max(std, floor)
+
+    def severities(self, series: TimeSeries) -> np.ndarray:
+        values = self._validate(series)
+        n = len(values)
+        out = np.full(n, np.nan)
+        start = self.warmup()
+        if n <= start:
+            return out
+        history = self._history(values)
+        with np.errstate(invalid="ignore"):
+            mean = np.nanmean(history, axis=1)
+            std = np.nanstd(history, axis=1)
+        floor = self._scale_floor(values)
+        out[start:] = np.abs(values[start:] - mean) / np.maximum(std, floor)
+        return out
+
+
+class HistoricalMad(_HistoricalBase):
+    """Severity = |v - median| / (1.4826 * MAD) over the history."""
+
+    kind = "historical MAD"
+
+    def stream(self) -> SeverityStream:
+        return _HistoricalStream(self)
+
+    def _score_one(
+        self, value: float, history: np.ndarray, floor: float
+    ) -> float:
+        finite = history[np.isfinite(history)]
+        if len(finite) == 0:
+            return float("nan")
+        median = float(np.median(finite))
+        mad = float(np.median(np.abs(finite - median)))
+        return abs(value - median) / max(MAD_TO_SIGMA * mad, floor)
+
+    def severities(self, series: TimeSeries) -> np.ndarray:
+        values = self._validate(series)
+        n = len(values)
+        out = np.full(n, np.nan)
+        start = self.warmup()
+        if n <= start:
+            return out
+        history = self._history(values)
+        with np.errstate(invalid="ignore"):
+            median = np.nanmedian(history, axis=1)
+            mad = np.nanmedian(
+                np.abs(history - median[:, np.newaxis]), axis=1
+            )
+        floor = self._scale_floor(values)
+        scale = np.maximum(MAD_TO_SIGMA * mad, floor)
+        out[start:] = np.abs(values[start:] - median) / scale
+        return out

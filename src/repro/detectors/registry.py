@@ -1,0 +1,159 @@
+"""The default detector bank: Table 3's 14 detectors / 133 configurations.
+
+======================  =============================================  ====
+Detector                Sampled parameters                             #
+======================  =============================================  ====
+Simple threshold        none                                           1
+Diff                    last-slot, last-day, last-week                 3
+Simple MA               win = 10, 20, 30, 40, 50 points                5
+Weighted MA             win = 10, 20, 30, 40, 50 points                5
+MA of diff              win = 10, 20, 30, 40, 50 points                5
+EWMA                    alpha = 0.1, 0.3, 0.5, 0.7, 0.9                5
+TSD                     win = 1, 2, 3, 4, 5 weeks                      5
+TSD MAD                 win = 1, 2, 3, 4, 5 weeks                      5
+Historical average      win = 1, 2, 3, 4, 5 weeks                      5
+Historical MAD          win = 1, 2, 3, 4, 5 weeks                      5
+Holt-Winters            alpha, beta, gamma = 0.2, 0.4, 0.6, 0.8        64
+SVD                     row = 10..50 points, column = 3, 5, 7          15
+Wavelet                 win = 3, 5, 7 days; freq = low, mid, high      9
+ARIMA                   estimated from data                            1
+======================  =============================================  ====
+Total: 133 configurations.
+
+Day/week-sized windows are converted to points from the KPI's sampling
+interval, so the same registry definition works for 1-minute and
+60-minute KPIs. Opprentice is not limited to this bank (§5.2): pass any
+detector list to :class:`repro.core.FeatureExtractor` to plug in an
+emerging detector.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import List, Sequence
+
+from ..timeseries import DAY, TimeSeries
+from .arima import ARIMA
+from .base import Detector, DetectorConfig, build_configs
+from .brutlag import BRUTLAG_GRID, Brutlag
+from .cusum import CUSUM, CUSUM_SLACKS, CUSUM_WINDOWS
+from .diff import Diff
+from .shesd import SHESD, SHESD_WINDOWS_WEEKS
+from .historical import HISTORICAL_WINDOWS_WEEKS, HistoricalAverage, HistoricalMad
+from .holt_winters import HW_GRID, HoltWinters
+from .moving_average import EWMA, EWMA_ALPHAS, MA_WINDOWS, MAOfDiff, SimpleMA, WeightedMA
+from .svd import SVD_COLUMNS, SVD_ROWS, SVDDetector
+from .threshold import SimpleThreshold
+from .tsd import TSD_WINDOWS_WEEKS, TSD, TSDMad
+from .wavelet import WAVELET_BANDS, WAVELET_WINDOWS_DAYS, WaveletDetector
+
+#: Number of configurations the default bank must contain (Table 3).
+EXPECTED_CONFIGURATIONS = 133
+#: Number of distinct basic detectors (Table 3).
+EXPECTED_DETECTORS = 14
+
+
+def default_detectors(
+    interval: int, *, arima_fit_weeks: int = 2
+) -> List[Detector]:
+    """Instantiate the full Table 3 bank for a KPI sampled every
+    ``interval`` seconds.
+
+    ``arima_fit_weeks`` sets ARIMA's estimation prefix; the paper's
+    evaluation always has at least 8 weeks of initial training data, so
+    2 weeks of warm-up keeps ARIMA usable everywhere.
+    """
+    if interval <= 0 or DAY % interval != 0:
+        raise ValueError(
+            f"interval must be a positive divisor of one day, got {interval}"
+        )
+    points_per_day = DAY // interval
+    points_per_week = 7 * points_per_day
+
+    detectors: List[Detector] = [SimpleThreshold()]
+    detectors += [
+        Diff("last-slot", 1),
+        Diff("last-day", points_per_day),
+        Diff("last-week", points_per_week),
+    ]
+    detectors += [SimpleMA(win) for win in MA_WINDOWS]
+    detectors += [WeightedMA(win) for win in MA_WINDOWS]
+    detectors += [MAOfDiff(win) for win in MA_WINDOWS]
+    detectors += [EWMA(alpha) for alpha in EWMA_ALPHAS]
+    detectors += [TSD(w, points_per_week) for w in TSD_WINDOWS_WEEKS]
+    detectors += [TSDMad(w, points_per_week) for w in TSD_WINDOWS_WEEKS]
+    detectors += [
+        HistoricalAverage(w, points_per_day) for w in HISTORICAL_WINDOWS_WEEKS
+    ]
+    detectors += [HistoricalMad(w, points_per_day) for w in HISTORICAL_WINDOWS_WEEKS]
+    detectors += [
+        HoltWinters(alpha, beta, gamma, points_per_day)
+        for alpha, beta, gamma in itertools.product(HW_GRID, HW_GRID, HW_GRID)
+    ]
+    detectors += [
+        SVDDetector(row, column)
+        for row, column in itertools.product(SVD_ROWS, SVD_COLUMNS)
+    ]
+    detectors += [
+        WaveletDetector(win, band, points_per_day)
+        for win, band in itertools.product(WAVELET_WINDOWS_DAYS, WAVELET_BANDS)
+    ]
+    detectors.append(ARIMA(fit_points=arima_fit_weeks * points_per_week))
+
+    assert len(detectors) == EXPECTED_CONFIGURATIONS, len(detectors)
+    assert len({d.kind for d in detectors}) == EXPECTED_DETECTORS
+    return detectors
+
+
+def extended_detectors(interval: int) -> List[Detector]:
+    """Post-Table-3 "emerging detectors" (§5.2): Brutlag's aberrant
+    behaviour detector [13] and two-sided CUSUM.
+
+    These are *not* part of the paper's 133-configuration bank; append
+    them to ``default_detectors`` to study how Opprentice absorbs new
+    detectors without any tuning:
+
+    >>> bank = default_detectors(600) + extended_detectors(600)
+    >>> configs = build_configs(bank)
+    """
+    if interval <= 0 or DAY % interval != 0:
+        raise ValueError(
+            f"interval must be a positive divisor of one day, got {interval}"
+        )
+    points_per_day = DAY // interval
+    detectors: List[Detector] = [
+        Brutlag(alpha, 0.4, gamma, points_per_day)
+        for alpha in BRUTLAG_GRID
+        for gamma in BRUTLAG_GRID
+    ]
+    detectors += [
+        CUSUM(window, slack)
+        for window in CUSUM_WINDOWS
+        for slack in CUSUM_SLACKS
+    ]
+    points_per_week = 7 * points_per_day
+    detectors += [
+        SHESD(w, points_per_week) for w in SHESD_WINDOWS_WEEKS
+    ]
+    return detectors
+
+
+def default_configs(interval: int, **kwargs) -> List[DetectorConfig]:
+    """The Table 3 bank with stable feature-column indices."""
+    return build_configs(default_detectors(interval, **kwargs))
+
+
+def configs_for(series: TimeSeries, **kwargs) -> List[DetectorConfig]:
+    """Convenience: the default bank sized for ``series``' interval."""
+    return default_configs(series.interval, **kwargs)
+
+
+def registry_table(configs: Sequence[DetectorConfig]) -> str:
+    """A Table 3-style summary: one row per detector kind with its
+    configuration count."""
+    counts: dict = {}
+    for config in configs:
+        counts[config.detector.kind] = counts.get(config.detector.kind, 0) + 1
+    lines = [f"{kind:<22} {count:>3}" for kind, count in counts.items()]
+    lines.append(f"{'total':<22} {len(configs):>3}")
+    return "\n".join(lines)

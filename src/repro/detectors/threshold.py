@@ -1,0 +1,44 @@
+"""Simple static threshold detector (Amazon CloudWatch alarms [24]).
+
+The classic operator fallback: alarm whenever the KPI value crosses a
+static threshold. In the unified severity model the severity *is* the
+value itself, so sweeping the sThld reproduces exactly the family of
+static-threshold alarms. This detector has no parameters — one
+configuration (Table 3).
+
+The paper finds it is the single best basic detector for #SR (whose
+anomalies are upward spikes of a low-volume count) and nearly useless
+for the strongly seasonal PV.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from ..timeseries import TimeSeries
+from .base import Detector, ParamValue, SeverityStream
+
+
+class SimpleThreshold(Detector):
+    """Severity = the raw KPI value."""
+
+    kind = "simple threshold"
+
+    def params(self) -> Dict[str, ParamValue]:
+        return {}
+
+    def warmup(self) -> int:
+        return 0
+
+    def severities(self, series: TimeSeries) -> np.ndarray:
+        return self._validate(series).copy()
+
+    def stream(self) -> SeverityStream:
+        return _ThresholdStream()
+
+
+class _ThresholdStream(SeverityStream):
+    def update(self, value: float) -> float:
+        return float(value)

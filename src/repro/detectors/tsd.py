@@ -1,0 +1,162 @@
+"""Time series decomposition (TSD) detectors [1] and their MAD variant.
+
+TSD "usually uses a window of weeks to capture long-term violations"
+(§4.3.3): the seasonal baseline for point *t* is estimated from the
+values at the *same time-of-week phase* in the previous ``win`` weeks,
+and the severity is the absolute residual from that baseline.
+
+Two variants, as in Table 3 (``win = 1..5`` weeks each):
+
+* **TSD** — baseline is the *mean* of the same-phase history.
+* **TSD MAD** — baseline is the *median*; §5.2 explains the MAD/median
+  patch "can improve the robustness to missing data and outliers", i.e.
+  a past anomaly or missing point in the window does not drag the
+  baseline (dirty-data handling, §6).
+
+Missing (NaN) points in the history are ignored by both variants via
+nan-aware statistics.
+"""
+
+from __future__ import annotations
+
+import warnings
+from typing import Callable, Dict
+
+import numpy as np
+
+from ..timeseries import TimeSeries
+from .base import Detector, DetectorError, ParamValue, SeverityStream
+
+#: Table 3 window grid, in weeks.
+TSD_WINDOWS_WEEKS = (1, 2, 3, 4, 5)
+
+
+class _SeasonalResidual(Detector):
+    """Shared machinery: residual from a same-phase seasonal baseline."""
+
+    def __init__(self, window_periods: int, period_points: int):
+        if window_periods <= 0:
+            raise DetectorError(
+                f"window_periods must be positive, got {window_periods}"
+            )
+        if period_points <= 0:
+            raise DetectorError(
+                f"period_points must be positive, got {period_points}"
+            )
+        self.window_periods = window_periods
+        self.period_points = period_points
+
+    def warmup(self) -> int:
+        return self.window_periods * self.period_points
+
+    def _baseline(self, history: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def severities(self, series: TimeSeries) -> np.ndarray:
+        values = self._validate(series)
+        n = len(values)
+        period = self.period_points
+        w = self.window_periods
+        out = np.full(n, np.nan)
+        if n <= w * period:
+            return out
+        # history[t, k] = value at the same phase, k+1 periods earlier.
+        indices = np.arange(w * period, n)
+        offsets = (np.arange(1, w + 1) * period)[np.newaxis, :]
+        history = values[indices[:, np.newaxis] - offsets]
+        with np.errstate(invalid="ignore"), warnings.catch_warnings():
+            # Rows whose entire same-phase history is missing produce a
+            # NaN baseline, which is the intended output.
+            warnings.simplefilter("ignore", category=RuntimeWarning)
+            baseline = self._baseline(history)
+        out[w * period:] = np.abs(values[w * period:] - baseline)
+        return out
+
+    def stream(self) -> SeverityStream:
+        return _SeasonalStream(
+            self.window_periods, self.period_points, self._baseline
+        )
+
+
+class _SeasonalStream(SeverityStream):
+    """O(1)-memory-indexed stream: a ring buffer of the last
+    ``window * period`` values gives the same-phase history directly
+    (the slot about to be overwritten *is* the value one full window
+    ago)."""
+
+    def __init__(
+        self,
+        window_periods: int,
+        period_points: int,
+        baseline: Callable[[np.ndarray], np.ndarray],
+    ):
+        self._window = window_periods
+        self._period = period_points
+        self._baseline = baseline
+        size = window_periods * period_points
+        self._ring = np.full(size, np.nan)
+        self._count = 0
+
+    def update(self, value: float) -> float:
+        value = float(value)
+        size = len(self._ring)
+        position = self._count % size
+        severity = float("nan")
+        if self._count >= size:
+            offsets = (
+                position - np.arange(1, self._window + 1) * self._period
+            ) % size
+            history = self._ring[offsets]
+            with np.errstate(invalid="ignore"), warnings.catch_warnings():
+                # An all-NaN history (every same-phase point missing)
+                # legitimately yields a NaN baseline.
+                warnings.simplefilter("ignore", category=RuntimeWarning)
+                baseline = self._baseline(history[np.newaxis, :])[0]
+            severity = abs(value - baseline)
+        self._ring[position] = value
+        self._count += 1
+        return severity
+
+
+class TSD(_SeasonalResidual):
+    """Severity = |v[t] - mean(same phase, previous ``win`` weeks)|."""
+
+    kind = "tsd"
+
+    def __init__(self, window_weeks: int, points_per_week: int):
+        if points_per_week <= 0:
+            raise DetectorError(
+                f"points_per_week must be positive, got {points_per_week}"
+            )
+        super().__init__(window_weeks, points_per_week)
+        self.window_weeks = window_weeks
+
+    def params(self) -> Dict[str, ParamValue]:
+        return {"win": f"{self.window_weeks}w"}
+
+    def _baseline(self, history: np.ndarray) -> np.ndarray:
+        return np.nanmean(history, axis=1)
+
+
+class TSDMad(_SeasonalResidual):
+    """Severity = |v[t] - median(same phase, previous ``win`` weeks)|.
+
+    The median baseline shrugs off a past anomaly (or missing point)
+    that would contaminate TSD's mean baseline.
+    """
+
+    kind = "tsd MAD"
+
+    def __init__(self, window_weeks: int, points_per_week: int):
+        if points_per_week <= 0:
+            raise DetectorError(
+                f"points_per_week must be positive, got {points_per_week}"
+            )
+        super().__init__(window_weeks, points_per_week)
+        self.window_weeks = window_weeks
+
+    def params(self) -> Dict[str, ParamValue]:
+        return {"win": f"{self.window_weeks}w"}
+
+    def _baseline(self, history: np.ndarray) -> np.ndarray:
+        return np.nanmedian(history, axis=1)

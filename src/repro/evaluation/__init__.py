@@ -1,0 +1,82 @@
+"""Evaluation substrate: accuracy metrics, PR curves, cThld selection."""
+
+from .calibration import CalibrationCurve, brier_score, calibration_curve
+from .confusion import Confusion, confusion, f_score, precision_recall
+from .delay import DelayReport, WindowDetection, detection_delays
+from .cross_validation import (
+    DEFAULT_CTHLD_CANDIDATES,
+    contiguous_folds,
+    cross_validate_cthld,
+)
+from .metrics import (
+    MODERATE_PREFERENCE,
+    SENSITIVE_TO_PRECISION,
+    SENSITIVE_TO_RECALL,
+    AccuracyPreference,
+    DefaultCThld,
+    FScoreSelector,
+    PCScoreSelector,
+    SDSelector,
+    ThresholdChoice,
+    ThresholdSelector,
+    evaluate_threshold,
+    pc_score,
+)
+from .report import ApproachScore, KPIReport, evaluate_kpi
+from .roc import ROCCurve, auc_roc, roc_curve
+from .significance import (
+    ConfidenceInterval,
+    PairedComparison,
+    aucpr_confidence_interval,
+    compare_aucpr,
+)
+from .pr_curve import (
+    PRCurve,
+    aucpr,
+    aucpr_trapezoid,
+    max_precision_at_recall,
+    pr_curve,
+)
+
+__all__ = [
+    "DelayReport",
+    "WindowDetection",
+    "detection_delays",
+    "CalibrationCurve",
+    "calibration_curve",
+    "brier_score",
+    "KPIReport",
+    "ApproachScore",
+    "evaluate_kpi",
+    "ROCCurve",
+    "ConfidenceInterval",
+    "PairedComparison",
+    "aucpr_confidence_interval",
+    "compare_aucpr",
+    "roc_curve",
+    "auc_roc",
+    "Confusion",
+    "confusion",
+    "precision_recall",
+    "f_score",
+    "PRCurve",
+    "pr_curve",
+    "aucpr",
+    "aucpr_trapezoid",
+    "max_precision_at_recall",
+    "AccuracyPreference",
+    "MODERATE_PREFERENCE",
+    "SENSITIVE_TO_PRECISION",
+    "SENSITIVE_TO_RECALL",
+    "pc_score",
+    "ThresholdChoice",
+    "ThresholdSelector",
+    "DefaultCThld",
+    "FScoreSelector",
+    "SDSelector",
+    "PCScoreSelector",
+    "evaluate_threshold",
+    "contiguous_folds",
+    "cross_validate_cthld",
+    "DEFAULT_CTHLD_CANDIDATES",
+]

@@ -1,0 +1,87 @@
+"""Probability calibration analytics for the anomaly classifier.
+
+The forest's vote probability drives the cThld machinery, so *how
+trustworthy the probabilities are* matters operationally: a
+well-calibrated score means "0.7" actually corresponds to ~70% of such
+points being anomalous, making the EWMA-tracked cThld interpretable.
+This module provides the standard reliability diagnostics: the
+calibration (reliability) curve and the Brier score.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass
+class CalibrationCurve:
+    """Reliability curve: observed anomaly rate per predicted-score bin."""
+
+    bin_centers: np.ndarray
+    mean_predicted: np.ndarray
+    observed_rate: np.ndarray
+    counts: np.ndarray
+
+    def expected_calibration_error(self) -> float:
+        """ECE: count-weighted |observed - predicted| across bins."""
+        total = self.counts.sum()
+        if total == 0:
+            raise ValueError("curve has no samples")
+        gaps = np.abs(self.observed_rate - self.mean_predicted)
+        return float(np.sum(gaps * self.counts) / total)
+
+
+def calibration_curve(
+    scores: np.ndarray, labels: np.ndarray, n_bins: int = 10
+) -> CalibrationCurve:
+    """Bin predictions and compare mean score with observed anomaly rate.
+
+    NaN scores are excluded (the shared warm-up convention); empty bins
+    are dropped.
+    """
+    if n_bins < 2:
+        raise ValueError(f"n_bins must be >= 2, got {n_bins}")
+    scores = np.asarray(scores, dtype=np.float64)
+    labels = np.asarray(labels)
+    if scores.shape != labels.shape:
+        raise ValueError(f"shape mismatch: {scores.shape} vs {labels.shape}")
+    valid = np.isfinite(scores)
+    scores, labels = scores[valid], labels[valid].astype(np.float64)
+    if len(scores) == 0:
+        raise ValueError("no finite scores")
+
+    edges = np.linspace(0.0, 1.0, n_bins + 1)
+    bins = np.clip(np.digitize(scores, edges[1:-1]), 0, n_bins - 1)
+    centers, mean_predicted, observed, counts = [], [], [], []
+    for b in range(n_bins):
+        mask = bins == b
+        if not mask.any():
+            continue
+        centers.append((edges[b] + edges[b + 1]) / 2.0)
+        mean_predicted.append(float(scores[mask].mean()))
+        observed.append(float(labels[mask].mean()))
+        counts.append(int(mask.sum()))
+    return CalibrationCurve(
+        bin_centers=np.asarray(centers),
+        mean_predicted=np.asarray(mean_predicted),
+        observed_rate=np.asarray(observed),
+        counts=np.asarray(counts),
+    )
+
+
+def brier_score(scores: np.ndarray, labels: np.ndarray) -> float:
+    """Mean squared error of the probabilities: lower is better; a
+    perfect classifier scores 0, always-predict-base-rate scores
+    ``p(1-p)``."""
+    scores = np.asarray(scores, dtype=np.float64)
+    labels = np.asarray(labels)
+    if scores.shape != labels.shape:
+        raise ValueError(f"shape mismatch: {scores.shape} vs {labels.shape}")
+    valid = np.isfinite(scores)
+    if not valid.any():
+        raise ValueError("no finite scores")
+    return float(
+        np.mean((scores[valid] - labels[valid].astype(np.float64)) ** 2)
+    )

@@ -1,0 +1,87 @@
+"""Point-level detection accuracy: precision, recall, F-Score (§2.2).
+
+The paper's accuracy model: recall = (# true anomalous points detected)
+/ (# true anomalous points); precision = (# true anomalous points
+detected) / (# anomalous points detected). Precision is preferred over
+the false-positive rate because anomalies are infrequent (precision =
+1 - FDR).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Confusion:
+    """Binary confusion counts over labelled points."""
+
+    true_positives: int
+    false_positives: int
+    false_negatives: int
+    true_negatives: int
+
+    @property
+    def precision(self) -> float:
+        """1.0 by convention when nothing was detected (no false alarms)."""
+        detected = self.true_positives + self.false_positives
+        return self.true_positives / detected if detected else 1.0
+
+    @property
+    def recall(self) -> float:
+        """1.0 by convention when there was nothing to detect."""
+        actual = self.true_positives + self.false_negatives
+        return self.true_positives / actual if actual else 1.0
+
+    @property
+    def f_score(self) -> float:
+        """F1 = 2 * p * r / (p + r) (§4.5.1)."""
+        return f_score(self.recall, self.precision)
+
+    @property
+    def false_discovery_rate(self) -> float:
+        return 1.0 - self.precision
+
+
+def f_score(recall: float, precision: float) -> float:
+    """F1 of a (recall, precision) point; 0 when both are 0."""
+    if recall < 0 or precision < 0:
+        raise ValueError(f"negative inputs: recall={recall}, precision={precision}")
+    if recall + precision == 0.0:
+        return 0.0
+    return 2.0 * recall * precision / (recall + precision)
+
+
+def confusion(predictions: np.ndarray, labels: np.ndarray) -> Confusion:
+    """Confusion counts of 0/1 predictions against 0/1 ground truth.
+
+    Points with missing predictions (negative placeholder or NaN) are
+    excluded; detectors output NaN severities inside warm-up windows and
+    §4.3.2 skips their detection.
+    """
+    predictions = np.asarray(predictions, dtype=np.float64)
+    labels = np.asarray(labels)
+    if predictions.shape != labels.shape:
+        raise ValueError(
+            f"shape mismatch: {predictions.shape} vs {labels.shape}"
+        )
+    valid = np.isfinite(predictions) & (predictions >= 0)
+    predicted = predictions[valid] >= 0.5
+    actual = labels[valid].astype(bool)
+    return Confusion(
+        true_positives=int(np.sum(predicted & actual)),
+        false_positives=int(np.sum(predicted & ~actual)),
+        false_negatives=int(np.sum(~predicted & actual)),
+        true_negatives=int(np.sum(~predicted & ~actual)),
+    )
+
+
+def precision_recall(
+    predictions: np.ndarray, labels: np.ndarray
+) -> tuple[float, float]:
+    """(recall, precision) of hard predictions — the paper's two-number
+    accuracy summary."""
+    result = confusion(predictions, labels)
+    return result.recall, result.precision

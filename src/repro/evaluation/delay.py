@@ -1,0 +1,111 @@
+"""Detection-delay metrics: how fast are anomalies caught?
+
+Point-level recall/precision (§2.2) say nothing about *when* inside an
+anomalous window the first detection lands, yet paging latency is what
+operators feel. These metrics measure, per ground-truth anomalous
+window, the lag (in points) from the window's start to the first
+detected point inside it — plus window-level recall (was the window
+caught at all), which is more forgiving than point recall for long
+windows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..timeseries import AnomalyWindow, points_to_windows
+
+
+@dataclass(frozen=True)
+class WindowDetection:
+    """Detection outcome for one ground-truth anomalous window."""
+
+    window: AnomalyWindow
+    detected: bool
+    #: Points from window start to the first detection inside it
+    #: (0 = caught immediately); None if the window was missed.
+    delay_points: Optional[int]
+
+
+@dataclass
+class DelayReport:
+    """Aggregate detection-delay statistics."""
+
+    detections: List[WindowDetection]
+
+    @property
+    def n_windows(self) -> int:
+        return len(self.detections)
+
+    @property
+    def window_recall(self) -> float:
+        """Fraction of anomalous windows with >= 1 detected point."""
+        if not self.detections:
+            raise ValueError("no anomalous windows to report on")
+        return float(np.mean([d.detected for d in self.detections]))
+
+    @property
+    def delays(self) -> np.ndarray:
+        """Delays of the detected windows (points)."""
+        return np.array(
+            [d.delay_points for d in self.detections if d.detected],
+            dtype=np.float64,
+        )
+
+    def mean_delay(self) -> float:
+        delays = self.delays
+        if len(delays) == 0:
+            raise ValueError("no detected windows")
+        return float(delays.mean())
+
+    def delay_percentile(self, q: float) -> float:
+        delays = self.delays
+        if len(delays) == 0:
+            raise ValueError("no detected windows")
+        return float(np.percentile(delays, q))
+
+    def caught_within(self, max_delay_points: int) -> float:
+        """Fraction of all windows detected within ``max_delay_points``
+        of their onset (missed windows count against)."""
+        if not self.detections:
+            raise ValueError("no anomalous windows to report on")
+        hits = [
+            d.detected and d.delay_points <= max_delay_points
+            for d in self.detections
+        ]
+        return float(np.mean(hits))
+
+
+def detection_delays(
+    predictions: Sequence[int], labels: Sequence[int]
+) -> DelayReport:
+    """Per-window detection delays of 0/1 predictions vs 0/1 labels.
+
+    Negative prediction placeholders (missing/warm-up, as produced by
+    the online harness) count as "not detected" at those points.
+    """
+    predictions = np.asarray(predictions)
+    labels = np.asarray(labels, dtype=np.int8)
+    if predictions.shape != labels.shape:
+        raise ValueError(
+            f"shape mismatch: {predictions.shape} vs {labels.shape}"
+        )
+    detected_points = predictions == 1
+    detections = []
+    for window in points_to_windows(labels):
+        inside = detected_points[window.begin: window.end]
+        hits = np.flatnonzero(inside)
+        if len(hits):
+            detections.append(
+                WindowDetection(
+                    window=window, detected=True, delay_points=int(hits[0])
+                )
+            )
+        else:
+            detections.append(
+                WindowDetection(window=window, detected=False, delay_points=None)
+            )
+    return DelayReport(detections=detections)

@@ -1,0 +1,206 @@
+"""Accuracy metrics for configuring cThlds (§4.5.1).
+
+Four ways to pick a classification threshold from a PR curve are
+compared in Fig 12:
+
+* **default cThld** — the fixed 0.5 majority vote;
+* **F-Score** — the point maximising F1;
+* **SD(1,1)** — the point with the shortest Euclidean distance to the
+  perfect corner (recall=1, precision=1) [46];
+* **PC-Score** (the paper's contribution) — F-Score plus an incentive
+  constant of 1 for points satisfying the operators' preference
+  "recall >= R and precision >= P", so a satisfying point always beats
+  every non-satisfying one.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+import numpy as np
+
+from .confusion import f_score, precision_recall
+from .pr_curve import PRCurve, pr_curve
+
+
+@dataclass(frozen=True)
+class AccuracyPreference:
+    """The operators' preference "recall >= R and precision >= P".
+
+    The operators in the paper specified R = P = 0.66 (the "moderate"
+    preference); Fig 12 also evaluates sensitive-to-precision (0.6, 0.8)
+    and sensitive-to-recall (0.8, 0.6).
+    """
+
+    recall: float = 0.66
+    precision: float = 0.66
+
+    def __post_init__(self) -> None:
+        if not (0.0 <= self.recall <= 1.0 and 0.0 <= self.precision <= 1.0):
+            raise ValueError(
+                f"preference bounds must be in [0, 1], got {self}"
+            )
+
+    def satisfied_by(self, recall: float, precision: float) -> bool:
+        return recall >= self.recall and precision >= self.precision
+
+    def scaled(self, ratio: float) -> "AccuracyPreference":
+        """The preference box scaled up by ``ratio`` (Fig 12's line
+        charts lower the bounds: ratio 2 halves both)."""
+        if ratio < 1.0:
+            raise ValueError(f"scaling ratio must be >= 1, got {ratio}")
+        return AccuracyPreference(
+            recall=self.recall / ratio,
+            precision=self.precision / ratio,
+        )
+
+
+#: Fig 12's three evaluated preferences.
+MODERATE_PREFERENCE = AccuracyPreference(0.66, 0.66)
+SENSITIVE_TO_PRECISION = AccuracyPreference(0.6, 0.8)
+SENSITIVE_TO_RECALL = AccuracyPreference(0.8, 0.6)
+
+
+def pc_score(
+    recall: float, precision: float, preference: AccuracyPreference
+) -> float:
+    """The preference-centric score (§4.5.1).
+
+    PC-Score(r, p) = F1(r, p) + 1 if the preference is satisfied, else
+    F1(r, p). Since F1 <= 1, any satisfying point outranks every
+    non-satisfying point.
+    """
+    base = f_score(recall, precision)
+    if preference.satisfied_by(recall, precision):
+        return base + 1.0
+    return base
+
+
+@dataclass(frozen=True)
+class ThresholdChoice:
+    """A selected cThld and the (recall, precision) it achieves on the
+    data it was selected from."""
+
+    threshold: float
+    recall: float
+    precision: float
+
+    @property
+    def point(self) -> tuple[float, float]:
+        return (self.recall, self.precision)
+
+
+class ThresholdSelector(abc.ABC):
+    """Strategy choosing a cThld from scores and ground truth."""
+
+    #: Display name used in Fig 12 outputs.
+    name: str = "selector"
+
+    @abc.abstractmethod
+    def select_from_curve(self, curve: PRCurve) -> ThresholdChoice:
+        """Pick a threshold given a PR curve."""
+
+    def select(self, scores: np.ndarray, labels: np.ndarray) -> ThresholdChoice:
+        """Pick a threshold for anomaly ``scores`` against labels."""
+        return self.select_from_curve(pr_curve(scores, labels))
+
+
+class DefaultCThld(ThresholdSelector):
+    """The fixed 0.5 majority-vote threshold (§4.4.2)."""
+
+    name = "default cThld"
+
+    def __init__(self, threshold: float = 0.5):
+        if not 0.0 <= threshold <= 1.0:
+            raise ValueError(f"threshold must be in [0, 1], got {threshold}")
+        self.threshold = threshold
+
+    def select_from_curve(self, curve: PRCurve) -> ThresholdChoice:
+        # The curve point achieved by thresholding at >= 0.5 is the
+        # last point whose threshold is still >= 0.5 (thresholds are
+        # sorted decreasing). If every score is below 0.5 nothing is
+        # detected: recall 0, precision 1 by convention.
+        eligible = np.flatnonzero(curve.thresholds >= self.threshold)
+        if len(eligible) == 0:
+            return ThresholdChoice(self.threshold, 0.0, 1.0)
+        index = int(eligible[-1])
+        return ThresholdChoice(
+            self.threshold,
+            float(curve.recalls[index]),
+            float(curve.precisions[index]),
+        )
+
+
+class FScoreSelector(ThresholdSelector):
+    """Maximise F1 (ignores the operators' preference)."""
+
+    name = "F-Score"
+
+    def select_from_curve(self, curve: PRCurve) -> ThresholdChoice:
+        with np.errstate(invalid="ignore", divide="ignore"):
+            denominator = curve.recalls + curve.precisions
+            scores = np.where(
+                denominator > 0,
+                2.0 * curve.recalls * curve.precisions / denominator,
+                0.0,
+            )
+        index = int(np.argmax(scores))
+        return ThresholdChoice(
+            float(curve.thresholds[index]),
+            float(curve.recalls[index]),
+            float(curve.precisions[index]),
+        )
+
+
+class SDSelector(ThresholdSelector):
+    """SD(1,1): shortest Euclidean distance to perfect accuracy [46]."""
+
+    name = "SD(1,1)"
+
+    def select_from_curve(self, curve: PRCurve) -> ThresholdChoice:
+        distances = np.hypot(1.0 - curve.recalls, 1.0 - curve.precisions)
+        index = int(np.argmin(distances))
+        return ThresholdChoice(
+            float(curve.thresholds[index]),
+            float(curve.recalls[index]),
+            float(curve.precisions[index]),
+        )
+
+
+class PCScoreSelector(ThresholdSelector):
+    """The paper's preference-centric selector (§4.5.1)."""
+
+    name = "PC-Score"
+
+    def __init__(self, preference: AccuracyPreference = MODERATE_PREFERENCE):
+        self.preference = preference
+
+    def select_from_curve(self, curve: PRCurve) -> ThresholdChoice:
+        scores = np.array(
+            [
+                pc_score(r, p, self.preference)
+                for r, p in zip(curve.recalls, curve.precisions)
+            ]
+        )
+        index = int(np.argmax(scores))
+        return ThresholdChoice(
+            float(curve.thresholds[index]),
+            float(curve.recalls[index]),
+            float(curve.precisions[index]),
+        )
+
+
+def evaluate_threshold(
+    scores: np.ndarray, labels: np.ndarray, threshold: float
+) -> tuple[float, float]:
+    """(recall, precision) of thresholding ``scores >= threshold``.
+
+    NaN scores are treated as undetectable (excluded), consistent with
+    the PR-curve machinery.
+    """
+    scores = np.asarray(scores, dtype=np.float64)
+    predictions = np.where(
+        np.isfinite(scores), (scores >= threshold).astype(float), np.nan
+    )
+    return precision_recall(predictions, labels)

@@ -1,0 +1,109 @@
+"""Precision-Recall curves and AUCPR (§4.5.1, §5.3).
+
+"A PR curve plots precision against recall for every possible cThld of
+a machine learning algorithm (or for every sThld of a basic detector)".
+The area under it (AUCPR [50]) is the threshold-free accuracy summary
+used throughout §5.3. PR is preferred to ROC on highly imbalanced
+data [45].
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass
+class PRCurve:
+    """A PR curve: parallel arrays over decreasing score thresholds.
+
+    ``thresholds[i]`` is the smallest score classified as anomalous at
+    point i; recall is non-decreasing along the arrays.
+    """
+
+    thresholds: np.ndarray
+    recalls: np.ndarray
+    precisions: np.ndarray
+
+    def __len__(self) -> int:
+        return len(self.thresholds)
+
+    def points(self) -> np.ndarray:
+        """(n, 2) array of (recall, precision) pairs."""
+        return np.column_stack([self.recalls, self.precisions])
+
+    def satisfies(self, min_recall: float, min_precision: float) -> bool:
+        """Does any threshold meet "recall >= R and precision >= P"?"""
+        return bool(
+            np.any((self.recalls >= min_recall) & (self.precisions >= min_precision))
+        )
+
+
+def pr_curve(scores: np.ndarray, labels: np.ndarray) -> PRCurve:
+    """PR curve of anomaly scores against 0/1 ground truth.
+
+    NaN scores (warm-up/missing points) are excluded, matching §4.3.2's
+    skip-the-warm-up rule. Ties share one curve point.
+    """
+    scores = np.asarray(scores, dtype=np.float64)
+    labels = np.asarray(labels)
+    if scores.shape != labels.shape:
+        raise ValueError(f"shape mismatch: {scores.shape} vs {labels.shape}")
+    valid = np.isfinite(scores)
+    scores, labels = scores[valid], labels[valid].astype(np.int64)
+    n_positives = int(labels.sum())
+    if len(scores) == 0 or n_positives == 0:
+        raise ValueError("need at least one finite score and one positive label")
+
+    order = np.argsort(-scores, kind="stable")
+    sorted_scores = scores[order]
+    sorted_labels = labels[order]
+    cumulative_tp = np.cumsum(sorted_labels)
+    ranks = np.arange(1, len(scores) + 1)
+
+    # Merge tied scores: the curve has one point per distinct threshold.
+    distinct = np.flatnonzero(np.diff(sorted_scores, append=-np.inf))
+    tp = cumulative_tp[distinct].astype(np.float64)
+    detected = ranks[distinct].astype(np.float64)
+    return PRCurve(
+        thresholds=sorted_scores[distinct],
+        recalls=tp / n_positives,
+        precisions=tp / detected,
+    )
+
+
+def aucpr(scores: np.ndarray, labels: np.ndarray) -> float:
+    """Area under the PR curve, computed as average precision.
+
+    Average precision (the step-function integral) avoids the
+    optimistic linear interpolation pitfall described in [45]; it is
+    the estimator used for every Fig 9-11 comparison.
+    """
+    curve = pr_curve(scores, labels)
+    recall_steps = np.diff(curve.recalls, prepend=0.0)
+    return float(np.sum(recall_steps * curve.precisions))
+
+
+def aucpr_trapezoid(scores: np.ndarray, labels: np.ndarray) -> float:
+    """Trapezoidal AUCPR — provided for comparison with tools that
+    interpolate linearly; slightly optimistic on sparse curves [45]."""
+    curve = pr_curve(scores, labels)
+    recalls = np.concatenate([[0.0], curve.recalls])
+    precisions = np.concatenate([[curve.precisions[0]], curve.precisions])
+    return float(np.trapezoid(precisions, recalls))
+
+
+def max_precision_at_recall(
+    scores: np.ndarray, labels: np.ndarray, min_recall: float
+) -> float:
+    """Maximum precision subject to recall >= ``min_recall`` — the
+    Table 4 statistic ("maximum precision when recall >= 0.66").
+    Returns 0.0 if the recall bound is unreachable."""
+    if not 0.0 <= min_recall <= 1.0:
+        raise ValueError(f"min_recall must be in [0, 1], got {min_recall}")
+    curve = pr_curve(scores, labels)
+    feasible = curve.recalls >= min_recall
+    if not feasible.any():
+        return 0.0
+    return float(curve.precisions[feasible].max())

@@ -1,0 +1,191 @@
+"""One-call §5-style evaluation reports for a labelled KPI.
+
+``evaluate_kpi`` runs the paper's evaluation flow on any labelled
+series: the I1 online loop with EWMA cThld prediction (Fig 13), the
+AUCPR comparison against every individual detector configuration and
+the static combiners (Fig 9), and the Table 4 max-precision statistic —
+and returns a structured :class:`KPIReport` that renders as text. This
+is the "should I trust this detector on my KPI?" artifact an operator
+reads before deployment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple
+
+import numpy as np
+
+from .metrics import MODERATE_PREFERENCE, AccuracyPreference
+from .pr_curve import aucpr, max_precision_at_recall
+
+
+@dataclass(frozen=True)
+class ApproachScore:
+    """One approach's threshold-free accuracy on the test region."""
+
+    name: str
+    aucpr: float
+    max_precision: float  # at recall >= the preference's recall bound
+
+
+@dataclass
+class KPIReport:
+    """Structured evaluation results for one KPI."""
+
+    kpi_name: str
+    n_points: int
+    n_weeks: float
+    anomaly_fraction: float
+    preference: AccuracyPreference
+    #: Per test week: (week number, cThld used, recall, precision).
+    weekly: List[Tuple[int, float, float, float]]
+    #: Fraction of 4-week moving windows satisfying the preference.
+    satisfaction_rate: float
+    #: Opprentice and baselines, sorted by AUCPR descending.
+    approaches: List[ApproachScore] = field(default_factory=list)
+
+    @property
+    def forest_rank(self) -> int:
+        """1-based AUCPR rank of the random forest among all approaches."""
+        for rank, approach in enumerate(self.approaches, 1):
+            if approach.name == "random forest":
+                return rank
+        raise ValueError("report has no random forest entry")
+
+    @property
+    def forest(self) -> ApproachScore:
+        return next(
+            a for a in self.approaches if a.name == "random forest"
+        )
+
+    def render(self, top_k: int = 5) -> str:
+        """Human-readable report."""
+        lines = [
+            f"KPI evaluation: {self.kpi_name}",
+            f"  {self.n_points} points over {self.n_weeks:.1f} weeks, "
+            f"{self.anomaly_fraction:.1%} anomalous",
+            f"  preference: recall >= {self.preference.recall}, "
+            f"precision >= {self.preference.precision}",
+            "",
+            f"  online detection (I1 + EWMA cThld): "
+            f"{self.satisfaction_rate:.0%} of 4-week windows satisfied",
+        ]
+        for week, cthld, recall, precision in self.weekly:
+            ok = self.preference.satisfied_by(recall, precision)
+            lines.append(
+                f"    week {week:>2}: cThld={cthld:.2f} "
+                f"recall={recall:.2f} precision={precision:.2f}"
+                f"{'' if ok else '  (missed)'}"
+            )
+        lines.append("")
+        lines.append(
+            f"  AUCPR ranking (random forest is #{self.forest_rank} "
+            f"of {len(self.approaches)}):"
+        )
+        for rank, approach in enumerate(self.approaches[:top_k], 1):
+            lines.append(
+                f"    #{rank:>3} {approach.aucpr:.3f} "
+                f"(maxP@recall {approach.max_precision:.2f})  {approach.name}"
+            )
+        if self.forest_rank > top_k:
+            forest = self.forest
+            lines.append(
+                f"    #{self.forest_rank:>3} {forest.aucpr:.3f} "
+                f"(maxP@recall {forest.max_precision:.2f})  random forest"
+            )
+        return "\n".join(lines)
+
+
+def evaluate_kpi(
+    series,
+    *,
+    configs=None,
+    preference: AccuracyPreference = MODERATE_PREFERENCE,
+    classifier_factory: Optional[Callable] = None,
+    max_train_points: Optional[int] = None,
+    include_basic_detectors: bool = True,
+    include_combiners: bool = True,
+    train_weeks: int = 8,
+) -> KPIReport:
+    """Run the §5 evaluation flow on a labelled series.
+
+    The series must span more than ``train_weeks + 1`` weeks (the I1
+    loop tests from week ``train_weeks + 1`` onward).
+    """
+    from ..combiners import MajorityVote, NormalizationSchema
+    from ..core import FeatureExtractor, run_online
+    from ..core.opprentice import default_classifier_factory
+
+    if not series.is_labeled:
+        raise ValueError("evaluate_kpi requires a labelled series")
+    classifier_factory = classifier_factory or default_classifier_factory
+
+    extractor = FeatureExtractor(configs)
+    matrix = extractor.extract(series)
+    run = run_online(
+        series,
+        configs=extractor.configs(series),
+        preference=preference,
+        classifier_factory=classifier_factory,
+        features=matrix,
+        max_train_points=max_train_points,
+    )
+    begin, end = run.test_begin, run.test_end
+    labels = series.labels[begin:end]
+    recall_bound = preference.recall
+
+    approaches: List[ApproachScore] = [
+        ApproachScore(
+            name="random forest",
+            aucpr=aucpr(run.scores[begin:end], labels),
+            max_precision=max_precision_at_recall(
+                run.scores[begin:end], labels, recall_bound
+            ),
+        )
+    ]
+    train_rows = matrix.rows(0, min(train_weeks * series.points_per_week, begin))
+    test_rows = matrix.rows(begin, end)
+    if include_combiners:
+        for combiner in (NormalizationSchema(), MajorityVote()):
+            combiner.fit(train_rows)
+            scores = combiner.score(test_rows)
+            approaches.append(
+                ApproachScore(
+                    name=combiner.name,
+                    aucpr=aucpr(scores, labels),
+                    max_precision=max_precision_at_recall(
+                        scores, labels, recall_bound
+                    ),
+                )
+            )
+    if include_basic_detectors:
+        for j, name in enumerate(matrix.names):
+            scores = test_rows[:, j]
+            if not np.isfinite(scores).any():
+                continue
+            approaches.append(
+                ApproachScore(
+                    name=name,
+                    aucpr=aucpr(scores, labels),
+                    max_precision=max_precision_at_recall(
+                        scores, labels, recall_bound
+                    ),
+                )
+            )
+    approaches.sort(key=lambda a: -a.aucpr)
+
+    window_weeks = min(4, len(run.outcomes))
+    return KPIReport(
+        kpi_name=series.name or "?",
+        n_points=len(series),
+        n_weeks=series.n_weeks,
+        anomaly_fraction=series.anomaly_fraction(),
+        preference=preference,
+        weekly=[
+            (o.week, o.cthld_used, o.recall, o.precision)
+            for o in run.outcomes
+        ],
+        satisfaction_rate=run.satisfaction_rate(window_weeks=window_weeks),
+        approaches=approaches,
+    )

@@ -1,0 +1,66 @@
+"""ROC curves — the alternative accuracy view the paper discusses.
+
+Footnote 3 of §4.5.1: "A similar method is Receiver Operator
+Characteristic (ROC) curves, which show the trade-off between the false
+positive rate (FPR) and the true positive rate (TPR). However, when
+dealing with highly imbalanced data sets, PR curves can provide a more
+informative representation of the performance [45]."
+
+ROC support is provided both because prior work evaluates detectors
+with it ([9, 14, 26]) and so that the imbalance argument itself can be
+demonstrated: on rare-anomaly data, AUROC stays deceptively high while
+AUCPR exposes weak detectors (tested in the suite).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass
+class ROCCurve:
+    """Parallel arrays over decreasing score thresholds."""
+
+    thresholds: np.ndarray
+    false_positive_rates: np.ndarray
+    true_positive_rates: np.ndarray
+
+    def __len__(self) -> int:
+        return len(self.thresholds)
+
+
+def roc_curve(scores: np.ndarray, labels: np.ndarray) -> ROCCurve:
+    """ROC curve of anomaly scores against 0/1 labels. NaN scores are
+    excluded (warm-up convention shared with the PR machinery)."""
+    scores = np.asarray(scores, dtype=np.float64)
+    labels = np.asarray(labels)
+    if scores.shape != labels.shape:
+        raise ValueError(f"shape mismatch: {scores.shape} vs {labels.shape}")
+    valid = np.isfinite(scores)
+    scores, labels = scores[valid], labels[valid].astype(np.int64)
+    n_positives = int(labels.sum())
+    n_negatives = len(labels) - n_positives
+    if n_positives == 0 or n_negatives == 0:
+        raise ValueError("ROC needs at least one positive and one negative")
+
+    order = np.argsort(-scores, kind="stable")
+    sorted_scores = scores[order]
+    sorted_labels = labels[order]
+    cumulative_tp = np.cumsum(sorted_labels)
+    cumulative_fp = np.cumsum(1 - sorted_labels)
+    distinct = np.flatnonzero(np.diff(sorted_scores, append=-np.inf))
+    return ROCCurve(
+        thresholds=sorted_scores[distinct],
+        false_positive_rates=cumulative_fp[distinct] / n_negatives,
+        true_positive_rates=cumulative_tp[distinct] / n_positives,
+    )
+
+
+def auc_roc(scores: np.ndarray, labels: np.ndarray) -> float:
+    """Area under the ROC curve (trapezoidal over the step curve)."""
+    curve = roc_curve(scores, labels)
+    fpr = np.concatenate([[0.0], curve.false_positive_rates, [1.0]])
+    tpr = np.concatenate([[0.0], curve.true_positive_rates, [1.0]])
+    return float(np.trapezoid(tpr, fpr))

@@ -1,0 +1,23 @@
+"""Labeling-tool substrate: sessions, console tool, scripted labeling."""
+
+from .review import CONFIRMED, PENDING, REJECTED, ReviewItem, ReviewSession
+from .session import LabelAction, LabelSession
+from .tool import LabelingTool, ViewState, render_chart, run_commands
+from .triage import TriageCandidate, suggest_windows, triage_queue_minutes
+
+__all__ = [
+    "LabelSession",
+    "ReviewSession",
+    "ReviewItem",
+    "PENDING",
+    "CONFIRMED",
+    "REJECTED",
+    "LabelAction",
+    "LabelingTool",
+    "ViewState",
+    "render_chart",
+    "run_commands",
+    "TriageCandidate",
+    "suggest_windows",
+    "triage_queue_minutes",
+]

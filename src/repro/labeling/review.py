@@ -1,0 +1,132 @@
+"""Alert review: confirming or rejecting detections as labels.
+
+The paper contrasts its labeling tool with WebClass [27], which "only
+allows operators to label the anomalies already identified by detectors
+as false positives or unknown". Free labeling is strictly more
+powerful — but reviewing the detector's own alerts is still the
+cheapest label source in steady state, and every verdict is a training
+label: a confirmed alert adds anomaly points, a rejected one adds
+*hard-negative* normal points that correct the classifier's precise
+mistake.
+
+:class:`ReviewSession` manages that workflow over a batch of alerts and
+emits labelled windows ready for
+:meth:`repro.core.MonitoringService.submit_labels` /
+:meth:`~repro.core.Opprentice.fit`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from ..timeseries import AnomalyWindow
+
+#: Verdict states for a reviewed alert.
+PENDING = "pending"
+CONFIRMED = "confirmed"
+REJECTED = "rejected"
+
+
+@dataclass
+class ReviewItem:
+    """One alert awaiting an operator verdict."""
+
+    window: AnomalyWindow
+    peak_score: float
+    verdict: str = PENDING
+
+
+class ReviewSession:
+    """Verdict tracking over a batch of alert windows.
+
+    Windows may be adjusted during confirmation (operators often widen
+    an alert to cover the true anomalous extent — the §4.2 boundary
+    behaviour), which WebClass-style FP/unknown labeling cannot do.
+    """
+
+    def __init__(self, alerts: Sequence, length: int):
+        """``alerts`` are `repro.core.Alert`-like objects (anything with
+        ``begin_index``/``end_index``/``peak_score``); ``length`` is the
+        reviewed series length (bounds verdict windows)."""
+        if length <= 0:
+            raise ValueError(f"length must be positive, got {length}")
+        self._length = length
+        self._items: List[ReviewItem] = [
+            ReviewItem(
+                window=AnomalyWindow(alert.begin_index, alert.end_index),
+                peak_score=float(alert.peak_score),
+            )
+            for alert in alerts
+        ]
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def items(self) -> List[ReviewItem]:
+        return list(self._items)
+
+    def pending(self) -> List[int]:
+        """Indices of alerts without a verdict, highest peak first."""
+        order = sorted(
+            (i for i, item in enumerate(self._items)
+             if item.verdict == PENDING),
+            key=lambda i: -self._items[i].peak_score,
+        )
+        return order
+
+    # ------------------------------------------------------------------
+    def confirm(
+        self, index: int, *, begin: int | None = None, end: int | None = None
+    ) -> None:
+        """Mark an alert as a true anomaly, optionally adjusting the
+        window extent."""
+        item = self._item(index)
+        window = item.window
+        new_begin = window.begin if begin is None else begin
+        new_end = window.end if end is None else end
+        if not 0 <= new_begin < new_end <= self._length:
+            raise ValueError(
+                f"adjusted window [{new_begin}, {new_end}) out of bounds"
+            )
+        item.window = AnomalyWindow(new_begin, new_end)
+        item.verdict = CONFIRMED
+
+    def reject(self, index: int) -> None:
+        """Mark an alert as a false positive (a hard negative)."""
+        self._item(index).verdict = REJECTED
+
+    def _item(self, index: int) -> ReviewItem:
+        if not 0 <= index < len(self._items):
+            raise IndexError(f"no alert at index {index}")
+        return self._items[index]
+
+    # ------------------------------------------------------------------
+    def verdicts(self) -> Dict[str, int]:
+        counts = {PENDING: 0, CONFIRMED: 0, REJECTED: 0}
+        for item in self._items:
+            counts[item.verdict] += 1
+        return counts
+
+    def anomaly_windows(self) -> List[AnomalyWindow]:
+        """Confirmed windows — feed these to submit_labels / retraining."""
+        return [
+            item.window for item in self._items if item.verdict == CONFIRMED
+        ]
+
+    def hard_negative_mask(self) -> np.ndarray:
+        """Boolean mask of points the operator explicitly marked normal
+        (rejected alerts). Useful for weighting or for auditing the
+        classifier's false positives over time."""
+        mask = np.zeros(self._length, dtype=bool)
+        for item in self._items:
+            if item.verdict == REJECTED:
+                mask[item.window.begin: item.window.end] = True
+        return mask
+
+    def is_complete(self) -> bool:
+        return not any(item.verdict == PENDING for item in self._items)

@@ -1,0 +1,137 @@
+"""Labeling sessions: the state behind the labeling tool (§4.2, Fig 4).
+
+Operators "left click and drag the mouse to label the window of
+anomalies, or right click and drag to (partially) cancel previously
+labeled window". A :class:`LabelSession` records exactly those two
+operations (plus undo and persistence) over one KPI series, and renders
+the final point labels. All the data are labeled only once (§4.1), so a
+session is the unit of labeling work for one batch of data.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import List
+
+import numpy as np
+
+from ..timeseries import (
+    AnomalyWindow,
+    TimeSeries,
+    merge_windows,
+    subtract_window,
+    windows_to_points,
+)
+
+
+@dataclass(frozen=True)
+class LabelAction:
+    """One labeling operation, for undo history and audit."""
+
+    kind: str  # "label" | "cancel"
+    begin: int
+    end: int
+
+
+class LabelSession:
+    """Window labeling over one series, with undo and persistence."""
+
+    def __init__(self, series: TimeSeries):
+        self.series = series
+        self._windows: List[AnomalyWindow] = []
+        self._history: List[List[AnomalyWindow]] = []
+        self._actions: List[LabelAction] = []
+
+    # ------------------------------------------------------------------
+    @property
+    def windows(self) -> List[AnomalyWindow]:
+        """Current labelled windows (merged, sorted)."""
+        return list(self._windows)
+
+    @property
+    def actions(self) -> List[LabelAction]:
+        return list(self._actions)
+
+    def n_label_actions(self) -> int:
+        """Number of label drags — what drives labeling time (Fig 14)."""
+        return sum(1 for a in self._actions if a.kind == "label")
+
+    # ------------------------------------------------------------------
+    def _checkpoint(self) -> None:
+        self._history.append(list(self._windows))
+
+    def label(self, begin: int, end: int) -> None:
+        """Left-click drag: mark [begin, end) anomalous."""
+        window = self._validated(begin, end)
+        self._checkpoint()
+        self._windows = merge_windows(self._windows + [window])
+        self._actions.append(LabelAction("label", window.begin, window.end))
+
+    def cancel(self, begin: int, end: int) -> None:
+        """Right-click drag: (partially) cancel labels in [begin, end)."""
+        window = self._validated(begin, end)
+        self._checkpoint()
+        self._windows = subtract_window(self._windows, window)
+        self._actions.append(LabelAction("cancel", window.begin, window.end))
+
+    def undo(self) -> bool:
+        """Revert the last label/cancel; returns False if nothing to undo."""
+        if not self._history:
+            return False
+        self._windows = self._history.pop()
+        if self._actions:
+            self._actions.pop()
+        return True
+
+    def clear(self) -> None:
+        self._checkpoint()
+        self._windows = []
+        self._actions.append(LabelAction("cancel", 0, len(self.series)))
+
+    def _validated(self, begin: int, end: int) -> AnomalyWindow:
+        n = len(self.series)
+        if not (0 <= begin < end <= n):
+            raise ValueError(
+                f"window [{begin}, {end}) outside series of length {n}"
+            )
+        return AnomalyWindow(begin, end)
+
+    # ------------------------------------------------------------------
+    def to_labels(self) -> np.ndarray:
+        """Point labels (the training ground truth)."""
+        return windows_to_points(self._windows, len(self.series))
+
+    def labeled_series(self) -> TimeSeries:
+        """The series with this session's labels attached."""
+        return self.series.with_labels(self.to_labels())
+
+    # ------------------------------------------------------------------
+    def save(self, path: "Path | str") -> None:
+        """Persist windows as JSON (timestamps are grid indices)."""
+        payload = {
+            "name": self.series.name,
+            "length": len(self.series),
+            "interval": self.series.interval,
+            "start": self.series.start,
+            "windows": [[w.begin, w.end] for w in self._windows],
+        }
+        Path(path).write_text(json.dumps(payload, indent=2))
+
+    def load(self, path: "Path | str") -> None:
+        """Restore windows saved by :meth:`save` (validated against the
+        session's series)."""
+        payload = json.loads(Path(path).read_text())
+        if payload["length"] != len(self.series):
+            raise ValueError(
+                f"saved labels cover {payload['length']} points, series "
+                f"has {len(self.series)}"
+            )
+        if payload["interval"] != self.series.interval:
+            raise ValueError("saved labels use a different interval")
+        self._checkpoint()
+        self._windows = merge_windows(
+            AnomalyWindow(int(b), int(e)) for b, e in payload["windows"]
+        )
+        self._actions.append(LabelAction("load", 0, len(self.series)))

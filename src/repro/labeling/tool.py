@@ -1,0 +1,204 @@
+"""A terminal labeling tool (the Fig 4 GUI, rebuilt for the console).
+
+The paper's tool shows the KPI as a line graph with last-day/last-week
+context, lets operators navigate with arrow keys, and label/cancel
+anomaly windows by dragging. This console edition renders the series as
+a braille-free ASCII chart with label markers and last-week context,
+and takes the same operations as typed commands:
+
+=============  =================================================
+Command        Effect
+=============  =================================================
+``l A B``      label points [A, B) anomalous (left-click drag)
+``c A B``      cancel labels in [A, B)      (right-click drag)
+``u``          undo
+``n`` / ``p``  next / previous page          (arrow keys)
+``+`` / ``-``  zoom in / out                 (arrow keys)
+``g A``        go to point A
+``w PATH``     save labels to PATH
+``q``          quit
+=============  =================================================
+
+The tool is scriptable: :func:`run_commands` drives a session from a
+command list, which is also how the tests exercise it end to end.
+"""
+
+from __future__ import annotations
+
+import shlex
+from dataclasses import dataclass
+from typing import Iterable, Optional, TextIO
+
+import numpy as np
+
+from ..timeseries import TimeSeries
+from .session import LabelSession
+
+#: Rendered chart dimensions.
+CHART_WIDTH = 72
+CHART_HEIGHT = 12
+
+
+@dataclass
+class ViewState:
+    """The navigator state: which slice is on screen."""
+
+    offset: int = 0
+    width: int = 500
+
+    def clamp(self, n: int) -> None:
+        self.width = max(20, min(self.width, n))
+        self.offset = max(0, min(self.offset, n - self.width))
+
+
+def render_chart(
+    series: TimeSeries,
+    labels: np.ndarray,
+    view: ViewState,
+    *,
+    show_last_week: bool = True,
+) -> str:
+    """ASCII chart of the viewed slice; labelled points are marked with
+    ``#`` under the x-axis, last-week context (light colour in the GUI)
+    is drawn with ``.``."""
+    view.clamp(len(series))
+    lo, hi = view.offset, view.offset + view.width
+    values = series.values[lo:hi]
+    marks = labels[lo:hi]
+    ppw = None
+    context = None
+    if show_last_week:
+        try:
+            ppw = series.points_per_week
+        except Exception:
+            ppw = None
+        if ppw is not None and lo - ppw >= 0:
+            context = series.values[lo - ppw: hi - ppw]
+
+    # Downsample columns by max (so single anomalous bins stay visible,
+    # exactly the "we do not smooth the curve" property of §4.2).
+    columns = np.array_split(np.arange(len(values)), CHART_WIDTH)
+    col_values = np.array(
+        [np.nanmax(values[c]) if len(c) and not np.isnan(values[c]).all()
+         else np.nan for c in columns]
+    )
+    col_marked = np.array(
+        [marks[c].any() if len(c) else False for c in columns]
+    )
+    col_context = None
+    if context is not None:
+        col_context = np.array(
+            [np.nanmax(context[c]) if len(c) and not np.isnan(context[c]).all()
+             else np.nan for c in columns]
+        )
+
+    finite = col_values[np.isfinite(col_values)]
+    if col_context is not None:
+        finite = np.concatenate(
+            [finite, col_context[np.isfinite(col_context)]]
+        )
+    if len(finite) == 0:
+        return "(no data in view)"
+    low, high = float(finite.min()), float(finite.max())
+    span = high - low or 1.0
+
+    def row_of(value: float) -> int:
+        return int((value - low) / span * (CHART_HEIGHT - 1))
+
+    grid = [[" "] * CHART_WIDTH for _ in range(CHART_HEIGHT)]
+    for x in range(CHART_WIDTH):
+        if col_context is not None and np.isfinite(col_context[x]):
+            grid[CHART_HEIGHT - 1 - row_of(col_context[x])][x] = "."
+        if np.isfinite(col_values[x]):
+            grid[CHART_HEIGHT - 1 - row_of(col_values[x])][x] = (
+                "@" if col_marked[x] else "*"
+            )
+    lines = ["".join(row) for row in grid]
+    lines.append("-" * CHART_WIDTH)
+    lines.append(
+        "".join("#" if m else " " for m in col_marked)
+    )
+    lines.append(
+        f"[{lo}..{hi}) of {len(series)}  name={series.name or '?'}  "
+        f"(@=labelled, .=last week)"
+    )
+    return "\n".join(lines)
+
+
+class LabelingTool:
+    """Interactive console labeling over a :class:`LabelSession`."""
+
+    def __init__(
+        self,
+        series: TimeSeries,
+        *,
+        session: Optional[LabelSession] = None,
+        output: Optional[TextIO] = None,
+    ):
+        self.session = session or LabelSession(series)
+        self.view = ViewState(width=min(500, len(series)))
+        self._output = output
+
+    # ------------------------------------------------------------------
+    def _print(self, text: str) -> None:
+        if self._output is not None:
+            self._output.write(text + "\n")
+
+    def render(self) -> str:
+        return render_chart(
+            self.session.series, self.session.to_labels(), self.view
+        )
+
+    def execute(self, command: str) -> bool:
+        """Run one command; returns False when the user quits."""
+        parts = shlex.split(command)
+        if not parts:
+            return True
+        op, args = parts[0], parts[1:]
+        n = len(self.session.series)
+        if op == "q":
+            return False
+        if op == "l" and len(args) == 2:
+            self.session.label(int(args[0]), int(args[1]))
+        elif op == "c" and len(args) == 2:
+            self.session.cancel(int(args[0]), int(args[1]))
+        elif op == "u":
+            if not self.session.undo():
+                self._print("nothing to undo")
+        elif op == "n":
+            self.view.offset += self.view.width
+        elif op == "p":
+            self.view.offset -= self.view.width
+        elif op == "+":
+            self.view.width = max(20, self.view.width // 2)
+        elif op == "-":
+            self.view.width = min(n, self.view.width * 2)
+        elif op == "g" and len(args) == 1:
+            self.view.offset = int(args[0])
+        elif op == "w" and len(args) == 1:
+            self.session.save(args[0])
+        else:
+            self._print(f"unknown command: {command!r}")
+            return True
+        self.view.clamp(n)
+        self._print(self.render())
+        return True
+
+    def run(self, input_stream: TextIO, prompt: str = "> ") -> LabelSession:
+        """Interactive loop reading commands from ``input_stream``."""
+        self._print(self.render())
+        for line in input_stream:
+            if not self.execute(line.strip()):
+                break
+        return self.session
+
+
+def run_commands(
+    series: TimeSeries, commands: Iterable[str]
+) -> LabelSession:
+    """Drive a labeling tool from a command list (scripted labeling)."""
+    tool = LabelingTool(series)
+    for command in commands:
+        if not tool.execute(command):
+            break
+    return tool.session

@@ -1,0 +1,116 @@
+"""Label triage: which windows should the operator look at next?
+
+§4.2's tool lets operators label everything; as data accumulates,
+pointing them at the *most informative* stretches first shrinks the
+weekly labeling session further. The triage heuristic ranks candidate
+windows by the classifier's anomaly scores over still-unlabelled
+regions — high-scoring unlabelled runs are either real anomalies (label
+them: confirms the classifier) or false positives (label them normal:
+the next retraining round fixes exactly the classifier's mistake).
+Either way the label is worth more than a random one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..timeseries import AnomalyWindow
+
+
+@dataclass(frozen=True)
+class TriageCandidate:
+    """A suggested stretch for the operator to inspect."""
+
+    window: AnomalyWindow
+    peak_score: float
+    mean_score: float
+
+
+def suggest_windows(
+    scores: Sequence[float],
+    *,
+    labeled_mask: Optional[Sequence[bool]] = None,
+    score_threshold: float = 0.3,
+    max_candidates: int = 10,
+    context_points: int = 2,
+    min_gap: int = 1,
+) -> List[TriageCandidate]:
+    """Rank unlabelled high-score runs for operator review.
+
+    Parameters
+    ----------
+    scores:
+        Anomaly scores over the data to triage (NaN = not scoreable).
+    labeled_mask:
+        True where the operator has already labelled (those regions are
+        excluded); default none labelled.
+    score_threshold:
+        Runs are grown where ``score >= score_threshold``.
+    context_points:
+        Each suggested window is padded by this many points on both
+        sides so the operator sees the onset and recovery.
+    min_gap:
+        Runs closer than this many points merge into one suggestion.
+    """
+    scores = np.asarray(scores, dtype=np.float64)
+    n = len(scores)
+    if n == 0:
+        return []
+    if not 0.0 <= score_threshold <= 1.0:
+        raise ValueError(
+            f"score_threshold must be in [0, 1], got {score_threshold}"
+        )
+    if labeled_mask is None:
+        labeled = np.zeros(n, dtype=bool)
+    else:
+        labeled = np.asarray(labeled_mask, dtype=bool)
+        if labeled.shape != scores.shape:
+            raise ValueError("labeled_mask length must match scores")
+
+    hot = np.zeros(n, dtype=bool)
+    finite = np.isfinite(scores)
+    hot[finite] = scores[finite] >= score_threshold
+    hot &= ~labeled
+
+    # Grow maximal runs, merging runs separated by < min_gap points.
+    candidates: List[TriageCandidate] = []
+    runs: List[List[int]] = []
+    index = 0
+    while index < n:
+        if not hot[index]:
+            index += 1
+            continue
+        end = index
+        while end < n and hot[end]:
+            end += 1
+        if runs and index - runs[-1][1] < min_gap:
+            runs[-1][1] = end
+        else:
+            runs.append([index, end])
+        index = end
+    for begin, end in runs:
+        padded_begin = max(0, begin - context_points)
+        padded_end = min(n, end + context_points)
+        run_scores = scores[begin:end]
+        candidates.append(
+            TriageCandidate(
+                window=AnomalyWindow(padded_begin, padded_end),
+                peak_score=float(np.nanmax(run_scores)),
+                mean_score=float(np.nanmean(run_scores)),
+            )
+        )
+    candidates.sort(key=lambda c: -c.peak_score)
+    return candidates[:max_candidates]
+
+
+def triage_queue_minutes(
+    candidates: Sequence[TriageCandidate], *, seconds_per_window: float = 8.0
+) -> float:
+    """Estimated operator time to review the queue (one zoom + one
+    drag per candidate, the Fig 14 per-window cost)."""
+    if seconds_per_window <= 0:
+        raise ValueError("seconds_per_window must be positive")
+    return len(candidates) * seconds_per_window / 60.0

@@ -1,0 +1,85 @@
+"""Classifier interface for the learning substrate.
+
+scikit-learn is not available in this environment, so the paper's
+machine-learning block ([48] in the paper) is reimplemented from
+scratch: a random forest (the algorithm Opprentice uses) and the four
+comparison algorithms of Fig 10 (decision tree, logistic regression,
+linear SVM, naive Bayes). All classifiers share this minimal interface:
+
+* :meth:`fit(X, y)` — train on a float feature matrix and 0/1 labels;
+* :meth:`predict_proba(X)` — anomaly probability (or a monotone score
+  in [0, 1]) per row, which the cThld machinery thresholds;
+* :meth:`predict(X, threshold)` — hard 0/1 classification.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional, Tuple
+
+import numpy as np
+
+
+class NotFittedError(RuntimeError):
+    """Raised when predicting with an unfitted classifier."""
+
+
+class Classifier(abc.ABC):
+    """A binary anomaly classifier over severity-feature rows."""
+
+    def __init__(self) -> None:
+        self.n_features_: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def fit(self, features: np.ndarray, labels: np.ndarray) -> "Classifier":
+        """Train on ``features`` (n_samples, n_features) and 0/1
+        ``labels`` (n_samples,). Returns self."""
+
+    @abc.abstractmethod
+    def predict_proba(self, features: np.ndarray) -> np.ndarray:
+        """Anomaly probability (or monotone score in [0, 1]) per row."""
+
+    # ------------------------------------------------------------------
+    def predict(self, features: np.ndarray, threshold: float = 0.5) -> np.ndarray:
+        """Hard classification at a given cThld (default 0.5, §4.4.2)."""
+        return (self.predict_proba(features) >= threshold).astype(np.int8)
+
+    # ------------------------------------------------------------------
+    # Shared validation
+    # ------------------------------------------------------------------
+    def _check_fit_inputs(
+        self, features: np.ndarray, labels: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        features = np.asarray(features, dtype=np.float64)
+        labels = np.asarray(labels)
+        if features.ndim != 2:
+            raise ValueError(f"features must be 2-D, got shape {features.shape}")
+        if labels.shape != (features.shape[0],):
+            raise ValueError(
+                f"labels shape {labels.shape} does not match "
+                f"{features.shape[0]} samples"
+            )
+        if not np.isfinite(features).all():
+            raise ValueError(
+                "features contain NaN/inf; impute them first "
+                "(see repro.ml.preprocessing.Imputer)"
+            )
+        unique = set(np.unique(labels))
+        if not unique <= {0, 1}:
+            raise ValueError(f"labels must be 0/1, got {sorted(unique)}")
+        labels = labels.astype(np.int8)
+        self.n_features_ = features.shape[1]
+        return features, labels
+
+    def _check_predict_inputs(self, features: np.ndarray) -> np.ndarray:
+        if self.n_features_ is None:
+            raise NotFittedError(f"{type(self).__name__} is not fitted")
+        features = np.asarray(features, dtype=np.float64)
+        if features.ndim != 2 or features.shape[1] != self.n_features_:
+            raise ValueError(
+                f"expected (n, {self.n_features_}) features, got {features.shape}"
+            )
+        if not np.isfinite(features).all():
+            raise ValueError("features contain NaN/inf; impute them first")
+        return features

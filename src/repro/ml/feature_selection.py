@@ -1,0 +1,158 @@
+"""Mutual-information feature ranking (Fig 10) and mRMR selection.
+
+§5.3.2 adds features to each learning algorithm "in the order of their
+mutual information [51], a common metric of feature selection". MI is
+estimated between a quantile-discretised feature and the 0/1 label.
+
+§4.4.1 defers feature *selection* to future work ("we do not explore
+feature selection in this paper ... because it could introduce extra
+computation overhead, and the random forest works well by itself").
+:func:`mrmr_select` implements that future work: the max-relevance
+min-redundancy criterion of the paper's own reference [51] (Peng, Long
+& Ding 2005), which penalises picking two near-duplicate detector
+configurations. An ablation bench quantifies the trade-off.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _quantile_codes(feature: np.ndarray, n_bins: int) -> np.ndarray:
+    """Discretise a feature into quantile bins; NaN gets bin 0."""
+    n = len(feature)
+    finite = np.isfinite(feature)
+    codes = np.zeros(n, dtype=np.int64)
+    if finite.any():
+        quantiles = np.linspace(0.0, 1.0, n_bins + 1)[1:-1]
+        edges = np.unique(np.quantile(feature[finite], quantiles))
+        codes[finite] = 1 + np.searchsorted(edges, feature[finite], side="left")
+    return codes
+
+
+def _discrete_mi(codes_a: np.ndarray, codes_b: np.ndarray) -> float:
+    """MI (nats) between two discrete code arrays."""
+    n = len(codes_a)
+    n_b = int(codes_b.max()) + 1
+    joint = np.bincount(
+        codes_a * n_b + codes_b, minlength=(int(codes_a.max()) + 1) * n_b
+    ).reshape(-1, n_b).astype(np.float64) / n
+    marginal_a = joint.sum(axis=1, keepdims=True)
+    marginal_b = joint.sum(axis=0, keepdims=True)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        terms = joint * np.log(joint / (marginal_a * marginal_b))
+    return float(np.nansum(terms))
+
+
+def mutual_information_between(
+    feature_a: np.ndarray, feature_b: np.ndarray, n_bins: int = 16
+) -> float:
+    """MI between two continuous features (both quantile-discretised).
+
+    Used by mRMR's redundancy term: two configurations of the same
+    detector with neighbouring parameters have high mutual information.
+    """
+    feature_a = np.asarray(feature_a, dtype=np.float64)
+    feature_b = np.asarray(feature_b, dtype=np.float64)
+    if feature_a.shape != feature_b.shape:
+        raise ValueError(
+            f"shapes differ: {feature_a.shape} vs {feature_b.shape}"
+        )
+    if n_bins < 2:
+        raise ValueError(f"n_bins must be >= 2, got {n_bins}")
+    return _discrete_mi(
+        _quantile_codes(feature_a, n_bins), _quantile_codes(feature_b, n_bins)
+    )
+
+
+def mrmr_select(
+    features: np.ndarray,
+    labels: np.ndarray,
+    k: int,
+    *,
+    n_bins: int = 16,
+) -> np.ndarray:
+    """Greedy max-relevance min-redundancy selection of ``k`` features.
+
+    Iteratively picks the feature maximising
+    ``MI(feature; labels) - mean(MI(feature; already-selected))`` —
+    relevance to the anomaly labels minus redundancy with the chosen
+    set [51]. Returns the selected column indices in pick order.
+    """
+    features = np.asarray(features, dtype=np.float64)
+    labels = np.asarray(labels, dtype=np.int64)
+    if features.ndim != 2:
+        raise ValueError(f"features must be 2-D, got {features.shape}")
+    n_features = features.shape[1]
+    if not 1 <= k <= n_features:
+        raise ValueError(f"k must be in [1, {n_features}], got {k}")
+
+    codes = [_quantile_codes(col, n_bins) for col in features.T]
+    label_codes = labels
+    relevance = np.array(
+        [_discrete_mi(c, label_codes) for c in codes]
+    )
+
+    selected = [int(np.argmax(relevance))]
+    redundancy_sum = np.zeros(n_features)
+    while len(selected) < k:
+        last = selected[-1]
+        for j in range(n_features):
+            if j not in selected:
+                redundancy_sum[j] += _discrete_mi(codes[j], codes[last])
+        score = relevance - redundancy_sum / len(selected)
+        score[selected] = -np.inf
+        selected.append(int(np.argmax(score)))
+    return np.asarray(selected)
+
+
+def mutual_information(
+    feature: np.ndarray, labels: np.ndarray, n_bins: int = 16
+) -> float:
+    """MI (nats) between a continuous feature and binary labels.
+
+    The feature is discretised into up to ``n_bins`` quantile bins; NaN
+    values get their own bin (missing-ness itself can be informative).
+    """
+    feature = np.asarray(feature, dtype=np.float64)
+    labels = np.asarray(labels, dtype=np.int64)
+    if feature.shape != labels.shape:
+        raise ValueError(
+            f"shapes differ: {feature.shape} vs {labels.shape}"
+        )
+    if n_bins < 2:
+        raise ValueError(f"n_bins must be >= 2, got {n_bins}")
+    n = len(feature)
+    if n == 0:
+        raise ValueError("empty input")
+
+    finite = np.isfinite(feature)
+    codes = np.full(n, 0, dtype=np.int64)  # bin 0 reserved for NaN
+    if finite.any():
+        quantiles = np.linspace(0.0, 1.0, n_bins + 1)[1:-1]
+        edges = np.unique(np.quantile(feature[finite], quantiles))
+        codes[finite] = 1 + np.searchsorted(edges, feature[finite], side="left")
+    n_codes = int(codes.max()) + 1
+
+    joint = np.bincount(codes * 2 + labels, minlength=2 * n_codes).reshape(-1, 2)
+    joint = joint.astype(np.float64) / n
+    marginal_x = joint.sum(axis=1, keepdims=True)
+    marginal_y = joint.sum(axis=0, keepdims=True)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        terms = joint * np.log(joint / (marginal_x * marginal_y))
+    return float(np.nansum(terms))
+
+
+def rank_features_by_mi(
+    features: np.ndarray, labels: np.ndarray, n_bins: int = 16
+) -> np.ndarray:
+    """Feature indices sorted by decreasing mutual information with the
+    labels — the order Fig 10 adds features in."""
+    features = np.asarray(features, dtype=np.float64)
+    if features.ndim != 2:
+        raise ValueError(f"features must be 2-D, got {features.shape}")
+    scores = np.array(
+        [mutual_information(col, labels, n_bins) for col in features.T]
+    )
+    # Stable sort so ties keep registry order (reproducible rankings).
+    return np.argsort(-scores, kind="stable")

@@ -1,0 +1,65 @@
+"""Gaussian naive Bayes — the fourth Fig 10 comparison classifier.
+
+Each feature is modelled as class-conditionally Gaussian and assumed
+independent. Severity features from related detector configurations are
+*highly* correlated, which is exactly why naive Bayes degrades as
+redundant features are added (§5.3.2) — reproducing that behaviour is
+the point of including it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import Classifier
+
+
+class GaussianNB(Classifier):
+    """Class-conditional Gaussians with a shared variance floor."""
+
+    def __init__(self, var_smoothing: float = 1e-9):
+        super().__init__()
+        if var_smoothing <= 0:
+            raise ValueError(f"var_smoothing must be positive, got {var_smoothing}")
+        self.var_smoothing = var_smoothing
+        self.class_prior_: np.ndarray | None = None
+        self.theta_: np.ndarray | None = None
+        self.var_: np.ndarray | None = None
+
+    def fit(self, features: np.ndarray, labels: np.ndarray) -> "GaussianNB":
+        features, labels = self._check_fit_inputs(features, labels)
+        if labels.min() == labels.max():
+            raise ValueError("training set must contain both classes")
+        n_features = features.shape[1]
+        self.theta_ = np.zeros((2, n_features))
+        self.var_ = np.zeros((2, n_features))
+        counts = np.zeros(2)
+        for cls in (0, 1):
+            rows = features[labels == cls]
+            counts[cls] = len(rows)
+            self.theta_[cls] = rows.mean(axis=0)
+            self.var_[cls] = rows.var(axis=0)
+        floor = self.var_smoothing * float(features.var(axis=0).max() or 1.0)
+        self.var_ = np.maximum(self.var_, floor)
+        self.class_prior_ = counts / counts.sum()
+        return self
+
+    def _joint_log_likelihood(self, features: np.ndarray) -> np.ndarray:
+        log_likelihood = np.empty((features.shape[0], 2))
+        for cls in (0, 1):
+            log_prob = -0.5 * (
+                np.log(2.0 * np.pi * self.var_[cls])
+                + (features - self.theta_[cls]) ** 2 / self.var_[cls]
+            ).sum(axis=1)
+            log_likelihood[:, cls] = np.log(self.class_prior_[cls]) + log_prob
+        return log_likelihood
+
+    def predict_proba(self, features: np.ndarray) -> np.ndarray:
+        features = self._check_predict_inputs(features)
+        if self.theta_ is None:
+            raise RuntimeError("model is not fitted")
+        joint = self._joint_log_likelihood(features)
+        # Stable softmax over the two classes; return P(anomaly).
+        joint -= joint.max(axis=1, keepdims=True)
+        likelihood = np.exp(joint)
+        return likelihood[:, 1] / likelihood.sum(axis=1)

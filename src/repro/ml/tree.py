@@ -1,0 +1,420 @@
+"""CART decision trees with histogram-based split search (§4.4.2).
+
+The paper's preliminaries: a decision tree is "greedily built top-down.
+At each level, it determines the best feature and its split point to
+separate the data into distinct classes as much as possible... A
+goodness function, e.g., information gain and gini index, is used".
+Trees here are grown fully (until every leaf is pure or unsplittable),
+without pruning, exactly as the random forest requires.
+
+For speed the split search is histogram-based: each feature is
+discretised into up to 256 quantile bins once per training set, and a
+node evaluates all candidate splits of a feature with one
+``np.bincount``. Split thresholds are mapped back to real feature
+values so prediction runs on raw (unbinned) features.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from .base import Classifier
+
+#: Maximum number of histogram bins per feature.
+MAX_BINS = 256
+
+
+class Binner:
+    """Quantile discretiser shared by all trees of a forest."""
+
+    def __init__(self, max_bins: int = MAX_BINS):
+        if not 2 <= max_bins <= 256:
+            raise ValueError(f"max_bins must be in [2, 256], got {max_bins}")
+        self.max_bins = max_bins
+        self.edges_: Optional[List[np.ndarray]] = None
+
+    def fit(self, features: np.ndarray) -> "Binner":
+        """Compute per-feature bin edges from training quantiles."""
+        edges = []
+        quantiles = np.linspace(0.0, 1.0, self.max_bins + 1)[1:-1]
+        for column in features.T:
+            cuts = np.unique(np.quantile(column, quantiles))
+            edges.append(cuts)
+        self.edges_ = edges
+        return self
+
+    def transform(self, features: np.ndarray) -> np.ndarray:
+        """Bin codes as uint8; code b means value <= edges[b] (last bin
+        is everything above the top edge)."""
+        if self.edges_ is None:
+            raise RuntimeError("Binner is not fitted")
+        binned = np.empty(features.shape, dtype=np.uint8)
+        for j, cuts in enumerate(self.edges_):
+            binned[:, j] = np.searchsorted(cuts, features[:, j], side="left")
+        return binned
+
+    def threshold_value(self, feature: int, bin_code: int) -> float:
+        """The real-valued split threshold for "bin <= bin_code"."""
+        if self.edges_ is None:
+            raise RuntimeError("Binner is not fitted")
+        return float(self.edges_[feature][bin_code])
+
+
+@dataclass
+class _Node:
+    """Internal tree node (arrays-of-structs keeps traversal fast)."""
+
+    feature: int = -1
+    threshold: float = 0.0
+    left: int = -1
+    right: int = -1
+    #: Anomaly fraction of the training samples in the leaf.
+    probability: float = 0.0
+    #: Impurity decrease * node size (gini importance contribution).
+    gain: float = 0.0
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.feature < 0
+
+
+def _gini_best_split(
+    counts0: np.ndarray, counts1: np.ndarray
+) -> tuple[float, int]:
+    """Best split of one feature's class histograms by gini impurity.
+
+    ``counts0[b]``/``counts1[b]`` are class counts in bin ``b``. A split
+    at bin ``b`` sends bins ``<= b`` left. Returns (impurity_decrease,
+    split_bin); split_bin = -1 if no valid split exists.
+    """
+    total0, total1 = counts0.sum(), counts1.sum()
+    n = total0 + total1
+    left0 = np.cumsum(counts0)[:-1].astype(np.float64)
+    left1 = np.cumsum(counts1)[:-1].astype(np.float64)
+    n_left = left0 + left1
+    n_right = n - n_left
+    valid = (n_left > 0) & (n_right > 0)
+    if not valid.any():
+        return 0.0, -1
+    with np.errstate(divide="ignore", invalid="ignore"):
+        gini_left = 1.0 - (left0 / n_left) ** 2 - (left1 / n_left) ** 2
+        right0, right1 = total0 - left0, total1 - left1
+        gini_right = 1.0 - (right0 / n_right) ** 2 - (right1 / n_right) ** 2
+        weighted = (n_left * gini_left + n_right * gini_right) / n
+    parent = 1.0 - (total0 / n) ** 2 - (total1 / n) ** 2
+    decrease = np.where(valid, parent - weighted, -np.inf)
+    best = int(np.argmax(decrease))
+    if decrease[best] <= 1e-12:
+        return 0.0, -1
+    return float(decrease[best]), best
+
+
+class DecisionTree(Classifier):
+    """A single fully grown CART tree.
+
+    Parameters
+    ----------
+    max_features:
+        Features examined per split: None = all (plain decision tree),
+        ``"sqrt"`` = random sqrt subset (inside a random forest).
+    max_depth:
+        Optional depth cap; None grows to purity (the paper's default).
+    min_samples_leaf / min_samples_split:
+        Standard CART stopping controls; the defaults (1 / 2) grow the
+        tree fully.
+    """
+
+    def __init__(
+        self,
+        max_features: Optional[object] = None,
+        max_depth: Optional[int] = None,
+        min_samples_leaf: int = 1,
+        min_samples_split: int = 2,
+        seed: int = 0,
+        max_bins: int = MAX_BINS,
+    ):
+        super().__init__()
+        if min_samples_leaf < 1:
+            raise ValueError("min_samples_leaf must be >= 1")
+        if min_samples_split < 2:
+            raise ValueError("min_samples_split must be >= 2")
+        self.max_features = max_features
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self.min_samples_split = min_samples_split
+        self.seed = seed
+        self.max_bins = max_bins
+        self.nodes_: List[_Node] = []
+        self._binner: Optional[Binner] = None
+
+    # ------------------------------------------------------------------
+    def _n_split_features(self, n_features: int) -> int:
+        if self.max_features is None:
+            return n_features
+        if self.max_features == "sqrt":
+            return max(1, int(np.sqrt(n_features)))
+        k = int(self.max_features)
+        if not 1 <= k <= n_features:
+            raise ValueError(
+                f"max_features {k} out of range [1, {n_features}]"
+            )
+        return k
+
+    def fit(self, features: np.ndarray, labels: np.ndarray) -> "DecisionTree":
+        features, labels = self._check_fit_inputs(features, labels)
+        binner = Binner(self.max_bins).fit(features)
+        binned = binner.transform(features)
+        self.fit_binned(binned, labels, binner)
+        return self
+
+    def fit_binned(
+        self, binned: np.ndarray, labels: np.ndarray, binner: Binner
+    ) -> "DecisionTree":
+        """Fit on pre-binned features (a forest bins once, fits many)."""
+        self.n_features_ = binned.shape[1]
+        self._binner = binner
+        rng = np.random.default_rng(self.seed)
+        n_split_features = self._n_split_features(binned.shape[1])
+        self.nodes_ = []
+        # Explicit stack (sample indices, depth, node slot) avoids
+        # recursion limits on deep fully-grown trees.
+        root_indices = np.arange(binned.shape[0])
+        self.nodes_.append(_Node())
+        stack = [(root_indices, 0, 0)]
+        while stack:
+            indices, depth, slot = stack.pop()
+            node = self.nodes_[slot]
+            node_labels = labels[indices]
+            n_anomalies = int(node_labels.sum())
+            node.probability = n_anomalies / len(indices)
+            if (
+                n_anomalies == 0
+                or n_anomalies == len(indices)
+                or len(indices) < self.min_samples_split
+                or (self.max_depth is not None and depth >= self.max_depth)
+            ):
+                continue
+            split = self._find_split(
+                binned, labels, indices, rng, n_split_features
+            )
+            if split is None:
+                continue
+            feature, split_bin, decrease = split
+            node.feature = feature
+            node.gain = decrease * len(indices)
+            node.threshold = self._binner.threshold_value(feature, split_bin)
+            go_left = binned[indices, feature] <= split_bin
+            left_indices = indices[go_left]
+            right_indices = indices[~go_left]
+            node.left = len(self.nodes_)
+            self.nodes_.append(_Node())
+            node.right = len(self.nodes_)
+            self.nodes_.append(_Node())
+            stack.append((left_indices, depth + 1, node.left))
+            stack.append((right_indices, depth + 1, node.right))
+        return self
+
+    def _find_split(
+        self,
+        binned: np.ndarray,
+        labels: np.ndarray,
+        indices: np.ndarray,
+        rng: np.random.Generator,
+        n_split_features: int,
+    ) -> Optional[tuple[int, int, float]]:
+        """Best (feature, bin, impurity decrease) over a random feature
+        subset, honouring min_samples_leaf."""
+        n_features = binned.shape[1]
+        if n_split_features < n_features:
+            candidates = rng.choice(n_features, n_split_features, replace=False)
+        else:
+            candidates = np.arange(n_features)
+        node_labels = labels[indices]
+        best_decrease, best_feature, best_bin = 0.0, -1, -1
+        for feature in candidates:
+            codes = binned[indices, feature].astype(np.int64)
+            counts = np.bincount(
+                codes * 2 + node_labels, minlength=2 * self.max_bins
+            ).reshape(-1, 2)
+            counts0, counts1 = counts[:, 0], counts[:, 1]
+            if self.min_samples_leaf > 1:
+                # Mask splits that would create an undersized child.
+                sizes_left = np.cumsum(counts0 + counts1)[:-1]
+                total = sizes_left[-1] + counts0[-1] + counts1[-1]
+                ok = (
+                    (sizes_left >= self.min_samples_leaf)
+                    & (total - sizes_left >= self.min_samples_leaf)
+                )
+                if not ok.any():
+                    continue
+                decrease, split_bin = _gini_best_split_masked(
+                    counts0, counts1, ok
+                )
+            else:
+                decrease, split_bin = _gini_best_split(counts0, counts1)
+            if split_bin >= 0 and decrease > best_decrease:
+                best_decrease, best_feature, best_bin = decrease, feature, split_bin
+        if best_feature < 0:
+            return None
+        return int(best_feature), int(best_bin), float(best_decrease)
+
+    # ------------------------------------------------------------------
+    def predict_proba(self, features: np.ndarray) -> np.ndarray:
+        features = self._check_predict_inputs(features)
+        n = features.shape[0]
+        probabilities = np.empty(n, dtype=np.float64)
+        # Vectorised traversal: route index blocks level by level.
+        pending = [(0, np.arange(n))]
+        while pending:
+            slot, indices = pending.pop()
+            node = self.nodes_[slot]
+            if node.is_leaf:
+                probabilities[indices] = node.probability
+                continue
+            go_left = features[indices, node.feature] <= node.threshold
+            left_indices = indices[go_left]
+            right_indices = indices[~go_left]
+            if len(left_indices):
+                pending.append((node.left, left_indices))
+            if len(right_indices):
+                pending.append((node.right, right_indices))
+        return probabilities
+
+    def vote(self, features: np.ndarray) -> np.ndarray:
+        """Hard per-tree classification (majority class of the leaf) —
+        what each forest member contributes to the vote (§4.4.2)."""
+        return (self.predict_proba(features) > 0.5).astype(np.int8)
+
+    @property
+    def depth(self) -> int:
+        """Maximum depth of the fitted tree (root = 0)."""
+        if not self.nodes_:
+            raise RuntimeError("tree is not fitted")
+        depths = [0] * len(self.nodes_)
+        for slot, node in enumerate(self.nodes_):
+            if not node.is_leaf:
+                depths[node.left] = depths[slot] + 1
+                depths[node.right] = depths[slot] + 1
+        return max(depths)
+
+    @property
+    def n_leaves(self) -> int:
+        if not self.nodes_:
+            raise RuntimeError("tree is not fitted")
+        return sum(node.is_leaf for node in self.nodes_)
+
+    def decision_path_contributions(self, features: np.ndarray) -> np.ndarray:
+        """Per-feature contributions to each prediction (Saabas method).
+
+        Walking a sample's root-to-leaf path, every split changes the
+        running node probability; that change is attributed to the split
+        feature. The returned (n_samples, n_features + 1) matrix has one
+        column per feature plus a trailing *bias* column (the root
+        probability), and each row sums exactly to the tree's predicted
+        probability for that sample — the invariant the tests enforce.
+        """
+        features = self._check_predict_inputs(features)
+        n = features.shape[0]
+        contributions = np.zeros((n, self.n_features_ + 1))
+        contributions[:, -1] = self.nodes_[0].probability
+        pending = [(0, np.arange(n))]
+        while pending:
+            slot, indices = pending.pop()
+            node = self.nodes_[slot]
+            if node.is_leaf:
+                continue
+            go_left = features[indices, node.feature] <= node.threshold
+            for child_slot, child_indices in (
+                (node.left, indices[go_left]),
+                (node.right, indices[~go_left]),
+            ):
+                if len(child_indices) == 0:
+                    continue
+                child = self.nodes_[child_slot]
+                contributions[child_indices, node.feature] += (
+                    child.probability - node.probability
+                )
+                pending.append((child_slot, child_indices))
+        return contributions
+
+    # ------------------------------------------------------------------
+    # Serialisation (portable dict-of-arrays; no pickle)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """Portable representation of the fitted tree structure."""
+        if not self.nodes_:
+            raise RuntimeError("tree is not fitted")
+        return {
+            "n_features": self.n_features_,
+            "feature": [n.feature for n in self.nodes_],
+            "threshold": [n.threshold for n in self.nodes_],
+            "left": [n.left for n in self.nodes_],
+            "right": [n.right for n in self.nodes_],
+            "probability": [n.probability for n in self.nodes_],
+            "gain": [n.gain for n in self.nodes_],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "DecisionTree":
+        """Rebuild a prediction-ready tree from :meth:`to_dict` output."""
+        tree = cls()
+        tree.n_features_ = int(payload["n_features"])
+        fields = ("feature", "threshold", "left", "right", "probability", "gain")
+        lengths = {len(payload[field]) for field in fields}
+        if len(lengths) != 1:
+            raise ValueError("inconsistent node array lengths")
+        tree.nodes_ = [
+            _Node(
+                feature=int(payload["feature"][i]),
+                threshold=float(payload["threshold"][i]),
+                left=int(payload["left"][i]),
+                right=int(payload["right"][i]),
+                probability=float(payload["probability"][i]),
+                gain=float(payload["gain"][i]),
+            )
+            for i in range(lengths.pop())
+        ]
+        return tree
+
+    def feature_importances(self) -> np.ndarray:
+        """Gini importance: total (impurity decrease * node size) per
+        feature, normalised to sum to 1."""
+        if self.n_features_ is None:
+            raise RuntimeError("tree is not fitted")
+        importances = np.zeros(self.n_features_)
+        for node in self.nodes_:
+            if not node.is_leaf:
+                importances[node.feature] += node.gain
+        total = importances.sum()
+        return importances / total if total else importances
+
+
+def _gini_best_split_masked(
+    counts0: np.ndarray, counts1: np.ndarray, ok: np.ndarray
+) -> tuple[float, int]:
+    """Gini split with an extra validity mask (min_samples_leaf)."""
+    decrease, _ = _gini_best_split(counts0, counts1)
+    # Recompute the decrease vector with the extra mask applied.
+    total0, total1 = counts0.sum(), counts1.sum()
+    n = total0 + total1
+    left0 = np.cumsum(counts0)[:-1].astype(np.float64)
+    left1 = np.cumsum(counts1)[:-1].astype(np.float64)
+    n_left = left0 + left1
+    n_right = n - n_left
+    valid = (n_left > 0) & (n_right > 0) & ok
+    if not valid.any():
+        return 0.0, -1
+    with np.errstate(divide="ignore", invalid="ignore"):
+        gini_left = 1.0 - (left0 / n_left) ** 2 - (left1 / n_left) ** 2
+        right0, right1 = total0 - left0, total1 - left1
+        gini_right = 1.0 - (right0 / n_right) ** 2 - (right1 / n_right) ** 2
+        weighted = (n_left * gini_left + n_right * gini_right) / n
+    parent = 1.0 - (total0 / n) ** 2 - (total1 / n) ** 2
+    decreases = np.where(valid, parent - weighted, -np.inf)
+    best = int(np.argmax(decreases))
+    if decreases[best] <= 1e-12:
+        return 0.0, -1
+    return float(decreases[best]), best

@@ -1,0 +1,47 @@
+"""Time-series substrate: containers, window labels, and statistics."""
+
+from .io import from_csv_string, read_csv, to_csv_string, write_csv
+from .resample import downsample, to_interval
+from .series import DAY, MINUTE, WEEK, TimeSeries, TimeSeriesError
+from .stats import (
+    SeriesSummary,
+    classify_seasonality,
+    coefficient_of_variation,
+    seasonal_autocorrelation,
+    seasonality_strength,
+    summarize,
+)
+from .windows import (
+    AnomalyWindow,
+    jitter_window,
+    merge_windows,
+    points_to_windows,
+    subtract_window,
+    windows_to_points,
+)
+
+__all__ = [
+    "read_csv",
+    "downsample",
+    "to_interval",
+    "write_csv",
+    "to_csv_string",
+    "from_csv_string",
+    "DAY",
+    "MINUTE",
+    "WEEK",
+    "TimeSeries",
+    "TimeSeriesError",
+    "AnomalyWindow",
+    "windows_to_points",
+    "points_to_windows",
+    "merge_windows",
+    "subtract_window",
+    "jitter_window",
+    "SeriesSummary",
+    "coefficient_of_variation",
+    "seasonal_autocorrelation",
+    "seasonality_strength",
+    "classify_seasonality",
+    "summarize",
+]

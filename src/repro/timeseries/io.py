@@ -1,0 +1,145 @@
+"""CSV import/export for KPI series.
+
+Real deployments collect KPI data "from SNMP, syslogs, network traces,
+web access logs" (§2.1) and land it in flat files. This module reads
+and writes the simple interchange format
+
+    timestamp,value[,label]
+
+with ``timestamp`` in epoch seconds on a regular grid. Gaps in the grid
+become missing (NaN) points, so dirty data round-trips faithfully.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import math
+from pathlib import Path
+from typing import Optional, TextIO, Union
+
+import numpy as np
+
+from .series import TimeSeries, TimeSeriesError
+
+PathOrFile = Union[str, Path, TextIO]
+
+
+def _open_for(target: PathOrFile, mode: str):
+    if isinstance(target, (str, Path)):
+        return open(target, mode, newline=""), True
+    return target, False
+
+
+def write_csv(series: TimeSeries, target: PathOrFile) -> None:
+    """Write ``timestamp,value[,label]`` rows (header included).
+
+    Missing points are written with an empty value field.
+    """
+    handle, owned = _open_for(target, "w")
+    try:
+        writer = csv.writer(handle)
+        header = ["timestamp", "value"]
+        if series.is_labeled:
+            header.append("label")
+        writer.writerow(header)
+        timestamps = series.timestamps
+        for i, value in enumerate(series.values):
+            row = [
+                int(timestamps[i]),
+                "" if math.isnan(value) else repr(float(value)),
+            ]
+            if series.is_labeled:
+                row.append(int(series.labels[i]))
+            writer.writerow(row)
+    finally:
+        if owned:
+            handle.close()
+
+
+def read_csv(
+    source: PathOrFile,
+    *,
+    interval: Optional[int] = None,
+    name: str = "",
+) -> TimeSeries:
+    """Read a ``timestamp,value[,label]`` CSV into a :class:`TimeSeries`.
+
+    * the header row is optional;
+    * rows may arrive out of order — they are sorted by timestamp;
+    * ``interval`` defaults to the smallest timestamp gap;
+    * grid gaps become NaN (missing) points with label 0;
+    * duplicate timestamps are an error.
+    """
+    handle, owned = _open_for(source, "r")
+    try:
+        rows = []
+        has_labels = False
+        for lineno, row in enumerate(csv.reader(handle), 1):
+            if not row or not row[0].strip():
+                continue
+            first = row[0].strip().lower()
+            if lineno == 1 and first == "timestamp":
+                continue
+            if len(row) < 2:
+                raise TimeSeriesError(
+                    f"line {lineno}: expected timestamp,value[,label]"
+                )
+            timestamp = int(float(row[0]))
+            raw_value = row[1].strip()
+            value = float(raw_value) if raw_value else math.nan
+            label = 0
+            if len(row) >= 3 and row[2].strip():
+                label = int(row[2])
+                has_labels = True
+            rows.append((timestamp, value, label))
+    finally:
+        if owned:
+            handle.close()
+
+    if not rows:
+        raise TimeSeriesError("CSV contains no data rows")
+    rows.sort(key=lambda r: r[0])
+    timestamps = np.array([r[0] for r in rows], dtype=np.int64)
+    if len(np.unique(timestamps)) != len(timestamps):
+        raise TimeSeriesError("duplicate timestamps in CSV")
+
+    if interval is None:
+        if len(timestamps) < 2:
+            raise TimeSeriesError(
+                "cannot infer the interval from a single row; pass interval="
+            )
+        interval = int(np.diff(timestamps).min())
+    if interval <= 0:
+        raise TimeSeriesError(f"interval must be positive, got {interval}")
+    offsets = timestamps - timestamps[0]
+    if (offsets % interval).any():
+        raise TimeSeriesError(
+            f"timestamps do not lie on a {interval}-second grid"
+        )
+
+    n = int(offsets[-1] // interval) + 1
+    values = np.full(n, np.nan)
+    labels = np.zeros(n, dtype=np.int8)
+    indices = offsets // interval
+    values[indices] = [r[1] for r in rows]
+    labels[indices] = [r[2] for r in rows]
+    return TimeSeries(
+        values=values,
+        interval=interval,
+        start=int(timestamps[0]),
+        labels=labels if has_labels else None,
+        name=name,
+    )
+
+
+def to_csv_string(series: TimeSeries) -> str:
+    """The CSV text of a series (convenience for tests and snippets)."""
+    buffer = io.StringIO()
+    write_csv(series, buffer)
+    return buffer.getvalue()
+
+
+def from_csv_string(text: str, **kwargs) -> TimeSeries:
+    """Parse CSV text produced by :func:`to_csv_string`."""
+    return read_csv(io.StringIO(text), **kwargs)

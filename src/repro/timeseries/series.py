@@ -1,0 +1,233 @@
+"""Regularly sampled KPI time series.
+
+Opprentice works on (timestamp, value) KPI data collected at a fixed
+interval (Table 1 of the paper: 1-minute PV and #SR, 60-minute SRT).
+:class:`TimeSeries` is the container every other subsystem consumes: it
+stores the values on a regular time grid, an optional missing-data mask
+(NaN values), and optional point-level anomaly labels produced by the
+labeling tool.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterator, Optional, Sequence
+
+import numpy as np
+
+#: Seconds in one minute / day / week, used for grid arithmetic.
+MINUTE = 60
+DAY = 24 * 60 * MINUTE
+WEEK = 7 * DAY
+
+
+class TimeSeriesError(ValueError):
+    """Raised for malformed series (irregular grid, bad label shape...)."""
+
+
+@dataclass
+class TimeSeries:
+    """A regularly sampled KPI time series with optional labels.
+
+    Parameters
+    ----------
+    values:
+        Float array of KPI values. Missing points are ``NaN``.
+    interval:
+        Sampling interval in seconds (e.g. ``60`` for 1-minute data).
+    start:
+        Timestamp (seconds since epoch) of the first point.
+    labels:
+        Optional int8 array of the same length: 1 = anomaly, 0 = normal.
+    name:
+        Optional KPI name ("PV", "#SR", "SRT", ...).
+    """
+
+    values: np.ndarray
+    interval: int
+    start: int = 0
+    labels: Optional[np.ndarray] = None
+    name: str = ""
+    _timestamps: Optional[np.ndarray] = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        self.values = np.asarray(self.values, dtype=np.float64)
+        if self.values.ndim != 1:
+            raise TimeSeriesError(
+                f"values must be 1-D, got shape {self.values.shape}"
+            )
+        if self.interval <= 0:
+            raise TimeSeriesError(f"interval must be positive, got {self.interval}")
+        if self.labels is not None:
+            self.labels = np.asarray(self.labels, dtype=np.int8)
+            if self.labels.shape != self.values.shape:
+                raise TimeSeriesError(
+                    f"labels shape {self.labels.shape} does not match "
+                    f"values shape {self.values.shape}"
+                )
+            bad = set(np.unique(self.labels)) - {0, 1}
+            if bad:
+                raise TimeSeriesError(f"labels must be 0/1, got extra values {bad}")
+
+    # ------------------------------------------------------------------
+    # Basic protocol
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def __iter__(self) -> Iterator[float]:
+        return iter(self.values)
+
+    @property
+    def timestamps(self) -> np.ndarray:
+        """Timestamps (seconds) of every point, computed lazily."""
+        if self._timestamps is None or len(self._timestamps) != len(self.values):
+            self._timestamps = (
+                self.start + np.arange(len(self.values), dtype=np.int64) * self.interval
+            )
+        return self._timestamps
+
+    @property
+    def is_labeled(self) -> bool:
+        return self.labels is not None
+
+    @property
+    def missing_mask(self) -> np.ndarray:
+        """Boolean mask of missing (NaN) points — the "dirty data" of §6."""
+        return np.isnan(self.values)
+
+    @property
+    def n_missing(self) -> int:
+        return int(self.missing_mask.sum())
+
+    # ------------------------------------------------------------------
+    # Grid arithmetic
+    # ------------------------------------------------------------------
+    @property
+    def points_per_day(self) -> int:
+        """Number of samples in one day (paper detectors use day windows)."""
+        ppd = DAY / self.interval
+        if ppd != int(ppd):
+            raise TimeSeriesError(
+                f"interval {self.interval}s does not divide one day evenly"
+            )
+        return int(ppd)
+
+    @property
+    def points_per_week(self) -> int:
+        return 7 * self.points_per_day
+
+    @property
+    def n_weeks(self) -> float:
+        """Length of the series in weeks (may be fractional)."""
+        return len(self) / self.points_per_week
+
+    def index_at(self, timestamp: int) -> int:
+        """Grid index of ``timestamp`` (must lie exactly on the grid)."""
+        offset = timestamp - self.start
+        if offset % self.interval != 0:
+            raise TimeSeriesError(
+                f"timestamp {timestamp} is not on the grid "
+                f"(start={self.start}, interval={self.interval})"
+            )
+        index = offset // self.interval
+        if not 0 <= index < len(self):
+            raise TimeSeriesError(f"timestamp {timestamp} outside the series")
+        return int(index)
+
+    # ------------------------------------------------------------------
+    # Slicing
+    # ------------------------------------------------------------------
+    def slice(self, begin: int, end: int) -> "TimeSeries":
+        """Sub-series covering indices ``[begin, end)`` (views, not copies)."""
+        if begin < 0 or end > len(self) or begin > end:
+            raise TimeSeriesError(
+                f"slice [{begin}, {end}) outside series of length {len(self)}"
+            )
+        return TimeSeries(
+            values=self.values[begin:end],
+            interval=self.interval,
+            start=self.start + begin * self.interval,
+            labels=None if self.labels is None else self.labels[begin:end],
+            name=self.name,
+        )
+
+    def week(self, index: int) -> "TimeSeries":
+        """The ``index``-th whole week of the series (0-based)."""
+        ppw = self.points_per_week
+        begin = index * ppw
+        if begin >= len(self) or index < 0:
+            raise TimeSeriesError(
+                f"week {index} outside series of {self.n_weeks:.2f} weeks"
+            )
+        return self.slice(begin, min(begin + ppw, len(self)))
+
+    def weeks(self) -> Iterator["TimeSeries"]:
+        """Iterate over whole (possibly final partial) weeks."""
+        for i in range(math.ceil(self.n_weeks)):
+            yield self.week(i)
+
+    def month(self, index: int, days: int = 30) -> "TimeSeries":
+        """The ``index``-th "month" (30-day block by default, §5.7)."""
+        ppm = days * self.points_per_day
+        begin = index * ppm
+        if begin >= len(self) or index < 0:
+            raise TimeSeriesError(f"month {index} outside series")
+        return self.slice(begin, min(begin + ppm, len(self)))
+
+    def n_months(self, days: int = 30) -> int:
+        return math.ceil(len(self) / (days * self.points_per_day))
+
+    # ------------------------------------------------------------------
+    # Labels
+    # ------------------------------------------------------------------
+    def with_labels(self, labels: Sequence[int]) -> "TimeSeries":
+        """A copy of this series carrying ``labels``."""
+        return TimeSeries(
+            values=self.values,
+            interval=self.interval,
+            start=self.start,
+            labels=np.asarray(labels, dtype=np.int8),
+            name=self.name,
+        )
+
+    def anomaly_fraction(self) -> float:
+        """Fraction of labelled points that are anomalies (§5.1 reports
+        7.8%, 2.8% and 7.4% for PV, #SR and SRT)."""
+        if self.labels is None:
+            raise TimeSeriesError("series has no labels")
+        return float(self.labels.mean())
+
+    def copy(self) -> "TimeSeries":
+        return TimeSeries(
+            values=self.values.copy(),
+            interval=self.interval,
+            start=self.start,
+            labels=None if self.labels is None else self.labels.copy(),
+            name=self.name,
+        )
+
+    def concat(self, other: "TimeSeries") -> "TimeSeries":
+        """Append ``other``, which must continue this series' grid."""
+        if other.interval != self.interval:
+            raise TimeSeriesError(
+                f"interval mismatch: {self.interval} vs {other.interval}"
+            )
+        expected_start = self.start + len(self) * self.interval
+        if other.start != expected_start:
+            raise TimeSeriesError(
+                f"other.start={other.start}, expected {expected_start}"
+            )
+        if (self.labels is None) != (other.labels is None):
+            raise TimeSeriesError("cannot concat labelled and unlabelled series")
+        labels = None
+        if self.labels is not None and other.labels is not None:
+            labels = np.concatenate([self.labels, other.labels])
+        return TimeSeries(
+            values=np.concatenate([self.values, other.values]),
+            interval=self.interval,
+            start=self.start,
+            labels=labels,
+            name=self.name,
+        )

@@ -1,0 +1,114 @@
+"""Anomaly windows and their conversion to point labels.
+
+Operators label *windows* of anomalies with the labeling tool (§4.2):
+one click-and-drag covers a run of anomalous points. Learning and
+detection, however, operate on individual points (§4.3.1). This module
+converts between the two representations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True, order=True)
+class AnomalyWindow:
+    """A half-open index range ``[begin, end)`` of anomalous points."""
+
+    begin: int
+    end: int
+
+    def __post_init__(self) -> None:
+        if self.begin < 0 or self.end <= self.begin:
+            raise ValueError(f"invalid window [{self.begin}, {self.end})")
+
+    def __len__(self) -> int:
+        return self.end - self.begin
+
+    def overlaps(self, other: "AnomalyWindow") -> bool:
+        return self.begin < other.end and other.begin < self.end
+
+    def contains(self, index: int) -> bool:
+        return self.begin <= index < self.end
+
+
+def windows_to_points(windows: Iterable[AnomalyWindow], length: int) -> np.ndarray:
+    """Expand window labels to a 0/1 point-label array of ``length``.
+
+    Windows may overlap (operators can re-label); overlapping regions
+    are simply anomalous. Windows extending past ``length`` are clipped.
+    """
+    labels = np.zeros(length, dtype=np.int8)
+    for window in windows:
+        if window.begin >= length:
+            continue
+        labels[window.begin:min(window.end, length)] = 1
+    return labels
+
+
+def points_to_windows(labels: Sequence[int]) -> List[AnomalyWindow]:
+    """Collapse 0/1 point labels back into maximal anomalous windows.
+
+    The number of windows is what drives labeling time in Fig 14 — one
+    label action covers one window of continuous anomalies.
+    """
+    labels = np.asarray(labels, dtype=np.int8)
+    if labels.ndim != 1:
+        raise ValueError(f"labels must be 1-D, got shape {labels.shape}")
+    if len(labels) == 0:
+        return []
+    # Locate the rising and falling edges of the 0/1 signal.
+    padded = np.concatenate([[0], labels, [0]])
+    edges = np.flatnonzero(np.diff(padded))
+    starts, ends = edges[::2], edges[1::2]
+    return [AnomalyWindow(int(b), int(e)) for b, e in zip(starts, ends)]
+
+
+def merge_windows(windows: Iterable[AnomalyWindow]) -> List[AnomalyWindow]:
+    """Merge overlapping or touching windows into a minimal sorted list."""
+    merged: List[AnomalyWindow] = []
+    for window in sorted(windows):
+        if merged and window.begin <= merged[-1].end:
+            last = merged[-1]
+            merged[-1] = AnomalyWindow(last.begin, max(last.end, window.end))
+        else:
+            merged.append(window)
+    return merged
+
+
+def subtract_window(
+    windows: Iterable[AnomalyWindow], cancel: AnomalyWindow
+) -> List[AnomalyWindow]:
+    """Remove ``cancel`` from a set of windows (right-click drag in the
+    labeling tool partially cancels previously labelled windows)."""
+    result: List[AnomalyWindow] = []
+    for window in windows:
+        if not window.overlaps(cancel):
+            result.append(window)
+            continue
+        if window.begin < cancel.begin:
+            result.append(AnomalyWindow(window.begin, cancel.begin))
+        if cancel.end < window.end:
+            result.append(AnomalyWindow(cancel.end, window.end))
+    return sorted(result)
+
+
+def jitter_window(
+    window: AnomalyWindow,
+    rng: np.random.Generator,
+    max_shift: int,
+    length: int,
+) -> AnomalyWindow:
+    """Perturb window boundaries to model operator labeling error (§4.2:
+    "the boundaries of an anomalous window are often extended or
+    narrowed when labeling")."""
+    if max_shift < 0:
+        raise ValueError(f"max_shift must be >= 0, got {max_shift}")
+    begin = window.begin + int(rng.integers(-max_shift, max_shift + 1))
+    end = window.end + int(rng.integers(-max_shift, max_shift + 1))
+    begin = max(0, min(begin, length - 1))
+    end = max(begin + 1, min(end, length))
+    return AnomalyWindow(begin, end)

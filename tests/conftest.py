@@ -1,0 +1,45 @@
+"""Shared fixtures: small KPIs sized for fast unit tests."""
+
+import numpy as np
+import pytest
+
+from repro.data import SeasonalProfile, generate_kpi, inject_anomalies
+from repro.timeseries import TimeSeries
+
+
+@pytest.fixture(scope="session")
+def hourly_kpi():
+    """4 weeks of clean hourly data with daily seasonality (672 points)."""
+    generated = generate_kpi(
+        weeks=4,
+        interval=3600,
+        profile=SeasonalProfile(
+            base_level=100.0,
+            daily_amplitude=0.5,
+            noise_scale=0.02,
+            trend=0.0,
+        ),
+        seed=42,
+        name="unit-kpi",
+    )
+    return generated.series
+
+
+@pytest.fixture(scope="session")
+def labeled_kpi(hourly_kpi):
+    """The hourly KPI with ~6% injected anomalies and exact labels."""
+    result = inject_anomalies(
+        hourly_kpi, target_fraction=0.06, seed=7, mean_window=4.0
+    )
+    return result
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(123)
+
+
+def make_series(values, interval=3600, **kwargs) -> TimeSeries:
+    """Tiny helper for hand-built series in tests."""
+    return TimeSeries(values=np.asarray(values, dtype=float),
+                      interval=interval, **kwargs)

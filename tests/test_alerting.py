@@ -1,0 +1,85 @@
+"""Duration filter and alert aggregation tests (§6)."""
+
+import numpy as np
+import pytest
+
+from repro.core import Alert, alerts_from_predictions, duration_filter
+from repro.core.alerting import windows_from_alerts
+from repro.timeseries import AnomalyWindow, TimeSeries
+
+
+class TestDurationFilter:
+    def test_short_runs_suppressed(self):
+        predictions = np.array([0, 1, 0, 1, 1, 1, 0, 1, 1], dtype=np.int8)
+        filtered = duration_filter(predictions, min_duration_points=2)
+        assert filtered.tolist() == [0, 0, 0, 1, 1, 1, 0, 1, 1]
+
+    def test_min_one_is_identity(self):
+        predictions = np.array([0, 1, 0, 1], dtype=np.int8)
+        np.testing.assert_array_equal(
+            duration_filter(predictions, 1), predictions
+        )
+
+    def test_missing_placeholders_untouched(self):
+        predictions = np.array([-1, 1, 1, -1, 1], dtype=np.int8)
+        filtered = duration_filter(predictions, 2)
+        assert filtered[0] == -1 and filtered[3] == -1
+        assert filtered[4] == 0  # single run filtered
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            duration_filter(np.zeros(3, dtype=np.int8), 0)
+
+    def test_does_not_mutate_input(self):
+        predictions = np.array([0, 1, 0], dtype=np.int8)
+        duration_filter(predictions, 2)
+        assert predictions.tolist() == [0, 1, 0]
+
+
+class TestAlerts:
+    def _series(self, n=10):
+        return TimeSeries(
+            values=np.arange(n, dtype=float), interval=60, start=1000,
+            name="alert-kpi",
+        )
+
+    def test_alerts_cover_anomalous_windows(self):
+        series = self._series()
+        predictions = np.array([0, 1, 1, 0, 0, 1, 1, 1, 0, 0], dtype=np.int8)
+        scores = np.linspace(0.1, 1.0, 10)
+        alerts = alerts_from_predictions(series, predictions, scores)
+        assert len(alerts) == 2
+        first = alerts[0]
+        assert (first.begin_index, first.end_index) == (1, 3)
+        assert first.begin_timestamp == 1000 + 60
+        assert first.end_timestamp == 1000 + 3 * 60
+        assert first.duration_points == 2
+        assert first.peak_score == pytest.approx(scores[2])
+
+    def test_duration_filter_applied(self):
+        series = self._series()
+        predictions = np.array([0, 1, 0, 1, 1, 1, 0, 0, 0, 0], dtype=np.int8)
+        alerts = alerts_from_predictions(
+            series, predictions, np.ones(10), min_duration_points=3
+        )
+        assert len(alerts) == 1
+        assert alerts[0].begin_index == 3
+
+    def test_length_mismatch_rejected(self):
+        series = self._series()
+        with pytest.raises(ValueError):
+            alerts_from_predictions(series, np.zeros(5), np.ones(10))
+
+    def test_windows_from_alerts(self):
+        series = self._series()
+        predictions = np.array([1, 1, 0, 0, 0, 0, 0, 1, 0, 0], dtype=np.int8)
+        alerts = alerts_from_predictions(series, predictions, np.ones(10))
+        assert windows_from_alerts(alerts) == [
+            AnomalyWindow(0, 2), AnomalyWindow(7, 8)
+        ]
+
+    def test_no_anomalies_no_alerts(self):
+        series = self._series()
+        assert alerts_from_predictions(
+            series, np.zeros(10, dtype=np.int8), np.ones(10)
+        ) == []

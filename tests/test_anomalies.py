@@ -1,0 +1,130 @@
+"""Anomaly injection tests: exact ground truth, target fractions."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    drop_points,
+    inject_anomalies,
+    inject_dip,
+    inject_jitter,
+    inject_level_shift,
+    inject_ramp,
+    inject_spike,
+)
+from repro.timeseries import windows_to_points
+
+
+class TestInjectors:
+    def setup_method(self):
+        self.rng = np.random.default_rng(0)
+
+    def test_spike_raises_values(self):
+        values = np.full(10, 100.0)
+        inject_spike(values, self.rng, level=1.0)
+        assert values[0] > 150.0
+        assert (values >= 100.0).all()
+
+    def test_spike_decays(self):
+        values = np.full(10, 100.0)
+        inject_spike(values, self.rng, level=1.0)
+        assert values[0] > values[-1]
+
+    def test_dip_scales_with_level(self):
+        mild, severe = np.full(5, 100.0), np.full(5, 100.0)
+        inject_dip(mild, self.rng, level=0.2)
+        inject_dip(severe, self.rng, level=2.0)
+        assert severe[0] < mild[0] < 100.0
+
+    def test_dip_never_exceeds_90_percent(self):
+        values = np.full(5, 100.0)
+        inject_dip(values, self.rng, level=100.0)
+        assert values[0] == pytest.approx(10.0)
+
+    def test_ramp_is_monotone_increase(self):
+        values = np.full(10, 100.0)
+        inject_ramp(values, self.rng, level=1.0)
+        assert values[0] == pytest.approx(100.0)
+        assert (np.diff(values) > 0).all()
+
+    def test_jitter_alternates(self):
+        values = np.full(10, 100.0)
+        inject_jitter(values, self.rng, level=1.0)
+        deltas = values - 100.0
+        assert (deltas[::2] > 0).all()
+        assert (deltas[1::2] < 0).all()
+
+    def test_level_shift_is_constant(self):
+        values = np.full(10, 100.0)
+        inject_level_shift(values, self.rng, level=1.0)
+        shifts = values - 100.0
+        assert np.allclose(shifts, shifts[0])
+        assert abs(shifts[0]) > 10.0
+
+
+class TestInjectAnomalies:
+    def test_target_fraction_hit(self, hourly_kpi):
+        result = inject_anomalies(hourly_kpi, target_fraction=0.05, seed=1)
+        assert result.series.anomaly_fraction() == pytest.approx(0.05, abs=0.01)
+
+    def test_labels_match_windows(self, hourly_kpi):
+        result = inject_anomalies(hourly_kpi, target_fraction=0.05, seed=1)
+        expected = windows_to_points(result.windows, len(hourly_kpi))
+        np.testing.assert_array_equal(result.series.labels, expected)
+
+    def test_windows_are_disjoint_and_sorted(self, hourly_kpi):
+        result = inject_anomalies(hourly_kpi, target_fraction=0.08, seed=2)
+        for a, b in zip(result.windows, result.windows[1:]):
+            assert a.end < b.begin
+
+    def test_values_change_only_inside_windows(self, hourly_kpi):
+        result = inject_anomalies(hourly_kpi, target_fraction=0.05, seed=3)
+        labels = result.series.labels.astype(bool)
+        np.testing.assert_array_equal(
+            result.series.values[~labels], hourly_kpi.values[~labels]
+        )
+        assert not np.allclose(
+            result.series.values[labels], hourly_kpi.values[labels]
+        )
+
+    def test_kinds_recorded(self, hourly_kpi):
+        result = inject_anomalies(hourly_kpi, target_fraction=0.08, seed=4)
+        assert len(result.kinds) >= len(result.windows) > 0
+        assert set(result.kinds) <= {
+            "spike", "dip", "ramp", "jitter", "level_shift"
+        }
+
+    def test_reproducible(self, hourly_kpi):
+        a = inject_anomalies(hourly_kpi, target_fraction=0.05, seed=5)
+        b = inject_anomalies(hourly_kpi, target_fraction=0.05, seed=5)
+        np.testing.assert_array_equal(a.series.values, b.series.values)
+        assert a.windows == b.windows
+
+    def test_rejects_bad_fraction(self, hourly_kpi):
+        with pytest.raises(ValueError):
+            inject_anomalies(hourly_kpi, target_fraction=0.0)
+        with pytest.raises(ValueError):
+            inject_anomalies(hourly_kpi, target_fraction=0.6)
+
+    def test_preserves_missing_points(self, hourly_kpi):
+        dirty = drop_points(hourly_kpi, fraction=0.1, seed=6)
+        result = inject_anomalies(dirty, target_fraction=0.05, seed=6)
+        assert result.series.n_missing == dirty.n_missing
+
+
+class TestDropPoints:
+    def test_fraction_dropped(self, hourly_kpi):
+        dirty = drop_points(hourly_kpi, fraction=0.2, seed=0)
+        assert dirty.n_missing == round(0.2 * len(hourly_kpi))
+
+    def test_zero_fraction_is_identity(self, hourly_kpi):
+        clean = drop_points(hourly_kpi, fraction=0.0)
+        np.testing.assert_array_equal(clean.values, hourly_kpi.values)
+
+    def test_rejects_bad_fraction(self, hourly_kpi):
+        with pytest.raises(ValueError):
+            drop_points(hourly_kpi, fraction=1.0)
+
+    def test_labels_preserved(self, labeled_kpi):
+        dirty = drop_points(labeled_kpi.series, fraction=0.1, seed=1)
+        np.testing.assert_array_equal(dirty.labels, labeled_kpi.series.labels)

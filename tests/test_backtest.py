@@ -1,0 +1,94 @@
+"""Preference backtest tests."""
+
+import numpy as np
+import pytest
+
+from repro.core import backtest_preferences, render_backtest
+from repro.evaluation import AccuracyPreference
+
+from test_opprentice import fast_forest, online_kpi, small_bank
+
+
+@pytest.fixture(scope="module")
+def outcomes(online_kpi):
+    return backtest_preferences(
+        online_kpi,
+        preferences=(
+            AccuracyPreference(0.66, 0.66),
+            AccuracyPreference(0.4, 0.9),
+        ),
+        configs=small_bank(online_kpi.points_per_week),
+        classifier_factory=fast_forest,
+    )
+
+
+class TestBacktestPreferences:
+    def test_one_outcome_per_preference(self, outcomes):
+        assert len(outcomes) == 2
+        assert outcomes[0].preference == AccuracyPreference(0.66, 0.66)
+
+    def test_fields_in_range(self, outcomes):
+        for outcome in outcomes:
+            assert 0.0 <= outcome.satisfaction_rate <= 1.0
+            assert 0.0 <= outcome.mean_recall <= 1.0
+            assert 0.0 <= outcome.mean_precision <= 1.0
+            assert 0.0 <= outcome.detected_fraction <= 1.0
+            assert outcome.detected_points >= 0
+
+    def test_precision_hungry_detects_fewer_or_equal(self, online_kpi):
+        """A stricter precision bound pushes the cThld up, so detection
+        volume can only shrink (or tie) relative to a recall-hungry
+        preference on the same scores."""
+        results = backtest_preferences(
+            online_kpi,
+            preferences=(
+                AccuracyPreference(0.9, 0.1),   # recall-hungry
+                AccuracyPreference(0.1, 0.95),  # precision-hungry
+            ),
+            configs=small_bank(online_kpi.points_per_week),
+            classifier_factory=fast_forest,
+        )
+        recall_hungry, precision_hungry = results
+        assert precision_hungry.detected_points <= recall_hungry.detected_points
+
+    def test_render(self, outcomes):
+        text = render_backtest(outcomes)
+        assert "preference backtest" in text
+        assert "recall>=0.66" in text
+
+    def test_requires_labels(self, hourly_kpi):
+        with pytest.raises(ValueError, match="labelled"):
+            backtest_preferences(hourly_kpi)
+
+    def test_requires_preferences(self, online_kpi):
+        with pytest.raises(ValueError, match="preference"):
+            backtest_preferences(
+                online_kpi, preferences=(),
+                configs=small_bank(online_kpi.points_per_week),
+            )
+
+    def test_render_empty_rejected(self):
+        with pytest.raises(ValueError):
+            render_backtest([])
+
+
+class TestTrainingHealth:
+    def test_reports_oob_diagnostics(self, labeled_kpi):
+        from repro.core import Opprentice
+
+        series = labeled_kpi.series
+        opp = Opprentice(
+            configs=small_bank(series.points_per_week),
+            classifier_factory=fast_forest,
+        ).fit(series)
+        health = opp.training_health()
+        assert 0.5 < health["oob_accuracy"] <= 1.0
+        assert 0.0 <= health["oob_aucpr"] <= 1.0
+        assert health["oob_brier"] < 0.25
+        assert isinstance(health["preference_satisfied"], bool)
+
+    def test_requires_fit(self):
+        from repro.core import Opprentice
+
+        with pytest.raises(RuntimeError):
+            Opprentice().training_health()

@@ -1,0 +1,85 @@
+"""Calibration curve and Brier score tests."""
+
+import numpy as np
+import pytest
+
+from repro.evaluation import brier_score, calibration_curve
+
+
+class TestCalibrationCurve:
+    def test_perfectly_calibrated_scores(self, rng):
+        scores = rng.random(50_000)
+        labels = (rng.random(50_000) < scores).astype(int)
+        curve = calibration_curve(scores, labels, n_bins=10)
+        np.testing.assert_allclose(
+            curve.observed_rate, curve.mean_predicted, atol=0.02
+        )
+        assert curve.expected_calibration_error() < 0.02
+
+    def test_overconfident_scores_have_large_ece(self, rng):
+        labels = (rng.random(20_000) < 0.5).astype(int)
+        scores = np.where(labels == 1, 0.99, 0.01)
+        flip = rng.random(20_000) < 0.3  # 30% of labels disagree
+        labels = np.where(flip, 1 - labels, labels)
+        curve = calibration_curve(scores, labels)
+        assert curve.expected_calibration_error() > 0.2
+
+    def test_counts_sum_to_samples(self, rng):
+        scores = rng.random(1000)
+        labels = rng.integers(0, 2, 1000)
+        curve = calibration_curve(scores, labels)
+        assert curve.counts.sum() == 1000
+
+    def test_empty_bins_dropped(self):
+        scores = np.array([0.05, 0.06, 0.95, 0.96])
+        labels = np.array([0, 0, 1, 1])
+        curve = calibration_curve(scores, labels, n_bins=10)
+        assert len(curve.bin_centers) == 2
+
+    def test_nan_scores_excluded(self):
+        scores = np.array([0.5, np.nan, 0.5, 0.5])
+        labels = np.array([1, 1, 0, 0])
+        curve = calibration_curve(scores, labels)
+        assert curve.counts.sum() == 3
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            calibration_curve(rng.random(5), rng.integers(0, 2, 4))
+        with pytest.raises(ValueError):
+            calibration_curve(rng.random(5), rng.integers(0, 2, 5), n_bins=1)
+        with pytest.raises(ValueError):
+            calibration_curve(np.full(5, np.nan), np.ones(5, dtype=int))
+
+
+class TestBrierScore:
+    def test_perfect_predictions(self):
+        scores = np.array([1.0, 0.0, 1.0])
+        labels = np.array([1, 0, 1])
+        assert brier_score(scores, labels) == 0.0
+
+    def test_base_rate_predictor(self, rng):
+        labels = (rng.random(100_000) < 0.2).astype(int)
+        scores = np.full(100_000, 0.2)
+        assert brier_score(scores, labels) == pytest.approx(0.16, abs=0.005)
+
+    def test_worse_than_base_rate_detectable(self, rng):
+        labels = (rng.random(10_000) < 0.2).astype(int)
+        inverted = 1.0 - labels.astype(float)
+        assert brier_score(inverted, labels) == pytest.approx(1.0)
+
+    def test_forest_probabilities_beat_base_rate(self, labeled_kpi):
+        """The trained forest's probabilities are informative (smaller
+        Brier score than always predicting the anomaly rate)."""
+        from repro.core import Opprentice
+        from test_opprentice import fast_forest, small_bank
+
+        series = labeled_kpi.series
+        opp = Opprentice(
+            configs=small_bank(series.points_per_week),
+            classifier_factory=fast_forest,
+        ).fit(series)
+        scores = opp.anomaly_scores(series)
+        base = np.full(len(series), series.anomaly_fraction())
+        assert brier_score(scores, series.labels) < brier_score(
+            base, series.labels
+        )

@@ -1,0 +1,211 @@
+"""CLI tests: the full operator workflow through `repro.cli.main`."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.timeseries import read_csv
+
+
+@pytest.fixture(scope="module")
+def workflow(tmp_path_factory):
+    """Shared artifacts: a generated KPI CSV and a trained model."""
+    root = tmp_path_factory.mktemp("cli")
+    kpi_csv = root / "srt.csv"
+    model = root / "model.json"
+    assert main([
+        "generate", "--kpi", "SRT", "--weeks", "4", "--out", str(kpi_csv),
+    ]) == 0
+    assert main([
+        "train", str(kpi_csv), "--model", str(model), "--trees", "10",
+    ]) == 0
+    return kpi_csv, model
+
+
+class TestGenerate:
+    def test_writes_labelled_csv(self, tmp_path):
+        out = tmp_path / "pv.csv"
+        assert main([
+            "generate", "--kpi", "PV", "--weeks", "1", "--out", str(out),
+        ]) == 0
+        series = read_csv(out)
+        assert series.is_labeled
+        assert len(series) == 7 * 144  # 10-minute grid
+
+    def test_no_labels_flag(self, tmp_path):
+        out = tmp_path / "pv.csv"
+        assert main([
+            "generate", "--kpi", "PV", "--weeks", "1", "--no-labels",
+            "--out", str(out),
+        ]) == 0
+        assert not read_csv(out).is_labeled
+
+    def test_seed_offset_changes_data(self, tmp_path):
+        a, b = tmp_path / "a.csv", tmp_path / "b.csv"
+        main(["generate", "--kpi", "SRT", "--weeks", "1", "--out", str(a)])
+        main(["generate", "--kpi", "SRT", "--weeks", "1",
+              "--seed-offset", "5", "--out", str(b)])
+        assert not np.array_equal(read_csv(a).values, read_csv(b).values)
+
+
+class TestSummarize:
+    def test_prints_table1_row(self, workflow, capsys):
+        kpi_csv, _ = workflow
+        assert main(["summarize", str(kpi_csv)]) == 0
+        out = capsys.readouterr().out
+        assert "Cv=" in out
+        assert "interval=60min" in out
+
+
+class TestLabel:
+    def test_scripted_labeling(self, workflow, tmp_path, capsys):
+        kpi_csv, _ = workflow
+        out = tmp_path / "labeled.csv"
+        assert main([
+            "label", str(kpi_csv), "--out", str(out),
+            "--commands", "l 10 20; l 50 55; c 12 14; q",
+        ]) == 0
+        series = read_csv(out)
+        assert series.labels.sum() == (20 - 10) - 2 + 5
+        assert "windows" in capsys.readouterr().out
+
+
+class TestTrainDetectEvaluate:
+    def test_model_file_is_json(self, workflow):
+        _, model = workflow
+        payload = json.loads(model.read_text())
+        assert payload["format_version"] == 1
+        assert len(payload["feature_names"]) == 133
+
+    def test_detect_prints_alerts(self, workflow, tmp_path, capsys):
+        kpi_csv, model = workflow
+        out = tmp_path / "detections.csv"
+        assert main([
+            "detect", str(kpi_csv), "--model", str(model),
+            "--out", str(out), "--min-duration", "2",
+        ]) == 0
+        console = capsys.readouterr().out
+        assert "anomalous points" in console
+        detections = read_csv(out)
+        assert detections.is_labeled
+
+    def test_evaluate_reports_accuracy(self, workflow, capsys):
+        kpi_csv, model = workflow
+        assert main(["evaluate", str(kpi_csv), "--model", str(model)]) == 0
+        console = capsys.readouterr().out
+        assert "AUCPR" in console
+        assert "recall" in console
+        # In-sample evaluation of the model on its own training data
+        # should satisfy the preference.
+        assert "satisfied" in console
+
+    def test_train_rejects_unlabeled(self, tmp_path, capsys):
+        raw = tmp_path / "raw.csv"
+        main(["generate", "--kpi", "SRT", "--weeks", "1", "--no-labels",
+              "--out", str(raw)])
+        model = tmp_path / "m.json"
+        assert main(["train", str(raw), "--model", str(model)]) == 2
+
+    def test_evaluate_rejects_unlabeled(self, workflow, tmp_path):
+        _, model = workflow
+        raw = tmp_path / "raw.csv"
+        main(["generate", "--kpi", "SRT", "--weeks", "1", "--no-labels",
+              "--out", str(raw)])
+        assert main(["evaluate", str(raw), "--model", str(model)]) == 2
+
+
+class TestReport:
+    def test_report_runs_full_evaluation(self, tmp_path, capsys):
+        kpi_csv = tmp_path / "srt10.csv"
+        assert main([
+            "generate", "--kpi", "SRT", "--weeks", "10", "--out", str(kpi_csv),
+        ]) == 0
+        assert main([
+            "report", str(kpi_csv), "--trees", "10", "--top", "5",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "KPI evaluation" in out
+        assert "AUCPR ranking" in out
+        assert "random forest" in out
+
+    def test_report_rejects_unlabeled(self, tmp_path):
+        raw = tmp_path / "raw.csv"
+        main(["generate", "--kpi", "SRT", "--weeks", "10", "--no-labels",
+              "--out", str(raw)])
+        assert main(["report", str(raw)]) == 2
+
+
+class TestDriftCommand:
+    def test_drift_between_generations(self, tmp_path, capsys):
+        a, b = tmp_path / "a.csv", tmp_path / "b.csv"
+        main(["generate", "--kpi", "SRT", "--weeks", "3", "--out", str(a)])
+        main(["generate", "--kpi", "SRT", "--weeks", "3",
+              "--seed-offset", "9", "--out", str(b)])
+        assert main(["drift", str(a), str(b), "--top", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "max PSI" in out
+
+    def test_interval_mismatch_rejected(self, tmp_path):
+        a, b = tmp_path / "a.csv", tmp_path / "b.csv"
+        main(["generate", "--kpi", "SRT", "--weeks", "2", "--out", str(a)])
+        main(["generate", "--kpi", "PV", "--weeks", "2", "--out", str(b)])
+        assert main(["drift", str(a), str(b)]) == 2
+
+
+class TestTriageCommand:
+    def test_triage_lists_windows(self, workflow, tmp_path, capsys):
+        kpi_csv, model = workflow
+        raw = tmp_path / "raw.csv"
+        # Strip labels so everything is triage-eligible.
+        main(["generate", "--kpi", "SRT", "--weeks", "4", "--no-labels",
+              "--out", str(raw)])
+        assert main([
+            "triage", str(raw), "--model", str(model), "--threshold", "0.3",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "review" in out or "nothing to triage" in out
+
+
+class TestResampleCommand:
+    def test_resample_to_coarser_grid(self, tmp_path, capsys):
+        fine = tmp_path / "fine.csv"
+        coarse = tmp_path / "coarse.csv"
+        main(["generate", "--kpi", "SRT", "--weeks", "1", "--out", str(fine)])
+        assert main([
+            "resample", str(fine), "--to", "7200", "--out", str(coarse),
+        ]) == 0
+        out = read_csv(coarse)
+        assert out.interval == 7200
+        assert len(out) == 7 * 12
+        assert "->" in capsys.readouterr().out
+
+    def test_max_aggregate_flag(self, tmp_path):
+        fine = tmp_path / "fine.csv"
+        coarse = tmp_path / "coarse.csv"
+        main(["generate", "--kpi", "SRT", "--weeks", "1", "--out", str(fine)])
+        assert main([
+            "resample", str(fine), "--to", "7200", "--aggregate", "max",
+            "--out", str(coarse),
+        ]) == 0
+        fine_series = read_csv(fine)
+        coarse_series = read_csv(coarse)
+        assert coarse_series.values[0] == pytest.approx(
+            fine_series.values[:2].max()
+        )
+
+
+class TestDetectExplain:
+    def test_explain_flag_prints_contributors(self, workflow, capsys):
+        kpi_csv, model = workflow
+        assert main([
+            "detect", str(kpi_csv), "--model", str(model),
+            "--min-duration", "2", "--explain",
+        ]) == 0
+        out = capsys.readouterr().out
+        if "0 anomalous points" not in out.splitlines()[0]:
+            # At least one contributor line with a signed contribution.
+            assert any(
+                line.strip().startswith(("+", "-")) for line in out.splitlines()
+            )

@@ -1,0 +1,93 @@
+"""k-fold cThld cross-validation tests (§4.5.2)."""
+
+import numpy as np
+import pytest
+
+from repro.evaluation import (
+    AccuracyPreference,
+    contiguous_folds,
+    cross_validate_cthld,
+)
+
+
+class TestContiguousFolds:
+    def test_partition_covers_everything(self):
+        folds = contiguous_folds(103, 5)
+        joined = np.concatenate(folds)
+        np.testing.assert_array_equal(joined, np.arange(103))
+
+    def test_fold_sizes_near_equal(self):
+        folds = contiguous_folds(103, 5)
+        sizes = [len(f) for f in folds]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_folds_are_contiguous(self):
+        for fold in contiguous_folds(50, 5):
+            assert (np.diff(fold) == 1).all()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            contiguous_folds(10, 1)
+        with pytest.raises(ValueError):
+            contiguous_folds(3, 5)
+
+
+class _OracleClassifier:
+    """Scores equal to a hidden signal: perfect separation at 0.7."""
+
+    def fit(self, X, y):
+        return self
+
+    def predict_proba(self, X):
+        return X[:, 0]
+
+
+class TestCrossValidateCThld:
+    def _data(self, rng, n=500):
+        """Feature 0 is the anomaly probability itself; anomalies have
+        scores >= 0.8, normals <= 0.6."""
+        y = (rng.random(n) < 0.2).astype(int)
+        scores = np.where(
+            y == 1, rng.uniform(0.8, 1.0, n), rng.uniform(0.0, 0.6, n)
+        )
+        return scores[:, None], y
+
+    def test_finds_separating_threshold(self, rng):
+        X, y = self._data(rng)
+        cthld = cross_validate_cthld(
+            _OracleClassifier, X, y, AccuracyPreference(0.66, 0.66)
+        )
+        # The chosen threshold must separate the classes perfectly.
+        max_normal = X[y == 0, 0].max()
+        min_anomaly = X[y == 1, 0].min()
+        assert max_normal < cthld <= min_anomaly
+
+    def test_respects_candidate_grid(self, rng):
+        X, y = self._data(rng)
+        cthld = cross_validate_cthld(
+            _OracleClassifier,
+            X,
+            y,
+            AccuracyPreference(0.66, 0.66),
+            candidates=[0.3, 0.7],
+        )
+        assert cthld == 0.7
+
+    def test_no_anomalies_falls_back_to_default(self):
+        X = np.random.default_rng(0).random((100, 1))
+        y = np.zeros(100, dtype=int)
+        cthld = cross_validate_cthld(
+            _OracleClassifier, X, y, AccuracyPreference()
+        )
+        assert cthld == 0.5
+
+    def test_validation(self, rng):
+        X, y = self._data(rng, n=50)
+        with pytest.raises(ValueError):
+            cross_validate_cthld(
+                _OracleClassifier, X, y[:-1], AccuracyPreference()
+            )
+        with pytest.raises(ValueError):
+            cross_validate_cthld(
+                _OracleClassifier, X, y, AccuracyPreference(), candidates=[]
+            )

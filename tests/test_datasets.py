@@ -1,0 +1,150 @@
+"""KPI dataset profile tests (repro.data.datasets)."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    PROFILES,
+    PV_PROFILE,
+    SR_PROFILE,
+    SRT_PROFILE,
+    make_all,
+    make_kpi,
+    make_pv,
+    same_type_kpis,
+)
+
+
+class TestProfiles:
+    def test_registry_has_three_kpis(self):
+        assert list(PROFILES) == ["PV", "#SR", "SRT"]
+
+    def test_table1_lengths(self):
+        assert PV_PROFILE.weeks == 25
+        assert SR_PROFILE.weeks == 19
+        assert SRT_PROFILE.weeks == 16
+
+    def test_srt_uses_hourly_interval(self):
+        assert SRT_PROFILE.interval == 3600
+        assert SRT_PROFILE.paper_interval_seconds == 3600
+
+    def test_pv_paper_interval_is_one_minute(self):
+        assert PV_PROFILE.paper_interval_seconds == 60
+
+
+class TestMakeKPI:
+    def test_weeks_override(self):
+        result = make_kpi(PV_PROFILE, weeks=3)
+        assert result.series.n_weeks == pytest.approx(3.0)
+
+    def test_paper_interval_flag(self):
+        result = make_kpi(PV_PROFILE, weeks=1, paper_interval=True)
+        assert result.series.interval == 60
+        assert len(result.series) == 7 * 1440
+
+    def test_without_anomalies(self):
+        result = make_kpi(PV_PROFILE, weeks=2, with_anomalies=False)
+        assert result.series.labels.sum() == 0
+        assert result.windows == []
+
+    def test_seed_offset_changes_data(self):
+        a = make_kpi(PV_PROFILE, weeks=2, seed_offset=0)
+        b = make_kpi(PV_PROFILE, weeks=2, seed_offset=1)
+        assert not np.array_equal(a.series.values, b.series.values)
+
+    def test_deterministic(self):
+        a = make_kpi(SRT_PROFILE, weeks=2)
+        b = make_kpi(SRT_PROFILE, weeks=2)
+        np.testing.assert_array_equal(a.series.values, b.series.values)
+
+    def test_injector_mix_respected(self):
+        # #SR's mix has no dips or ramps.
+        result = make_kpi(SR_PROFILE, weeks=6)
+        assert set(result.kinds) <= {"spike", "level_shift", "jitter"}
+        assert "spike" in result.kinds
+
+    def test_make_all_keys(self):
+        results = make_all(weeks=2)
+        assert list(results) == ["PV", "#SR", "SRT"]
+
+
+class TestSameTypeKPIs:
+    def test_count_and_names(self):
+        replicas = same_type_kpis(PV_PROFILE, count=3, weeks=2)
+        assert [r.series.name for r in replicas] == ["PV-0", "PV-1", "PV-2"]
+
+    def test_scales_differ(self):
+        replicas = same_type_kpis(PV_PROFILE, count=3, weeks=2, scale_spread=10.0)
+        means = [r.series.values.mean() for r in replicas]
+        assert max(means) > 1.5 * min(means)
+
+    def test_each_replica_labelled(self):
+        for replica in same_type_kpis(PV_PROFILE, count=2, weeks=2):
+            assert replica.series.is_labeled
+            assert replica.series.labels.sum() > 0
+
+    def test_count_validated(self):
+        with pytest.raises(ValueError):
+            same_type_kpis(PV_PROFILE, count=0)
+
+
+class TestSRShape:
+    """#SR anomalies must be top-of-range spikes (the property that
+    makes simple threshold the paper's best #SR detector)."""
+
+    def test_anomalous_points_dominate_the_tail(self):
+        result = make_pv(weeks=4)  # sanity: not true for PV
+        sr = make_kpi(SR_PROFILE, weeks=6)
+        values, labels = sr.series.values, sr.series.labels.astype(bool)
+        threshold = np.quantile(values, 0.995)
+        top = values >= threshold
+        # Most of the extreme top tail is anomalous for #SR.
+        assert labels[top].mean() > 0.6
+
+
+class TestExtraProfiles:
+    """The §5.1 "other domains" KPIs: ISP traffic volume and RTT."""
+
+    def test_registry(self):
+        from repro.data import EXTRA_PROFILES
+
+        assert list(EXTRA_PROFILES) == ["TRAFFIC", "RTT"]
+
+    def test_traffic_is_strongly_seasonal_volume(self):
+        from repro.data import TRAFFIC_PROFILE
+        from repro.timeseries import summarize
+
+        summary = summarize(make_kpi(TRAFFIC_PROFILE, weeks=6).series)
+        assert summary.seasonality_label == "strong"
+        assert summary.cv > 0.4
+
+    def test_rtt_is_latency_like(self):
+        from repro.data import RTT_PROFILE
+        from repro.timeseries import summarize
+
+        summary = summarize(make_kpi(RTT_PROFILE, weeks=6).series)
+        assert summary.cv < 0.3
+        assert summary.seasonality_label in ("moderate", "weak")
+
+    def test_traffic_anomalies_are_mostly_dips_and_shifts(self):
+        from repro.data import TRAFFIC_PROFILE
+
+        result = make_kpi(TRAFFIC_PROFILE, weeks=6)
+        assert set(result.kinds) <= {"dip", "level_shift", "spike"}
+
+    def test_opprentice_works_on_extra_profiles(self):
+        """End-to-end sanity: the framework generalises beyond the
+        search-engine trio (§5.1's claim)."""
+        from repro.core import Opprentice
+        from repro.data import RTT_PROFILE
+        from repro.evaluation import aucpr
+        from repro.ml import RandomForest
+
+        series = make_kpi(RTT_PROFILE, weeks=6).series
+        split = 4 * series.points_per_week
+        opp = Opprentice(
+            classifier_factory=lambda: RandomForest(n_estimators=15, seed=0)
+        )
+        opp.fit(series.slice(0, split))
+        scores = opp.anomaly_scores(series.slice(split, len(series)))
+        assert aucpr(scores, series.labels[split:]) > 0.5

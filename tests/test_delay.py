@@ -1,0 +1,81 @@
+"""Detection-delay metric tests."""
+
+import numpy as np
+import pytest
+
+from repro.evaluation import DelayReport, detection_delays
+
+
+class TestDetectionDelays:
+    def test_immediate_detection(self):
+        labels = np.array([0, 1, 1, 1, 0])
+        preds = np.array([0, 1, 0, 0, 0])
+        report = detection_delays(preds, labels)
+        assert report.n_windows == 1
+        assert report.window_recall == 1.0
+        assert report.mean_delay() == 0.0
+
+    def test_delayed_detection(self):
+        labels = np.array([0, 1, 1, 1, 1, 0])
+        preds = np.array([0, 0, 0, 1, 1, 0])
+        report = detection_delays(preds, labels)
+        assert report.mean_delay() == 2.0
+
+    def test_missed_window(self):
+        labels = np.array([1, 1, 0, 1, 1])
+        preds = np.array([1, 0, 0, 0, 0])
+        report = detection_delays(preds, labels)
+        assert report.window_recall == pytest.approx(0.5)
+        assert report.detections[1].delay_points is None
+
+    def test_detection_outside_windows_ignored(self):
+        labels = np.array([0, 0, 1, 1, 0])
+        preds = np.array([1, 1, 0, 0, 1])
+        report = detection_delays(preds, labels)
+        assert report.window_recall == 0.0
+
+    def test_negative_placeholders_not_detections(self):
+        labels = np.array([1, 1, 1])
+        preds = np.array([-1, -1, 1])
+        report = detection_delays(preds, labels)
+        assert report.mean_delay() == 2.0
+
+    def test_caught_within(self):
+        labels = np.array([1, 1, 1, 0, 1, 1, 1, 0, 1, 1])
+        preds = np.array([0, 1, 0, 0, 0, 0, 1, 0, 0, 0])
+        report = detection_delays(preds, labels)
+        # Delays: 1, 2, missed.
+        assert report.caught_within(1) == pytest.approx(1 / 3)
+        assert report.caught_within(2) == pytest.approx(2 / 3)
+
+    def test_percentiles(self):
+        labels = np.tile([1, 1, 1, 1, 0], 4)
+        preds = np.zeros(20, dtype=int)
+        preds[[0, 6, 12, 18]] = 1  # delays 0, 1, 2, 3
+        report = detection_delays(preds, labels)
+        assert report.delay_percentile(50) == pytest.approx(1.5)
+
+    def test_empty_and_error_paths(self):
+        report = detection_delays(np.zeros(5, int), np.zeros(5, int))
+        assert report.n_windows == 0
+        with pytest.raises(ValueError):
+            _ = report.window_recall
+        with pytest.raises(ValueError):
+            report.mean_delay()
+        with pytest.raises(ValueError):
+            detection_delays(np.zeros(4, int), np.zeros(5, int))
+
+    def test_end_to_end_with_forest(self, labeled_kpi):
+        """Opprentice catches most windows within a few points."""
+        from repro.core import Opprentice
+        from test_opprentice import fast_forest, small_bank
+
+        series = labeled_kpi.series
+        opp = Opprentice(
+            configs=small_bank(series.points_per_week),
+            classifier_factory=fast_forest,
+        ).fit(series)
+        result = opp.detect(series)
+        report = detection_delays(result.predictions, series.labels)
+        assert report.window_recall > 0.6
+        assert report.delay_percentile(50) <= 2.0

@@ -1,0 +1,184 @@
+"""Additional depth tests: ARIMA internals, NB likelihoods, service
+multi-round retraining, merge properties."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.detectors.arima import (
+    _fit_long_ar,
+    _forward_fill,
+    _hannan_rissanen,
+    _interpolate_nan,
+)
+from repro.timeseries import AnomalyWindow, merge_windows, windows_to_points
+
+
+class TestARIMAInternals:
+    def test_forward_fill_basic(self):
+        values = np.array([np.nan, 1.0, np.nan, np.nan, 4.0])
+        filled = _forward_fill(values)
+        assert filled.tolist() == [1.0, 1.0, 1.0, 1.0, 4.0]
+
+    def test_forward_fill_is_causal_after_first_observation(self):
+        values = np.array([1.0, np.nan, 3.0])
+        filled = _forward_fill(values)
+        # The NaN takes the PAST value, never the future one.
+        assert filled[1] == 1.0
+
+    def test_forward_fill_all_nan_rejected(self):
+        from repro.detectors import DetectorError
+
+        with pytest.raises(DetectorError):
+            _forward_fill(np.array([np.nan, np.nan]))
+
+    def test_interpolate_nan_uses_both_sides(self):
+        values = np.array([1.0, np.nan, 3.0])
+        assert _interpolate_nan(values)[1] == pytest.approx(2.0)
+
+    def test_long_ar_innovations_whiten_ar_process(self, rng):
+        n = 3000
+        x = np.zeros(n)
+        for t in range(1, n):
+            x[t] = 0.9 * x[t - 1] + rng.normal()
+        innovations = _fit_long_ar(x, order=10)
+        # Innovations are near-white: their lag-1 autocorrelation is
+        # tiny compared to the raw series' 0.9.
+        tail = innovations[10:]
+        lag1 = np.corrcoef(tail[:-1], tail[1:])[0, 1]
+        assert abs(lag1) < 0.1
+
+    def test_hannan_rissanen_recovers_ar_coefficient(self, rng):
+        n = 5000
+        x = np.zeros(n)
+        for t in range(1, n):
+            x[t] = 0.7 * x[t - 1] + rng.normal()
+        innovations = _fit_long_ar(x, order=15)
+        fit = _hannan_rissanen(x, innovations, p=1, q=0)
+        assert fit is not None
+        _, ar, _, _ = fit
+        assert ar[0] == pytest.approx(0.7, abs=0.05)
+
+    def test_hannan_rissanen_degenerate_returns_none(self):
+        x = np.zeros(20)
+        innovations = np.zeros(20)
+        assert _hannan_rissanen(x, innovations, p=3, q=3) is None
+
+    def test_order_estimation_deterministic(self, rng):
+        from repro.detectors import ARIMA
+
+        x = rng.normal(100, 5, 400)
+        detector = ARIMA(fit_points=300)
+        a = detector.estimate_order(x[:300])
+        b = detector.estimate_order(x[:300])
+        assert a == b
+
+
+class TestNaiveBayesLikelihood:
+    def test_joint_log_likelihood_matches_manual(self, rng):
+        from repro.ml import GaussianNB
+
+        X = np.vstack([rng.normal(0, 1, (50, 2)), rng.normal(5, 2, (50, 2))])
+        y = np.array([0] * 50 + [1] * 50)
+        model = GaussianNB().fit(X, y)
+        probe = np.array([[1.0, 2.0]])
+        joint = model._joint_log_likelihood(probe)[0]
+        for cls in (0, 1):
+            manual = np.log(model.class_prior_[cls])
+            for j in range(2):
+                var = model.var_[cls, j]
+                mean = model.theta_[cls, j]
+                manual += -0.5 * (
+                    np.log(2 * np.pi * var) + (probe[0, j] - mean) ** 2 / var
+                )
+            assert joint[cls] == pytest.approx(manual)
+
+
+class TestLinearModelErrors:
+    def test_decision_function_requires_fit(self, rng):
+        from repro.ml import LinearSVM
+        from repro.ml.base import NotFittedError
+
+        with pytest.raises(NotFittedError):
+            LinearSVM().decision_function(rng.normal(size=(5, 2)))
+
+
+class TestMergeWindowsProperties:
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=60),
+                st.integers(min_value=1, max_value=20),
+            ),
+            max_size=12,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_merge_preserves_coverage_and_is_minimal(self, raw):
+        windows = [AnomalyWindow(b, b + n) for b, n in raw]
+        merged = merge_windows(windows)
+        # Same point coverage.
+        np.testing.assert_array_equal(
+            windows_to_points(merged, 100), windows_to_points(windows, 100)
+        )
+        # Strictly separated (no touching/overlapping survivors).
+        for first, second in zip(merged, merged[1:]):
+            assert first.end < second.begin
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=60),
+                st.integers(min_value=1, max_value=20),
+            ),
+            max_size=12,
+        )
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_merge_is_idempotent(self, raw):
+        windows = [AnomalyWindow(b, b + n) for b, n in raw]
+        merged = merge_windows(windows)
+        assert merge_windows(merged) == merged
+
+
+class TestServiceMultiRound:
+    def test_two_retraining_rounds(self):
+        """The weekly loop twice in a row: ingest, label, retrain,
+        ingest, label, retrain."""
+        from repro.core import MonitoringService
+        from repro.data import SeasonalProfile, generate_kpi, inject_anomalies
+        from test_opprentice import fast_forest, small_bank
+
+        generated = generate_kpi(
+            weeks=6, interval=3600,
+            profile=SeasonalProfile(base_level=100.0, daily_amplitude=0.5,
+                                    noise_scale=0.02),
+            seed=71,
+        )
+        result = inject_anomalies(
+            generated.series, target_fraction=0.06, seed=72, mean_window=4.0
+        )
+        series = result.series
+        ppw = series.points_per_week
+        service = MonitoringService(
+            configs=small_bank(ppw),
+            classifier_factory=fast_forest,
+        )
+        service.bootstrap(series.slice(0, 4 * ppw))
+        for week in (4, 5):
+            begin, end = week * ppw, (week + 1) * ppw
+            for value in series.values[begin:end]:
+                service.ingest(value)
+            service.submit_labels(
+                [w for w in result.windows if begin <= w.begin < end]
+            )
+            service.retrain()
+        assert service.stats.retrain_rounds == 2
+        assert service.history_length == 6 * ppw
+        # The accumulated labels match the injected truth windows that
+        # fall in the live region.
+        truth = series.labels[4 * ppw:]
+        internal = service._history.labels[4 * ppw:]
+        overlap = (truth.astype(bool) & internal.astype(bool)).sum()
+        assert overlap >= 0.9 * internal.sum()

@@ -1,0 +1,203 @@
+"""Holt-Winters, SVD, wavelet, ARIMA detector tests."""
+
+import numpy as np
+import pytest
+
+from repro.detectors import (
+    ARIMA,
+    DetectorError,
+    HoltWinters,
+    SVDDetector,
+    WaveletDetector,
+)
+from repro.detectors.holt_winters import batch_severities
+from repro.timeseries import TimeSeries
+
+
+def ts(values, interval=3600):
+    return TimeSeries(values=np.asarray(values, dtype=float), interval=interval)
+
+
+def seasonal_series(rng, periods=20, period=24, noise=0.5):
+    pattern = 100.0 + 20.0 * np.sin(np.linspace(0, 2 * np.pi, period, endpoint=False))
+    values = np.tile(pattern, periods) + rng.normal(0, noise, periods * period)
+    return values
+
+
+class TestHoltWinters:
+    def test_parameter_validation(self):
+        with pytest.raises(DetectorError):
+            HoltWinters(0.0, 0.5, 0.5, 24)
+        with pytest.raises(DetectorError):
+            HoltWinters(0.5, 1.0, 0.5, 24)
+        with pytest.raises(DetectorError):
+            HoltWinters(0.5, 0.5, 0.5, 1)
+
+    def test_warmup_is_one_season(self):
+        detector = HoltWinters(0.4, 0.4, 0.4, 24)
+        out = detector.severities(ts(np.arange(30.0)))
+        assert np.isnan(out[:24]).all()
+        assert np.isfinite(out[24:]).all()
+
+    def test_tracks_seasonal_series(self, rng):
+        values = seasonal_series(rng)
+        detector = HoltWinters(0.4, 0.2, 0.4, 24)
+        out = detector.severities(ts(values))
+        # Residuals settle close to the noise level once warmed up.
+        settled = out[5 * 24:]
+        assert np.nanmedian(settled) < 3.0
+
+    def test_flags_spike(self, rng):
+        values = seasonal_series(rng)
+        values[300] += 80.0
+        out = HoltWinters(0.4, 0.2, 0.4, 24).severities(ts(values))
+        assert out[300] > 50.0
+
+    def test_missing_point_freezes_state(self, rng):
+        values = seasonal_series(rng)
+        dirty = values.copy()
+        dirty[200] = np.nan
+        out = HoltWinters(0.4, 0.2, 0.4, 24).severities(ts(dirty))
+        assert np.isnan(out[200])
+        assert np.isfinite(out[201])
+
+    def test_batch_matches_stream_loop(self, rng):
+        values = seasonal_series(rng, periods=6)
+        alphas = np.array([0.2, 0.8])
+        betas = np.array([0.4, 0.2])
+        gammas = np.array([0.6, 0.4])
+        batched = batch_severities(values, alphas, betas, gammas, 24)
+        for j in range(2):
+            single = HoltWinters(alphas[j], betas[j], gammas[j], 24)
+            expected = single.severities(ts(values))
+            np.testing.assert_allclose(
+                batched[:, j], expected, equal_nan=True, atol=1e-9
+            )
+
+    def test_batch_validates_shapes(self):
+        with pytest.raises(DetectorError, match="shape"):
+            batch_severities(np.zeros(10), np.zeros(2), np.zeros(3), np.zeros(2), 4)
+
+
+class TestSVD:
+    def test_parameter_validation(self):
+        with pytest.raises(DetectorError):
+            SVDDetector(1, 3)
+        with pytest.raises(DetectorError):
+            SVDDetector(10, 1)
+
+    def test_warmup(self):
+        detector = SVDDetector(row=10, column=3)
+        out = detector.severities(ts(np.arange(40.0)))
+        assert np.isnan(out[:29]).all()
+        assert np.isfinite(out[29:]).all()
+
+    def test_repetitive_signal_scores_low_spike_high(self, rng):
+        values = np.tile([10.0, 12.0, 9.0, 11.0, 10.5], 30)
+        values += rng.normal(0, 0.05, len(values))
+        spiked = values.copy()
+        spiked[120] += 20.0
+        detector = SVDDetector(row=10, column=3)
+        base = detector.severities(ts(values))
+        hit = detector.severities(ts(spiked))
+        assert hit[120] > 10 * np.nanmedian(base)
+
+    def test_batched_matches_slow_path(self, rng):
+        values = rng.normal(10.0, 2.0, size=80)
+        detector = SVDDetector(row=8, column=3)
+        fast = detector.severities(ts(values))
+        slow = detector._severities_slow(values)
+        np.testing.assert_allclose(fast, slow, equal_nan=True, atol=1e-8)
+
+    def test_nan_window_gives_nan(self, rng):
+        values = rng.normal(10.0, 2.0, size=60)
+        values[40] = np.nan
+        out = SVDDetector(row=5, column=3).severities(ts(values))
+        # Every window containing index 40 is NaN.
+        assert np.isnan(out[40:55]).all()
+        assert np.isfinite(out[55:]).all()
+
+
+class TestWavelet:
+    def test_parameter_validation(self):
+        with pytest.raises(DetectorError):
+            WaveletDetector(0, "low", 24)
+        with pytest.raises(DetectorError, match="band"):
+            WaveletDetector(3, "ultra", 24)
+
+    def test_bands_have_increasing_scale(self):
+        high = WaveletDetector(3, "high", 24)
+        mid = WaveletDetector(3, "mid", 24)
+        low = WaveletDetector(3, "low", 24)
+        assert high.scale < mid.scale < low.scale
+
+    def test_step_change_excites_detector(self, rng):
+        values = np.concatenate(
+            [rng.normal(100, 1.0, 600), rng.normal(140, 1.0, 120)]
+        )
+        out = WaveletDetector(3, "high", 24).severities(ts(values))
+        # Right at the step, the Haar detail jumps far above its norm.
+        assert np.nanmax(out[598:604]) > 5.0
+
+    def test_smooth_series_scores_low(self, rng):
+        values = 100.0 + rng.normal(0, 1.0, 800)
+        out = WaveletDetector(3, "mid", 24).severities(ts(values))
+        assert np.nanmedian(out) < 2.0
+
+    def test_feature_names_distinct(self):
+        names = {
+            WaveletDetector(w, b, 24).feature_name
+            for w in (3, 5, 7)
+            for b in ("low", "mid", "high")
+        }
+        assert len(names) == 9
+
+
+class TestARIMA:
+    def test_parameter_validation(self):
+        with pytest.raises(DetectorError):
+            ARIMA(fit_points=10)
+        with pytest.raises(DetectorError):
+            ARIMA(fit_points=100, max_p=0, max_q=0)
+
+    def test_estimates_differencing_for_random_walk(self, rng):
+        walk = np.cumsum(rng.normal(0, 1.0, 600))
+        order = ARIMA(fit_points=300).estimate_order(walk[:300])
+        assert order.d == 1
+
+    def test_stationary_series_not_differenced(self, rng):
+        stationary = rng.normal(0, 1.0, 600)
+        order = ARIMA(fit_points=300).estimate_order(stationary[:300])
+        assert order.d == 0
+
+    def test_recovers_ar1_structure(self, rng):
+        # x_t = 0.8 x_{t-1} + e_t
+        n = 2000
+        x = np.zeros(n)
+        for t in range(1, n):
+            x[t] = 0.8 * x[t - 1] + rng.normal()
+        detector = ARIMA(fit_points=1000)
+        out = detector.severities(ts(x))
+        residuals = out[1000:]
+        # One-step residuals should be close to the innovation scale (1),
+        # far below the series scale (std ~ 1.67).
+        assert np.nanmean(residuals) < 1.2
+
+    def test_flags_spike(self, rng):
+        x = rng.normal(100, 1.0, 800)
+        x[600] += 30.0
+        out = ARIMA(fit_points=400).severities(ts(x))
+        assert out[600] > 20.0
+
+    def test_warmup_region_is_nan(self, rng):
+        x = rng.normal(0, 1.0, 300)
+        out = ARIMA(fit_points=200).severities(ts(x))
+        assert np.isnan(out[:200]).all()
+        assert np.isfinite(out[200:]).all()
+
+    def test_handles_missing_points(self, rng):
+        x = rng.normal(100, 1.0, 500)
+        x[450] = np.nan
+        out = ARIMA(fit_points=300).severities(ts(x))
+        assert np.isnan(out[450])
+        assert np.isfinite(out[451:]).all()

@@ -1,0 +1,123 @@
+"""Concept-drift monitoring tests."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    cthld_drift,
+    feature_drift,
+    population_stability_index,
+)
+from repro.core.drift import PSI_MAJOR, PSI_MODERATE
+
+
+class TestPSI:
+    def test_same_distribution_near_zero(self, rng):
+        reference = rng.normal(size=20_000)
+        recent = rng.normal(size=20_000)
+        assert population_stability_index(reference, recent) < 0.01
+
+    def test_shifted_distribution_flags(self, rng):
+        reference = rng.normal(0, 1, 10_000)
+        recent = rng.normal(2, 1, 10_000)
+        assert population_stability_index(reference, recent) > PSI_MAJOR
+
+    def test_scale_change_flags(self, rng):
+        reference = rng.normal(0, 1, 10_000)
+        recent = rng.normal(0, 4, 10_000)
+        assert population_stability_index(reference, recent) > PSI_MODERATE
+
+    def test_nan_excluded(self, rng):
+        reference = rng.normal(size=5000)
+        recent = np.concatenate([rng.normal(size=5000), [np.nan] * 100])
+        value = population_stability_index(reference, recent)
+        assert np.isfinite(value)
+        assert value < 0.02
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            population_stability_index(rng.normal(size=3), rng.normal(size=100))
+        with pytest.raises(ValueError):
+            population_stability_index(
+                rng.normal(size=100), rng.normal(size=100), n_bins=1
+            )
+
+
+class TestFeatureDrift:
+    def test_names_and_levels(self, rng):
+        reference = np.column_stack(
+            [rng.normal(0, 1, 5000), rng.normal(0, 1, 5000)]
+        )
+        recent = np.column_stack(
+            [rng.normal(0, 1, 5000), rng.normal(3, 1, 5000)]
+        )
+        report = feature_drift(reference, recent, names=["stable", "moved"])
+        by_name = {f.name: f for f in report.features}
+        assert by_name["stable"].level == "stable"
+        assert by_name["moved"].level == "major"
+        assert report.top(1)[0].name == "moved"
+        assert report.max_psi == by_name["moved"].psi
+        assert report.drifted_fraction == pytest.approx(0.5)
+
+    def test_all_nan_column_skipped(self, rng):
+        reference = np.column_stack(
+            [rng.normal(size=1000), np.full(1000, np.nan)]
+        )
+        recent = np.column_stack(
+            [rng.normal(size=1000), np.full(1000, np.nan)]
+        )
+        report = feature_drift(reference, recent)
+        assert len(report.features) == 1
+
+    def test_render(self, rng):
+        reference = rng.normal(size=(2000, 2))
+        recent = rng.normal(size=(2000, 2))
+        text = feature_drift(reference, recent, names=["a", "b"]).render()
+        assert "max PSI" in text
+        assert "a" in text or "b" in text
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            feature_drift(rng.normal(size=(10, 2)), rng.normal(size=(10, 3)))
+        with pytest.raises(ValueError):
+            feature_drift(
+                rng.normal(size=(10, 2)), rng.normal(size=(10, 2)), names=["x"]
+            )
+
+    def test_detects_kpi_regime_change(self):
+        """End to end: a level-shifted KPI drifts its severity features."""
+        from repro.core import FeatureExtractor
+        from repro.data import SeasonalProfile, generate_kpi
+        from test_opprentice import small_bank
+
+        base = generate_kpi(
+            weeks=4, interval=3600,
+            profile=SeasonalProfile(base_level=100.0, daily_amplitude=0.5,
+                                    noise_scale=0.02),
+            seed=31,
+        ).series
+        shifted_values = base.values.copy()
+        half = len(base) // 2
+        shifted_values[half:] *= 2.0  # the service changed regime
+        from repro.timeseries import TimeSeries
+
+        shifted = TimeSeries(values=shifted_values, interval=3600)
+        matrix = FeatureExtractor(
+            small_bank(base.points_per_week)
+        ).extract(shifted)
+        report = feature_drift(
+            matrix.values[:half], matrix.values[half:], names=matrix.names
+        )
+        assert report.max_psi > PSI_MAJOR
+
+
+class TestCThldDrift:
+    def test_stable_series_near_zero(self):
+        assert cthld_drift([0.5, 0.52, 0.48, 0.5, 0.51, 0.49]) < 0.03
+
+    def test_regime_change_detected(self):
+        assert cthld_drift([0.3, 0.3, 0.3, 0.3, 0.8, 0.8, 0.8, 0.8]) > 0.3
+
+    def test_needs_enough_weeks(self):
+        with pytest.raises(ValueError):
+            cthld_drift([0.5, 0.5], window=4)

@@ -1,0 +1,180 @@
+"""Edge-case coverage across modules: degenerate inputs, fallback
+paths, and API corners not exercised by the main suites."""
+
+import numpy as np
+import pytest
+
+from repro.core import I4, Opprentice, run_online
+from repro.detectors import Detector
+from repro.detectors.base import _BufferedStream
+from repro.timeseries import TimeSeries
+
+from test_opprentice import fast_forest, online_kpi, small_bank
+
+
+class _MinimalDetector(Detector):
+    """A custom detector relying on every base-class default."""
+
+    kind = "minimal"
+
+    def __init__(self, lag: int = 1):
+        self.lag = lag
+
+    def params(self):
+        return {"lag": self.lag}
+
+    def warmup(self):
+        return self.lag
+
+    def severities(self, series):
+        values = self._validate(series)
+        out = np.full(len(values), np.nan)
+        out[self.lag:] = np.abs(values[self.lag:] - values[:-self.lag])
+        return out
+
+
+class TestBufferedStreamFallback:
+    """Custom detectors without a stream() override still get a correct
+    (if O(n^2)) online mode through the buffered fallback."""
+
+    def test_default_stream_matches_batch(self, rng):
+        detector = _MinimalDetector(lag=3)
+        values = rng.normal(10, 2, 50)
+        series = TimeSeries(values=values, interval=60)
+        batch = detector.severities(series)
+        stream = detector.stream()
+        assert isinstance(stream, _BufferedStream)
+        online = np.array([stream.update(v) for v in values])
+        np.testing.assert_allclose(online, batch, equal_nan=True)
+
+    def test_feature_name_formatting(self):
+        assert _MinimalDetector(lag=7).feature_name == "minimal(lag=7)"
+
+    def test_validate_rejects_2d(self):
+        detector = _MinimalDetector()
+        bad = TimeSeries(values=np.zeros(4), interval=60)
+        bad.values = np.zeros((2, 2))  # simulate corruption
+        from repro.detectors import DetectorError
+
+        with pytest.raises(DetectorError):
+            detector.severities(bad)
+
+
+class TestRunOnlineCorners:
+    def test_alternative_strategy(self):
+        """run_online accepts any Table 2 strategy, not just I1."""
+        from repro.data import SeasonalProfile, generate_kpi, inject_anomalies
+
+        generated = generate_kpi(
+            weeks=13, interval=3600,
+            profile=SeasonalProfile(base_level=100.0, daily_amplitude=0.5,
+                                    noise_scale=0.02),
+            seed=21,
+        )
+        series = inject_anomalies(
+            generated.series, target_fraction=0.06, seed=22
+        ).series
+        run = run_online(
+            series,
+            configs=small_bank(series.points_per_week),
+            classifier_factory=fast_forest,
+            strategy=I4,
+        )
+        # 13 weeks: 4-week windows starting at weeks 9 and 10.
+        assert [o.week for o in run.outcomes] == [9, 10]
+        ppw = series.points_per_week
+        assert run.outcomes[0].test_end - run.outcomes[0].test_begin == 4 * ppw
+
+    def test_i4_too_short_raises(self, labeled_kpi):
+        with pytest.raises(ValueError, match="too short"):
+            run_online(
+                labeled_kpi.series,
+                configs=small_bank(labeled_kpi.series.points_per_week),
+                classifier_factory=fast_forest,
+                strategy=I4,
+            )
+
+    def test_degenerate_training_week_skipped(self):
+        """Weeks whose training history has no labelled anomalies are
+        skipped rather than crashing the loop."""
+        from repro.data import SeasonalProfile, generate_kpi
+
+        generated = generate_kpi(
+            weeks=10, interval=3600,
+            profile=SeasonalProfile(base_level=100.0, noise_scale=0.02),
+            seed=5,
+        )
+        series = generated.series
+        labels = np.zeros(len(series), dtype=np.int8)
+        # Anomalies exist only in week 9, so the first test week (week
+        # 9) trains on anomaly-free data and must be skipped; week 10
+        # trains on data that includes week 9's anomalies.
+        ppw = series.points_per_week
+        labels[8 * ppw + 10: 8 * ppw + 30] = 1
+        series = series.with_labels(labels)
+        series.values[8 * ppw + 10: 8 * ppw + 30] *= 3.0
+        run = run_online(
+            series,
+            configs=small_bank(ppw),
+            classifier_factory=fast_forest,
+        )
+        assert [o.week for o in run.outcomes] == [10]
+
+
+class TestOpprenticeCorners:
+    def test_retrain_alias(self, labeled_kpi):
+        series = labeled_kpi.series
+        opp = Opprentice(
+            configs=small_bank(series.points_per_week),
+            classifier_factory=fast_forest,
+        )
+        opp.retrain(series)  # same as fit
+        assert opp.classifier_ is not None
+
+    def test_observe_best_cthld_updates_predictor(self, labeled_kpi, rng):
+        series = labeled_kpi.series
+        opp = Opprentice(
+            configs=small_bank(series.points_per_week),
+            classifier_factory=fast_forest,
+        ).fit(series)
+        scores = rng.random(200)
+        labels = (rng.random(200) < 0.2).astype(np.int8)
+        best = opp.observe_best_cthld(scores, labels)
+        assert 0.0 <= best <= 1.0
+        assert opp.cthld_predictor.current is not None
+
+    def test_score_features_requires_fit(self, rng):
+        with pytest.raises(RuntimeError):
+            Opprentice().score_features(rng.random((5, 3)))
+
+
+class TestTimeSeriesCorners:
+    def test_timestamps_cache_refreshes_after_resize(self):
+        ts = TimeSeries(values=np.zeros(5), interval=60)
+        first = ts.timestamps
+        ts.values = np.zeros(8)
+        assert len(ts.timestamps) == 8
+
+    def test_week_negative_index(self):
+        ts = TimeSeries(values=np.zeros(168), interval=3600)
+        from repro.timeseries import TimeSeriesError
+
+        with pytest.raises(TimeSeriesError):
+            ts.week(-1)
+
+    def test_month_negative_index(self):
+        ts = TimeSeries(values=np.zeros(24 * 40), interval=3600)
+        from repro.timeseries import TimeSeriesError
+
+        with pytest.raises(TimeSeriesError):
+            ts.month(-1)
+
+
+class TestServiceStatsDefaults:
+    def test_fresh_counters(self):
+        from repro.core import ServiceStats
+
+        stats = ServiceStats()
+        assert stats.points_ingested == 0
+        assert stats.alerts_opened == 0
+        assert stats.retrain_rounds == 0

@@ -1,0 +1,173 @@
+"""Confusion/precision/recall, PR curves and AUCPR tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.evaluation import (
+    Confusion,
+    aucpr,
+    aucpr_trapezoid,
+    confusion,
+    f_score,
+    max_precision_at_recall,
+    pr_curve,
+    precision_recall,
+)
+
+
+class TestConfusion:
+    def test_counts(self):
+        result = confusion(
+            np.array([1, 1, 0, 0, 1]), np.array([1, 0, 1, 0, 1])
+        )
+        assert result.true_positives == 2
+        assert result.false_positives == 1
+        assert result.false_negatives == 1
+        assert result.true_negatives == 1
+
+    def test_precision_recall_values(self):
+        result = Confusion(3, 1, 2, 10)
+        assert result.precision == pytest.approx(0.75)
+        assert result.recall == pytest.approx(0.6)
+        assert result.false_discovery_rate == pytest.approx(0.25)
+
+    def test_empty_detection_conventions(self):
+        result = Confusion(0, 0, 5, 10)
+        assert result.precision == 1.0  # nothing detected: no false alarms
+        assert result.recall == 0.0
+        nothing = Confusion(0, 0, 0, 10)
+        assert nothing.recall == 1.0  # nothing to detect
+
+    def test_nan_predictions_excluded(self):
+        predictions = np.array([1.0, np.nan, 0.0, 1.0])
+        labels = np.array([1, 1, 0, 0])
+        recall, precision = precision_recall(predictions, labels)
+        assert recall == pytest.approx(1.0)
+        assert precision == pytest.approx(0.5)
+
+    def test_negative_placeholder_excluded(self):
+        predictions = np.array([-1, 1, 0], dtype=float)
+        labels = np.array([1, 1, 0])
+        recall, precision = precision_recall(predictions, labels)
+        assert recall == 1.0 and precision == 1.0
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            confusion(np.zeros(3), np.zeros(4))
+
+
+class TestFScore:
+    def test_known_value(self):
+        assert f_score(0.5, 1.0) == pytest.approx(2 / 3)
+
+    def test_zero_when_both_zero(self):
+        assert f_score(0.0, 0.0) == 0.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            f_score(-0.1, 0.5)
+
+    @given(
+        st.floats(min_value=0, max_value=1), st.floats(min_value=0, max_value=1)
+    )
+    def test_bounded_by_min_and_max(self, r, p):
+        value = f_score(r, p)
+        assert 0.0 <= value <= 1.0
+        assert value <= max(r, p) + 1e-12
+        # F1 is at most twice the smaller of the two.
+        assert value <= 2 * min(r, p) + 1e-12
+
+
+class TestPRCurve:
+    def test_perfect_scores(self):
+        scores = np.array([0.9, 0.8, 0.2, 0.1])
+        labels = np.array([1, 1, 0, 0])
+        curve = pr_curve(scores, labels)
+        assert curve.satisfies(1.0, 1.0)
+        assert aucpr(scores, labels) == pytest.approx(1.0)
+
+    def test_hand_computed_curve(self):
+        # Descending scores with labels 1,0,1,0.
+        scores = np.array([0.9, 0.8, 0.7, 0.6])
+        labels = np.array([1, 0, 1, 0])
+        curve = pr_curve(scores, labels)
+        np.testing.assert_allclose(curve.recalls, [0.5, 0.5, 1.0, 1.0])
+        np.testing.assert_allclose(
+            curve.precisions, [1.0, 0.5, 2 / 3, 0.5]
+        )
+        # AP = 0.5 * 1.0 + 0.5 * (2/3)
+        assert aucpr(scores, labels) == pytest.approx(0.5 + 1 / 3)
+
+    def test_recalls_non_decreasing(self, rng):
+        scores = rng.random(200)
+        labels = (rng.random(200) < 0.2).astype(int)
+        curve = pr_curve(scores, labels)
+        assert (np.diff(curve.recalls) >= 0).all()
+
+    def test_ties_merged(self):
+        scores = np.array([0.5, 0.5, 0.5, 0.1])
+        labels = np.array([1, 0, 1, 0])
+        curve = pr_curve(scores, labels)
+        assert len(curve) == 2
+
+    def test_nan_scores_excluded(self):
+        scores = np.array([0.9, np.nan, 0.1])
+        labels = np.array([1, 1, 0])
+        curve = pr_curve(scores, labels)
+        assert curve.recalls[-1] == 1.0  # only one positive counted
+
+    def test_requires_positives(self):
+        with pytest.raises(ValueError):
+            pr_curve(np.array([0.5, 0.4]), np.array([0, 0]))
+
+    def test_random_scores_aucpr_near_base_rate(self, rng):
+        n, rate = 20_000, 0.1
+        labels = (rng.random(n) < rate).astype(int)
+        scores = rng.random(n)
+        assert aucpr(scores, labels) == pytest.approx(rate, abs=0.03)
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_aucpr_in_unit_interval(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(5, 100))
+        labels = rng.integers(0, 2, n)
+        if labels.sum() == 0:
+            labels[0] = 1
+        scores = rng.random(n)
+        value = aucpr(scores, labels)
+        assert 0.0 <= value <= 1.0
+
+    def test_trapezoid_at_least_ap_on_typical_data(self, rng):
+        labels = (rng.random(500) < 0.1).astype(int)
+        labels[0] = 1
+        scores = rng.random(500) + labels * 0.3
+        assert aucpr_trapezoid(scores, labels) >= aucpr(scores, labels) - 0.02
+
+
+class TestMaxPrecisionAtRecall:
+    def test_table4_statistic(self):
+        scores = np.array([0.9, 0.8, 0.7, 0.6, 0.5])
+        labels = np.array([1, 0, 1, 1, 0])
+        # recall >= 2/3 requires taking at least first four -> best
+        # precision among feasible points.
+        value = max_precision_at_recall(scores, labels, 0.66)
+        assert value == pytest.approx(0.75)
+
+    def test_unreachable_recall_returns_zero(self):
+        scores = np.array([np.nan, 0.5])
+        labels = np.array([1, 0])
+        with pytest.raises(ValueError):
+            # all positives have NaN scores: no curve at all
+            max_precision_at_recall(scores, labels, 0.5)
+
+    def test_recall_zero_gives_max_precision_anywhere(self):
+        scores = np.array([0.9, 0.1])
+        labels = np.array([1, 0])
+        assert max_precision_at_recall(scores, labels, 0.0) == 1.0
+
+    def test_bounds_validated(self):
+        with pytest.raises(ValueError):
+            max_precision_at_recall(np.array([0.5]), np.array([1]), 1.5)

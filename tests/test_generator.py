@@ -1,0 +1,95 @@
+"""Synthetic KPI generator tests."""
+
+import numpy as np
+import pytest
+
+from repro.data import GeneratedKPI, SeasonalProfile, generate_kpi
+from repro.data.generator import _ar1_noise, _daily_shape
+
+
+class TestDailyShape:
+    def test_zero_mean_unit_peak(self, rng):
+        shape = _daily_shape(rng, harmonics=4, points=144)
+        assert shape.mean() == pytest.approx(0.0, abs=1e-12)
+        assert np.abs(shape).max() == pytest.approx(1.0)
+
+    def test_deterministic_per_seed(self):
+        a = _daily_shape(np.random.default_rng(5), 3, 100)
+        b = _daily_shape(np.random.default_rng(5), 3, 100)
+        np.testing.assert_array_equal(a, b)
+
+
+class TestAR1Noise:
+    def test_stationary_scale(self, rng):
+        noise = _ar1_noise(rng, 100_000, scale=0.1, ar=0.7)
+        assert noise.std() == pytest.approx(0.1, rel=0.05)
+
+    def test_autocorrelation_matches_ar(self, rng):
+        noise = _ar1_noise(rng, 100_000, scale=1.0, ar=0.6)
+        lag1 = np.corrcoef(noise[:-1], noise[1:])[0, 1]
+        assert lag1 == pytest.approx(0.6, abs=0.03)
+
+    def test_rejects_bad_ar(self, rng):
+        with pytest.raises(ValueError):
+            _ar1_noise(rng, 10, 1.0, 1.0)
+
+
+class TestGenerateKPI:
+    def test_length_and_interval(self):
+        out = generate_kpi(weeks=2, interval=3600, seed=0)
+        assert isinstance(out, GeneratedKPI)
+        assert len(out.series) == 2 * 7 * 24
+        assert out.series.interval == 3600
+
+    def test_reproducible(self):
+        a = generate_kpi(weeks=1, interval=3600, seed=9).series
+        b = generate_kpi(weeks=1, interval=3600, seed=9).series
+        np.testing.assert_array_equal(a.values, b.values)
+
+    def test_different_seeds_differ(self):
+        a = generate_kpi(weeks=1, interval=3600, seed=1).series
+        b = generate_kpi(weeks=1, interval=3600, seed=2).series
+        assert not np.array_equal(a.values, b.values)
+
+    def test_non_negative_by_default(self):
+        profile = SeasonalProfile(base_level=1.0, noise_scale=2.0, noise_ar=0.0)
+        out = generate_kpi(weeks=1, interval=3600, profile=profile, seed=3)
+        assert (out.series.values >= 0).all()
+
+    def test_weekend_factor_lowers_weekends(self):
+        profile = SeasonalProfile(
+            weekend_factor=0.5, noise_scale=0.0, daily_amplitude=0.0, trend=0.0
+        )
+        out = generate_kpi(weeks=2, interval=3600, profile=profile, seed=0)
+        ppd = out.series.points_per_day
+        weekday_mean = out.series.values[:5 * ppd].mean()
+        weekend_mean = out.series.values[5 * ppd:7 * ppd].mean()
+        assert weekend_mean == pytest.approx(0.5 * weekday_mean, rel=1e-6)
+
+    def test_trend_raises_level(self):
+        profile = SeasonalProfile(
+            trend=0.5, noise_scale=0.0, daily_amplitude=0.0, weekend_factor=1.0
+        )
+        out = generate_kpi(weeks=2, interval=3600, profile=profile, seed=0)
+        assert out.series.values[-1] == pytest.approx(
+            1.5 * out.series.values[0], rel=1e-9
+        )
+
+    def test_bursts_add_positive_spikes(self):
+        quiet = SeasonalProfile(noise_scale=0.0, daily_amplitude=0.0, trend=0.0)
+        bursty = SeasonalProfile(
+            noise_scale=0.0, daily_amplitude=0.0, trend=0.0,
+            burst_rate=0.05, burst_scale=5.0,
+        )
+        base = generate_kpi(weeks=2, interval=3600, profile=quiet, seed=4).series
+        spiked = generate_kpi(weeks=2, interval=3600, profile=bursty, seed=4).series
+        assert spiked.values.max() > base.values.max() + 1000.0
+        assert (spiked.values >= base.values - 1e-9).all()
+
+    def test_rejects_bad_interval(self):
+        with pytest.raises(ValueError, match="divide"):
+            generate_kpi(weeks=1, interval=7000)
+
+    def test_rejects_bad_weeks(self):
+        with pytest.raises(ValueError, match="weeks"):
+            generate_kpi(weeks=0, interval=3600)

@@ -1,0 +1,168 @@
+"""Cross-module integration tests: the full Opprentice story.
+
+These tests run the complete pipeline — synthetic KPI, simulated
+operator labeling, feature extraction over a detector bank, random
+forest training, cThld selection — and check the paper's qualitative
+claims end to end on small, fast KPIs.
+"""
+
+import numpy as np
+import pytest
+
+from repro.combiners import MajorityVote, NormalizationSchema
+from repro.core import FeatureExtractor, Opprentice, run_online
+from repro.data import (
+    SeasonalProfile,
+    SimulatedOperator,
+    generate_kpi,
+    inject_anomalies,
+)
+from repro.detectors import (
+    Diff,
+    EWMA,
+    HistoricalAverage,
+    SimpleMA,
+    SimpleThreshold,
+    TSD,
+    TSDMad,
+    build_configs,
+)
+from repro.evaluation import AccuracyPreference, aucpr
+from repro.ml import Imputer, RandomForest
+
+
+@pytest.fixture(scope="module")
+def story():
+    """10 weeks of hourly KPI, labelled by an imperfect operator."""
+    generated = generate_kpi(
+        weeks=10,
+        interval=3600,
+        profile=SeasonalProfile(
+            base_level=100.0, daily_amplitude=0.5, noise_scale=0.02, trend=0.02
+        ),
+        seed=77,
+        name="integration-kpi",
+    )
+    injected = inject_anomalies(
+        generated.series, target_fraction=0.07, seed=78, mean_window=4.0
+    )
+    operator = SimulatedOperator(
+        boundary_jitter=1, miss_rate=0.03, false_window_rate=0.05, seed=79
+    )
+    labelled = operator.label(injected.series, injected.windows)
+    truth = injected.series.labels
+    return labelled, truth
+
+
+@pytest.fixture(scope="module")
+def bank():
+    return build_configs(
+        [
+            SimpleThreshold(),
+            Diff("last-slot", 1),
+            Diff("last-day", 24),
+            SimpleMA(10),
+            SimpleMA(30),
+            EWMA(0.3),
+            EWMA(0.7),
+            TSD(1, 168),
+            TSDMad(1, 168),
+            HistoricalAverage(1, 24),
+        ]
+    )
+
+
+@pytest.fixture(scope="module")
+def features(story, bank):
+    labelled, _ = story
+    return FeatureExtractor(bank).extract(labelled)
+
+
+def forest():
+    return RandomForest(n_estimators=25, seed=5)
+
+
+class TestEndToEnd:
+    def test_operator_labels_are_viable_for_learning(self, story, bank):
+        """§4.2: "machine learning is well known for being robust to
+        noises. Our evaluation also attests that the real labels of
+        operators are viable for learning" — train on noisy operator
+        labels, evaluate against the exact injection ground truth."""
+        labelled, truth = story
+        ppw = labelled.points_per_week
+        train = labelled.slice(0, 8 * ppw)
+        test = labelled.slice(8 * ppw, len(labelled))
+        opp = Opprentice(configs=bank, classifier_factory=forest)
+        opp.fit(train)
+        scores = opp.anomaly_scores(test)
+        assert aucpr(scores, truth[8 * ppw:]) > 0.6
+
+    def test_forest_beats_static_combiners(self, story, bank, features):
+        """The Fig 9 headline: random forests outrank the normalization
+        schema and majority vote on AUCPR."""
+        labelled, truth = story
+        ppw = labelled.points_per_week
+        split = 8 * ppw
+        train_rows, test_rows = features.rows(0, split), features.rows(
+            split, len(labelled)
+        )
+        test_truth = truth[split:]
+
+        imputer = Imputer().fit(train_rows)
+        rf = forest().fit(imputer.transform(train_rows), labelled.labels[:split])
+        rf_auc = aucpr(rf.predict_proba(imputer.transform(test_rows)), test_truth)
+
+        norm = NormalizationSchema().fit(train_rows)
+        vote = MajorityVote().fit(train_rows)
+        norm_auc = aucpr(norm.score(test_rows), test_truth)
+        vote_auc = aucpr(vote.score(test_rows), test_truth)
+
+        assert rf_auc > norm_auc
+        assert rf_auc > vote_auc
+
+    def test_online_loop_approaches_preference(self, story, bank):
+        """§5.6: Opprentice "can automatically satisfy or approximate
+        the operators' accuracy preference" on pooled windows."""
+        labelled, _ = story
+        run = run_online(
+            labelled,
+            configs=bank,
+            classifier_factory=forest,
+            preference=AccuracyPreference(0.66, 0.66),
+        )
+        points = run.moving_window_accuracy(window_weeks=2, step_days=7)
+        satisfied = sum(
+            1 for r, p in points if r >= 0.5 and p >= 0.5
+        )
+        assert satisfied / len(points) >= 0.5
+
+    def test_duration_filter_composes_with_detection(self, story, bank):
+        from repro.core import alerts_from_predictions
+
+        labelled, _ = story
+        ppw = labelled.points_per_week
+        opp = Opprentice(configs=bank, classifier_factory=forest)
+        opp.fit(labelled.slice(0, 8 * ppw))
+        result = opp.detect(labelled.slice(8 * ppw, len(labelled)))
+        alerts = alerts_from_predictions(
+            result.series, result.predictions, result.scores,
+            min_duration_points=2,
+        )
+        for alert in alerts:
+            assert alert.duration_points >= 2
+
+
+@pytest.mark.slow
+class TestPaperScaleSRT:
+    def test_srt_online_detection_meets_preference(self):
+        """Full-length SRT KPI (Table 1 scale) through the whole online
+        pipeline: the Fig 13(c) qualitative outcome."""
+        from repro.data import make_srt
+
+        srt = make_srt().series
+        run = run_online(
+            srt,
+            classifier_factory=lambda: RandomForest(n_estimators=30, seed=1),
+        )
+        assert run.satisfaction_rate() > 0.6
+        assert run.satisfaction_rate(use_best=True) >= run.satisfaction_rate() - 0.2

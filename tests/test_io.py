@@ -1,0 +1,116 @@
+"""CSV import/export tests for TimeSeries."""
+
+import io
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.timeseries import (
+    TimeSeries,
+    TimeSeriesError,
+    from_csv_string,
+    read_csv,
+    to_csv_string,
+    write_csv,
+)
+
+
+def series(values, labels=None, interval=60, start=1000):
+    return TimeSeries(
+        values=np.asarray(values, dtype=float),
+        interval=interval,
+        start=start,
+        labels=None if labels is None else np.asarray(labels, dtype=np.int8),
+    )
+
+
+class TestRoundtrip:
+    def test_values_roundtrip(self):
+        original = series([1.5, 2.0, 3.25])
+        restored = from_csv_string(to_csv_string(original))
+        np.testing.assert_array_equal(restored.values, original.values)
+        assert restored.interval == 60
+        assert restored.start == 1000
+
+    def test_labels_roundtrip(self):
+        original = series([1.0, 2.0, 3.0], labels=[0, 1, 0])
+        restored = from_csv_string(to_csv_string(original))
+        assert restored.is_labeled
+        assert restored.labels.tolist() == [0, 1, 0]
+
+    def test_unlabeled_stays_unlabeled(self):
+        restored = from_csv_string(to_csv_string(series([1.0, 2.0])))
+        assert not restored.is_labeled
+
+    def test_missing_points_roundtrip(self):
+        original = series([1.0, np.nan, 3.0])
+        restored = from_csv_string(to_csv_string(original))
+        assert np.isnan(restored.values[1])
+        assert restored.values[2] == 3.0
+
+    def test_file_roundtrip(self, tmp_path):
+        path = tmp_path / "kpi.csv"
+        original = series([5.0, 6.0], labels=[1, 0])
+        write_csv(original, path)
+        restored = read_csv(path)
+        np.testing.assert_array_equal(restored.values, original.values)
+
+    @given(
+        st.lists(
+            st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+            min_size=2,
+            max_size=40,
+        )
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_arbitrary_values_roundtrip_exactly(self, values):
+        original = series(values)
+        restored = from_csv_string(to_csv_string(original))
+        np.testing.assert_array_equal(restored.values, original.values)
+
+
+class TestReadCsv:
+    def test_headerless_input(self):
+        restored = from_csv_string("0,1.0\n60,2.0\n")
+        assert restored.values.tolist() == [1.0, 2.0]
+
+    def test_out_of_order_rows_sorted(self):
+        restored = from_csv_string("120,3.0\n0,1.0\n60,2.0\n")
+        assert restored.values.tolist() == [1.0, 2.0, 3.0]
+
+    def test_grid_gaps_become_missing(self):
+        restored = from_csv_string("0,1.0\n180,4.0\n", interval=60)
+        assert len(restored) == 4
+        assert np.isnan(restored.values[1:3]).all()
+
+    def test_interval_inferred_from_min_gap(self):
+        restored = from_csv_string("0,1.0\n120,2.0\n180,3.0\n")
+        assert restored.interval == 60
+
+    def test_duplicate_timestamps_rejected(self):
+        with pytest.raises(TimeSeriesError, match="duplicate"):
+            from_csv_string("0,1.0\n0,2.0\n")
+
+    def test_off_grid_timestamps_rejected(self):
+        with pytest.raises(TimeSeriesError, match="grid"):
+            from_csv_string("0,1.0\n60,2.0\n90,3.0\n", interval=60)
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(TimeSeriesError, match="no data"):
+            from_csv_string("timestamp,value\n")
+
+    def test_single_row_needs_explicit_interval(self):
+        with pytest.raises(TimeSeriesError, match="interval"):
+            from_csv_string("0,1.0\n")
+        restored = from_csv_string("0,1.0\n", interval=60)
+        assert len(restored) == 1
+
+    def test_short_row_rejected(self):
+        with pytest.raises(TimeSeriesError, match="expected"):
+            from_csv_string("0\n")
+
+    def test_name_passthrough(self):
+        restored = from_csv_string("0,1.0\n60,2.0\n", name="PV")
+        assert restored.name == "PV"

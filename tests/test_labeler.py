@@ -1,0 +1,111 @@
+"""Simulated operator and labeling-time model (Fig 14, §5.7)."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    LabelingTimeModel,
+    SimulatedOperator,
+    labeling_costs,
+    total_labeling_minutes,
+)
+from repro.timeseries import points_to_windows
+
+
+class TestSimulatedOperator:
+    def test_perfect_operator_reproduces_truth(self, labeled_kpi):
+        operator = SimulatedOperator(
+            boundary_jitter=0, miss_rate=0.0, false_window_rate=0.0, seed=0
+        )
+        labelled = operator.label(labeled_kpi.series, labeled_kpi.windows)
+        np.testing.assert_array_equal(labelled.labels, labeled_kpi.series.labels)
+
+    def test_jitter_moves_boundaries_but_keeps_cores(self, labeled_kpi):
+        operator = SimulatedOperator(
+            boundary_jitter=2, miss_rate=0.0, false_window_rate=0.0, seed=1
+        )
+        labelled = operator.label(labeled_kpi.series, labeled_kpi.windows)
+        truth = labeled_kpi.series.labels.astype(bool)
+        got = labelled.labels.astype(bool)
+        # Labels differ only near boundaries: the overlap is still large.
+        overlap = (truth & got).sum() / truth.sum()
+        assert overlap > 0.6
+        assert not np.array_equal(truth, got)
+
+    def test_miss_rate_drops_windows(self, labeled_kpi):
+        operator = SimulatedOperator(
+            boundary_jitter=0, miss_rate=0.5, false_window_rate=0.0, seed=2
+        )
+        labelled = operator.label(labeled_kpi.series, labeled_kpi.windows)
+        n_got = len(points_to_windows(labelled.labels))
+        assert n_got < len(labeled_kpi.windows)
+
+    def test_false_windows_added(self, hourly_kpi):
+        operator = SimulatedOperator(
+            boundary_jitter=0, miss_rate=0.0, false_window_rate=20.0, seed=3
+        )
+        labelled = operator.label(hourly_kpi, [])
+        assert labelled.labels.sum() > 0
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            SimulatedOperator(boundary_jitter=-1)
+        with pytest.raises(ValueError):
+            SimulatedOperator(miss_rate=1.5)
+
+
+class TestLabelingTimeModel:
+    def test_monotone_in_windows(self):
+        model = LabelingTimeModel()
+        assert model.month_minutes(1000, 10) > model.month_minutes(1000, 2)
+
+    def test_monotone_in_points(self):
+        model = LabelingTimeModel()
+        assert model.month_minutes(40000, 5) > model.month_minutes(700, 5)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            LabelingTimeModel().month_minutes(-1, 0)
+
+    def test_month_under_six_minutes_at_paper_scale(self):
+        # §5.7: "the labeling time of one-month data is less than 6
+        # minutes" — a month of 1-minute data with tens of windows.
+        model = LabelingTimeModel()
+        assert model.month_minutes(30 * 1440, 30) < 6.0
+
+
+class TestLabelingCosts:
+    def test_per_month_breakdown(self, labeled_kpi):
+        costs = labeling_costs(labeled_kpi.series)
+        assert len(costs) == labeled_kpi.series.n_months()
+        total_windows = sum(c.n_windows for c in costs)
+        # Splitting by month can split a window in two, never lose one.
+        assert total_windows >= len(labeled_kpi.windows)
+
+    def test_requires_labels(self, hourly_kpi):
+        with pytest.raises(ValueError, match="labelled"):
+            labeling_costs(hourly_kpi)
+
+    def test_total_is_sum_of_months(self, labeled_kpi):
+        costs = labeling_costs(labeled_kpi.series)
+        assert total_labeling_minutes(labeled_kpi.series) == pytest.approx(
+            sum(c.minutes for c in costs)
+        )
+
+
+@pytest.mark.slow
+class TestPaperLabelingTimes:
+    """§5.7's totals: 16 / 17 / 6 minutes for PV / #SR / SRT."""
+
+    @pytest.mark.parametrize(
+        "maker, expected_minutes, tolerance",
+        [("make_pv", 16.0, 10.0), ("make_sr", 17.0, 12.0), ("make_srt", 6.0, 5.0)],
+    )
+    def test_total_minutes_same_order(self, maker, expected_minutes, tolerance):
+        import repro.data as data
+
+        result = getattr(data, maker)()
+        total = total_labeling_minutes(result.series)
+        assert total == pytest.approx(expected_minutes, abs=tolerance)
+        # Every month stays under the 6-minute bound of §5.7.
+        assert max(c.minutes for c in labeling_costs(result.series)) < 6.0

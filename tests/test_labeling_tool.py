@@ -1,0 +1,216 @@
+"""Labeling session and console tool tests (§4.2, Fig 4)."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.labeling import LabelSession, LabelingTool, render_chart, run_commands
+from repro.labeling.tool import ViewState
+from repro.timeseries import AnomalyWindow, TimeSeries
+
+
+def series(n=100):
+    values = 50.0 + 10.0 * np.sin(np.arange(n) / 5.0)
+    return TimeSeries(values=values, interval=3600, name="tool-kpi")
+
+
+class TestLabelSession:
+    def test_label_and_to_labels(self):
+        session = LabelSession(series())
+        session.label(10, 15)
+        labels = session.to_labels()
+        assert labels[10:15].tolist() == [1] * 5
+        assert labels.sum() == 5
+
+    def test_overlapping_labels_merge(self):
+        session = LabelSession(series())
+        session.label(10, 15)
+        session.label(13, 20)
+        assert session.windows == [AnomalyWindow(10, 20)]
+
+    def test_partial_cancel(self):
+        session = LabelSession(series())
+        session.label(10, 20)
+        session.cancel(13, 16)
+        assert session.windows == [AnomalyWindow(10, 13), AnomalyWindow(16, 20)]
+
+    def test_undo_restores_previous_state(self):
+        session = LabelSession(series())
+        session.label(10, 15)
+        session.label(30, 35)
+        assert session.undo()
+        assert session.windows == [AnomalyWindow(10, 15)]
+        assert session.undo()
+        assert session.windows == []
+        assert not session.undo()
+
+    def test_clear(self):
+        session = LabelSession(series())
+        session.label(10, 15)
+        session.clear()
+        assert session.windows == []
+        assert session.undo()
+        assert session.windows == [AnomalyWindow(10, 15)]
+
+    def test_bounds_validated(self):
+        session = LabelSession(series())
+        with pytest.raises(ValueError):
+            session.label(90, 200)
+        with pytest.raises(ValueError):
+            session.label(-1, 5)
+
+    def test_n_label_actions_counts_drags(self):
+        session = LabelSession(series())
+        session.label(1, 3)
+        session.label(10, 12)
+        session.cancel(1, 2)
+        assert session.n_label_actions() == 2
+
+    def test_labeled_series(self):
+        session = LabelSession(series())
+        session.label(5, 8)
+        labelled = session.labeled_series()
+        assert labelled.is_labeled
+        assert labelled.labels[5:8].tolist() == [1, 1, 1]
+
+    def test_save_load_roundtrip(self, tmp_path):
+        session = LabelSession(series())
+        session.label(10, 15)
+        session.label(40, 44)
+        path = tmp_path / "labels.json"
+        session.save(path)
+        restored = LabelSession(series())
+        restored.load(path)
+        assert restored.windows == session.windows
+
+    def test_load_validates_length(self, tmp_path):
+        session = LabelSession(series(100))
+        session.label(1, 2)
+        path = tmp_path / "labels.json"
+        session.save(path)
+        other = LabelSession(series(50))
+        with pytest.raises(ValueError, match="points"):
+            other.load(path)
+
+
+class TestRenderChart:
+    def test_render_includes_markers(self):
+        ts = series(200)
+        labels = np.zeros(200, dtype=np.int8)
+        labels[50:60] = 1
+        chart = render_chart(ts, labels, ViewState(offset=0, width=200))
+        assert "#" in chart
+        assert "tool-kpi" in chart
+
+    def test_render_empty_label_set(self):
+        ts = series(50)
+        chart = render_chart(
+            ts, np.zeros(50, dtype=np.int8), ViewState(width=50)
+        )
+        assert "*" in chart
+
+    def test_single_anomalous_bin_visible(self):
+        """§4.2: "we do not smooth the curve. Thus, even if one time bin
+        is anomalous, it is visible" — max-downsampling guarantees it."""
+        values = np.full(400, 10.0)
+        values[123] = 100.0
+        ts = TimeSeries(values=values, interval=3600)
+        labels = np.zeros(400, dtype=np.int8)
+        labels[123] = 1
+        chart = render_chart(ts, labels, ViewState(width=400))
+        # The spike occupies the top row of the chart.
+        top_row = chart.splitlines()[0]
+        assert "@" in top_row
+
+
+class TestLabelingTool:
+    def test_scripted_labeling(self):
+        session = run_commands(
+            series(), ["l 10 15", "l 30 35", "c 12 14", "u"]
+        )
+        # Undo reverted the cancel.
+        assert session.windows == [AnomalyWindow(10, 15), AnomalyWindow(30, 35)]
+
+    def test_navigation_commands(self):
+        tool = LabelingTool(series(1000))
+        tool.execute("+")
+        width_zoomed = tool.view.width
+        tool.execute("-")
+        assert tool.view.width > width_zoomed
+        tool.execute("g 500")
+        assert tool.view.offset == 500
+
+    def test_quit_stops_run(self):
+        tool = LabelingTool(series(), output=io.StringIO())
+        stream = io.StringIO("l 1 5\nq\nl 20 25\n")
+        session = tool.run(stream)
+        assert session.windows == [AnomalyWindow(1, 5)]
+
+    def test_unknown_command_reported(self):
+        out = io.StringIO()
+        tool = LabelingTool(series(), output=out)
+        assert tool.execute("xyzzy")
+        assert "unknown command" in out.getvalue()
+
+    def test_save_command(self, tmp_path):
+        path = tmp_path / "out.json"
+        run_commands(series(), ["l 5 9", f"w {path}"])
+        restored = LabelSession(series())
+        restored.load(path)
+        assert restored.windows == [AnomalyWindow(5, 9)]
+
+
+class TestToolFuzz:
+    """Random command sequences must never crash the tool or corrupt
+    the session's invariants."""
+
+    from hypothesis import given, settings
+    from hypothesis import strategies as st
+
+    commands = st.one_of(
+        st.builds(lambda a, b: f"l {a} {a + b}",
+                  st.integers(0, 90), st.integers(1, 9)),
+        st.builds(lambda a, b: f"c {a} {a + b}",
+                  st.integers(0, 90), st.integers(1, 9)),
+        st.just("u"),
+        st.just("n"),
+        st.just("p"),
+        st.just("+"),
+        st.just("-"),
+        st.builds(lambda a: f"g {a}", st.integers(0, 99)),
+        st.just("bogus"),
+        st.just(""),
+    )
+
+    @given(sequence=st.lists(commands, max_size=40))
+    @settings(max_examples=40, deadline=None)
+    def test_random_sessions_stay_consistent(self, sequence):
+        from repro.labeling import LabelingTool
+        from repro.timeseries import points_to_windows
+
+        tool = LabelingTool(series(100))
+        for command in sequence:
+            assert tool.execute(command) is True
+        session = tool.session
+        labels = session.to_labels()
+        # Invariants: labels are 0/1 over the right length; the window
+        # list and the point labels agree; the view stays in bounds.
+        assert labels.shape == (100,)
+        assert set(np.unique(labels)) <= {0, 1}
+        recovered = points_to_windows(labels)
+        assert recovered == session.windows
+        assert 0 <= tool.view.offset <= 100
+        assert 20 <= tool.view.width <= 100
+
+    @given(sequence=st.lists(commands, min_size=1, max_size=25))
+    @settings(max_examples=25, deadline=None)
+    def test_undo_everything_returns_to_empty(self, sequence):
+        from repro.labeling import LabelingTool
+
+        tool = LabelingTool(series(100))
+        for command in sequence:
+            tool.execute(command)
+        while tool.session.undo():
+            pass
+        assert tool.session.windows == []

@@ -1,0 +1,156 @@
+"""PC-Score and cThld selection metric tests (§4.5.1, Fig 6/12)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.evaluation import (
+    AccuracyPreference,
+    DefaultCThld,
+    FScoreSelector,
+    PCScoreSelector,
+    SDSelector,
+    evaluate_threshold,
+    f_score,
+    pc_score,
+    pr_curve,
+)
+
+unit = st.floats(min_value=0.0, max_value=1.0)
+
+
+class TestAccuracyPreference:
+    def test_satisfaction(self):
+        pref = AccuracyPreference(0.66, 0.66)
+        assert pref.satisfied_by(0.7, 0.66)
+        assert not pref.satisfied_by(0.65, 0.9)
+
+    def test_bounds_validated(self):
+        with pytest.raises(ValueError):
+            AccuracyPreference(1.2, 0.5)
+
+    def test_scaling_lowers_bounds(self):
+        pref = AccuracyPreference(0.8, 0.6).scaled(2.0)
+        assert pref.recall == pytest.approx(0.4)
+        assert pref.precision == pytest.approx(0.3)
+
+    def test_scaling_below_one_rejected(self):
+        with pytest.raises(ValueError):
+            AccuracyPreference().scaled(0.5)
+
+
+class TestPCScore:
+    @given(r=unit, p=unit)
+    def test_satisfying_point_beats_any_non_satisfying(self, r, p):
+        """The incentive constant guarantees this ordering (§4.5.1)."""
+        pref = AccuracyPreference(0.66, 0.66)
+        satisfying = pc_score(0.66, 0.66, pref)
+        score = pc_score(r, p, pref)
+        if not pref.satisfied_by(r, p):
+            assert score < satisfying
+
+    @given(r=unit, p=unit)
+    def test_equals_fscore_plus_indicator(self, r, p):
+        pref = AccuracyPreference(0.5, 0.5)
+        expected = f_score(r, p) + (1.0 if pref.satisfied_by(r, p) else 0.0)
+        assert pc_score(r, p, pref) == pytest.approx(expected)
+
+
+def curve_from(scores, labels):
+    return pr_curve(np.asarray(scores, float), np.asarray(labels))
+
+
+class TestSelectors:
+    def setup_method(self):
+        # A curve with a high-precision/low-recall end and a
+        # low-precision/high-recall end.
+        self.scores = np.array(
+            [0.95, 0.9, 0.85, 0.8, 0.7, 0.6, 0.5, 0.4, 0.3, 0.2]
+        )
+        self.labels = np.array([1, 1, 1, 0, 1, 0, 1, 0, 0, 1])
+
+    def test_fscore_selector_maximizes_f1(self):
+        choice = FScoreSelector().select(self.scores, self.labels)
+        curve = curve_from(self.scores, self.labels)
+        best = max(
+            f_score(r, p) for r, p in zip(curve.recalls, curve.precisions)
+        )
+        assert f_score(choice.recall, choice.precision) == pytest.approx(best)
+
+    def test_sd_selector_minimizes_distance(self):
+        choice = SDSelector().select(self.scores, self.labels)
+        curve = curve_from(self.scores, self.labels)
+        best = min(
+            np.hypot(1 - r, 1 - p)
+            for r, p in zip(curve.recalls, curve.precisions)
+        )
+        assert np.hypot(
+            1 - choice.recall, 1 - choice.precision
+        ) == pytest.approx(best)
+
+    def test_default_selector_uses_half(self):
+        choice = DefaultCThld().select(self.scores, self.labels)
+        recall, precision = evaluate_threshold(self.scores, self.labels, 0.5)
+        assert choice.threshold == 0.5
+        assert (choice.recall, choice.precision) == (recall, precision)
+
+    def test_default_selector_all_below_threshold(self):
+        choice = DefaultCThld().select(
+            np.array([0.1, 0.2, 0.3]), np.array([1, 0, 1])
+        )
+        assert choice.recall == 0.0
+        assert choice.precision == 1.0
+
+    def test_pcscore_adapts_to_preference(self):
+        """The Fig 6 behaviour: different preferences pick different
+        curve points; the fixed metrics cannot."""
+        recall_pref = AccuracyPreference(recall=0.8, precision=0.2)
+        precision_pref = AccuracyPreference(recall=0.2, precision=0.9)
+        high_recall = PCScoreSelector(recall_pref).select(self.scores, self.labels)
+        high_precision = PCScoreSelector(precision_pref).select(
+            self.scores, self.labels
+        )
+        assert high_recall.recall >= 0.8
+        assert high_precision.precision >= 0.9
+        assert high_recall.threshold < high_precision.threshold
+
+    def test_pcscore_picks_satisfying_point_when_one_exists(self):
+        pref = AccuracyPreference(0.6, 0.6)
+        choice = PCScoreSelector(pref).select(self.scores, self.labels)
+        curve = curve_from(self.scores, self.labels)
+        if any(
+            pref.satisfied_by(r, p)
+            for r, p in zip(curve.recalls, curve.precisions)
+        ):
+            assert pref.satisfied_by(choice.recall, choice.precision)
+
+    def test_pcscore_degrades_to_fscore_without_satisfying_points(self):
+        """"the PC-Score cannot find the desired points, but it can
+        still choose approximate recall and precision" (§4.5.1)."""
+        impossible = AccuracyPreference(recall=1.0, precision=1.0)
+        pc_choice = PCScoreSelector(impossible).select(self.scores, self.labels)
+        f_choice = FScoreSelector().select(self.scores, self.labels)
+        assert pc_choice.threshold == f_choice.threshold
+
+
+class TestEvaluateThreshold:
+    def test_matches_manual_thresholding(self):
+        scores = np.array([0.9, 0.4, 0.6, np.nan])
+        labels = np.array([1, 1, 0, 1])
+        recall, precision = evaluate_threshold(scores, labels, 0.5)
+        # Detected: {0, 2}; positives among finite: {0, 1}.
+        assert recall == pytest.approx(0.5)
+        assert precision == pytest.approx(0.5)
+
+    @given(threshold=unit)
+    @settings(max_examples=20)
+    def test_selected_point_reproducible_by_threshold(self, threshold):
+        rng = np.random.default_rng(int(threshold * 1e6))
+        scores = rng.random(100)
+        labels = (rng.random(100) < 0.3).astype(int)
+        if labels.sum() == 0:
+            labels[0] = 1
+        recall, precision = evaluate_threshold(scores, labels, threshold)
+        assert 0.0 <= recall <= 1.0
+        assert 0.0 <= precision <= 1.0

@@ -1,0 +1,97 @@
+"""Gradient boosting tests."""
+
+import numpy as np
+import pytest
+
+from repro.ml import GradientBoosting, RandomForest
+
+
+def make_problem(rng, n=1500, noise_features=0):
+    d = 3 + noise_features
+    X = rng.normal(size=(n, d))
+    y = (X[:, 0] + 0.6 * X[:, 1] - 0.4 * X[:, 2]
+         + 0.4 * rng.normal(size=n) > 0.5).astype(int)
+    return X, y
+
+
+class TestGradientBoosting:
+    def test_learns_signal(self, rng):
+        X, y = make_problem(rng)
+        split = 1000
+        model = GradientBoosting(n_estimators=60, seed=0).fit(
+            X[:split], y[:split]
+        )
+        accuracy = (model.predict(X[split:]) == y[split:]).mean()
+        assert accuracy > 0.85
+
+    def test_probabilities_in_unit_interval(self, rng):
+        X, y = make_problem(rng, n=400)
+        model = GradientBoosting(n_estimators=20, seed=0).fit(X, y)
+        proba = model.predict_proba(X)
+        assert ((proba > 0) & (proba < 1)).all()
+
+    def test_more_rounds_fit_training_better(self, rng):
+        X, y = make_problem(rng, n=600)
+        few = GradientBoosting(n_estimators=5, seed=0).fit(X, y)
+        many = GradientBoosting(n_estimators=100, seed=0).fit(X, y)
+        from repro.evaluation import brier_score
+
+        assert brier_score(many.predict_proba(X), y) < brier_score(
+            few.predict_proba(X), y
+        )
+
+    def test_base_score_is_log_odds_of_rate(self, rng):
+        X = rng.normal(size=(500, 2))
+        y = (rng.random(500) < 0.2).astype(int)
+        model = GradientBoosting(n_estimators=1, seed=0).fit(X, y)
+        rate = y.mean()
+        assert model.base_score_ == pytest.approx(
+            np.log(rate / (1 - rate)), rel=1e-6
+        )
+
+    def test_reproducible_with_subsample(self, rng):
+        X, y = make_problem(rng, n=500)
+        a = GradientBoosting(n_estimators=20, subsample=0.7, seed=3).fit(X, y)
+        b = GradientBoosting(n_estimators=20, subsample=0.7, seed=3).fit(X, y)
+        np.testing.assert_array_equal(a.predict_proba(X), b.predict_proba(X))
+
+    def test_robust_to_redundant_features(self, rng):
+        """Tree-based boosting shares the forest's Fig 10 robustness."""
+        X, y = make_problem(rng, n=2000, noise_features=40)
+        redundant = X[:, :3].repeat(4, axis=1)
+        X_noisy = np.hstack([X, redundant])
+        split = 1400
+        model = GradientBoosting(n_estimators=60, seed=0).fit(
+            X_noisy[:split], y[:split]
+        )
+        accuracy = (model.predict(X_noisy[split:]) == y[split:]).mean()
+        assert accuracy > 0.8
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            GradientBoosting(n_estimators=0)
+        with pytest.raises(ValueError):
+            GradientBoosting(learning_rate=0.0)
+        with pytest.raises(ValueError):
+            GradientBoosting(subsample=1.5)
+
+    def test_competitive_with_forest_on_kpi_features(self, labeled_kpi):
+        from repro.core import FeatureExtractor
+        from repro.evaluation import aucpr
+        from repro.ml import Imputer
+        from test_opprentice import small_bank
+
+        series = labeled_kpi.series
+        matrix = FeatureExtractor(
+            small_bank(series.points_per_week)
+        ).extract(series)
+        split = 3 * series.points_per_week
+        imputer = Imputer().fit(matrix.values[:split])
+        X = imputer.transform(matrix.values)
+        y = series.labels
+        gbm = GradientBoosting(n_estimators=60, seed=0).fit(X[:split], y[:split])
+        forest = RandomForest(n_estimators=25, seed=0).fit(X[:split], y[:split])
+        gbm_auc = aucpr(gbm.predict_proba(X[split:]), y[split:])
+        rf_auc = aucpr(forest.predict_proba(X[split:]), y[split:])
+        assert gbm_auc > 0.5
+        assert abs(gbm_auc - rf_auc) < 0.35  # same ballpark

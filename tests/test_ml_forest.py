@@ -1,0 +1,147 @@
+"""Random forest tests, including the paper's robustness claims."""
+
+import numpy as np
+import pytest
+
+from repro.ml import DecisionTree, RandomForest
+
+
+def make_problem(rng, n=800, informative=2, noise_features=0):
+    """Binary problem driven by the first `informative` features."""
+    d = informative + noise_features
+    X = rng.normal(size=(n, d))
+    signal = X[:, :informative].sum(axis=1)
+    y = (signal + 0.5 * rng.normal(size=n) > 0.5).astype(int)
+    return X, y
+
+
+class TestRandomForest:
+    def test_probability_is_vote_fraction(self, rng):
+        X, y = make_problem(rng)
+        forest = RandomForest(n_estimators=10, seed=0).fit(X, y)
+        proba = forest.predict_proba(X)
+        # With 10 trees probabilities are multiples of 1/10 (§4.4.2).
+        np.testing.assert_allclose(proba * 10, np.round(proba * 10), atol=1e-9)
+
+    def test_learns_informative_signal(self, rng):
+        X, y = make_problem(rng, n=1200)
+        split = 800
+        forest = RandomForest(n_estimators=30, seed=1).fit(X[:split], y[:split])
+        accuracy = (forest.predict(X[split:]) == y[split:]).mean()
+        assert accuracy > 0.85
+
+    def test_reproducible(self, rng):
+        X, y = make_problem(rng)
+        a = RandomForest(n_estimators=10, seed=7).fit(X, y).predict_proba(X)
+        b = RandomForest(n_estimators=10, seed=7).fit(X, y).predict_proba(X)
+        np.testing.assert_array_equal(a, b)
+
+    def test_seed_changes_forest(self, rng):
+        X, y = make_problem(rng)
+        a = RandomForest(n_estimators=10, seed=1).fit(X, y).predict_proba(X)
+        b = RandomForest(n_estimators=10, seed=2).fit(X, y).predict_proba(X)
+        assert not np.array_equal(a, b)
+
+    def test_robust_to_irrelevant_features(self, rng):
+        """The §5.3.2 claim: forests stay accurate as irrelevant and
+        redundant features are added, unlike single trees."""
+        X, y = make_problem(rng, n=1500, informative=2, noise_features=0)
+        # Add 30 irrelevant features and 10 redundant (duplicated) ones.
+        irrelevant = rng.normal(size=(len(X), 30))
+        redundant = X[:, :2].repeat(5, axis=1) + rng.normal(
+            0, 0.01, size=(len(X), 10)
+        )
+        X_noisy = np.hstack([X, irrelevant, redundant])
+        split = 1000
+        forest = RandomForest(n_estimators=40, seed=3).fit(
+            X_noisy[:split], y[:split]
+        )
+        accuracy = (forest.predict(X_noisy[split:]) == y[split:]).mean()
+        assert accuracy > 0.8
+
+    def test_importances_favor_informative_features(self, rng):
+        X, y = make_problem(rng, n=1000, informative=2, noise_features=8)
+        forest = RandomForest(n_estimators=20, seed=4).fit(X, y)
+        importances = forest.feature_importances()
+        assert importances[:2].sum() > importances[2:].sum()
+
+    def test_single_tree_forest_equals_bagged_tree_shape(self, rng):
+        X, y = make_problem(rng, n=200)
+        forest = RandomForest(n_estimators=1, seed=0).fit(X, y)
+        proba = forest.predict_proba(X)
+        assert set(np.unique(proba)) <= {0.0, 1.0}
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            RandomForest(n_estimators=0)
+
+    def test_unfitted_forest_raises(self, rng):
+        X, _ = make_problem(rng, n=50)
+        from repro.ml.base import NotFittedError
+
+        with pytest.raises(NotFittedError):
+            RandomForest().predict_proba(X)
+
+    def test_default_threshold_is_half(self, rng):
+        X, y = make_problem(rng)
+        forest = RandomForest(n_estimators=11, seed=0).fit(X, y)
+        proba = forest.predict_proba(X)
+        np.testing.assert_array_equal(
+            forest.predict(X), (proba >= 0.5).astype(np.int8)
+        )
+
+
+class TestForestVsTree:
+    def test_forest_generalizes_better_on_noisy_labels(self, rng):
+        """Fully grown single trees overfit label noise (§4.4.2); the
+        ensemble vote smooths it out."""
+        X, y = make_problem(rng, n=2000, informative=3, noise_features=5)
+        flip = rng.random(len(y)) < 0.15
+        y_noisy = np.where(flip, 1 - y, y)
+        split = 1200
+        tree_acc = (
+            DecisionTree(seed=0)
+            .fit(X[:split], y_noisy[:split])
+            .predict(X[split:])
+            == y[split:]
+        ).mean()
+        forest_acc = (
+            RandomForest(n_estimators=40, seed=0)
+            .fit(X[:split], y_noisy[:split])
+            .predict(X[split:])
+            == y[split:]
+        ).mean()
+        assert forest_acc >= tree_acc
+
+
+class TestOutOfBag:
+    def test_oob_scores_shape_and_range(self, rng):
+        X, y = make_problem(rng, n=400)
+        forest = RandomForest(n_estimators=20, seed=0).fit(X, y)
+        scores = forest.oob_scores()
+        assert scores.shape == (400,)
+        finite = scores[np.isfinite(scores)]
+        assert ((finite >= 0) & (finite <= 1)).all()
+        # With 20 trees essentially every row is OOB somewhere.
+        assert np.isfinite(scores).mean() > 0.95
+
+    def test_oob_accuracy_estimates_generalization(self, rng):
+        X, y = make_problem(rng, n=1500)
+        split = 1000
+        forest = RandomForest(n_estimators=30, seed=1).fit(X[:split], y[:split])
+        oob = forest.oob_accuracy()
+        holdout = (forest.predict(X[split:]) == y[split:]).mean()
+        # OOB tracks true held-out accuracy within a few points.
+        assert abs(oob - holdout) < 0.08
+
+    def test_oob_requires_fit(self):
+        with pytest.raises(RuntimeError):
+            RandomForest().oob_scores()
+
+    def test_oob_lower_than_training_accuracy(self, rng):
+        """Fully grown trees memorise the training set; OOB reveals the
+        honest error."""
+        X, y = make_problem(rng, n=600)
+        forest = RandomForest(n_estimators=25, seed=2).fit(X, y)
+        train_accuracy = (forest.predict(X) == y).mean()
+        assert forest.oob_accuracy() <= train_accuracy

@@ -1,0 +1,102 @@
+"""Logistic regression, linear SVM, Gaussian NB tests."""
+
+import numpy as np
+import pytest
+
+from repro.ml import GaussianNB, LinearSVM, LogisticRegression
+
+
+def linear_problem(rng, n=1000, d=4, margin=1.0):
+    X = rng.normal(size=(n, d))
+    y = (X[:, 0] - 0.5 * X[:, 1] + margin * 0.2 * rng.normal(size=n) > 0).astype(int)
+    return X, y
+
+
+class TestLogisticRegression:
+    def test_learns_linear_boundary(self, rng):
+        X, y = linear_problem(rng)
+        model = LogisticRegression().fit(X[:700], y[:700])
+        accuracy = (model.predict(X[700:]) == y[700:]).mean()
+        assert accuracy > 0.9
+
+    def test_probabilities_calibrated_direction(self, rng):
+        X, y = linear_problem(rng)
+        model = LogisticRegression().fit(X, y)
+        proba = model.predict_proba(X)
+        assert proba[y == 1].mean() > proba[y == 0].mean()
+        assert ((proba >= 0) & (proba <= 1)).all()
+
+    def test_regularization_shrinks_weights(self, rng):
+        X, y = linear_problem(rng)
+        loose = LogisticRegression(C=100.0).fit(X, y)
+        tight = LogisticRegression(C=0.0001).fit(X, y)
+        assert np.linalg.norm(tight.weights_) < np.linalg.norm(loose.weights_)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            LogisticRegression(C=0.0)
+
+    def test_scale_invariant_after_standardization(self, rng):
+        X, y = linear_problem(rng)
+        a = LogisticRegression().fit(X, y).predict_proba(X)
+        b = LogisticRegression().fit(X * 1000.0, y).predict_proba(X * 1000.0)
+        np.testing.assert_allclose(a, b, atol=1e-4)
+
+
+class TestLinearSVM:
+    def test_learns_linear_boundary(self, rng):
+        X, y = linear_problem(rng)
+        model = LinearSVM().fit(X[:700], y[:700])
+        accuracy = (model.predict(X[700:]) == y[700:]).mean()
+        assert accuracy > 0.9
+
+    def test_decision_function_sign_matches_prediction(self, rng):
+        X, y = linear_problem(rng)
+        model = LinearSVM().fit(X, y)
+        margins = model.decision_function(X)
+        np.testing.assert_array_equal(
+            model.predict(X), (margins >= 0).astype(np.int8)
+        )
+
+    def test_proba_is_monotone_in_margin(self, rng):
+        X, y = linear_problem(rng)
+        model = LinearSVM().fit(X, y)
+        margins = model.decision_function(X)
+        proba = model.predict_proba(X)
+        order = np.argsort(margins)
+        assert (np.diff(proba[order]) >= -1e-12).all()
+
+
+class TestGaussianNB:
+    def test_learns_separated_gaussians(self, rng):
+        n = 600
+        X = np.vstack(
+            [rng.normal(0, 1, (n // 2, 3)), rng.normal(3, 1, (n // 2, 3))]
+        )
+        y = np.array([0] * (n // 2) + [1] * (n // 2))
+        model = GaussianNB().fit(X, y)
+        assert (model.predict(X) == y).mean() > 0.95
+
+    def test_prior_shifts_probability(self, rng):
+        # 90% negatives: ambiguous points should lean negative.
+        X = rng.normal(0, 1, size=(1000, 2))
+        y = (rng.random(1000) < 0.1).astype(int)
+        model = GaussianNB().fit(X, y)
+        assert model.predict_proba(X).mean() < 0.3
+
+    def test_requires_both_classes(self, rng):
+        X = rng.normal(size=(50, 2))
+        with pytest.raises(ValueError, match="both classes"):
+            GaussianNB().fit(X, np.zeros(50, dtype=int))
+
+    def test_variance_floor_avoids_divide_by_zero(self, rng):
+        X = np.zeros((100, 2))
+        X[:, 1] = rng.normal(size=100)
+        y = (X[:, 1] > 0).astype(int)
+        model = GaussianNB().fit(X, y)
+        proba = model.predict_proba(X)
+        assert np.isfinite(proba).all()
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            GaussianNB(var_smoothing=0.0)

@@ -1,0 +1,203 @@
+"""Imputer, StandardScaler and mutual-information ranking tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ml import Imputer, StandardScaler, mutual_information, rank_features_by_mi
+
+
+class TestImputer:
+    def test_fills_nan_with_training_median(self):
+        train = np.array([[1.0, 10.0], [3.0, np.nan], [5.0, 30.0]])
+        imputer = Imputer().fit(train)
+        out = imputer.transform(np.array([[np.nan, np.nan]]))
+        assert out[0, 0] == pytest.approx(3.0)
+        assert out[0, 1] == pytest.approx(20.0)
+
+    def test_fills_inf_too(self):
+        train = np.array([[1.0], [2.0], [3.0]])
+        imputer = Imputer().fit(train)
+        out = imputer.transform(np.array([[np.inf], [-np.inf]]))
+        assert (out == 2.0).all()
+
+    def test_all_nan_column_falls_back_to_zero(self):
+        train = np.full((5, 1), np.nan)
+        imputer = Imputer().fit(train)
+        assert imputer.transform(train).tolist() == [[0.0]] * 5
+
+    def test_does_not_mutate_input(self):
+        train = np.array([[1.0], [np.nan]])
+        imputer = Imputer().fit(train)
+        imputer.transform(train)
+        assert np.isnan(train[1, 0])
+
+    def test_shape_validation(self):
+        imputer = Imputer().fit(np.ones((3, 2)))
+        with pytest.raises(ValueError):
+            imputer.transform(np.ones((3, 5)))
+        with pytest.raises(RuntimeError):
+            Imputer().transform(np.ones((2, 2)))
+
+    @given(
+        st.integers(min_value=2, max_value=40),
+        st.integers(min_value=1, max_value=5),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_output_always_finite(self, n, d):
+        rng = np.random.default_rng(n * 100 + d)
+        data = rng.normal(size=(n, d))
+        data[rng.random((n, d)) < 0.3] = np.nan
+        out = Imputer().fit(data).transform(data)
+        assert np.isfinite(out).all()
+
+
+class TestStandardScaler:
+    def test_zero_mean_unit_variance(self, rng):
+        data = rng.normal(5.0, 3.0, size=(1000, 2))
+        out = StandardScaler().fit_transform(data)
+        np.testing.assert_allclose(out.mean(axis=0), 0.0, atol=1e-9)
+        np.testing.assert_allclose(out.std(axis=0), 1.0, atol=1e-9)
+
+    def test_constant_column_not_divided_by_zero(self):
+        data = np.ones((10, 1))
+        out = StandardScaler().fit_transform(data)
+        assert np.isfinite(out).all()
+
+    def test_transform_uses_training_stats(self, rng):
+        train = rng.normal(size=(100, 1))
+        scaler = StandardScaler().fit(train)
+        shifted = scaler.transform(train + 10.0)
+        assert shifted.mean() == pytest.approx(10.0 / train.std(), rel=0.01)
+
+
+class TestMutualInformation:
+    def test_perfectly_informative_feature(self, rng):
+        labels = rng.integers(0, 2, 2000)
+        feature = labels + rng.normal(0, 0.01, 2000)
+        mi = mutual_information(feature, labels)
+        # Perfect dependence between binary variables: MI ~ H(Y) <= ln 2.
+        assert mi > 0.5
+
+    def test_independent_feature_near_zero(self, rng):
+        labels = rng.integers(0, 2, 5000)
+        feature = rng.normal(size=5000)
+        assert mutual_information(feature, labels) < 0.02
+
+    def test_nan_bin_can_be_informative(self, rng):
+        labels = rng.integers(0, 2, 1000)
+        feature = np.where(labels == 1, np.nan, 0.0)
+        assert mutual_information(feature, labels) > 0.5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            mutual_information(np.zeros(5), np.zeros(4, dtype=int))
+        with pytest.raises(ValueError):
+            mutual_information(np.zeros(0), np.zeros(0, dtype=int))
+        with pytest.raises(ValueError):
+            mutual_information(np.zeros(5), np.zeros(5, dtype=int), n_bins=1)
+
+    def test_ranking_puts_informative_first(self, rng):
+        labels = rng.integers(0, 2, 3000)
+        features = np.column_stack(
+            [
+                rng.normal(size=3000),                     # junk
+                labels + rng.normal(0, 0.1, 3000),         # strong
+                labels + rng.normal(0, 1.0, 3000),         # weak
+                rng.normal(size=3000),                     # junk
+            ]
+        )
+        order = rank_features_by_mi(features, labels)
+        assert order[0] == 1
+        assert order[1] == 2
+
+    def test_ranking_is_stable_for_ties(self):
+        features = np.zeros((100, 3))
+        labels = np.zeros(100, dtype=int)
+        labels[:50] = 1
+        order = rank_features_by_mi(features, labels)
+        assert order.tolist() == [0, 1, 2]
+
+
+class TestMutualInformationBetween:
+    def test_identical_features_high_mi(self, rng):
+        feature = rng.normal(size=2000)
+        mi = __import__("repro.ml", fromlist=["x"]).mutual_information_between(
+            feature, feature
+        )
+        assert mi > 1.0
+
+    def test_independent_features_near_zero(self, rng):
+        from repro.ml import mutual_information_between
+
+        a, b = rng.normal(size=5000), rng.normal(size=5000)
+        assert mutual_information_between(a, b) < 0.05
+
+    def test_shape_validation(self):
+        from repro.ml import mutual_information_between
+        import numpy as np
+        import pytest as _pytest
+
+        with _pytest.raises(ValueError):
+            mutual_information_between(np.zeros(5), np.zeros(4))
+
+
+class TestMRMR:
+    def _redundant_problem(self, rng, n=3000):
+        """Feature 0 informative; 1-3 near-duplicates of 0; 4 weakly
+        informative but independent; 5-7 junk."""
+        labels = rng.integers(0, 2, n)
+        base = labels + rng.normal(0, 0.3, n)
+        features = np.column_stack(
+            [
+                base,
+                base + rng.normal(0, 0.01, n),
+                base * 2.0 + rng.normal(0, 0.01, n),
+                base + rng.normal(0, 0.02, n),
+                labels + rng.normal(0, 1.5, n),
+                rng.normal(size=n),
+                rng.normal(size=n),
+                rng.normal(size=n),
+            ]
+        )
+        return features, labels
+
+    def test_avoids_redundant_duplicates(self, rng):
+        from repro.ml import mrmr_select, rank_features_by_mi
+
+        features, labels = self._redundant_problem(rng)
+        mrmr = mrmr_select(features, labels, k=2)
+        # Plain MI ranking picks the duplicates first...
+        mi_order = rank_features_by_mi(features, labels)[:2]
+        assert set(mi_order) <= {0, 1, 2, 3}
+        # ...mRMR's second pick escapes the duplicate cluster.
+        assert mrmr[0] in {0, 1, 2, 3}
+        assert mrmr[1] == 4
+
+    def test_first_pick_is_max_relevance(self, rng):
+        from repro.ml import mrmr_select, rank_features_by_mi
+
+        features, labels = self._redundant_problem(rng)
+        assert mrmr_select(features, labels, 1)[0] == (
+            rank_features_by_mi(features, labels)[0]
+        )
+
+    def test_returns_k_distinct_indices(self, rng):
+        from repro.ml import mrmr_select
+
+        features, labels = self._redundant_problem(rng)
+        selected = mrmr_select(features, labels, k=6)
+        assert len(selected) == 6
+        assert len(set(selected.tolist())) == 6
+
+    def test_k_validated(self, rng):
+        from repro.ml import mrmr_select
+
+        features, labels = self._redundant_problem(rng, n=200)
+        import pytest as _pytest
+
+        with _pytest.raises(ValueError):
+            mrmr_select(features, labels, k=0)
+        with _pytest.raises(ValueError):
+            mrmr_select(features, labels, k=99)

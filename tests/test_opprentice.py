@@ -1,0 +1,275 @@
+"""Opprentice fit/detect and the online loop, on fast small KPIs."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    CrossValidationPredictor,
+    EWMAPredictor,
+    FeatureExtractor,
+    I1,
+    Opprentice,
+    run_online,
+)
+from repro.core.opprentice import _subsample_training
+from repro.detectors import (
+    Diff,
+    EWMA,
+    HistoricalAverage,
+    SimpleMA,
+    SimpleThreshold,
+    TSDMad,
+    build_configs,
+)
+from repro.evaluation import AccuracyPreference
+from repro.ml import RandomForest
+
+
+def small_bank(ppw: int):
+    """A fast 7-configuration bank for unit testing the pipeline."""
+    return build_configs(
+        [
+            SimpleThreshold(),
+            Diff("last-slot", 1),
+            SimpleMA(5),
+            SimpleMA(20),
+            EWMA(0.5),
+            TSDMad(1, ppw),
+            HistoricalAverage(1, ppw // 7),
+        ]
+    )
+
+
+def fast_forest():
+    return RandomForest(n_estimators=15, seed=0)
+
+
+@pytest.fixture(scope="module")
+def online_kpi():
+    """10 weeks of hourly KPI with labels: long enough for the I1 loop."""
+    from repro.data import SeasonalProfile, generate_kpi, inject_anomalies
+
+    generated = generate_kpi(
+        weeks=10,
+        interval=3600,
+        profile=SeasonalProfile(base_level=100.0, daily_amplitude=0.5,
+                                noise_scale=0.02, trend=0.0),
+        seed=11,
+        name="online-kpi",
+    )
+    return inject_anomalies(
+        generated.series, target_fraction=0.06, seed=12, mean_window=4.0
+    ).series
+
+
+class TestSubsampleTraining:
+    def test_noop_under_cap(self, rng):
+        X = rng.normal(size=(50, 2))
+        y = rng.integers(0, 2, 50).astype(np.int8)
+        out_x, out_y = _subsample_training(X, y, 100, 0)
+        assert out_x is X and out_y is y
+
+    def test_keeps_all_anomalies(self, rng):
+        X = rng.normal(size=(1000, 2))
+        y = np.zeros(1000, dtype=np.int8)
+        y[:50] = 1
+        out_x, out_y = _subsample_training(X, y, 200, 0)
+        assert out_y.sum() == 50
+        assert len(out_y) <= 200
+
+    def test_deterministic(self, rng):
+        X = rng.normal(size=(500, 2))
+        y = (rng.random(500) < 0.1).astype(np.int8)
+        a = _subsample_training(X, y, 100, 7)[0]
+        b = _subsample_training(X, y, 100, 7)[0]
+        np.testing.assert_array_equal(a, b)
+
+
+class TestOpprenticeFitDetect:
+    def test_fit_requires_labels(self, hourly_kpi):
+        with pytest.raises(ValueError, match="labelled"):
+            Opprentice().fit(hourly_kpi)
+
+    def test_detect_requires_fit(self, labeled_kpi):
+        with pytest.raises(RuntimeError, match="not fitted"):
+            Opprentice().detect(labeled_kpi.series)
+
+    def test_fit_detect_roundtrip(self, labeled_kpi):
+        series = labeled_kpi.series
+        opp = Opprentice(
+            configs=small_bank(series.points_per_week),
+            classifier_factory=fast_forest,
+        )
+        opp.fit(series)
+        result = opp.detect(series)
+        assert len(result.predictions) == len(series)
+        assert set(np.unique(result.predictions)) <= {0, 1}
+        recall, precision = result.accuracy()
+        # In-sample accuracy on an easy KPI should be strong.
+        assert recall > 0.6 and precision > 0.6
+
+    def test_detection_result_indices(self, labeled_kpi):
+        series = labeled_kpi.series
+        opp = Opprentice(
+            configs=small_bank(series.points_per_week),
+            classifier_factory=fast_forest,
+        ).fit(series)
+        result = opp.detect(series)
+        indices = result.anomalous_indices()
+        assert (result.predictions[indices] == 1).all()
+
+    def test_cthld_configured_by_predictor(self, labeled_kpi):
+        series = labeled_kpi.series
+        opp = Opprentice(
+            configs=small_bank(series.points_per_week),
+            classifier_factory=fast_forest,
+        ).fit(series)
+        assert 0.0 <= opp.cthld_ <= 1.0
+
+
+class TestRunOnline:
+    def test_requires_labels(self, hourly_kpi):
+        with pytest.raises(ValueError, match="labelled"):
+            run_online(hourly_kpi)
+
+    def test_weekly_outcomes(self, online_kpi):
+        run = run_online(
+            online_kpi,
+            configs=small_bank(online_kpi.points_per_week),
+            classifier_factory=fast_forest,
+        )
+        assert [o.week for o in run.outcomes] == [9, 10]
+        ppw = online_kpi.points_per_week
+        assert run.test_begin == 8 * ppw
+        assert run.test_end == 10 * ppw
+
+    def test_predictions_only_in_test_region(self, online_kpi):
+        run = run_online(
+            online_kpi,
+            configs=small_bank(online_kpi.points_per_week),
+            classifier_factory=fast_forest,
+        )
+        assert (run.predictions[: run.test_begin] == -1).all()
+        assert set(np.unique(run.predictions[run.test_begin:])) <= {0, 1}
+
+    def test_best_case_at_least_as_good_on_pc_score(self, online_kpi):
+        """The offline best cThld maximises PC-Score per week by
+        construction, so its per-week PC-Score dominates EWMA's."""
+        from repro.evaluation import pc_score
+
+        run = run_online(
+            online_kpi,
+            configs=small_bank(online_kpi.points_per_week),
+            classifier_factory=fast_forest,
+        )
+        for o in run.outcomes:
+            best = pc_score(o.best_recall, o.best_precision, run.preference)
+            used = pc_score(o.recall, o.precision, run.preference)
+            assert best >= used - 1e-9
+
+    def test_moving_window_accuracy_points(self, online_kpi):
+        run = run_online(
+            online_kpi,
+            configs=small_bank(online_kpi.points_per_week),
+            classifier_factory=fast_forest,
+        )
+        points = run.moving_window_accuracy(window_weeks=1, step_days=7)
+        assert len(points) == 2
+        for recall, precision in points:
+            assert 0.0 <= recall <= 1.0 and 0.0 <= precision <= 1.0
+
+    def test_five_fold_predictor_runs(self, online_kpi):
+        run = run_online(
+            online_kpi,
+            configs=small_bank(online_kpi.points_per_week),
+            classifier_factory=fast_forest,
+            predictor=CrossValidationPredictor(AccuracyPreference()),
+        )
+        assert len(run.outcomes) == 2
+
+    def test_precomputed_features_shortcut(self, online_kpi):
+        configs = small_bank(online_kpi.points_per_week)
+        features = FeatureExtractor(configs).extract(online_kpi)
+        a = run_online(
+            online_kpi, configs=configs, classifier_factory=fast_forest,
+            features=features,
+        )
+        b = run_online(
+            online_kpi, configs=configs, classifier_factory=fast_forest,
+        )
+        np.testing.assert_array_equal(a.predictions, b.predictions)
+
+    def test_feature_length_mismatch_rejected(self, online_kpi):
+        configs = small_bank(online_kpi.points_per_week)
+        features = FeatureExtractor(configs).extract(
+            online_kpi.slice(0, len(online_kpi) - 5)
+        )
+        with pytest.raises(ValueError, match="rows"):
+            run_online(online_kpi, configs=configs, features=features)
+
+    def test_too_short_series_rejected(self, labeled_kpi):
+        with pytest.raises(ValueError, match="too short"):
+            run_online(
+                labeled_kpi.series,
+                configs=small_bank(labeled_kpi.series.points_per_week),
+                classifier_factory=fast_forest,
+            )
+
+    def test_max_train_points_cap(self, online_kpi):
+        run = run_online(
+            online_kpi,
+            configs=small_bank(online_kpi.points_per_week),
+            classifier_factory=fast_forest,
+            max_train_points=300,
+        )
+        assert len(run.outcomes) == 2  # still works, just cheaper
+
+
+class TestContextualDetection:
+    """detect() on a continuation slice must equal scoring the full
+    series — seasonal detectors keep their history (§4.1/Fig 3b)."""
+
+    def test_continuation_scores_match_full_series(self, labeled_kpi):
+        series = labeled_kpi.series
+        split = 3 * series.points_per_week
+        bank = small_bank(series.points_per_week)
+        opp = Opprentice(configs=bank, classifier_factory=fast_forest)
+        opp.fit(series.slice(0, split))
+
+        tail = series.slice(split, len(series))
+        contextual = opp.anomaly_scores(tail)
+
+        matrix = FeatureExtractor(bank).extract(series)
+        expected = opp.score_features(matrix.values[split:])
+        np.testing.assert_allclose(contextual, expected, atol=1e-12)
+
+    def test_non_continuation_falls_back_to_standalone(self, labeled_kpi):
+        series = labeled_kpi.series
+        split = 3 * series.points_per_week
+        bank = small_bank(series.points_per_week)
+        opp = Opprentice(configs=bank, classifier_factory=fast_forest)
+        opp.fit(series.slice(0, split))
+
+        # A slice that does NOT continue the training grid.
+        other = series.slice(0, split)
+        standalone = opp.anomaly_scores(other)
+        matrix = FeatureExtractor(bank).extract(other)
+        expected = opp.score_features(matrix.values)
+        np.testing.assert_allclose(standalone, expected, atol=1e-12)
+
+    def test_detection_in_context_beats_cold_start(self, labeled_kpi):
+        """With a seasonal detector in the bank, contextual extraction
+        yields finite features where a cold start has only NaN."""
+        series = labeled_kpi.series
+        split = 3 * series.points_per_week
+        bank = small_bank(series.points_per_week)
+        tsd_index = [c.name for c in bank].index("tsd MAD(win=1w)")
+        tail = series.slice(split, split + 10)
+
+        cold = FeatureExtractor(bank).extract(tail).values[:, tsd_index]
+        assert np.isnan(cold).all()
+
+        opp = Opprentice(configs=bank, classifier_factory=fast_forest)
+        opp.fit(series.slice(0, split))
+        scores = opp.anomaly_scores(tail)
+        assert np.isfinite(scores).all()

@@ -1,0 +1,128 @@
+"""Model persistence tests (save/load trained Opprentice)."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core import Opprentice, load_model, save_model
+from repro.ml import DecisionTree, RandomForest
+
+from test_opprentice import fast_forest, small_bank
+
+
+class TestTreeSerialization:
+    def test_roundtrip_predictions(self, rng):
+        X = rng.normal(size=(300, 4))
+        y = (X[:, 1] > 0.2).astype(int)
+        tree = DecisionTree(seed=1).fit(X, y)
+        restored = DecisionTree.from_dict(tree.to_dict())
+        np.testing.assert_array_equal(
+            restored.predict_proba(X), tree.predict_proba(X)
+        )
+
+    def test_unfitted_rejected(self):
+        with pytest.raises(RuntimeError):
+            DecisionTree().to_dict()
+
+    def test_inconsistent_payload_rejected(self, rng):
+        X = rng.normal(size=(50, 2))
+        y = (X[:, 0] > 0).astype(int)
+        payload = DecisionTree().fit(X, y).to_dict()
+        payload["left"] = payload["left"][:-1]
+        with pytest.raises(ValueError):
+            DecisionTree.from_dict(payload)
+
+
+class TestForestSerialization:
+    def test_roundtrip_predictions(self, rng):
+        X = rng.normal(size=(400, 5))
+        y = (X[:, 0] + X[:, 2] > 0.5).astype(int)
+        forest = RandomForest(n_estimators=12, seed=2).fit(X, y)
+        restored = RandomForest.from_dict(forest.to_dict())
+        np.testing.assert_array_equal(
+            restored.predict_proba(X), forest.predict_proba(X)
+        )
+
+    def test_payload_is_json_safe(self, rng):
+        X = rng.normal(size=(100, 3))
+        y = (X[:, 0] > 0).astype(int)
+        forest = RandomForest(n_estimators=3, seed=0).fit(X, y)
+        text = json.dumps(forest.to_dict())
+        restored = RandomForest.from_dict(json.loads(text))
+        np.testing.assert_array_equal(
+            restored.predict_proba(X), forest.predict_proba(X)
+        )
+
+    def test_tree_count_validated(self, rng):
+        X = rng.normal(size=(50, 2))
+        y = (X[:, 0] > 0).astype(int)
+        payload = RandomForest(n_estimators=3, seed=0).fit(X, y).to_dict()
+        payload["trees"].pop()
+        with pytest.raises(ValueError, match="trees"):
+            RandomForest.from_dict(payload)
+
+
+class TestOpprenticePersistence:
+    @pytest.fixture()
+    def fitted(self, labeled_kpi):
+        series = labeled_kpi.series
+        opp = Opprentice(
+            configs=small_bank(series.points_per_week),
+            classifier_factory=fast_forest,
+        )
+        return opp.fit(series), series
+
+    def test_save_load_roundtrip(self, fitted, tmp_path, labeled_kpi):
+        opp, series = fitted
+        path = tmp_path / "model.json"
+        save_model(opp, path)
+
+        fresh = Opprentice(configs=small_bank(series.points_per_week))
+        load_model(path, opprentice=fresh)
+        assert fresh.cthld_ == opp.cthld_
+
+        original = opp.detect(series)
+        restored = fresh.detect(series)
+        np.testing.assert_array_equal(
+            restored.predictions, original.predictions
+        )
+
+    def test_unfitted_save_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="unfitted"):
+            save_model(Opprentice(), tmp_path / "m.json")
+
+    def test_bank_mismatch_rejected(self, fitted, tmp_path):
+        opp, series = fitted
+        path = tmp_path / "model.json"
+        save_model(opp, path)
+        from repro.detectors import SimpleThreshold, build_configs
+
+        other = Opprentice(configs=build_configs([SimpleThreshold()]))
+        with pytest.raises(ValueError, match="bank mismatch"):
+            load_model(path, opprentice=other)
+
+    def test_version_check(self, fitted, tmp_path):
+        opp, _ = fitted
+        path = tmp_path / "model.json"
+        save_model(opp, path)
+        payload = json.loads(path.read_text())
+        payload["format_version"] = 999
+        path.write_text(json.dumps(payload))
+        with pytest.raises(ValueError, match="format"):
+            load_model(path)
+
+    def test_preference_restored(self, labeled_kpi, tmp_path):
+        from repro.evaluation import AccuracyPreference
+
+        series = labeled_kpi.series
+        opp = Opprentice(
+            configs=small_bank(series.points_per_week),
+            preference=AccuracyPreference(0.8, 0.6),
+            classifier_factory=fast_forest,
+        ).fit(series)
+        path = tmp_path / "model.json"
+        save_model(opp, path)
+        fresh = Opprentice(configs=small_bank(series.points_per_week))
+        load_model(path, opprentice=fresh)
+        assert fresh.preference == AccuracyPreference(0.8, 0.6)

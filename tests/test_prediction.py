@@ -1,0 +1,112 @@
+"""EWMA / cross-validation cThld prediction tests (§4.5.2)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    CrossValidationPredictor,
+    EWMA_CTHLD_ALPHA,
+    EWMAPredictor,
+    best_cthld,
+)
+from repro.evaluation import AccuracyPreference, PCScoreSelector
+
+
+class _FixedClassifier:
+    def fit(self, X, y):
+        return self
+
+    def predict_proba(self, X):
+        return X[:, 0]
+
+
+def training_data(rng, n=200):
+    y = (rng.random(n) < 0.25).astype(int)
+    x = np.where(y == 1, rng.uniform(0.7, 1.0, n), rng.uniform(0.0, 0.5, n))
+    return x[:, None], y
+
+
+class TestEWMAPredictor:
+    def test_first_prediction_uses_cross_validation(self, rng):
+        X, y = training_data(rng)
+        predictor = EWMAPredictor(AccuracyPreference(0.66, 0.66))
+        first = predictor.predict(_FixedClassifier, X, y)
+        # The initial CV threshold must separate the two score clusters.
+        assert X[y == 0, 0].max() < first <= X[y == 1, 0].min()
+
+    def test_ewma_recursion(self):
+        predictor = EWMAPredictor(AccuracyPreference(), alpha=0.8)
+        predictor._prediction = 0.5  # simulate an initialised state
+        predictor.observe_best(0.9)
+        # 0.8 * 0.9 + 0.2 * 0.5
+        assert predictor.current == pytest.approx(0.82)
+        predictor.observe_best(0.1)
+        assert predictor.current == pytest.approx(0.8 * 0.1 + 0.2 * 0.82)
+
+    def test_prediction_stable_between_observations(self, rng):
+        X, y = training_data(rng)
+        predictor = EWMAPredictor(AccuracyPreference())
+        first = predictor.predict(_FixedClassifier, X, y)
+        second = predictor.predict(_FixedClassifier, X, y)
+        assert first == second
+
+    def test_observe_before_predict_adopts_best(self):
+        predictor = EWMAPredictor(AccuracyPreference())
+        predictor.observe_best(0.7)
+        assert predictor.current == 0.7
+
+    def test_paper_alpha_default(self):
+        assert EWMA_CTHLD_ALPHA == 0.8
+        assert EWMAPredictor(AccuracyPreference()).alpha == 0.8
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EWMAPredictor(AccuracyPreference(), alpha=1.5)
+        predictor = EWMAPredictor(AccuracyPreference())
+        with pytest.raises(ValueError):
+            predictor.observe_best(2.0)
+
+    def test_tracks_drifting_best_cthlds(self):
+        """With alpha = 0.8 the prediction catches up with a shifted
+        best cThld within a couple of weeks (the Fig 7 motivation)."""
+        predictor = EWMAPredictor(AccuracyPreference(), alpha=0.8)
+        predictor._prediction = 0.2
+        for _ in range(3):
+            predictor.observe_best(0.9)
+        assert predictor.current > 0.8
+
+
+class TestCrossValidationPredictor:
+    def test_predicts_separating_threshold(self, rng):
+        X, y = training_data(rng)
+        predictor = CrossValidationPredictor(AccuracyPreference(0.66, 0.66))
+        cthld = predictor.predict(_FixedClassifier, X, y)
+        max_normal = X[y == 0, 0].max()
+        min_anomaly = X[y == 1, 0].min()
+        assert max_normal < cthld <= min_anomaly
+
+    def test_observe_best_is_noop(self, rng):
+        X, y = training_data(rng)
+        predictor = CrossValidationPredictor(AccuracyPreference())
+        before = predictor.predict(_FixedClassifier, X, y)
+        predictor.observe_best(0.99)
+        after = predictor.predict(_FixedClassifier, X, y)
+        assert before == after
+
+
+class TestBestCThld:
+    def test_matches_pc_score_selector(self, rng):
+        scores = rng.random(300)
+        labels = (rng.random(300) < 0.2).astype(int)
+        preference = AccuracyPreference(0.66, 0.66)
+        expected = PCScoreSelector(preference).select(scores, labels).threshold
+        assert best_cthld(scores, labels, preference) == expected
+
+    def test_no_anomalies_returns_default(self, rng):
+        scores = rng.random(50)
+        assert best_cthld(scores, np.zeros(50, dtype=int), AccuracyPreference()) == 0.5
+
+    def test_all_nan_scores_returns_default(self):
+        scores = np.full(10, np.nan)
+        labels = np.ones(10, dtype=int)
+        assert best_cthld(scores, labels, AccuracyPreference()) == 0.5

@@ -1,0 +1,203 @@
+"""Cross-cutting property-based tests (hypothesis).
+
+Invariants that must hold for *any* input, spanning evaluation, cThld
+selection, resampling, triage and persistence — the contracts the rest
+of the system builds on.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.evaluation import (
+    AccuracyPreference,
+    DefaultCThld,
+    FScoreSelector,
+    PCScoreSelector,
+    SDSelector,
+    aucpr,
+    evaluate_threshold,
+    pc_score,
+    pr_curve,
+)
+from repro.labeling import suggest_windows
+from repro.timeseries import TimeSeries, downsample
+
+
+def scores_and_labels(draw, min_size=5, max_size=120):
+    n = draw(st.integers(min_value=min_size, max_value=max_size))
+    rng = np.random.default_rng(draw(st.integers(0, 2**32 - 1)))
+    scores = rng.random(n)
+    labels = (rng.random(n) < draw(
+        st.floats(min_value=0.05, max_value=0.6)
+    )).astype(int)
+    if labels.sum() == 0:
+        labels[int(rng.integers(0, n))] = 1
+    return scores, labels
+
+
+@st.composite
+def score_label_pairs(draw):
+    return scores_and_labels(draw)
+
+
+class TestPRCurveInvariants:
+    @given(data=score_label_pairs())
+    @settings(max_examples=40, deadline=None)
+    def test_every_curve_point_is_achievable(self, data):
+        """Each PR-curve point must be reproducible by thresholding at
+        the point's own threshold — the contract the cThld selectors
+        rely on."""
+        scores, labels = data
+        curve = pr_curve(scores, labels)
+        for i in range(0, len(curve), max(1, len(curve) // 5)):
+            recall, precision = evaluate_threshold(
+                scores, labels, curve.thresholds[i]
+            )
+            assert recall == pytest.approx(curve.recalls[i])
+            assert precision == pytest.approx(curve.precisions[i])
+
+    @given(data=score_label_pairs())
+    @settings(max_examples=40, deadline=None)
+    def test_aucpr_bounded_by_curve_extremes(self, data):
+        scores, labels = data
+        curve = pr_curve(scores, labels)
+        value = aucpr(scores, labels)
+        assert curve.precisions.min() - 1e-12 <= value
+        assert value <= curve.precisions.max() + 1e-12
+
+    @given(data=score_label_pairs())
+    @settings(max_examples=40, deadline=None)
+    def test_final_curve_point_is_full_recall(self, data):
+        scores, labels = data
+        curve = pr_curve(scores, labels)
+        assert curve.recalls[-1] == pytest.approx(1.0)
+        # Precision at full recall equals base rate among scored points.
+        assert curve.precisions[-1] == pytest.approx(labels.mean())
+
+
+class TestSelectorInvariants:
+    @given(data=score_label_pairs(),
+           r=st.floats(min_value=0.1, max_value=0.9),
+           p=st.floats(min_value=0.1, max_value=0.9))
+    @settings(max_examples=40, deadline=None)
+    def test_pcscore_selection_is_argmax(self, data, r, p):
+        """No curve point may have a higher PC-Score than the selected
+        one — the §4.5.1 definition."""
+        scores, labels = data
+        preference = AccuracyPreference(r, p)
+        curve = pr_curve(scores, labels)
+        choice = PCScoreSelector(preference).select_from_curve(curve)
+        best = max(
+            pc_score(rr, pp, preference)
+            for rr, pp in zip(curve.recalls, curve.precisions)
+        )
+        assert pc_score(
+            choice.recall, choice.precision, preference
+        ) == pytest.approx(best)
+
+    @given(data=score_label_pairs())
+    @settings(max_examples=30, deadline=None)
+    def test_all_selectors_return_curve_points(self, data):
+        scores, labels = data
+        curve = pr_curve(scores, labels)
+        points = set(zip(curve.recalls.round(12), curve.precisions.round(12)))
+        for selector in (
+            PCScoreSelector(AccuracyPreference(0.5, 0.5)),
+            FScoreSelector(),
+            SDSelector(),
+        ):
+            choice = selector.select_from_curve(curve)
+            assert (round(choice.recall, 12), round(choice.precision, 12)) in points
+
+
+class TestResampleInvariants:
+    @given(
+        st.lists(st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+                 min_size=4, max_size=60),
+        st.integers(min_value=1, max_value=5),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_mean_downsample_preserves_global_mean(self, values, factor):
+        assume(len(values) >= factor)
+        ts = TimeSeries(values=np.asarray(values), interval=60)
+        out = downsample(ts, factor)
+        n_used = (len(values) // factor) * factor
+        assert out.values.mean() == pytest.approx(
+            np.mean(values[:n_used]), rel=1e-9, abs=1e-9
+        )
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=1), min_size=4,
+                 max_size=60),
+        st.integers(min_value=1, max_value=5),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_label_any_semantics(self, labels, factor):
+        assume(len(labels) >= factor)
+        ts = TimeSeries(
+            values=np.zeros(len(labels)), interval=60,
+            labels=np.asarray(labels, dtype=np.int8),
+        )
+        out = downsample(ts, factor)
+        n_blocks = len(labels) // factor
+        for b in range(n_blocks):
+            block = labels[b * factor: (b + 1) * factor]
+            assert out.labels[b] == int(any(block))
+
+
+class TestTriageInvariants:
+    @given(data=score_label_pairs())
+    @settings(max_examples=30, deadline=None)
+    def test_suggestions_cover_every_hot_point(self, data):
+        """Every unlabelled above-threshold point falls inside some
+        suggested window (given no candidate cap)."""
+        scores, _ = data
+        candidates = suggest_windows(
+            scores, score_threshold=0.7, max_candidates=10_000,
+            context_points=0,
+        )
+        hot = np.flatnonzero(scores >= 0.7)
+        for index in hot:
+            assert any(
+                c.window.begin <= index < c.window.end for c in candidates
+            )
+
+    @given(data=score_label_pairs())
+    @settings(max_examples=30, deadline=None)
+    def test_no_suggestion_without_hot_points(self, data):
+        scores, _ = data
+        assume(scores.max() < 1.0)  # rng.random() is always < 1
+        candidates = suggest_windows(scores, score_threshold=1.0)
+        assert candidates == []
+
+
+class TestForestSerializationProperty:
+    @given(seed=st.integers(0, 2**31 - 1))
+    @settings(max_examples=10, deadline=None)
+    def test_roundtrip_identity_for_random_forests(self, seed):
+        from repro.ml import RandomForest
+
+        rng = np.random.default_rng(seed)
+        X = rng.normal(size=(120, 4))
+        y = (X[:, 0] + 0.5 * rng.normal(size=120) > 0).astype(int)
+        if y.min() == y.max():
+            y[0] = 1 - y[0]
+        forest = RandomForest(n_estimators=5, seed=seed).fit(X, y)
+        clone = RandomForest.from_dict(forest.to_dict())
+        probe = rng.normal(size=(40, 4))
+        np.testing.assert_array_equal(
+            clone.predict_proba(probe), forest.predict_proba(probe)
+        )
+
+
+class TestDefaultCThldInvariant:
+    @given(data=score_label_pairs())
+    @settings(max_examples=30, deadline=None)
+    def test_default_selector_equals_direct_thresholding(self, data):
+        scores, labels = data
+        choice = DefaultCThld().select(scores, labels)
+        recall, precision = evaluate_threshold(scores, labels, 0.5)
+        assert choice.recall == pytest.approx(recall)
+        assert choice.precision == pytest.approx(precision)

@@ -1,0 +1,91 @@
+"""The Table 3 detector registry: 14 detectors, 133 configurations."""
+
+import collections
+
+import pytest
+
+from repro.detectors import (
+    EXPECTED_CONFIGURATIONS,
+    EXPECTED_DETECTORS,
+    configs_for,
+    default_configs,
+    default_detectors,
+    registry_table,
+)
+from repro.timeseries import MINUTE
+
+
+#: Table 3's per-detector configuration counts.
+TABLE3_COUNTS = {
+    "simple threshold": 1,
+    "diff": 3,
+    "simple MA": 5,
+    "weighted MA": 5,
+    "MA of diff": 5,
+    "ewma": 5,
+    "tsd": 5,
+    "tsd MAD": 5,
+    "historical average": 5,
+    "historical MAD": 5,
+    "holt-winters": 64,
+    "svd": 15,
+    "wavelet": 9,
+    "arima": 1,
+}
+
+
+class TestDefaultBank:
+    def test_total_configuration_count(self):
+        assert len(default_detectors(60)) == EXPECTED_CONFIGURATIONS == 133
+
+    def test_detector_kind_count(self):
+        kinds = {d.kind for d in default_detectors(60)}
+        assert len(kinds) == EXPECTED_DETECTORS == 14
+
+    def test_per_detector_counts_match_table3(self):
+        counts = collections.Counter(d.kind for d in default_detectors(60))
+        assert dict(counts) == TABLE3_COUNTS
+
+    def test_feature_names_unique(self):
+        names = [d.feature_name for d in default_detectors(60)]
+        assert len(names) == len(set(names))
+
+    @pytest.mark.parametrize("interval", [60, 600, 3600])
+    def test_bank_builds_for_all_paper_intervals(self, interval):
+        detectors = default_detectors(interval)
+        assert len(detectors) == 133
+
+    def test_day_week_windows_scale_with_interval(self):
+        by_name_1min = {
+            d.feature_name: d for d in default_detectors(60)
+        }
+        by_name_1h = {
+            d.feature_name: d for d in default_detectors(3600)
+        }
+        # Same names either way (windows are expressed in days/weeks)...
+        assert set(by_name_1min) == set(by_name_1h)
+        # ...but the point lags differ with the grid.
+        assert by_name_1min["diff(lag=last-day)"].lag_points == 1440
+        assert by_name_1h["diff(lag=last-day)"].lag_points == 24
+
+    def test_rejects_bad_interval(self):
+        with pytest.raises(ValueError, match="divisor"):
+            default_detectors(7 * MINUTE)
+        with pytest.raises(ValueError):
+            default_detectors(0)
+
+
+class TestConfigs:
+    def test_indices_are_stable_and_dense(self):
+        configs = default_configs(600)
+        assert [c.index for c in configs] == list(range(133))
+
+    def test_configs_for_series(self, hourly_kpi):
+        configs = configs_for(hourly_kpi)
+        assert len(configs) == 133
+
+    def test_registry_table_rows(self):
+        table = registry_table(default_configs(600))
+        assert "total" in table
+        assert "133" in table
+        assert "holt-winters" in table

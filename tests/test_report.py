@@ -1,0 +1,94 @@
+"""KPIReport / evaluate_kpi tests."""
+
+import numpy as np
+import pytest
+
+from repro.evaluation import AccuracyPreference, KPIReport, evaluate_kpi
+from repro.evaluation.report import ApproachScore
+
+from test_opprentice import fast_forest, online_kpi, small_bank
+
+
+@pytest.fixture(scope="module")
+def report(online_kpi):
+    return evaluate_kpi(
+        online_kpi,
+        configs=small_bank(online_kpi.points_per_week),
+        classifier_factory=fast_forest,
+    )
+
+
+class TestEvaluateKPI:
+    def test_requires_labels(self, hourly_kpi):
+        with pytest.raises(ValueError, match="labelled"):
+            evaluate_kpi(hourly_kpi)
+
+    def test_header_fields(self, report, online_kpi):
+        assert report.kpi_name == online_kpi.name
+        assert report.n_points == len(online_kpi)
+        assert report.n_weeks == pytest.approx(10.0)
+        assert report.anomaly_fraction == pytest.approx(0.06, abs=0.01)
+
+    def test_weekly_rows(self, report):
+        weeks = [row[0] for row in report.weekly]
+        assert weeks == [9, 10]
+        for _, cthld, recall, precision in report.weekly:
+            assert 0.0 <= cthld <= 1.0
+            assert 0.0 <= recall <= 1.0
+            assert 0.0 <= precision <= 1.0
+
+    def test_approaches_sorted_by_aucpr(self, report):
+        aucs = [a.aucpr for a in report.approaches]
+        assert aucs == sorted(aucs, reverse=True)
+
+    def test_contains_forest_and_combiners(self, report):
+        names = {a.name for a in report.approaches}
+        assert "random forest" in names
+        assert "normalization scheme" in names
+        assert "majority-vote" in names
+        # 7 basic configs + forest + 2 combiners.
+        assert len(report.approaches) == 10
+
+    def test_forest_rank_accessor(self, report):
+        rank = report.forest_rank
+        assert report.approaches[rank - 1].name == "random forest"
+
+    def test_render_contains_key_lines(self, report):
+        text = report.render()
+        assert "KPI evaluation" in text
+        assert "AUCPR ranking" in text
+        assert "random forest" in text
+        assert "week  9" in text
+
+    def test_render_shows_forest_outside_top_k(self):
+        synthetic = KPIReport(
+            kpi_name="x", n_points=10, n_weeks=1.0, anomaly_fraction=0.1,
+            preference=AccuracyPreference(),
+            weekly=[], satisfaction_rate=1.0,
+            approaches=[
+                ApproachScore(f"detector-{i}", 0.9 - 0.01 * i, 0.5)
+                for i in range(6)
+            ] + [ApproachScore("random forest", 0.1, 0.1)],
+        )
+        text = synthetic.render(top_k=3)
+        assert "#  7" in text and "random forest" in text
+
+    def test_forest_missing_raises(self):
+        synthetic = KPIReport(
+            kpi_name="x", n_points=10, n_weeks=1.0, anomaly_fraction=0.1,
+            preference=AccuracyPreference(),
+            weekly=[], satisfaction_rate=1.0,
+            approaches=[ApproachScore("only-one", 0.5, 0.5)],
+        )
+        with pytest.raises(ValueError):
+            _ = synthetic.forest_rank
+
+    def test_opt_out_of_baselines(self, online_kpi):
+        slim = evaluate_kpi(
+            online_kpi,
+            configs=small_bank(online_kpi.points_per_week),
+            classifier_factory=fast_forest,
+            include_basic_detectors=False,
+            include_combiners=False,
+        )
+        assert [a.name for a in slim.approaches] == ["random forest"]

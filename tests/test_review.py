@@ -1,0 +1,118 @@
+"""Alert review session tests."""
+
+import numpy as np
+import pytest
+
+from repro.labeling import CONFIRMED, PENDING, REJECTED, ReviewSession
+from repro.timeseries import AnomalyWindow
+
+
+class _FakeAlert:
+    def __init__(self, begin, end, peak):
+        self.begin_index = begin
+        self.end_index = end
+        self.peak_score = peak
+
+
+@pytest.fixture()
+def session():
+    alerts = [
+        _FakeAlert(10, 15, 0.7),
+        _FakeAlert(40, 42, 0.95),
+        _FakeAlert(80, 90, 0.5),
+    ]
+    return ReviewSession(alerts, length=100)
+
+
+class TestReviewSession:
+    def test_initial_state(self, session):
+        assert len(session) == 3
+        assert session.verdicts() == {PENDING: 3, CONFIRMED: 0, REJECTED: 0}
+        assert not session.is_complete()
+
+    def test_pending_sorted_by_peak(self, session):
+        assert session.pending() == [1, 0, 2]
+
+    def test_confirm_and_reject(self, session):
+        session.confirm(1)
+        session.reject(2)
+        verdicts = session.verdicts()
+        assert verdicts[CONFIRMED] == 1
+        assert verdicts[REJECTED] == 1
+        assert session.pending() == [0]
+
+    def test_confirm_with_adjusted_window(self, session):
+        session.confirm(0, begin=8, end=20)
+        assert session.anomaly_windows() == [AnomalyWindow(8, 20)]
+
+    def test_adjustment_bounds_validated(self, session):
+        with pytest.raises(ValueError):
+            session.confirm(0, end=200)
+        with pytest.raises(ValueError):
+            session.confirm(0, begin=-1)
+
+    def test_hard_negative_mask(self, session):
+        session.reject(0)
+        mask = session.hard_negative_mask()
+        assert mask[10:15].all()
+        assert mask.sum() == 5
+
+    def test_complete_after_all_verdicts(self, session):
+        for i in range(3):
+            session.confirm(i)
+        assert session.is_complete()
+        assert len(session.anomaly_windows()) == 3
+
+    def test_index_validated(self, session):
+        with pytest.raises(IndexError):
+            session.confirm(9)
+
+    def test_length_validated(self):
+        with pytest.raises(ValueError):
+            ReviewSession([], length=0)
+
+    def test_feeds_monitoring_service(self):
+        """The full loop: alerts -> review -> submit_labels -> retrain."""
+        from repro.core import MonitoringService
+        from repro.data import SeasonalProfile, generate_kpi, inject_anomalies
+        from test_opprentice import fast_forest, small_bank
+
+        generated = generate_kpi(
+            weeks=5, interval=3600,
+            profile=SeasonalProfile(base_level=100.0, daily_amplitude=0.5,
+                                    noise_scale=0.02),
+            seed=61,
+        )
+        result = inject_anomalies(
+            generated.series, target_fraction=0.06, seed=62, mean_window=4.0
+        )
+        series = result.series
+        split = 4 * series.points_per_week
+        service = MonitoringService(
+            configs=small_bank(series.points_per_week),
+            classifier_factory=fast_forest,
+            min_duration_points=2,
+        )
+        service.bootstrap(series.slice(0, split))
+        events = []
+        for value in series.values[split:]:
+            events.extend(service.ingest(value))
+        opened = [e for e in events if e.kind == "opened"]
+        review = ReviewSession(
+            [
+                _FakeAlert(e.begin_index, e.end_index, e.peak_score)
+                for e in opened
+            ],
+            length=service.history_length,
+        )
+        truth = series.labels
+        for i, item in enumerate(review.items):
+            window = item.window
+            if truth[window.begin: min(window.end + 5, len(truth))].any():
+                review.confirm(i)
+            else:
+                review.reject(i)
+        service.submit_labels(review.anomaly_windows())
+        new_cthld = service.retrain()
+        assert 0.0 <= new_cthld <= 1.0
+        assert service.stats.retrain_rounds == 1

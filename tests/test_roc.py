@@ -1,0 +1,62 @@
+"""ROC curve tests, including the paper's PR-vs-ROC imbalance argument."""
+
+import numpy as np
+import pytest
+
+from repro.evaluation import auc_roc, aucpr, roc_curve
+
+
+class TestROCCurve:
+    def test_perfect_classifier(self):
+        scores = np.array([0.9, 0.8, 0.2, 0.1])
+        labels = np.array([1, 1, 0, 0])
+        assert auc_roc(scores, labels) == pytest.approx(1.0)
+
+    def test_random_scores_near_half(self, rng):
+        labels = (rng.random(20_000) < 0.3).astype(int)
+        scores = rng.random(20_000)
+        assert auc_roc(scores, labels) == pytest.approx(0.5, abs=0.02)
+
+    def test_inverted_classifier_near_zero(self):
+        scores = np.array([0.1, 0.2, 0.8, 0.9])
+        labels = np.array([1, 1, 0, 0])
+        assert auc_roc(scores, labels) == pytest.approx(0.0)
+
+    def test_monotone_axes(self, rng):
+        scores = rng.random(500)
+        labels = (rng.random(500) < 0.2).astype(int)
+        curve = roc_curve(scores, labels)
+        assert (np.diff(curve.false_positive_rates) >= 0).all()
+        assert (np.diff(curve.true_positive_rates) >= 0).all()
+
+    def test_needs_both_classes(self):
+        with pytest.raises(ValueError):
+            roc_curve(np.array([0.1, 0.2]), np.array([1, 1]))
+
+    def test_nan_scores_excluded(self):
+        scores = np.array([0.9, np.nan, 0.1])
+        labels = np.array([1, 0, 0])
+        assert auc_roc(scores, labels) == pytest.approx(1.0)
+
+
+class TestImbalanceArgument:
+    def test_pr_exposes_weak_detector_roc_hides_it(self, rng):
+        """Footnote 3: on highly imbalanced data PR is more informative.
+
+        Build a detector that ranks anomalies above 95% of normals —
+        AUROC looks excellent, but with 0.5% anomalies the false alarms
+        swamp the detections and AUCPR stays small.
+        """
+        n = 50_000
+        labels = (rng.random(n) < 0.005).astype(int)
+        scores = np.where(
+            labels == 1,
+            rng.uniform(0.95, 1.0, n),
+            rng.random(n),
+        )
+        roc = auc_roc(scores, labels)
+        pr = aucpr(scores, labels)
+        assert roc > 0.95
+        assert pr < 0.5
+        # PR reflects the precision collapse; ROC does not.
+        assert roc - pr > 0.4

@@ -1,0 +1,122 @@
+"""Incident scenario builder tests."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    SCENARIOS,
+    cascading_failure,
+    flash_crowd,
+    gradual_degradation,
+    outage_and_recovery,
+)
+
+
+class TestOutageAndRecovery:
+    def test_phases(self, hourly_kpi):
+        incident = outage_and_recovery(hourly_kpi, at=100)
+        assert incident.phases == ["outage", "recovery ramp"]
+        assert len(incident.windows) == 2
+
+    def test_outage_depth(self, hourly_kpi):
+        incident = outage_and_recovery(
+            hourly_kpi, at=100, outage_points=10, depth=0.9
+        )
+        np.testing.assert_allclose(
+            incident.series.values[100:110],
+            hourly_kpi.values[100:110] * 0.1,
+        )
+
+    def test_recovery_is_monotone_toward_normal(self, hourly_kpi):
+        incident = outage_and_recovery(
+            hourly_kpi, at=100, outage_points=10, recovery_points=20
+        )
+        ratio = incident.series.values[110:130] / hourly_kpi.values[110:130]
+        assert (np.diff(ratio) > 0).all()
+        assert ratio[-1] < 1.0
+
+    def test_labels_cover_both_phases(self, hourly_kpi):
+        incident = outage_and_recovery(hourly_kpi, at=100)
+        assert incident.labels[100] == 1
+        assert incident.labels[99] == 0
+
+    def test_bounds_validated(self, hourly_kpi):
+        with pytest.raises(ValueError):
+            outage_and_recovery(hourly_kpi, at=len(hourly_kpi) - 5)
+        with pytest.raises(ValueError):
+            outage_and_recovery(hourly_kpi, at=10, depth=0.0)
+
+
+class TestGradualDegradation:
+    def test_builds_then_plateaus(self, hourly_kpi):
+        incident = gradual_degradation(
+            hourly_kpi, at=50, build_points=20, plateau_points=10,
+            magnitude=0.5,
+        )
+        ratio = incident.series.values / hourly_kpi.values
+        assert ratio[49] == pytest.approx(1.0)
+        assert (np.diff(ratio[50:70]) > 0).all()
+        np.testing.assert_allclose(ratio[70:80], 1.5)
+
+    def test_outside_incident_untouched(self, hourly_kpi):
+        incident = gradual_degradation(hourly_kpi, at=50)
+        labels = incident.labels.astype(bool)
+        np.testing.assert_array_equal(
+            incident.series.values[~labels], hourly_kpi.values[~labels]
+        )
+
+
+class TestFlashCrowd:
+    def test_surge_then_decay(self, hourly_kpi):
+        incident = flash_crowd(
+            hourly_kpi, at=200, surge_points=5, tail_points=10, magnitude=2.0
+        )
+        ratio = incident.series.values / hourly_kpi.values
+        np.testing.assert_allclose(ratio[200:205], 3.0)
+        tail = ratio[205:215]
+        assert (np.diff(tail) < 0).all()
+        assert tail[0] < 3.0
+
+
+class TestCascadingFailure:
+    def test_stages_worsen(self, hourly_kpi):
+        incident = cascading_failure(
+            hourly_kpi, at=100, stages=3, stage_points=5, gap_points=10,
+            magnitude=1.0,
+        )
+        assert len(incident.windows) == 3
+        ratio = incident.series.values / hourly_kpi.values
+        stage_peaks = [
+            ratio[w.begin: w.end].mean() for w in incident.windows
+        ]
+        assert stage_peaks == sorted(stage_peaks)
+
+    def test_gaps_are_normal(self, hourly_kpi):
+        incident = cascading_failure(hourly_kpi, at=100, gap_points=10)
+        first, second = incident.windows[0], incident.windows[1]
+        gap = incident.labels[first.end: second.begin]
+        assert gap.sum() == 0
+
+    def test_validation(self, hourly_kpi):
+        with pytest.raises(ValueError, match="stages"):
+            cascading_failure(hourly_kpi, at=100, stages=1)
+
+
+class TestRegistry:
+    def test_all_scenarios_runnable(self, hourly_kpi):
+        for name, scenario in SCENARIOS.items():
+            incident = scenario(hourly_kpi, at=150)
+            assert incident.labels.sum() > 0, name
+            assert len(incident.phases) == len(incident.windows) or (
+                name == "cascading_failure"
+            )
+
+    def test_detectors_see_the_incidents(self, hourly_kpi):
+        """Sanity: an outage lights up the Table-3-style detectors."""
+        from repro.detectors import TSDMad
+        from repro.evaluation import aucpr
+
+        incident = outage_and_recovery(hourly_kpi, at=400, depth=0.8)
+        detector = TSDMad(1, hourly_kpi.points_per_week)
+        severities = detector.severities(incident.series)
+        assert aucpr(severities, incident.labels) > 0.5

@@ -1,0 +1,164 @@
+"""MonitoringService tests: the full ingest/alert/label/retrain loop."""
+
+import numpy as np
+import pytest
+
+from repro.core import AlertEvent, MonitoringService
+from repro.timeseries import AnomalyWindow
+
+from test_opprentice import fast_forest, small_bank
+
+
+@pytest.fixture(scope="module")
+def deployment():
+    """5 weeks of hourly KPI: 4 bootstrap + 1 live."""
+    from repro.data import SeasonalProfile, generate_kpi, inject_anomalies
+
+    generated = generate_kpi(
+        weeks=5,
+        interval=3600,
+        profile=SeasonalProfile(base_level=100.0, daily_amplitude=0.5,
+                                noise_scale=0.02, trend=0.0),
+        seed=99,
+        name="service-kpi",
+    )
+    result = inject_anomalies(
+        generated.series, target_fraction=0.06, seed=100, mean_window=4.0
+    )
+    series = result.series
+    split = 4 * series.points_per_week
+    return series, result.windows, split
+
+
+def make_service(series, **kwargs):
+    return MonitoringService(
+        configs=small_bank(series.points_per_week),
+        classifier_factory=fast_forest,
+        **kwargs,
+    )
+
+
+class TestBootstrap:
+    def test_requires_labels(self, deployment):
+        series, _, split = deployment
+        service = make_service(series)
+        unlabeled = series.slice(0, split)
+        from repro.timeseries import TimeSeries
+
+        raw = TimeSeries(values=unlabeled.values, interval=unlabeled.interval)
+        with pytest.raises(ValueError, match="labelled"):
+            service.bootstrap(raw)
+
+    def test_ingest_before_bootstrap_rejected(self, deployment):
+        series, _, _ = deployment
+        with pytest.raises(RuntimeError, match="bootstrap"):
+            make_service(series).ingest(1.0)
+
+    def test_bootstrap_sets_threshold(self, deployment):
+        series, _, split = deployment
+        service = make_service(series)
+        service.bootstrap(series.slice(0, split))
+        assert 0.0 <= service.cthld <= 1.0
+        assert service.history_length == split
+
+
+class TestIngestAndAlerts:
+    @pytest.fixture(scope="class")
+    def live_run(self, deployment):
+        series, truth_windows, split = deployment
+        events_seen = []
+        service = make_service(
+            series,
+            min_duration_points=2,
+            alert_callback=events_seen.append,
+        )
+        service.bootstrap(series.slice(0, split))
+        all_events = []
+        for value in series.values[split:]:
+            all_events.extend(service.ingest(value))
+        return service, all_events, events_seen, truth_windows, split, series
+
+    def test_alerts_fire_on_injected_anomalies(self, live_run):
+        service, events, _, truth_windows, split, series = live_run
+        opened = [e for e in events if e.kind == "opened"]
+        assert opened, "no alerts over a week with injected anomalies"
+        live_truth = [w for w in truth_windows if w.begin >= split and len(w) >= 2]
+        hits = sum(
+            1 for w in live_truth
+            if any(
+                e.begin_index < w.end and w.begin < e.begin_index + 50
+                for e in opened
+            )
+        )
+        assert hits >= len(live_truth) * 0.5
+
+    def test_open_close_pairing(self, live_run):
+        _, events, _, _, _, _ = live_run
+        kinds = [e.kind for e in events]
+        # Every closed event follows an opened one.
+        assert kinds.count("closed") <= kinds.count("opened")
+        for first, second in zip(events, events[1:]):
+            if first.kind == "opened" and second.kind == "closed":
+                assert second.begin_index == first.begin_index
+
+    def test_callback_receives_all_events(self, live_run):
+        _, events, events_seen, _, _, _ = live_run
+        assert events_seen == events
+
+    def test_stats_counters(self, live_run):
+        service, events, _, _, split, series = live_run
+        assert service.stats.points_ingested == len(series) - split
+        assert service.stats.alerts_opened == sum(
+            1 for e in events if e.kind == "opened"
+        )
+
+    def test_short_blips_filtered(self, deployment):
+        series, _, split = deployment
+        service = make_service(series, min_duration_points=3)
+        service.bootstrap(series.slice(0, split))
+        # A 2-point run must not open an alert at min duration 3.
+        events = []
+        base = float(np.nanmedian(series.values))
+        for value in [base, base * 4, base * 4, base, base, base]:
+            events.extend(service.ingest(value))
+        assert all(e.kind != "opened" or e.end_index - e.begin_index >= 3
+                   for e in events)
+
+
+class TestRetrain:
+    def test_full_cycle(self, deployment):
+        series, truth_windows, split = deployment
+        service = make_service(series)
+        service.bootstrap(series.slice(0, split))
+        before = service.cthld
+        for value in series.values[split:]:
+            service.ingest(value)
+        # Operator labels the live week using the ground truth windows.
+        live_windows = [w for w in truth_windows if w.begin >= split]
+        service.submit_labels(live_windows)
+        after = service.retrain()
+        assert service.stats.retrain_rounds == 1
+        assert service.history_length == len(series)
+        assert 0.0 <= after <= 1.0
+        # The service keeps working after retraining.
+        events = service.ingest(float(series.values[-1]))
+        assert isinstance(events, list)
+
+    def test_retrain_without_new_data_rejected(self, deployment):
+        series, _, split = deployment
+        service = make_service(series)
+        service.bootstrap(series.slice(0, split))
+        with pytest.raises(ValueError, match="no new data"):
+            service.retrain()
+
+    def test_labels_beyond_history_rejected(self, deployment):
+        series, _, split = deployment
+        service = make_service(series)
+        service.bootstrap(series.slice(0, split))
+        with pytest.raises(ValueError, match="beyond"):
+            service.submit_labels([AnomalyWindow(split + 10, split + 20)])
+
+    def test_min_duration_validated(self, deployment):
+        series, _, _ = deployment
+        with pytest.raises(ValueError):
+            make_service(series, min_duration_points=0)

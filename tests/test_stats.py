@@ -1,0 +1,133 @@
+"""Series statistics (Table 1 quantities)."""
+
+import numpy as np
+import pytest
+
+from repro.timeseries import (
+    TimeSeries,
+    classify_seasonality,
+    coefficient_of_variation,
+    seasonal_autocorrelation,
+    seasonality_strength,
+    summarize,
+)
+
+
+def hourly(values):
+    return TimeSeries(values=np.asarray(values, dtype=float), interval=3600)
+
+
+class TestCv:
+    def test_constant_series_has_zero_cv(self):
+        assert coefficient_of_variation(hourly([5.0] * 48)) == 0.0
+
+    def test_known_value(self):
+        ts = hourly([1.0, 3.0])  # mean 2, std 1
+        assert coefficient_of_variation(ts) == pytest.approx(0.5)
+
+    def test_ignores_missing(self):
+        ts = hourly([1.0, 3.0, np.nan])
+        assert coefficient_of_variation(ts) == pytest.approx(0.5)
+
+    def test_zero_mean_rejected(self):
+        with pytest.raises(ValueError, match="zero-mean"):
+            coefficient_of_variation(hourly([-1.0, 1.0]))
+
+    def test_all_missing_rejected(self):
+        with pytest.raises(ValueError, match="no observed"):
+            coefficient_of_variation(hourly([np.nan, np.nan]))
+
+
+class TestSeasonalAutocorrelation:
+    def test_perfect_periodicity(self):
+        # The biased ACF estimator scales by (n - lag) / n, so use
+        # enough periods for the bias to be negligible.
+        pattern = np.tile(np.sin(np.linspace(0, 2 * np.pi, 24, endpoint=False)), 40)
+        assert seasonal_autocorrelation(hourly(pattern), 24) > 0.95
+
+    def test_white_noise_is_near_zero(self):
+        rng = np.random.default_rng(0)
+        noise = rng.normal(size=2000)
+        assert abs(seasonal_autocorrelation(hourly(noise), 24)) < 0.1
+
+    def test_period_bounds(self):
+        with pytest.raises(ValueError):
+            seasonal_autocorrelation(hourly(np.ones(10)), 0)
+        with pytest.raises(ValueError, match="too short"):
+            seasonal_autocorrelation(hourly(np.ones(10)), 10)
+
+
+class TestSeasonalityStrength:
+    def test_pure_seasonal_is_near_one(self):
+        pattern = np.tile(np.sin(np.linspace(0, 2 * np.pi, 24, endpoint=False)), 5)
+        strength = seasonality_strength(hourly(10 + pattern), period=24)
+        assert strength > 0.95
+
+    def test_white_noise_is_weak(self):
+        rng = np.random.default_rng(1)
+        strength = seasonality_strength(hourly(rng.normal(size=480)), period=24)
+        assert strength < 0.2
+
+    def test_trend_removed_before_estimation(self):
+        # A pure linear trend has no seasonality at all.
+        strength = seasonality_strength(
+            hourly(np.linspace(0, 100, 480)), period=24
+        )
+        assert strength < 0.05
+
+    def test_requires_two_periods(self):
+        with pytest.raises(ValueError, match="two periods"):
+            seasonality_strength(hourly(np.ones(30)), period=24)
+
+
+class TestClassification:
+    def test_labels(self):
+        assert classify_seasonality(0.95) == "strong"
+        assert classify_seasonality(0.6) == "moderate"
+        assert classify_seasonality(0.1) == "weak"
+
+
+class TestSummarize:
+    def test_summary_row_fields(self, labeled_kpi):
+        summary = summarize(labeled_kpi.series)
+        assert summary.interval_minutes == 60.0
+        assert summary.length_weeks == pytest.approx(4.0)
+        assert summary.anomaly_fraction == pytest.approx(0.06, abs=0.01)
+        assert summary.name == "unit-kpi"
+        assert "Cv=" in summary.row()
+
+    def test_summary_without_labels(self, hourly_kpi):
+        assert summarize(hourly_kpi).anomaly_fraction is None
+
+
+@pytest.mark.slow
+class TestTable1Profiles:
+    """The synthetic datasets must match the published Table 1 rows."""
+
+    def test_pv_profile(self):
+        from repro.data import make_pv
+
+        summary = summarize(make_pv().series)
+        assert summary.seasonality_label == "strong"
+        assert summary.cv == pytest.approx(0.48, abs=0.12)
+        assert summary.anomaly_fraction == pytest.approx(0.078, abs=0.004)
+        assert summary.length_weeks == pytest.approx(25.0)
+
+    def test_sr_profile(self):
+        from repro.data import make_sr
+
+        summary = summarize(make_sr().series)
+        assert summary.seasonality_label == "weak"
+        assert summary.cv == pytest.approx(2.1, abs=0.6)
+        assert summary.anomaly_fraction == pytest.approx(0.028, abs=0.004)
+        assert summary.length_weeks == pytest.approx(19.0)
+
+    def test_srt_profile(self):
+        from repro.data import make_srt
+
+        summary = summarize(make_srt().series)
+        assert summary.seasonality_label == "moderate"
+        assert summary.cv == pytest.approx(0.07, abs=0.04)
+        assert summary.anomaly_fraction == pytest.approx(0.074, abs=0.004)
+        assert summary.length_weeks == pytest.approx(16.0)
+        assert summary.interval_minutes == 60.0

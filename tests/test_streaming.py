@@ -1,0 +1,127 @@
+"""Streaming detection tests: push-one-point decisions must equal the
+batch pipeline, and the true detector streams must handle dirty data."""
+
+import numpy as np
+import pytest
+
+from repro.core import FeatureExtractor, Opprentice, StreamingDetector
+from repro.detectors import (
+    ARIMA,
+    HistoricalAverage,
+    HistoricalMad,
+    SVDDetector,
+    TSD,
+    TSDMad,
+    WaveletDetector,
+)
+from repro.timeseries import TimeSeries
+
+from test_opprentice import fast_forest, small_bank
+
+
+def ts(values, interval=3600):
+    return TimeSeries(values=np.asarray(values, dtype=float), interval=interval)
+
+
+#: Detector instances with true (non-buffered) streams, sized for
+#: ~400-point tests past warm-up, including NaN handling.
+TRUE_STREAM_DETECTORS = [
+    TSD(2, 24),
+    TSDMad(3, 24),
+    HistoricalAverage(1, 4),
+    HistoricalMad(1, 4),
+    SVDDetector(10, 3),
+    WaveletDetector(1, "high", 48),
+    WaveletDetector(1, "mid", 48),
+]
+
+
+@pytest.mark.parametrize(
+    "detector", TRUE_STREAM_DETECTORS, ids=lambda d: d.feature_name
+)
+class TestTrueStreams:
+    def test_stream_equals_batch_clean(self, detector, rng):
+        values = rng.normal(100.0, 10.0, size=400)
+        batch = detector.severities(ts(values))
+        stream = detector.stream()
+        online = np.array([stream.update(v) for v in values])
+        np.testing.assert_allclose(online, batch, equal_nan=True, atol=1e-9)
+
+    def test_stream_equals_batch_with_missing_data(self, detector, rng):
+        values = rng.normal(100.0, 10.0, size=400)
+        values[rng.choice(400, size=25, replace=False)] = np.nan
+        batch = detector.severities(ts(values))
+        stream = detector.stream()
+        online = np.array([stream.update(v) for v in values])
+        np.testing.assert_allclose(online, batch, equal_nan=True, atol=1e-9)
+
+    def test_stream_is_not_buffered_fallback(self, detector):
+        from repro.detectors.base import _BufferedStream
+
+        assert not isinstance(detector.stream(), _BufferedStream)
+
+
+class TestARIMAStream:
+    def test_matches_batch_clean(self, rng):
+        values = rng.normal(50.0, 5.0, size=300)
+        detector = ARIMA(fit_points=150)
+        batch = detector.severities(ts(values))
+        stream = detector.stream()
+        online = np.array([stream.update(v) for v in values])
+        np.testing.assert_allclose(online, batch, equal_nan=True, atol=1e-9)
+
+    def test_matches_batch_with_missing(self, rng):
+        values = np.cumsum(rng.normal(0, 1.0, size=300)) + 100.0
+        values[200] = np.nan
+        values[250:253] = np.nan
+        detector = ARIMA(fit_points=150)
+        batch = detector.severities(ts(values))
+        stream = detector.stream()
+        online = np.array([stream.update(v) for v in values])
+        np.testing.assert_allclose(online, batch, equal_nan=True, atol=1e-9)
+
+    def test_not_buffered(self):
+        from repro.detectors.base import _BufferedStream
+
+        assert not isinstance(ARIMA(fit_points=100).stream(), _BufferedStream)
+
+
+class TestStreamingDetector:
+    @pytest.fixture(scope="class")
+    def fitted(self, labeled_kpi):
+        series = labeled_kpi.series
+        split = 3 * series.points_per_week
+        opp = Opprentice(
+            configs=small_bank(series.points_per_week),
+            classifier_factory=fast_forest,
+        ).fit(series.slice(0, split))
+        return opp, series, split
+
+    def test_requires_fitted_model(self):
+        with pytest.raises(ValueError, match="fitted"):
+            StreamingDetector(Opprentice())
+
+    def test_decisions_match_batch_detection(self, fitted):
+        opp, series, split = fitted
+        tail = series.slice(split, split + 60)
+        batch_scores = opp.anomaly_scores(tail)
+
+        streaming = StreamingDetector(opp, history=series.slice(0, split))
+        decisions = streaming.push_many(tail.values)
+        online_scores = np.array([d.score for d in decisions])
+        np.testing.assert_allclose(online_scores, batch_scores, atol=1e-12)
+
+    def test_decision_thresholding(self, fitted):
+        opp, series, split = fitted
+        streaming = StreamingDetector(opp, history=series.slice(0, split))
+        decisions = streaming.push_many(series.values[split: split + 40])
+        for decision in decisions:
+            assert decision.is_anomaly == (decision.score >= opp.cthld_)
+            assert len(decision.severities) == streaming.n_configs
+
+    def test_indices_count_from_replay(self, fitted):
+        opp, series, split = fitted
+        streaming = StreamingDetector(opp, history=series.slice(0, split))
+        assert streaming.points_seen == split
+        decision = streaming.push(series.values[split])
+        assert decision.index == split

@@ -1,0 +1,191 @@
+"""Unit tests for the TimeSeries container."""
+
+import numpy as np
+import pytest
+
+from repro.timeseries import DAY, WEEK, TimeSeries, TimeSeriesError
+
+
+def series(n=100, interval=3600, **kwargs):
+    return TimeSeries(values=np.arange(n, dtype=float), interval=interval, **kwargs)
+
+
+class TestConstruction:
+    def test_basic(self):
+        ts = series(10)
+        assert len(ts) == 10
+        assert ts.interval == 3600
+        assert not ts.is_labeled
+
+    def test_values_coerced_to_float(self):
+        ts = TimeSeries(values=np.array([1, 2, 3]), interval=60)
+        assert ts.values.dtype == np.float64
+
+    def test_rejects_2d_values(self):
+        with pytest.raises(TimeSeriesError, match="1-D"):
+            TimeSeries(values=np.zeros((3, 3)), interval=60)
+
+    def test_rejects_nonpositive_interval(self):
+        with pytest.raises(TimeSeriesError, match="interval"):
+            TimeSeries(values=np.zeros(3), interval=0)
+
+    def test_rejects_mismatched_labels(self):
+        with pytest.raises(TimeSeriesError, match="labels shape"):
+            TimeSeries(values=np.zeros(3), interval=60, labels=np.zeros(4))
+
+    def test_rejects_non_binary_labels(self):
+        with pytest.raises(TimeSeriesError, match="0/1"):
+            TimeSeries(
+                values=np.zeros(3), interval=60, labels=np.array([0, 1, 2])
+            )
+
+    def test_iteration(self):
+        assert list(series(3)) == [0.0, 1.0, 2.0]
+
+
+class TestGrid:
+    def test_timestamps(self):
+        ts = series(4, interval=60, start=1000)
+        assert ts.timestamps.tolist() == [1000, 1060, 1120, 1180]
+
+    def test_points_per_day_hourly(self):
+        assert series(10, interval=3600).points_per_day == 24
+
+    def test_points_per_day_minutely(self):
+        assert series(10, interval=60).points_per_day == 1440
+
+    def test_points_per_day_requires_divisor(self):
+        ts = series(10, interval=7000)
+        with pytest.raises(TimeSeriesError, match="does not divide"):
+            _ = ts.points_per_day
+
+    def test_points_per_week(self):
+        assert series(10, interval=3600).points_per_week == 168
+
+    def test_n_weeks_fractional(self):
+        ts = series(168 + 84, interval=3600)
+        assert ts.n_weeks == pytest.approx(1.5)
+
+    def test_index_at(self):
+        ts = series(10, interval=60, start=500)
+        assert ts.index_at(500) == 0
+        assert ts.index_at(560) == 1
+
+    def test_index_at_off_grid(self):
+        ts = series(10, interval=60)
+        with pytest.raises(TimeSeriesError, match="not on the grid"):
+            ts.index_at(30)
+
+    def test_index_at_out_of_range(self):
+        ts = series(10, interval=60)
+        with pytest.raises(TimeSeriesError, match="outside"):
+            ts.index_at(60 * 100)
+
+
+class TestMissing:
+    def test_missing_mask(self):
+        ts = TimeSeries(values=np.array([1.0, np.nan, 3.0]), interval=60)
+        assert ts.missing_mask.tolist() == [False, True, False]
+        assert ts.n_missing == 1
+
+
+class TestSlicing:
+    def test_slice_values_and_start(self):
+        ts = series(10, interval=60, start=0)
+        sub = ts.slice(2, 5)
+        assert sub.values.tolist() == [2.0, 3.0, 4.0]
+        assert sub.start == 120
+        assert len(sub) == 3
+
+    def test_slice_carries_labels(self):
+        labels = np.zeros(10, dtype=np.int8)
+        labels[3] = 1
+        ts = series(10).with_labels(labels)
+        assert ts.slice(2, 5).labels.tolist() == [0, 1, 0]
+
+    def test_slice_bounds_checked(self):
+        with pytest.raises(TimeSeriesError):
+            series(10).slice(5, 20)
+        with pytest.raises(TimeSeriesError):
+            series(10).slice(-1, 5)
+
+    def test_week_view(self):
+        ts = series(168 * 2, interval=3600)
+        week1 = ts.week(1)
+        assert len(week1) == 168
+        assert week1.values[0] == 168.0
+
+    def test_week_out_of_range(self):
+        with pytest.raises(TimeSeriesError, match="week"):
+            series(168, interval=3600).week(2)
+
+    def test_weeks_iterates_partial_final(self):
+        ts = series(168 + 10, interval=3600)
+        weeks = list(ts.weeks())
+        assert len(weeks) == 2
+        assert len(weeks[1]) == 10
+
+    def test_month_blocks(self):
+        ts = series(24 * 45, interval=3600)  # 45 days
+        assert ts.n_months() == 2
+        assert len(ts.month(0)) == 24 * 30
+        assert len(ts.month(1)) == 24 * 15
+
+
+class TestLabels:
+    def test_with_labels_roundtrip(self):
+        ts = series(5).with_labels([0, 1, 0, 1, 1])
+        assert ts.is_labeled
+        assert ts.anomaly_fraction() == pytest.approx(0.6)
+
+    def test_anomaly_fraction_requires_labels(self):
+        with pytest.raises(TimeSeriesError, match="no labels"):
+            series(5).anomaly_fraction()
+
+    def test_copy_is_independent(self):
+        ts = series(5).with_labels([0, 0, 1, 0, 0])
+        clone = ts.copy()
+        clone.values[0] = 99.0
+        clone.labels[0] = 1
+        assert ts.values[0] == 0.0
+        assert ts.labels[0] == 0
+
+
+class TestConcat:
+    def test_concat_continues_grid(self):
+        a = series(5, interval=60, start=0)
+        b = series(3, interval=60, start=300)
+        joined = a.concat(b)
+        assert len(joined) == 8
+        assert joined.timestamps[-1] == 420
+
+    def test_concat_rejects_gap(self):
+        a = series(5, interval=60, start=0)
+        b = series(3, interval=60, start=360)
+        with pytest.raises(TimeSeriesError, match="expected 300"):
+            a.concat(b)
+
+    def test_concat_rejects_interval_mismatch(self):
+        a = series(5, interval=60)
+        b = series(3, interval=120, start=300)
+        with pytest.raises(TimeSeriesError, match="interval mismatch"):
+            a.concat(b)
+
+    def test_concat_rejects_mixed_labeling(self):
+        a = series(5, interval=60).with_labels([0] * 5)
+        b = series(3, interval=60, start=300)
+        with pytest.raises(TimeSeriesError, match="labelled"):
+            a.concat(b)
+
+    def test_concat_joins_labels(self):
+        a = series(2, interval=60).with_labels([0, 1])
+        b = TimeSeries(
+            values=np.zeros(2), interval=60, start=120,
+            labels=np.array([1, 0]),
+        )
+        assert a.concat(b).labels.tolist() == [0, 1, 1, 0]
+
+
+def test_constants_consistent():
+    assert WEEK == 7 * DAY
+    assert DAY == 86400

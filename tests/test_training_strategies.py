@@ -1,0 +1,100 @@
+"""Table 2 training-set strategy tests."""
+
+import numpy as np
+import pytest
+
+from repro.core import F4, I1, I4, R4, STRATEGIES, TrainingStrategy, TrainTestSplit
+from repro.timeseries import TimeSeries
+
+
+def weeks_series(n_weeks: float, interval=3600) -> TimeSeries:
+    ppw = 7 * 24 * 3600 // interval
+    n = int(n_weeks * ppw)
+    return TimeSeries(values=np.zeros(n), interval=interval)
+
+
+class TestTrainTestSplit:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TrainTestSplit(5, 3, 3, 10, 9)  # train_begin > train_end
+
+
+class TestI1:
+    def test_first_split_starts_at_week9(self):
+        series = weeks_series(12)
+        splits = list(I1.splits(series))
+        ppw = series.points_per_week
+        assert splits[0].test_begin == 8 * ppw
+        assert splits[0].test_end == 9 * ppw
+        assert splits[0].test_week == 9
+        assert splits[0].train_begin == 0
+        assert splits[0].train_end == 8 * ppw
+
+    def test_one_split_per_remaining_week(self):
+        series = weeks_series(12)
+        assert I1.n_splits(series) == 4  # weeks 9, 10, 11, 12
+
+    def test_training_grows_incrementally(self):
+        series = weeks_series(12)
+        splits = list(I1.splits(series))
+        ends = [s.train_end for s in splits]
+        assert ends == sorted(ends)
+        ppw = series.points_per_week
+        assert splits[-1].train_end == 11 * ppw
+
+    def test_partial_final_week_excluded(self):
+        series = weeks_series(12.5)
+        assert I1.n_splits(series) == 4
+
+
+class TestFourWeekStrategies:
+    def test_i4_trains_on_all_history(self):
+        series = weeks_series(16)
+        split = next(iter(I4.splits(series)))
+        assert split.train_begin == 0
+        assert split.test_end - split.test_begin == 4 * series.points_per_week
+
+    def test_r4_trains_on_recent_8_weeks(self):
+        series = weeks_series(16)
+        splits = list(R4.splits(series))
+        ppw = series.points_per_week
+        last = splits[-1]
+        assert last.train_end - last.train_begin == 8 * ppw
+        assert last.train_end == last.test_begin
+
+    def test_f4_trains_on_first_8_weeks_only(self):
+        series = weeks_series(16)
+        for split in F4.splits(series):
+            assert split.train_begin == 0
+            assert split.train_end == 8 * series.points_per_week
+
+    def test_all_4week_strategies_share_test_windows(self):
+        series = weeks_series(16)
+        tests_i4 = [(s.test_begin, s.test_end) for s in I4.splits(series)]
+        tests_r4 = [(s.test_begin, s.test_end) for s in R4.splits(series)]
+        tests_f4 = [(s.test_begin, s.test_end) for s in F4.splits(series)]
+        assert tests_i4 == tests_r4 == tests_f4
+        assert len(tests_i4) == 16 - 8 - 4 + 1
+
+    def test_too_short_series_yields_no_splits(self):
+        series = weeks_series(10)
+        assert list(I4.splits(series)) == []
+
+
+class TestStrategyValidation:
+    def test_ids(self):
+        assert [s.id for s in STRATEGIES] == ["I1", "I4", "R4", "F4"]
+
+    def test_rejects_unknown_history(self):
+        with pytest.raises(ValueError, match="history"):
+            TrainingStrategy(id="X", history="middle", test_weeks=1)
+
+    def test_rejects_bad_windows(self):
+        with pytest.raises(ValueError):
+            TrainingStrategy(id="X", history="all", test_weeks=0)
+
+    def test_train_and_test_never_overlap(self):
+        series = weeks_series(20)
+        for strategy in STRATEGIES:
+            for split in strategy.splits(series):
+                assert split.train_end <= split.test_begin

@@ -1,0 +1,101 @@
+"""Label triage tests."""
+
+import numpy as np
+import pytest
+
+from repro.labeling import suggest_windows, triage_queue_minutes
+from repro.timeseries import AnomalyWindow
+
+
+class TestSuggestWindows:
+    def test_high_score_runs_suggested(self):
+        scores = np.array([0.1, 0.1, 0.9, 0.95, 0.9, 0.1, 0.1])
+        candidates = suggest_windows(scores, context_points=0)
+        assert len(candidates) == 1
+        assert candidates[0].window == AnomalyWindow(2, 5)
+        assert candidates[0].peak_score == pytest.approx(0.95)
+        assert candidates[0].mean_score == pytest.approx(
+            np.mean([0.9, 0.95, 0.9])
+        )
+
+    def test_context_padding(self):
+        scores = np.array([0.1, 0.1, 0.9, 0.1, 0.1])
+        candidates = suggest_windows(scores, context_points=2)
+        assert candidates[0].window == AnomalyWindow(0, 5)
+
+    def test_labeled_regions_excluded(self):
+        scores = np.array([0.9, 0.9, 0.1, 0.9, 0.9])
+        labeled = np.array([True, True, False, False, False])
+        candidates = suggest_windows(
+            scores, labeled_mask=labeled, context_points=0
+        )
+        assert len(candidates) == 1
+        assert candidates[0].window.begin == 3
+
+    def test_sorted_by_peak_descending(self):
+        scores = np.array([0.5, 0.0, 0.99, 0.0, 0.7])
+        candidates = suggest_windows(scores, context_points=0)
+        peaks = [c.peak_score for c in candidates]
+        assert peaks == sorted(peaks, reverse=True)
+
+    def test_max_candidates_cap(self):
+        scores = np.array([0.9, 0.0] * 20)
+        candidates = suggest_windows(
+            scores, max_candidates=3, context_points=0
+        )
+        assert len(candidates) == 3
+
+    def test_nearby_runs_merge(self):
+        scores = np.array([0.9, 0.0, 0.9, 0.0, 0.0, 0.9])
+        merged = suggest_windows(scores, min_gap=2, context_points=0)
+        # Runs at 0 and 2 merge (gap 1 < 2); the run at 5 stays apart.
+        assert len(merged) == 2
+        assert merged[0].window.begin in (0, 5)
+
+    def test_nan_scores_never_suggested(self):
+        scores = np.array([np.nan, np.nan, 0.9, np.nan])
+        candidates = suggest_windows(scores, context_points=0)
+        assert len(candidates) == 1
+        assert candidates[0].window == AnomalyWindow(2, 3)
+
+    def test_empty_and_validation(self):
+        assert suggest_windows(np.array([])) == []
+        with pytest.raises(ValueError):
+            suggest_windows(np.array([0.5]), score_threshold=2.0)
+        with pytest.raises(ValueError):
+            suggest_windows(
+                np.array([0.5, 0.5]), labeled_mask=np.array([True])
+            )
+
+    def test_triage_finds_the_real_anomalies(self, labeled_kpi):
+        """End to end: a trained forest's triage queue points at the
+        injected anomalies."""
+        from repro.core import Opprentice
+        from test_opprentice import fast_forest, small_bank
+
+        series = labeled_kpi.series
+        opp = Opprentice(
+            configs=small_bank(series.points_per_week),
+            classifier_factory=fast_forest,
+        ).fit(series)
+        scores = opp.anomaly_scores(series)
+        candidates = suggest_windows(scores, score_threshold=0.5)
+        assert candidates
+        labels = series.labels.astype(bool)
+        hits = sum(
+            1 for c in candidates
+            if labels[c.window.begin: c.window.end].any()
+        )
+        assert hits / len(candidates) > 0.7
+
+
+class TestQueueMinutes:
+    def test_linear_in_candidates(self):
+        scores = np.array([0.9, 0.0] * 5)
+        candidates = suggest_windows(scores, context_points=0)
+        minutes = triage_queue_minutes(candidates, seconds_per_window=12.0)
+        assert minutes == pytest.approx(len(candidates) * 0.2)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            triage_queue_minutes([], seconds_per_window=0.0)

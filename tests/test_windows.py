@@ -1,0 +1,167 @@
+"""Window <-> point label conversion, including property-based tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.timeseries import (
+    AnomalyWindow,
+    jitter_window,
+    merge_windows,
+    points_to_windows,
+    subtract_window,
+    windows_to_points,
+)
+
+
+class TestAnomalyWindow:
+    def test_length(self):
+        assert len(AnomalyWindow(2, 7)) == 5
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            AnomalyWindow(3, 3)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            AnomalyWindow(-1, 3)
+
+    def test_overlaps(self):
+        a, b, c = AnomalyWindow(0, 5), AnomalyWindow(4, 8), AnomalyWindow(5, 9)
+        assert a.overlaps(b)
+        assert not a.overlaps(c)  # half-open: touching is not overlap
+
+    def test_contains(self):
+        w = AnomalyWindow(2, 5)
+        assert w.contains(2) and w.contains(4)
+        assert not w.contains(5)
+
+    def test_ordering(self):
+        assert AnomalyWindow(1, 3) < AnomalyWindow(2, 3)
+
+
+class TestConversions:
+    def test_windows_to_points(self):
+        labels = windows_to_points([AnomalyWindow(1, 3)], 5)
+        assert labels.tolist() == [0, 1, 1, 0, 0]
+
+    def test_windows_clip_to_length(self):
+        labels = windows_to_points([AnomalyWindow(3, 10)], 5)
+        assert labels.tolist() == [0, 0, 0, 1, 1]
+
+    def test_window_beyond_length_ignored(self):
+        labels = windows_to_points([AnomalyWindow(7, 10)], 5)
+        assert labels.sum() == 0
+
+    def test_points_to_windows(self):
+        windows = points_to_windows([0, 1, 1, 0, 1])
+        assert windows == [AnomalyWindow(1, 3), AnomalyWindow(4, 5)]
+
+    def test_points_to_windows_empty(self):
+        assert points_to_windows([]) == []
+        assert points_to_windows([0, 0]) == []
+
+    def test_points_to_windows_all_anomalous(self):
+        assert points_to_windows([1, 1, 1]) == [AnomalyWindow(0, 3)]
+
+    def test_points_to_windows_rejects_2d(self):
+        with pytest.raises(ValueError, match="1-D"):
+            points_to_windows(np.zeros((2, 2)))
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=1), min_size=1, max_size=200)
+    )
+    def test_roundtrip_points_windows_points(self, labels):
+        windows = points_to_windows(labels)
+        restored = windows_to_points(windows, len(labels))
+        assert restored.tolist() == labels
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=50),
+                st.integers(min_value=1, max_value=20),
+            ),
+            max_size=10,
+        )
+    )
+    def test_windows_points_windows_is_minimal_merge(self, raw):
+        windows = [AnomalyWindow(b, b + length) for b, length in raw]
+        labels = windows_to_points(windows, 80)
+        recovered = points_to_windows(labels)
+        # Recovered windows are disjoint, sorted, non-touching.
+        for first, second in zip(recovered, recovered[1:]):
+            assert first.end < second.begin
+        # And they cover exactly the same points.
+        assert windows_to_points(recovered, 80).tolist() == labels.tolist()
+
+
+class TestMergeSubtract:
+    def test_merge_overlapping(self):
+        merged = merge_windows(
+            [AnomalyWindow(0, 5), AnomalyWindow(3, 8), AnomalyWindow(10, 12)]
+        )
+        assert merged == [AnomalyWindow(0, 8), AnomalyWindow(10, 12)]
+
+    def test_merge_touching(self):
+        assert merge_windows([AnomalyWindow(0, 5), AnomalyWindow(5, 8)]) == [
+            AnomalyWindow(0, 8)
+        ]
+
+    def test_subtract_middle_splits(self):
+        remaining = subtract_window([AnomalyWindow(0, 10)], AnomalyWindow(3, 6))
+        assert remaining == [AnomalyWindow(0, 3), AnomalyWindow(6, 10)]
+
+    def test_subtract_whole_window(self):
+        assert subtract_window([AnomalyWindow(2, 4)], AnomalyWindow(0, 10)) == []
+
+    def test_subtract_edge_overlap(self):
+        remaining = subtract_window([AnomalyWindow(0, 10)], AnomalyWindow(5, 15))
+        assert remaining == [AnomalyWindow(0, 5)]
+
+    def test_subtract_disjoint_is_noop(self):
+        windows = [AnomalyWindow(0, 3)]
+        assert subtract_window(windows, AnomalyWindow(5, 8)) == windows
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=40),
+                st.integers(min_value=1, max_value=15),
+            ),
+            max_size=8,
+        ),
+        st.tuples(
+            st.integers(min_value=0, max_value=40),
+            st.integers(min_value=1, max_value=15),
+        ),
+    )
+    def test_subtract_equals_pointwise_clearing(self, raw, cancel_raw):
+        windows = merge_windows(
+            AnomalyWindow(b, b + n) for b, n in raw
+        )
+        cancel = AnomalyWindow(cancel_raw[0], cancel_raw[0] + cancel_raw[1])
+        length = 80
+        expected = windows_to_points(windows, length)
+        expected[cancel.begin: min(cancel.end, length)] = 0
+        result = windows_to_points(subtract_window(windows, cancel), length)
+        assert result.tolist() == expected.tolist()
+
+
+class TestJitter:
+    @given(st.integers(min_value=0, max_value=2**32 - 1))
+    @settings(max_examples=30)
+    def test_jitter_stays_valid(self, seed):
+        rng = np.random.default_rng(seed)
+        window = AnomalyWindow(10, 20)
+        jittered = jitter_window(window, rng, max_shift=5, length=50)
+        assert 0 <= jittered.begin < jittered.end <= 50
+
+    def test_zero_shift_is_identity(self, rng):
+        window = AnomalyWindow(10, 20)
+        assert jitter_window(window, rng, 0, 50) == window
+
+    def test_negative_shift_rejected(self, rng):
+        with pytest.raises(ValueError):
+            jitter_window(AnomalyWindow(0, 5), rng, -1, 50)

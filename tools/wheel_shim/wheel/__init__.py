@@ -1,0 +1,15 @@
+"""Minimal offline stand-in for the PyPA `wheel` distribution.
+
+This environment has no network access and no `wheel` package, which
+setuptools' PEP 660 editable-install path imports. This shim implements
+just the surface setuptools 65.x uses:
+
+* ``wheel.bdist_wheel.bdist_wheel`` with ``get_tag``, ``write_wheelfile``
+  and ``egg2dist``;
+* ``wheel.wheelfile.WheelFile`` (zip writer that maintains RECORD).
+
+Only pure-Python (py3-none-any) editable wheels are supported, which is
+all `pip install -e .` needs for this repository.
+"""
+
+__version__ = "0.0.shim"

@@ -1,0 +1,108 @@
+"""Minimal ``bdist_wheel`` command: just enough for setuptools' PEP 660
+editable-install path (get_tag / write_wheelfile / egg2dist) for pure-
+Python wheels."""
+
+import os
+import shutil
+
+from setuptools import Command
+
+from . import __version__
+
+
+class bdist_wheel(Command):
+    description = "create a wheel distribution (offline shim, pure Python only)"
+    user_options = [
+        ("dist-dir=", "d", "directory to put final built distributions in"),
+        ("plat-name=", "p", "platform name (ignored: always 'any')"),
+    ]
+
+    def initialize_options(self):
+        self.dist_dir = None
+        self.plat_name = None
+        self.data_dir = None
+
+    def finalize_options(self):
+        if self.dist_dir is None:
+            self.dist_dir = "dist"
+        name = self.distribution.get_name().replace("-", "_")
+        self.data_dir = f"{name}-{self.distribution.get_version()}.data"
+
+    # ------------------------------------------------------------------
+    # Surface used by setuptools.command.{dist_info,editable_wheel}
+    # ------------------------------------------------------------------
+    def get_tag(self):
+        """Pure-Python tag; this shim does not build binary wheels."""
+        return ("py3", "none", "any")
+
+    @property
+    def wheel_dist_name(self):
+        name = self.distribution.get_name().replace("-", "_")
+        return f"{name}-{self.distribution.get_version()}"
+
+    def write_wheelfile(self, wheelfile_base, generator=None):
+        generator = generator or f"wheel-shim ({__version__})"
+        impl, abi, plat = self.get_tag()
+        content = (
+            "Wheel-Version: 1.0\n"
+            f"Generator: {generator}\n"
+            "Root-Is-Purelib: true\n"
+            f"Tag: {impl}-{abi}-{plat}\n"
+        )
+        path = os.path.join(wheelfile_base, "WHEEL")
+        with open(path, "w", encoding="utf-8") as f:
+            f.write(content)
+
+    def egg2dist(self, egginfo_path, distinfo_path):
+        """Convert an .egg-info directory into a .dist-info directory."""
+        if os.path.exists(distinfo_path):
+            shutil.rmtree(distinfo_path)
+        os.makedirs(distinfo_path)
+        pkginfo = os.path.join(egginfo_path, "PKG-INFO")
+        if os.path.exists(pkginfo):
+            shutil.copy2(pkginfo, os.path.join(distinfo_path, "METADATA"))
+        for extra in ("entry_points.txt",):
+            src = os.path.join(egginfo_path, extra)
+            if os.path.exists(src):
+                shutil.copy2(src, os.path.join(distinfo_path, extra))
+        requires = os.path.join(egginfo_path, "requires.txt")
+        if os.path.exists(requires):
+            self._append_requirements(
+                os.path.join(distinfo_path, "METADATA"), requires
+            )
+        self.write_wheelfile(distinfo_path)
+
+    @staticmethod
+    def _append_requirements(metadata_path, requires_path):
+        """Translate egg-info requires.txt sections into Requires-Dist
+        headers (plain + extras)."""
+        with open(requires_path, encoding="utf-8") as f:
+            lines = [line.strip() for line in f]
+        headers = []
+        extra = None
+        for line in lines:
+            if not line:
+                continue
+            if line.startswith("[") and line.endswith("]"):
+                section = line[1:-1]
+                extra = section.split(":", 1)[0] or None
+                if extra:
+                    headers.append(f"Provides-Extra: {extra}")
+                continue
+            if extra:
+                headers.append(f'Requires-Dist: {line} ; extra == "{extra}"')
+            else:
+                headers.append(f"Requires-Dist: {line}")
+        if not headers:
+            return
+        with open(metadata_path, encoding="utf-8") as f:
+            metadata = f.read()
+        head, sep, body = metadata.partition("\n\n")
+        with open(metadata_path, "w", encoding="utf-8") as f:
+            f.write(head + "\n" + "\n".join(headers) + (sep + body if sep else "\n"))
+
+    def run(self):
+        raise NotImplementedError(
+            "this offline shim only supports editable installs; "
+            "install the real 'wheel' package to build distributions"
+        )

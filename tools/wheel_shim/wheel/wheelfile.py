@@ -1,0 +1,71 @@
+"""A RECORD-maintaining zip writer, API-compatible subset of
+``wheel.wheelfile.WheelFile``."""
+
+import base64
+import hashlib
+import os
+import re
+import zipfile
+
+WHEEL_INFO_RE = re.compile(
+    r"^(?P<namever>(?P<name>[^-]+?)-(?P<ver>[^-]+?))"
+    r"(-(?P<build>\d[^-]*))?-(?P<pyver>[^-]+?)-(?P<abi>[^-]+?)-(?P<plat>[^.]+?)\.whl$"
+)
+
+
+def _urlsafe_b64(data: bytes) -> str:
+    return base64.urlsafe_b64encode(data).decode("ascii").rstrip("=")
+
+
+class WheelFile(zipfile.ZipFile):
+    """Write a .whl archive, appending a RECORD entry per file."""
+
+    def __init__(self, file, mode="r", compression=zipfile.ZIP_DEFLATED):
+        basename = os.path.basename(file)
+        match = WHEEL_INFO_RE.match(basename)
+        if not match:
+            raise ValueError(f"bad wheel filename {basename!r}")
+        self.parsed_filename = match
+        self.dist_info_path = (
+            f"{match.group('namever')}.dist-info"
+        )
+        self.record_path = self.dist_info_path + "/RECORD"
+        self._record_entries = []
+        zipfile.ZipFile.__init__(self, file, mode, compression=compression)
+
+    def write(self, filename, arcname=None, compress_type=None):
+        with open(filename, "rb") as f:
+            data = f.read()
+        self.writestr(arcname or filename, data, compress_type)
+
+    def writestr(self, zinfo_or_arcname, data, compress_type=None):
+        if isinstance(data, str):
+            data = data.encode("utf-8")
+        arcname = (
+            zinfo_or_arcname.filename
+            if isinstance(zinfo_or_arcname, zipfile.ZipInfo)
+            else zinfo_or_arcname
+        )
+        zipfile.ZipFile.writestr(self, zinfo_or_arcname, data, compress_type)
+        if arcname != self.record_path:
+            digest = _urlsafe_b64(hashlib.sha256(data).digest())
+            self._record_entries.append(
+                f"{arcname},sha256={digest},{len(data)}"
+            )
+
+    def write_files(self, base_dir):
+        """Add every file under ``base_dir`` (deterministic order)."""
+        for root, dirs, files in os.walk(base_dir):
+            dirs.sort()
+            for name in sorted(files):
+                path = os.path.join(root, name)
+                arcname = os.path.relpath(path, base_dir).replace(os.sep, "/")
+                if arcname != self.record_path:
+                    self.write(path, arcname)
+
+    def close(self):
+        if self.fp is not None and self.mode == "w":
+            record = "\n".join(self._record_entries)
+            record += f"\n{self.record_path},,\n"
+            zipfile.ZipFile.writestr(self, self.record_path, record)
+        zipfile.ZipFile.close(self)
