@@ -1,0 +1,41 @@
+"""Static contract enforcement for the Opprentice reproduction.
+
+The paper's §4.3 invariants — detector causality (batch ``severities``
+== online ``stream``), reproducible randomness, and the Table 3 bank of
+14 detectors / 133 configurations — are contracts the dynamic test
+suite can only sample. This package enforces them *statically*: a
+dependency-free lint engine over :mod:`ast` with a rule registry,
+inline suppressions (``# repro: disable=<rule>``), ``[tool.repro-lint]``
+configuration, and text/JSON reporters.
+
+Run it as ``python -m repro.analysis src/repro`` or via the
+``repro-lint`` console script; the test suite runs it over the library
+itself so a contract violation fails CI like any broken unit test.
+See ``docs/static_analysis.md`` for the rule catalogue.
+"""
+
+from .config import ConfigError, LintConfig, load_config, parse_config
+from .engine import LintEngine, LintResult, discover_files, lint_paths
+from .finding import Finding, LintSummary, Severity
+from .reporters import render_json, render_text
+from .rules import RULE_REGISTRY, Rule, all_rules, register
+
+__all__ = [
+    "ConfigError",
+    "LintConfig",
+    "load_config",
+    "parse_config",
+    "LintEngine",
+    "LintResult",
+    "discover_files",
+    "lint_paths",
+    "Finding",
+    "LintSummary",
+    "Severity",
+    "render_json",
+    "render_text",
+    "RULE_REGISTRY",
+    "Rule",
+    "all_rules",
+    "register",
+]

@@ -1,0 +1,129 @@
+"""``repro-lint`` / ``python -m repro.analysis`` command line.
+
+Examples::
+
+    repro-lint src/repro                 # lint the library, text output
+    repro-lint --format json src/repro   # machine-readable report
+    repro-lint --list-rules              # show the rule set
+    repro-lint --disable api-hygiene src # switch a rule off for one run
+    repro-lint --strict src/repro        # warnings also fail the run
+
+Exit codes: 0 clean, 1 findings at failing severity, 2 usage/config
+error. Configuration is read from the nearest ``pyproject.toml``
+(``[tool.repro-lint]``) unless ``--config`` points elsewhere or
+``--no-config`` skips it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from .config import ConfigError, LintConfig, find_pyproject, load_config
+from .engine import LintEngine
+from .finding import Severity
+from .reporters import REPORTERS
+from .rules import RULE_REGISTRY
+
+USAGE_EXIT = 2
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description=(
+            "Static contract checks for the Opprentice reproduction: "
+            "detector causality, determinism, registry consistency, "
+            "API hygiene."
+        ),
+    )
+    parser.add_argument(
+        "paths", nargs="*",
+        help="files or directories to lint (default: [tool.repro-lint] "
+             "paths, else src/repro)",
+    )
+    parser.add_argument(
+        "--format", choices=sorted(REPORTERS), default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--config", type=Path, default=None, metavar="PYPROJECT",
+        help="explicit pyproject.toml to read [tool.repro-lint] from",
+    )
+    parser.add_argument(
+        "--no-config", action="store_true",
+        help="ignore pyproject.toml configuration entirely",
+    )
+    parser.add_argument(
+        "--disable", action="append", default=[], metavar="RULE",
+        help="disable a rule for this run (repeatable)",
+    )
+    parser.add_argument(
+        "--strict", action="store_true",
+        help="treat warnings as failures (exit 1)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="list registered rules and exit",
+    )
+    return parser
+
+
+def _resolve_config(args: argparse.Namespace) -> LintConfig:
+    if args.no_config:
+        config = LintConfig()
+    else:
+        pyproject = args.config
+        if pyproject is None:
+            anchor = Path(args.paths[0]) if args.paths else Path.cwd()
+            pyproject = find_pyproject(anchor)
+        config = load_config(pyproject)
+    config.disabled_rules = list(config.disabled_rules) + list(args.disable)
+    return config
+
+
+def _list_rules() -> str:
+    lines = []
+    for rule_id, rule_cls in RULE_REGISTRY.items():
+        severity = rule_cls.default_severity.value
+        lines.append(f"{rule_id:<20} [{severity}] {rule_cls.description}")
+    return "\n".join(lines)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        print(_list_rules())
+        return 0
+
+    unknown = set(args.disable) - set(RULE_REGISTRY)
+    if unknown:
+        print(
+            f"repro-lint: unknown rule(s) in --disable: {sorted(unknown)}",
+            file=sys.stderr,
+        )
+        return USAGE_EXIT
+
+    try:
+        config = _resolve_config(args)
+    except (ConfigError, ValueError, OSError) as exc:
+        print(f"repro-lint: config error: {exc}", file=sys.stderr)
+        return USAGE_EXIT
+
+    paths: List[str] = list(args.paths) or list(config.paths) or ["src/repro"]
+    try:
+        result = LintEngine(config).run(paths)
+    except FileNotFoundError as exc:
+        print(f"repro-lint: {exc}", file=sys.stderr)
+        return USAGE_EXIT
+
+    print(REPORTERS[args.format](result))
+    return result.exit_code(strict=args.strict)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,161 @@
+"""The lint engine: discover files, parse, run rules, filter, report.
+
+Pipeline::
+
+    paths -> .py files -> ModuleInfo (AST + suppressions)
+          -> per-module rules + project rules
+          -> drop suppressed findings, apply severity overrides
+          -> sorted findings + summary
+
+Files that fail to parse are reported under the ``parse-error`` pseudo
+rule instead of crashing the run, so one broken file cannot hide the
+findings in the other hundred.
+"""
+
+from __future__ import annotations
+
+import ast
+import fnmatch
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
+
+from .config import LintConfig
+from .finding import Finding, LintSummary, Severity
+from .rules import ModuleInfo, ProjectInfo, all_rules
+from .suppressions import build_suppressions, is_suppressed
+
+#: Pseudo rule id for unparseable files (not suppressible by design).
+PARSE_ERROR_RULE = "parse-error"
+
+
+@dataclass
+class LintResult:
+    """Findings plus run metadata, ready for a reporter."""
+
+    findings: List[Finding]
+    summary: LintSummary
+    #: rule ids that actually ran (for reporters / debugging).
+    rules: List[str] = field(default_factory=list)
+
+    def exit_code(self, strict: bool = False) -> int:
+        return 1 if self.summary.failed(strict) else 0
+
+
+def discover_files(
+    paths: Sequence[str], exclude: Sequence[str] = ()
+) -> List[Path]:
+    """Expand files/directories into a sorted, de-duplicated .py list."""
+    seen: Dict[Path, None] = {}
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            candidates: Iterable[Path] = sorted(path.rglob("*.py"))
+        elif path.is_file():
+            candidates = [path]
+        else:
+            raise FileNotFoundError(f"lint target does not exist: {raw}")
+        for candidate in candidates:
+            posix = candidate.as_posix()
+            if any(fnmatch.fnmatch(posix, pattern) for pattern in exclude):
+                continue
+            seen.setdefault(candidate, None)
+    return list(seen)
+
+
+def _display_path(path: Path) -> str:
+    try:
+        return path.resolve().relative_to(Path.cwd()).as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
+@dataclass
+class _ParsedModule:
+    info: ModuleInfo
+    suppressions: Dict[int, FrozenSet[str]]
+
+
+def _parse(path: Path) -> Tuple[Optional[_ParsedModule], Optional[Finding]]:
+    display = _display_path(path)
+    try:
+        source = path.read_text(encoding="utf-8")
+        tree = ast.parse(source, filename=str(path))
+    except (SyntaxError, UnicodeDecodeError, OSError) as exc:
+        line = getattr(exc, "lineno", 1) or 1
+        col = getattr(exc, "offset", 1) or 1
+        return None, Finding(
+            file=display,
+            line=line,
+            col=max(col - 1, 0),
+            rule=PARSE_ERROR_RULE,
+            severity=Severity.ERROR,
+            message=f"cannot parse file: {exc}",
+        )
+    info = ModuleInfo(display, source, tree)
+    return _ParsedModule(info, build_suppressions(source, tree)), None
+
+
+class LintEngine:
+    """One configured lint run over a set of paths."""
+
+    def __init__(self, config: Optional[LintConfig] = None):
+        self.config = config or LintConfig()
+        disabled = set(self.config.disabled_rules)
+        self.rules = [rule for rule in all_rules() if rule.id not in disabled]
+
+    def run(self, paths: Sequence[str]) -> LintResult:
+        files = discover_files(paths, self.config.exclude)
+        parsed: List[_ParsedModule] = []
+        findings: List[Finding] = []
+        for path in files:
+            module, error = _parse(path)
+            if error is not None:
+                findings.append(error)
+            if module is not None:
+                parsed.append(module)
+
+        project = ProjectInfo(
+            [m.info for m in parsed], self.config.registry_exempt
+        )
+        suppression_index = {
+            m.info.display_path: m.suppressions for m in parsed
+        }
+        for rule in self.rules:
+            for module in parsed:
+                findings.extend(rule.check_module(module.info))
+            findings.extend(rule.check_project(project))
+
+        kept: List[Finding] = []
+        suppressed = 0
+        for finding in findings:
+            table = suppression_index.get(finding.file, {})
+            if finding.rule != PARSE_ERROR_RULE and is_suppressed(
+                table, finding.line, finding.rule
+            ):
+                suppressed += 1
+                continue
+            override = self.config.severity_overrides.get(finding.rule)
+            if override is not None:
+                finding = finding.with_severity(override)
+            kept.append(finding)
+
+        kept.sort(key=lambda f: f.sort_key)
+        summary = LintSummary(
+            files=len(files),
+            errors=sum(1 for f in kept if f.severity is Severity.ERROR),
+            warnings=sum(1 for f in kept if f.severity is Severity.WARNING),
+            suppressed=suppressed,
+        )
+        return LintResult(
+            findings=kept,
+            summary=summary,
+            rules=[rule.id for rule in self.rules],
+        )
+
+
+def lint_paths(
+    paths: Sequence[str], config: Optional[LintConfig] = None
+) -> LintResult:
+    """Convenience: run the full rule set over ``paths``."""
+    return LintEngine(config).run(paths)

@@ -1,0 +1,101 @@
+"""The lint data model: findings, severities, and sort order.
+
+A :class:`Finding` is one contract violation at one source location.
+Findings are plain data — rules produce them, the engine filters them
+through suppressions and config overrides, and reporters render them.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+from typing import Dict, Optional
+
+
+class Severity(enum.Enum):
+    """How a finding affects the exit code.
+
+    ``ERROR`` findings fail the lint run; ``WARNING`` findings are
+    reported but only fail under ``--strict``.
+    """
+
+    WARNING = "warning"
+    ERROR = "error"
+
+    @classmethod
+    def parse(cls, text: str) -> "Severity":
+        try:
+            return cls(text.lower())
+        except ValueError:
+            raise ValueError(
+                f"unknown severity {text!r}; expected one of "
+                f"{[s.value for s in cls]}"
+            ) from None
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location.
+
+    ``line``/``col`` are 1-based line and 0-based column, matching
+    Python's ``ast`` node coordinates so editors can jump to them.
+    """
+
+    file: str
+    line: int
+    col: int
+    rule: str
+    severity: Severity
+    message: str
+    #: Extra machine-readable context (e.g. the offending symbol name).
+    data: Dict[str, str] = field(default_factory=dict)
+
+    @property
+    def sort_key(self):
+        return (self.file, self.line, self.col, self.rule, self.message)
+
+    def with_severity(self, severity: Severity) -> "Finding":
+        return replace(self, severity=severity)
+
+    def format(self) -> str:
+        return (
+            f"{self.file}:{self.line}:{self.col}: "
+            f"{self.severity.value}[{self.rule}] {self.message}"
+        )
+
+
+@dataclass(frozen=True)
+class LintSummary:
+    """Aggregate counts for one lint run."""
+
+    files: int
+    errors: int
+    warnings: int
+    suppressed: int
+
+    @property
+    def clean(self) -> bool:
+        return self.errors == 0 and self.warnings == 0
+
+    def failed(self, strict: bool = False) -> bool:
+        return self.errors > 0 or (strict and self.warnings > 0)
+
+
+def make_finding(
+    module,
+    node,
+    rule: str,
+    severity: Severity,
+    message: str,
+    data: Optional[Dict[str, str]] = None,
+) -> Finding:
+    """Build a finding anchored at an AST node of ``module``."""
+    return Finding(
+        file=module.display_path,
+        line=getattr(node, "lineno", 1),
+        col=getattr(node, "col_offset", 0),
+        rule=rule,
+        severity=severity,
+        message=message,
+        data=data or {},
+    )

@@ -1,0 +1,69 @@
+"""Render a :class:`~repro.analysis.engine.LintResult` as text or JSON.
+
+The text format is the classic one editors parse
+(``path:line:col: severity[rule] message``); the JSON format is stable
+and versioned so CI jobs and dashboards can consume it::
+
+    {
+      "version": 1,
+      "findings": [
+        {"file": ..., "line": ..., "col": ..., "rule": ...,
+         "severity": "error"|"warning", "message": ..., "data": {...}}
+      ],
+      "summary": {"files": N, "errors": N, "warnings": N,
+                  "suppressed": N},
+      "rules": ["no-lookahead", ...]
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Callable, Dict
+
+from .engine import LintResult
+
+JSON_FORMAT_VERSION = 1
+
+
+def render_text(result: LintResult) -> str:
+    lines = [finding.format() for finding in result.findings]
+    summary = result.summary
+    lines.append(
+        f"{summary.files} file(s) checked: "
+        f"{summary.errors} error(s), {summary.warnings} warning(s)"
+        + (f", {summary.suppressed} suppressed" if summary.suppressed else "")
+    )
+    return "\n".join(lines)
+
+
+def render_json(result: LintResult) -> str:
+    payload = {
+        "version": JSON_FORMAT_VERSION,
+        "findings": [
+            {
+                "file": finding.file,
+                "line": finding.line,
+                "col": finding.col,
+                "rule": finding.rule,
+                "severity": finding.severity.value,
+                "message": finding.message,
+                "data": dict(finding.data),
+            }
+            for finding in result.findings
+        ],
+        "summary": {
+            "files": result.summary.files,
+            "errors": result.summary.errors,
+            "warnings": result.summary.warnings,
+            "suppressed": result.summary.suppressed,
+        },
+        "rules": list(result.rules),
+    }
+    return json.dumps(payload, indent=2, sort_keys=False)
+
+
+REPORTERS: Dict[str, Callable[[LintResult], str]] = {
+    "text": render_text,
+    "json": render_json,
+}

@@ -1,0 +1,29 @@
+"""Rule registry: importing this package registers every built-in rule.
+
+To add a rule: create a module here with a ``Rule`` subclass decorated
+``@register``, import it below, and document it in
+``docs/static_analysis.md``. The engine, ``--list-rules`` and the
+config validation all read :data:`RULE_REGISTRY`, so registration is
+the only wiring step.
+"""
+
+from .base import (
+    RULE_REGISTRY,
+    ModuleInfo,
+    ProjectInfo,
+    Rule,
+    all_rules,
+    register,
+    subclasses_of,
+)
+from . import causality, determinism, hygiene, registry_contract  # noqa: F401
+
+__all__ = [
+    "RULE_REGISTRY",
+    "ModuleInfo",
+    "ProjectInfo",
+    "Rule",
+    "all_rules",
+    "register",
+    "subclasses_of",
+]

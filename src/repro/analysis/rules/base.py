@@ -1,0 +1,215 @@
+"""Rule protocol and the rule registry.
+
+A rule declares an ``id``, a ``default_severity`` and one or both of:
+
+* :meth:`Rule.check_module` — runs once per parsed module; for checks
+  that only need one file's AST (randomness calls, except clauses...).
+* :meth:`Rule.check_project` — runs once per lint run with every parsed
+  module; for cross-module contracts (detector registration, class
+  hierarchies).
+
+Rules register themselves with :func:`register`, which is how the
+engine, CLI ``--list-rules`` and the docs stay in sync: there is
+exactly one list of rules, and it lives here.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, Iterator, List, Optional, Type
+
+from ..finding import Finding, Severity
+
+
+class Rule:
+    """Base class for all lint rules."""
+
+    #: Stable rule identifier used in reports, config and suppressions.
+    id: str = ""
+    #: One-line description shown by ``repro-lint --list-rules``.
+    description: str = ""
+    default_severity: Severity = Severity.ERROR
+
+    def check_module(self, module: "ModuleInfo") -> Iterable[Finding]:
+        return ()
+
+    def check_project(self, project: "ProjectInfo") -> Iterable[Finding]:
+        return ()
+
+
+#: rule id -> rule class, in registration order.
+RULE_REGISTRY: Dict[str, Type[Rule]] = {}
+
+
+def register(rule_cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator adding a rule to the global registry."""
+    if not rule_cls.id:
+        raise ValueError(f"{rule_cls.__name__} has no rule id")
+    if rule_cls.id in RULE_REGISTRY:
+        raise ValueError(f"duplicate rule id {rule_cls.id!r}")
+    RULE_REGISTRY[rule_cls.id] = rule_cls
+    return rule_cls
+
+
+def all_rules() -> List[Rule]:
+    """Fresh instances of every registered rule."""
+    return [cls() for cls in RULE_REGISTRY.values()]
+
+
+class ModuleInfo:
+    """One parsed module: path, source, AST, and import resolution."""
+
+    def __init__(self, display_path: str, source: str, tree: ast.Module):
+        self.display_path = display_path
+        self.source = source
+        self.tree = tree
+        self._import_map: Optional[Dict[str, str]] = None
+
+    # ------------------------------------------------------------------
+    # Import resolution
+    # ------------------------------------------------------------------
+    @property
+    def import_map(self) -> Dict[str, str]:
+        """Local name -> dotted module/object path it was imported as.
+
+        ``import numpy as np``           -> ``{"np": "numpy"}``
+        ``from numpy import random``     -> ``{"random": "numpy.random"}``
+        ``from numpy.random import default_rng``
+                                 -> ``{"default_rng": "numpy.random.default_rng"}``
+        Relative imports keep their dots (``from .base import Detector``
+        -> ``{"Detector": ".base.Detector"}``) — enough to recognise
+        in-package origins without knowing the package root.
+        """
+        if self._import_map is None:
+            mapping: Dict[str, str] = {}
+            for node in ast.walk(self.tree):
+                if isinstance(node, ast.Import):
+                    for alias in node.names:
+                        if alias.asname:
+                            mapping[alias.asname] = alias.name
+                        else:
+                            root = alias.name.split(".")[0]
+                            mapping[root] = root
+                elif isinstance(node, ast.ImportFrom):
+                    prefix = "." * node.level + (node.module or "")
+                    for alias in node.names:
+                        if alias.name == "*":
+                            continue
+                        mapping[alias.asname or alias.name] = (
+                            f"{prefix}.{alias.name}" if prefix else alias.name
+                        )
+            self._import_map = mapping
+        return self._import_map
+
+    def resolve(self, node: ast.AST) -> str:
+        """Dotted path of a Name/Attribute chain with imports resolved.
+
+        ``np.random.default_rng`` -> ``"numpy.random.default_rng"``;
+        unresolvable expressions return ``""``.
+        """
+        parts: List[str] = []
+        current = node
+        while isinstance(current, ast.Attribute):
+            parts.append(current.attr)
+            current = current.value
+        if not isinstance(current, ast.Name):
+            return ""
+        base = self.import_map.get(current.id, current.id)
+        parts.append(base)
+        return ".".join(reversed(parts))
+
+    # ------------------------------------------------------------------
+    def top_level_bindings(self) -> Dict[str, ast.AST]:
+        """Names bound at module top level -> the binding node."""
+        bound: Dict[str, ast.AST] = {}
+        for node in self.tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                bound[node.name] = node
+            elif isinstance(node, (ast.Import, ast.ImportFrom)):
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    name = alias.asname or alias.name.split(".")[0]
+                    bound[name] = node
+            elif isinstance(node, ast.Assign):
+                for target in node.targets:
+                    for name_node in ast.walk(target):
+                        if isinstance(name_node, ast.Name):
+                            bound[name_node.id] = node
+            elif isinstance(node, ast.AnnAssign) and isinstance(
+                node.target, ast.Name
+            ):
+                bound[node.target.id] = node
+            elif isinstance(node, (ast.If, ast.Try)):
+                # Common patterns: version-gated imports / defs.
+                for child in ast.walk(node):
+                    if isinstance(
+                        child,
+                        (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef),
+                    ):
+                        bound[child.name] = child
+                    elif isinstance(child, (ast.Import, ast.ImportFrom)):
+                        for alias in child.names:
+                            if alias.name == "*":
+                                continue
+                            bound[alias.asname or alias.name.split(".")[0]] = child
+                    elif isinstance(child, ast.Assign):
+                        for target in child.targets:
+                            for name_node in ast.walk(target):
+                                if isinstance(name_node, ast.Name):
+                                    bound[name_node.id] = child
+        return bound
+
+
+class ProjectInfo:
+    """Every module of one lint run plus run-wide configuration."""
+
+    def __init__(self, modules: List[ModuleInfo], registry_exempt: List[str]):
+        self.modules = modules
+        self.registry_exempt = set(registry_exempt)
+
+    def walk_classes(self) -> Iterator["tuple[ModuleInfo, ast.ClassDef]"]:
+        for module in self.modules:
+            for node in ast.walk(module.tree):
+                if isinstance(node, ast.ClassDef):
+                    yield module, node
+
+
+def base_names(node: ast.ClassDef) -> List[str]:
+    """Unqualified base-class names of a class definition."""
+    names: List[str] = []
+    for base in node.bases:
+        if isinstance(base, ast.Name):
+            names.append(base.id)
+        elif isinstance(base, ast.Attribute):
+            names.append(base.attr)
+    return names
+
+
+def subclasses_of(
+    project: ProjectInfo, roots: Iterable[str]
+) -> List["tuple[ModuleInfo, ast.ClassDef]"]:
+    """All classes transitively deriving from any root name.
+
+    Resolution is by class *name* across the analysed module set, so a
+    hierarchy split over files (``Diff(Detector)`` in one module,
+    ``_HistoricalBase(Detector)`` + subclasses in another) is followed
+    without importing anything.
+    """
+    classes = list(project.walk_classes())
+    derived = set(roots)
+    changed = True
+    while changed:
+        changed = False
+        for _, node in classes:
+            if node.name in derived:
+                continue
+            if any(base in derived for base in base_names(node)):
+                derived.add(node.name)
+                changed = True
+    root_set = set(roots)
+    return [
+        (module, node)
+        for module, node in classes
+        if node.name in derived and node.name not in root_set
+    ]

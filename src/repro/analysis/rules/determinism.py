@@ -1,0 +1,124 @@
+"""``determinism``: library code must not draw unseeded randomness.
+
+Opprentice's results are reproducible run-to-run: the random forest, the
+synthetic KPI generator and the significance tests all thread an
+explicit seed into ``numpy.random.default_rng(seed)``. A single call to
+the *global* NumPy RNG (``np.random.normal(...)``), an unseeded
+``default_rng()``, or the stdlib ``random`` module's global functions
+breaks that guarantee invisibly — the tests still pass, the numbers
+just stop being reproducible.
+
+Flagged:
+
+* any ``numpy.random.<fn>(...)`` call that uses the global RNG
+  (``seed``, ``normal``, ``rand``, ``shuffle``, ...);
+* ``numpy.random.default_rng()`` with no arguments or an explicit
+  ``None`` seed;
+* ``numpy.random.RandomState()`` with no arguments;
+* stdlib ``random.<fn>(...)`` global-state calls (``random.random``,
+  ``random.seed``, ...) — ``random.Random(seed)`` instances are fine.
+
+Allowed: calls on RNG *instances* (``rng.normal(...)``), seeded
+``default_rng(seed)``/``Random(seed)``, and ``numpy.random`` names used
+purely in type annotations.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List
+
+from ..finding import Finding, Severity, make_finding
+from .base import ModuleInfo, Rule, register
+
+RULE_ID = "determinism"
+
+#: Constructors that are deterministic when given a seed argument.
+_SEEDED_OK = {"default_rng", "RandomState", "Random", "Generator", "SeedSequence",
+              "PCG64", "PCG64DXSM", "Philox", "SFC64", "MT19937"}
+
+
+def _first_arg_is_none(node: ast.Call) -> bool:
+    return bool(node.args) and (
+        isinstance(node.args[0], ast.Constant) and node.args[0].value is None
+    )
+
+
+def _has_seed(node: ast.Call) -> bool:
+    if node.args and not _first_arg_is_none(node):
+        return True
+    for keyword in node.keywords:
+        if keyword.arg == "seed" and not (
+            isinstance(keyword.value, ast.Constant) and keyword.value.value is None
+        ):
+            return True
+    return False
+
+
+@register
+class DeterminismRule(Rule):
+    id = RULE_ID
+    description = (
+        "no global-RNG or unseeded randomness in library code; use "
+        "numpy.random.default_rng(seed) / random.Random(seed)"
+    )
+    default_severity = Severity.ERROR
+
+    def check_module(self, module: ModuleInfo) -> Iterable[Finding]:
+        findings: List[Finding] = []
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            path = module.resolve(node.func)
+            if not path:
+                continue
+            if path.startswith("numpy.random."):
+                findings.extend(self._check_numpy(module, node, path))
+            elif path.startswith("random."):
+                findings.extend(self._check_stdlib(module, node, path))
+        return findings
+
+    def _check_numpy(
+        self, module: ModuleInfo, node: ast.Call, path: str
+    ) -> Iterable[Finding]:
+        leaf = path.rsplit(".", 1)[1]
+        if leaf in _SEEDED_OK:
+            if leaf in {"Generator", "SeedSequence", "PCG64", "PCG64DXSM",
+                        "Philox", "SFC64", "MT19937"}:
+                return  # bit-generator plumbing; seeding checked at its call
+            if _has_seed(node):
+                return
+            yield make_finding(
+                module, node, self.id, self.default_severity,
+                f"numpy.random.{leaf}() without a seed is irreproducible; "
+                f"pass an explicit seed (e.g. default_rng(seed))",
+                data={"symbol": path},
+            )
+            return
+        yield make_finding(
+            module, node, self.id, self.default_severity,
+            f"numpy.random.{leaf}(...) uses the process-global RNG; "
+            f"thread a numpy.random.default_rng(seed) Generator instead",
+            data={"symbol": path},
+        )
+
+    def _check_stdlib(
+        self, module: ModuleInfo, node: ast.Call, path: str
+    ) -> Iterable[Finding]:
+        leaf = path.rsplit(".", 1)[1]
+        if leaf == "Random":
+            if _has_seed(node):
+                return
+            yield make_finding(
+                module, node, self.id, self.default_severity,
+                "random.Random() without a seed is irreproducible; "
+                "pass an explicit seed",
+                data={"symbol": path},
+            )
+            return
+        yield make_finding(
+            module, node, self.id, self.default_severity,
+            f"random.{leaf}(...) uses the interpreter-global RNG; "
+            f"use a seeded random.Random(seed) instance instead",
+            data={"symbol": path},
+        )

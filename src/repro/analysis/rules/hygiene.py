@@ -1,0 +1,152 @@
+"""``api-hygiene``: small API contracts that rot silently.
+
+* **Broad exception handlers** — ``except:`` / ``except Exception:`` /
+  ``except BaseException:`` swallow ``TimeSeriesError`` and
+  ``DetectorError`` alike, hiding the contract violations the rest of
+  this linter exists to surface. Catch the specific exception the
+  callee documents; a deliberate catch-all (top-level CLI guard) takes
+  a ``# repro: disable=api-hygiene`` with a justification.
+* **Mutable default arguments** — ``def f(x=[])`` shares one list
+  across calls; use ``None`` plus an in-body default.
+* **``__all__`` drift** — a name exported in ``__all__`` that is not
+  actually bound in the module breaks ``from m import *`` and lies to
+  readers; a public top-level def/class missing from an existing
+  ``__all__`` is reported as a warning (it is invisible to
+  ``import *`` consumers).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List, Optional, Set
+
+from ..finding import Finding, Severity, make_finding
+from .base import ModuleInfo, Rule, register
+
+RULE_ID = "api-hygiene"
+
+_BROAD = {"Exception", "BaseException"}
+_MUTABLE_CALLS = {"list", "dict", "set"}
+
+
+def _broad_name(node: Optional[ast.expr]) -> Optional[str]:
+    """The broad exception name matched by a handler type, if any."""
+    if node is None:
+        return "bare"
+    if isinstance(node, ast.Name) and node.id in _BROAD:
+        return node.id
+    if isinstance(node, ast.Attribute) and node.attr in _BROAD:
+        return node.attr
+    if isinstance(node, ast.Tuple):
+        for elt in node.elts:
+            name = _broad_name(elt)
+            if name:
+                return name
+    return None
+
+
+def _reraises(handler: ast.ExceptHandler) -> bool:
+    """A handler whose every path re-raises is a narrowing wrapper, not
+    a swallow — ``except Exception as e: raise Wrapped(...) from e``."""
+    last = handler.body[-1] if handler.body else None
+    return isinstance(last, ast.Raise)
+
+
+@register
+class ApiHygieneRule(Rule):
+    id = RULE_ID
+    description = (
+        "no bare/broad except, no mutable default args, __all__ matches "
+        "the module's actual public bindings"
+    )
+    default_severity = Severity.ERROR
+
+    def check_module(self, module: ModuleInfo) -> Iterable[Finding]:
+        findings: List[Finding] = []
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ExceptHandler):
+                findings.extend(self._check_handler(module, node))
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                findings.extend(self._check_defaults(module, node))
+        findings.extend(self._check_all(module))
+        return findings
+
+    # ------------------------------------------------------------------
+    def _check_handler(
+        self, module: ModuleInfo, node: ast.ExceptHandler
+    ) -> Iterable[Finding]:
+        name = _broad_name(node.type)
+        if name is None or _reraises(node):
+            return
+        what = "bare except:" if name == "bare" else f"except {name}:"
+        yield make_finding(
+            module, node, self.id, self.default_severity,
+            f"{what} swallows unrelated failures; catch the specific "
+            f"exception the callee raises (or re-raise)",
+            data={"check": "broad-except"},
+        )
+
+    def _check_defaults(
+        self, module: ModuleInfo, node: ast.FunctionDef
+    ) -> Iterable[Finding]:
+        defaults = list(node.args.defaults) + [
+            d for d in node.args.kw_defaults if d is not None
+        ]
+        for default in defaults:
+            mutable = isinstance(default, (ast.List, ast.Dict, ast.Set)) or (
+                isinstance(default, ast.Call)
+                and isinstance(default.func, ast.Name)
+                and default.func.id in _MUTABLE_CALLS
+            )
+            if mutable:
+                yield make_finding(
+                    module, default, self.id, self.default_severity,
+                    f"{node.name}(): mutable default argument is shared "
+                    f"across calls; default to None and create it in the "
+                    f"body",
+                    data={"check": "mutable-default"},
+                )
+
+    def _check_all(self, module: ModuleInfo) -> Iterable[Finding]:
+        exported: Optional[Set[str]] = None
+        all_node: Optional[ast.AST] = None
+        for node in module.tree.body:
+            if isinstance(node, ast.Assign) and any(
+                isinstance(t, ast.Name) and t.id == "__all__"
+                for t in node.targets
+            ):
+                if isinstance(node.value, (ast.List, ast.Tuple)) and all(
+                    isinstance(e, ast.Constant) and isinstance(e.value, str)
+                    for e in node.value.elts
+                ):
+                    exported = {e.value for e in node.value.elts}
+                    all_node = node
+        if exported is None:
+            return
+        has_star = any(
+            alias.name == "*"
+            for node in module.tree.body
+            if isinstance(node, ast.ImportFrom)
+            for alias in node.names
+        )
+        if has_star:
+            return  # cannot see what * bound; skip rather than guess
+        bound = module.top_level_bindings()
+        for name in sorted(exported - set(bound)):
+            yield make_finding(
+                module, all_node, self.id, self.default_severity,
+                f"__all__ exports {name!r} but the module never binds it",
+                data={"check": "all-undefined", "name": name},
+            )
+        for node in module.tree.body:
+            if (
+                isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef))
+                and not node.name.startswith("_")
+                and node.name not in exported
+            ):
+                yield make_finding(
+                    module, node, self.id, Severity.WARNING,
+                    f"public {node.name!r} is missing from __all__ "
+                    f"(invisible to `from module import *`)",
+                    data={"check": "all-missing", "name": node.name},
+                )

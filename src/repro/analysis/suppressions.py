@@ -1,0 +1,88 @@
+"""Inline suppression comments: ``# repro: disable=<rule>``.
+
+Suppressions are scoped by where the comment sits:
+
+* On any statement line — suppresses the named rules on that line only.
+* On a ``def``/``class`` header line (or one of its decorator lines) —
+  suppresses the named rules for the whole body of that definition.
+* ``# repro: disable`` with no rule list disables every rule for the
+  same scope. Use sparingly; prefer naming the rule being silenced.
+
+Multiple rules are comma-separated: ``# repro: disable=a,b``. The
+engine counts how many findings each suppression removed, so reporters
+can surface the suppressed total.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from typing import Dict, FrozenSet, Set
+
+#: Sentinel meaning "all rules" (a bare ``disable`` with no rule list).
+ALL_RULES = "*"
+
+_DIRECTIVE = re.compile(
+    r"#\s*repro:\s*disable(?:\s*=\s*(?P<rules>[\w\-\*]+(?:\s*,\s*[\w\-\*]+)*))?"
+)
+
+
+def _parse_directive(comment: str) -> Set[str]:
+    """Rule ids disabled by one comment string (empty set = none)."""
+    match = _DIRECTIVE.search(comment)
+    if match is None:
+        return set()
+    rules = match.group("rules")
+    if rules is None:
+        return {ALL_RULES}
+    return {part.strip() for part in rules.split(",") if part.strip()}
+
+
+def _comment_lines(source: str) -> Dict[int, Set[str]]:
+    """Map line number -> rules disabled by a comment on that line."""
+    disabled: Dict[int, Set[str]] = {}
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for token in tokens:
+            if token.type != tokenize.COMMENT:
+                continue
+            rules = _parse_directive(token.string)
+            if rules:
+                disabled.setdefault(token.start[0], set()).update(rules)
+    except (tokenize.TokenizeError, IndentationError, SyntaxError):
+        pass  # unparseable files are reported via the parse-error rule
+    return disabled
+
+
+def build_suppressions(source: str, tree: ast.AST) -> Dict[int, FrozenSet[str]]:
+    """Full line -> disabled-rules map, with def/class scopes expanded.
+
+    A directive on a definition's header (or decorator) line applies to
+    every line of the definition's body, so a single comment can exempt
+    an intentionally non-conforming method or class.
+    """
+    per_line = _comment_lines(source)
+    if per_line:
+        for node in ast.walk(tree):
+            if not isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ):
+                continue
+            header_lines = [node.lineno]
+            header_lines += [d.lineno for d in node.decorator_list]
+            scoped: Set[str] = set()
+            for line in header_lines:
+                scoped |= per_line.get(line, set())
+            if scoped and node.end_lineno is not None:
+                for line in range(node.lineno, node.end_lineno + 1):
+                    per_line.setdefault(line, set()).update(scoped)
+    return {line: frozenset(rules) for line, rules in per_line.items()}
+
+
+def is_suppressed(
+    disabled: Dict[int, FrozenSet[str]], line: int, rule: str
+) -> bool:
+    rules = disabled.get(line)
+    return bool(rules) and (rule in rules or ALL_RULES in rules)

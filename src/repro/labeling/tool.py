@@ -31,7 +31,7 @@ from typing import Iterable, Optional, TextIO
 
 import numpy as np
 
-from ..timeseries import TimeSeries
+from ..timeseries import TimeSeries, TimeSeriesError
 from .session import LabelSession
 
 #: Rendered chart dimensions.
@@ -70,7 +70,8 @@ def render_chart(
     if show_last_week:
         try:
             ppw = series.points_per_week
-        except Exception:
+        except TimeSeriesError:
+            # Interval does not divide a day evenly — no week context.
             ppw = None
         if ppw is not None and lo - ppw >= 0:
             context = series.values[lo - ppw: hi - ppw]

@@ -1,0 +1,254 @@
+"""CLI, reporter-shape and pyproject-config tests for repro.analysis.
+
+Includes the acceptance fixture from the issue: a detector containing a
+``values[t+1]`` lookahead, an unseeded ``np.random`` call and an
+unregistered ``Detector`` subclass must fail the lint with each problem
+reported under its own rule id, in both text and JSON output.
+"""
+
+import json
+import textwrap
+
+import pytest
+
+from repro.analysis.cli import main
+
+#: One fixture violating three contracts at once (issue acceptance).
+BAD_DETECTOR = """\
+import numpy as np
+
+from repro.detectors.base import Detector
+
+
+class SneakyDetector(Detector):
+    kind = "sneaky"
+
+    def params(self):
+        return {}
+
+    def warmup(self):
+        return 0
+
+    def severities(self, series):
+        values = self._validate(series)
+        noise = np.random.normal(size=len(values))
+        out = np.empty(len(values))
+        for t in range(len(values) - 1):
+            out[t] = abs(values[t + 1]) + noise[t]
+        return out
+"""
+
+CLEAN_MODULE = """\
+import numpy as np
+
+
+def shift(values, lag):
+    return np.concatenate([np.full(lag, np.nan), values[:-lag]])
+"""
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+class TestExitCodes:
+    def test_clean_directory_exits_zero(self, tmp_path, capsys):
+        (tmp_path / "ok.py").write_text(CLEAN_MODULE)
+        code, out, _ = run_cli(capsys, "--no-config", str(tmp_path))
+        assert code == 0
+        assert "0 error(s)" in out
+
+    def test_findings_exit_one(self, tmp_path, capsys):
+        (tmp_path / "bad.py").write_text(BAD_DETECTOR)
+        code, out, _ = run_cli(capsys, "--no-config", str(tmp_path))
+        assert code == 1
+
+    def test_missing_path_exits_two(self, tmp_path, capsys):
+        code, _, err = run_cli(
+            capsys, "--no-config", str(tmp_path / "nope")
+        )
+        assert code == 2
+        assert "does not exist" in err
+
+    def test_unknown_disable_exits_two(self, tmp_path, capsys):
+        (tmp_path / "ok.py").write_text(CLEAN_MODULE)
+        code, _, err = run_cli(
+            capsys, "--no-config", "--disable", "no-such-rule", str(tmp_path)
+        )
+        assert code == 2
+        assert "no-such-rule" in err
+
+    def test_strict_fails_on_warnings(self, tmp_path, capsys):
+        (tmp_path / "warn.py").write_text(textwrap.dedent("""\
+            __all__ = ["listed"]
+
+
+            def listed():
+                return 1
+
+
+            def unlisted():
+                return 2
+        """))
+        code, _, _ = run_cli(capsys, "--no-config", str(tmp_path))
+        assert code == 0
+        code, _, _ = run_cli(
+            capsys, "--no-config", "--strict", str(tmp_path)
+        )
+        assert code == 1
+
+
+class TestAcceptanceFixture:
+    """The issue's acceptance criterion, end to end through the CLI."""
+
+    EXPECTED_RULES = {"no-lookahead", "determinism", "registry-contract"}
+
+    def test_text_output_reports_each_rule(self, tmp_path, capsys):
+        (tmp_path / "bad.py").write_text(BAD_DETECTOR)
+        code, out, _ = run_cli(capsys, "--no-config", str(tmp_path))
+        assert code != 0
+        for rule in self.EXPECTED_RULES:
+            assert f"[{rule}]" in out
+
+    def test_json_output_reports_each_rule(self, tmp_path, capsys):
+        (tmp_path / "bad.py").write_text(BAD_DETECTOR)
+        code, out, _ = run_cli(
+            capsys, "--no-config", "--format", "json", str(tmp_path)
+        )
+        assert code != 0
+        payload = json.loads(out)
+        assert self.EXPECTED_RULES <= {
+            f["rule"] for f in payload["findings"]
+        }
+
+
+class TestJsonShape:
+    def test_payload_schema(self, tmp_path, capsys):
+        (tmp_path / "bad.py").write_text(BAD_DETECTOR)
+        _, out, _ = run_cli(
+            capsys, "--no-config", "--format", "json", str(tmp_path)
+        )
+        payload = json.loads(out)
+        assert payload["version"] == 1
+        assert set(payload) == {"version", "findings", "summary", "rules"}
+        assert payload["summary"] == {
+            "files": 1,
+            "errors": len(payload["findings"]),
+            "warnings": 0,
+            "suppressed": 0,
+        }
+        for finding in payload["findings"]:
+            assert set(finding) == {
+                "file", "line", "col", "rule", "severity", "message", "data"
+            }
+            assert finding["severity"] in {"error", "warning"}
+            assert finding["line"] >= 1
+
+    def test_findings_sorted_by_location(self, tmp_path, capsys):
+        (tmp_path / "bad.py").write_text(BAD_DETECTOR)
+        _, out, _ = run_cli(
+            capsys, "--no-config", "--format", "json", str(tmp_path)
+        )
+        payload = json.loads(out)
+        keys = [(f["file"], f["line"], f["col"]) for f in payload["findings"]]
+        assert keys == sorted(keys)
+
+
+class TestListRules:
+    def test_lists_every_registered_rule(self, capsys):
+        code, out, _ = run_cli(capsys, "--list-rules")
+        assert code == 0
+        for rule in ("no-lookahead", "determinism", "registry-contract",
+                     "api-hygiene"):
+            assert rule in out
+
+
+class TestPyprojectConfig:
+    def _write_pyproject(self, tmp_path, body):
+        pyproject = tmp_path / "pyproject.toml"
+        pyproject.write_text(textwrap.dedent(body))
+        return pyproject
+
+    def test_disable_via_toml(self, tmp_path, capsys):
+        (tmp_path / "bad.py").write_text(
+            "import numpy as np\nx = np.random.normal()\n"
+        )
+        pyproject = self._write_pyproject(tmp_path, """\
+            [tool.repro-lint]
+            disable = ["determinism"]
+        """)
+        code, _, _ = run_cli(
+            capsys, "--config", str(pyproject), str(tmp_path / "bad.py")
+        )
+        assert code == 0
+
+    def test_severity_override_via_toml(self, tmp_path, capsys):
+        (tmp_path / "bad.py").write_text(
+            "import numpy as np\nx = np.random.normal()\n"
+        )
+        pyproject = self._write_pyproject(tmp_path, """\
+            [tool.repro-lint.severity]
+            determinism = "warning"
+        """)
+        code, out, _ = run_cli(
+            capsys, "--config", str(pyproject), "--format", "json",
+            str(tmp_path / "bad.py")
+        )
+        assert code == 0
+        payload = json.loads(out)
+        assert payload["findings"][0]["severity"] == "warning"
+
+    def test_registry_exempt_via_toml(self, tmp_path, capsys):
+        (tmp_path / "bad.py").write_text(BAD_DETECTOR)
+        pyproject = self._write_pyproject(tmp_path, """\
+            [tool.repro-lint.registry-contract]
+            exempt = ["SneakyDetector"]
+        """)
+        code, out, _ = run_cli(
+            capsys, "--config", str(pyproject), "--format", "json",
+            str(tmp_path / "bad.py")
+        )
+        assert code == 1  # still fails on lookahead + determinism
+        payload = json.loads(out)
+        assert "registry-contract" not in {
+            f["rule"] for f in payload["findings"]
+        }
+
+    def test_paths_default_from_toml(self, tmp_path, capsys, monkeypatch):
+        package = tmp_path / "pkg"
+        package.mkdir()
+        (package / "ok.py").write_text(CLEAN_MODULE)
+        pyproject = self._write_pyproject(tmp_path, """\
+            [tool.repro-lint]
+            paths = ["pkg"]
+        """)
+        monkeypatch.chdir(tmp_path)
+        code, out, _ = run_cli(capsys, "--config", str(pyproject))
+        assert code == 0
+        assert "1 file(s) checked" in out
+
+    def test_unknown_key_exits_two(self, tmp_path, capsys):
+        (tmp_path / "ok.py").write_text(CLEAN_MODULE)
+        pyproject = self._write_pyproject(tmp_path, """\
+            [tool.repro-lint]
+            typo_key = true
+        """)
+        code, _, err = run_cli(
+            capsys, "--config", str(pyproject), str(tmp_path)
+        )
+        assert code == 2
+        assert "typo_key" in err
+
+    def test_no_config_ignores_toml(self, tmp_path, capsys, monkeypatch):
+        (tmp_path / "bad.py").write_text(
+            "import numpy as np\nx = np.random.normal()\n"
+        )
+        self._write_pyproject(tmp_path, """\
+            [tool.repro-lint]
+            disable = ["determinism"]
+        """)
+        monkeypatch.chdir(tmp_path)
+        code, _, _ = run_cli(capsys, "--no-config", str(tmp_path / "bad.py"))
+        assert code == 1

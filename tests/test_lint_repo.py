@@ -1,0 +1,46 @@
+"""Tier-1 contract: the library itself is lint-clean.
+
+This is the teeth of the static-analysis subsystem — the causality,
+determinism, registry and hygiene contracts of §4.3 are enforced on
+``src/repro`` by the same CI run as the unit tests. A new detector with
+a lookahead, an unseeded RNG call, or a bank/Table-3 mismatch fails
+here before any fixture-dependent dynamic test has a chance to miss it.
+"""
+
+from pathlib import Path
+
+from repro.analysis import LintEngine, load_config
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+LIBRARY = REPO_ROOT / "src" / "repro"
+
+
+def _run():
+    config = load_config(REPO_ROOT / "pyproject.toml")
+    return LintEngine(config).run([str(LIBRARY)])
+
+
+def test_library_has_no_lint_errors():
+    result = _run()
+    errors = [f for f in result.findings if f.severity.value == "error"]
+    assert not errors, "lint errors in src/repro:\n" + "\n".join(
+        f.format() for f in errors
+    )
+
+
+def test_library_has_no_lint_warnings():
+    # Warnings do not fail `repro-lint` by default, but the library
+    # itself ships warning-free so new ones stand out immediately.
+    result = _run()
+    assert not result.findings, "lint findings in src/repro:\n" + "\n".join(
+        f.format() for f in result.findings
+    )
+
+
+def test_library_lint_covers_every_module():
+    result = _run()
+    n_modules = len(list(LIBRARY.rglob("*.py")))
+    assert result.summary.files == n_modules
+    # The four contract rules all ran (none disabled by config).
+    assert {"no-lookahead", "determinism", "registry-contract",
+            "api-hygiene"} <= set(result.rules)

@@ -1,0 +1,595 @@
+"""Per-rule tests for :mod:`repro.analysis`: each rule gets fixtures
+that violate it and fixtures that must stay quiet (the false-positive
+shapes that exist in the real detector bank)."""
+
+import textwrap
+
+import pytest
+
+from repro.analysis import LintConfig, LintEngine, Severity
+
+
+def mod(*parts):
+    """Join snippet parts, dedenting each part independently."""
+    return "".join(textwrap.dedent(part) for part in parts)
+
+
+def lint(tmp_path, sources, config=None):
+    """Write ``{filename: source}`` fixtures and lint the directory."""
+    for name, source in sources.items():
+        path = tmp_path / name
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(mod(source))
+    return LintEngine(config or LintConfig()).run([str(tmp_path)])
+
+
+def rules_hit(result):
+    return {finding.rule for finding in result.findings}
+
+
+DETECTOR_PREAMBLE = """\
+import numpy as np
+
+from repro.detectors.base import Detector
+
+"""
+
+
+# ---------------------------------------------------------------------------
+# no-lookahead
+# ---------------------------------------------------------------------------
+class TestNoLookahead:
+    def test_forward_index_flagged(self, tmp_path):
+        result = lint(tmp_path, {"det.py": mod(DETECTOR_PREAMBLE, """
+            class Bad(Detector):
+                kind = "bad"
+
+                def severities(self, series):
+                    values = self._validate(series)
+                    out = np.zeros(len(values))
+                    for t in range(len(values) - 1):
+                        out[t] = values[t + 1]
+                    return out
+        """)})
+        lookaheads = [f for f in result.findings if f.rule == "no-lookahead"]
+        assert len(lookaheads) == 1
+        assert lookaheads[0].data["shape"] == "forward-index"
+        assert lookaheads[0].severity is Severity.ERROR
+
+    def test_forward_slice_flagged(self, tmp_path):
+        result = lint(tmp_path, {"det.py": mod(DETECTOR_PREAMBLE, """
+            class Bad(Detector):
+                kind = "bad"
+
+                def severities(self, series):
+                    values = self._validate(series)
+                    t = 10
+                    future = values[t + 1:]
+                    return np.zeros(len(values))
+        """)})
+        shapes = {f.data.get("shape") for f in result.findings
+                  if f.rule == "no-lookahead"}
+        assert shapes == {"forward-slice"}
+
+    def test_whole_series_aggregate_flagged(self, tmp_path):
+        result = lint(tmp_path, {"det.py": mod(DETECTOR_PREAMBLE, """
+            class Bad(Detector):
+                kind = "bad"
+
+                def severities(self, series):
+                    values = self._validate(series)
+                    return np.abs(values - np.mean(values))
+        """)})
+        shapes = {f.data.get("shape") for f in result.findings
+                  if f.rule == "no-lookahead"}
+        assert shapes == {"whole-series-aggregate"}
+
+    def test_method_aggregate_on_series_values_flagged(self, tmp_path):
+        result = lint(tmp_path, {"det.py": mod(DETECTOR_PREAMBLE, """
+            class Bad(Detector):
+                kind = "bad"
+
+                def severities(self, series):
+                    baseline = series.values.mean()
+                    return np.abs(self._validate(series) - baseline)
+        """)})
+        assert "no-lookahead" in rules_hit(result)
+
+    def test_series_reversal_flagged(self, tmp_path):
+        result = lint(tmp_path, {"det.py": mod(DETECTOR_PREAMBLE, """
+            class Bad(Detector):
+                kind = "bad"
+
+                def severities(self, series):
+                    values = self._validate(series)
+                    return values[::-1]
+        """)})
+        shapes = {f.data.get("shape") for f in result.findings
+                  if f.rule == "no-lookahead"}
+        assert shapes == {"reversal"}
+
+    def test_stream_update_checked(self, tmp_path):
+        result = lint(tmp_path, {"det.py": """
+            from repro.detectors.base import SeverityStream
+
+
+            class BadStream(SeverityStream):
+                def update(self, value):
+                    t = len(self._buffer)
+                    return self._buffer[t + 1]
+        """})
+        assert "no-lookahead" in rules_hit(result)
+
+    def test_causal_shapes_stay_quiet(self, tmp_path):
+        # Every shape here exists in the real bank and must not fire:
+        # past indexing, exclusive slice uppers, windowed aggregates,
+        # reversal of a non-series array (WeightedMA's weights).
+        result = lint(tmp_path, {"det.py": mod(DETECTOR_PREAMBLE, """
+            class Good(Detector):
+                kind = "good"
+
+                def severities(self, series):
+                    values = self._validate(series)
+                    n = len(values)
+                    out = np.full(n, np.nan)
+                    weights = np.arange(1.0, 6.0)
+                    kernel = weights[::-1]
+                    prefix = values[:10]
+                    floor = prefix[np.isfinite(prefix)].mean()
+                    for t in range(10, n):
+                        window = values[t - 10:t]
+                        out[t] = abs(values[t] - window.mean()) / floor
+                        out[t] += values[t - 1]
+                    out[: 10 + 1] = np.nan
+                    return out
+        """)})
+        assert "no-lookahead" not in rules_hit(result)
+
+    def test_subclass_through_intermediate_base(self, tmp_path):
+        # _Base(Detector) in one file, Leaf(_Base) in another: the
+        # hierarchy is resolved across the analysed set.
+        result = lint(tmp_path, {
+            "base_mod.py": mod(DETECTOR_PREAMBLE, """
+                class _Base(Detector):
+                    kind = "base"
+            """),
+            "leaf_mod.py": """
+                from base_mod import _Base
+
+
+                class Leaf(_Base):
+                    def severities(self, series):
+                        values = self._validate(series)
+                        t = 0
+                        return values[t + 1:]
+            """,
+        })
+        lookaheads = [f for f in result.findings if f.rule == "no-lookahead"]
+        assert len(lookaheads) == 1
+        assert "Leaf.severities" in lookaheads[0].message
+
+    def test_non_detector_class_ignored(self, tmp_path):
+        result = lint(tmp_path, {"other.py": """
+            import numpy as np
+
+
+            class Smoother:
+                def severities(self, series):
+                    values = np.asarray(series.values)
+                    return values - np.mean(values)
+        """})
+        assert "no-lookahead" not in rules_hit(result)
+
+
+# ---------------------------------------------------------------------------
+# determinism
+# ---------------------------------------------------------------------------
+class TestDeterminism:
+    @pytest.mark.parametrize("call", [
+        "np.random.normal(size=3)",
+        "np.random.rand(4)",
+        "np.random.seed(0)",
+        "np.random.shuffle(x)",
+        "np.random.default_rng()",
+        "np.random.default_rng(None)",
+        "np.random.default_rng(seed=None)",
+        "np.random.RandomState()",
+    ])
+    def test_global_rng_flagged(self, tmp_path, call):
+        result = lint(tmp_path, {"mod.py": f"""
+            import numpy as np
+
+            x = [1, 2, 3]
+            y = {call}
+        """})
+        assert "determinism" in rules_hit(result)
+
+    @pytest.mark.parametrize("call", [
+        "np.random.default_rng(42)",
+        "np.random.default_rng(seed=7)",
+        "np.random.default_rng(seed)",
+        "rng.normal(size=3)",
+    ])
+    def test_seeded_and_instance_calls_ok(self, tmp_path, call):
+        result = lint(tmp_path, {"mod.py": f"""
+            import numpy as np
+
+            seed = 1
+            rng = np.random.default_rng(seed)
+            y = {call}
+        """})
+        assert "determinism" not in rules_hit(result)
+
+    def test_import_aliases_resolved(self, tmp_path):
+        result = lint(tmp_path, {"mod.py": """
+            from numpy.random import default_rng
+            from numpy import random as npr
+
+            a = default_rng()
+            b = npr.normal()
+        """})
+        symbols = {f.data["symbol"] for f in result.findings
+                   if f.rule == "determinism"}
+        assert symbols == {
+            "numpy.random.default_rng", "numpy.random.normal"
+        }
+
+    def test_stdlib_random_flagged(self, tmp_path):
+        result = lint(tmp_path, {"mod.py": """
+            import random
+
+            a = random.random()
+            b = random.Random()
+            good = random.Random(1234)
+        """})
+        flagged = [f for f in result.findings if f.rule == "determinism"]
+        assert len(flagged) == 2
+
+
+# ---------------------------------------------------------------------------
+# registry-contract
+# ---------------------------------------------------------------------------
+REGISTRY_FIXTURE = """
+    from det import Registered
+
+    EXPECTED_CONFIGURATIONS = {configs}
+    EXPECTED_DETECTORS = {detectors}
+
+    WINDOWS = (10, 20, 30)
+
+
+    def default_detectors(interval):
+        detectors = [Registered(w) for w in WINDOWS]
+        return detectors
+"""
+
+
+class TestRegistryContract:
+    def _sources(self, configs=3, detectors=1, extra_detector=""):
+        return {
+            "det.py": mod(DETECTOR_PREAMBLE, """
+                class Registered(Detector):
+                    kind = "registered"
+
+                    def severities(self, series):
+                        return self._validate(series) * 0.0
+            """, extra_detector),
+            "registry.py": REGISTRY_FIXTURE.format(
+                configs=configs, detectors=detectors
+            ),
+        }
+
+    def test_consistent_bank_is_clean(self, tmp_path):
+        result = lint(tmp_path, self._sources())
+        assert "registry-contract" not in rules_hit(result)
+
+    def test_unregistered_detector_flagged(self, tmp_path):
+        result = lint(tmp_path, self._sources(extra_detector="""
+
+            class Orphan(Detector):
+                kind = "orphan"
+
+                def severities(self, series):
+                    return self._validate(series) * 0.0
+        """))
+        flagged = [f for f in result.findings
+                   if f.rule == "registry-contract"]
+        assert len(flagged) == 1
+        assert flagged[0].data == {
+            "detector": "Orphan", "check": "reachability"
+        }
+
+    def test_exempt_config_allows_unregistered(self, tmp_path):
+        config = LintConfig(registry_exempt=["Orphan"])
+        result = lint(tmp_path, self._sources(extra_detector="""
+
+            class Orphan(Detector):
+                kind = "orphan"
+
+                def severities(self, series):
+                    return self._validate(series) * 0.0
+        """), config=config)
+        assert "registry-contract" not in rules_hit(result)
+
+    def test_private_and_abstract_classes_ignored(self, tmp_path):
+        result = lint(tmp_path, self._sources(extra_detector="""
+
+            class _Helper(Detector):
+                kind = "helper"
+
+
+            class AbstractKind(Detector):
+                import abc
+
+                @abc.abstractmethod
+                def params(self):
+                    ...
+        """))
+        assert "registry-contract" not in rules_hit(result)
+
+    def test_configuration_count_drift_flagged(self, tmp_path):
+        result = lint(tmp_path, self._sources(configs=4))
+        flagged = [f for f in result.findings
+                   if f.rule == "registry-contract"]
+        assert len(flagged) == 1
+        assert flagged[0].data["check"] == "config-count"
+        assert flagged[0].data["derived"] == "3"
+        assert "EXPECTED_CONFIGURATIONS = 4" in flagged[0].message
+
+    def test_detector_count_drift_flagged(self, tmp_path):
+        result = lint(tmp_path, self._sources(detectors=2))
+        flagged = [f for f in result.findings
+                   if f.rule == "registry-contract"]
+        assert len(flagged) == 1
+        assert flagged[0].data["check"] == "detector-count"
+
+    def test_product_comprehension_and_append_counted(self, tmp_path):
+        sources = self._sources()
+        sources["registry.py"] = """
+            import itertools
+
+            from det import Registered
+
+            EXPECTED_CONFIGURATIONS = 14
+            EXPECTED_DETECTORS = 1
+
+            GRID_A = (0.2, 0.4)
+            GRID_B = (1, 2, 3)
+
+
+            def default_detectors(interval):
+                detectors = [Registered(0)]
+                detectors += [
+                    Registered(a * b)
+                    for a, b in itertools.product(GRID_A, GRID_B)
+                ]
+                detectors += [Registered(w) for w in (5, 6, 7)]
+                detectors.extend([Registered(8), Registered(9)])
+                detectors.append(Registered(10))
+                detectors.append(Registered(11))
+                return detectors
+        """
+        result = lint(tmp_path, sources)
+        assert "registry-contract" not in rules_hit(result)
+
+    def test_unresolvable_grid_is_warning(self, tmp_path):
+        sources = self._sources()
+        sources["registry.py"] = """
+            from det import Registered
+
+            EXPECTED_CONFIGURATIONS = 3
+
+
+            def _windows():
+                return [1, 2, 3]
+
+
+            def default_detectors(interval):
+                detectors = [Registered(w) for w in _windows()]
+                return detectors
+        """
+        result = lint(tmp_path, sources)
+        flagged = [f for f in result.findings
+                   if f.rule == "registry-contract"]
+        assert len(flagged) == 1
+        assert flagged[0].severity is Severity.WARNING
+        assert flagged[0].data["check"] == "grid-unresolvable"
+
+
+# ---------------------------------------------------------------------------
+# api-hygiene
+# ---------------------------------------------------------------------------
+class TestApiHygiene:
+    def test_bare_and_broad_except_flagged(self, tmp_path):
+        result = lint(tmp_path, {"mod.py": """
+            def f():
+                try:
+                    return 1
+                except:
+                    return None
+
+
+            def g():
+                try:
+                    return 1
+                except Exception:
+                    return None
+        """})
+        flagged = [f for f in result.findings
+                   if f.data.get("check") == "broad-except"]
+        assert len(flagged) == 2
+
+    def test_reraising_handler_allowed(self, tmp_path):
+        result = lint(tmp_path, {"mod.py": """
+            def f():
+                try:
+                    return 1
+                except Exception as exc:
+                    raise RuntimeError("wrapped") from exc
+        """})
+        assert "api-hygiene" not in rules_hit(result)
+
+    def test_specific_except_allowed(self, tmp_path):
+        result = lint(tmp_path, {"mod.py": """
+            def f():
+                try:
+                    return 1
+                except ValueError:
+                    return None
+        """})
+        assert "api-hygiene" not in rules_hit(result)
+
+    def test_mutable_defaults_flagged(self, tmp_path):
+        result = lint(tmp_path, {"mod.py": """
+            def f(items=[], mapping={}, *, names=set()):
+                return items, mapping, names
+
+
+            def g(items=None, n=3, name="x"):
+                return items
+        """})
+        flagged = [f for f in result.findings
+                   if f.data.get("check") == "mutable-default"]
+        assert len(flagged) == 3
+
+    def test_all_undefined_name_flagged(self, tmp_path):
+        result = lint(tmp_path, {"mod.py": """
+            __all__ = ["present", "missing"]
+
+
+            def present():
+                return 1
+        """})
+        flagged = [f for f in result.findings
+                   if f.data.get("check") == "all-undefined"]
+        assert [f.data["name"] for f in flagged] == ["missing"]
+
+    def test_public_def_missing_from_all_is_warning(self, tmp_path):
+        result = lint(tmp_path, {"mod.py": """
+            __all__ = ["listed"]
+
+
+            def listed():
+                return 1
+
+
+            def unlisted():
+                return 2
+
+
+            def _private():
+                return 3
+        """})
+        flagged = [f for f in result.findings
+                   if f.data.get("check") == "all-missing"]
+        assert [f.data["name"] for f in flagged] == ["unlisted"]
+        assert flagged[0].severity is Severity.WARNING
+
+    def test_module_without_all_not_checked(self, tmp_path):
+        result = lint(tmp_path, {"mod.py": """
+            def anything():
+                return 1
+        """})
+        assert "api-hygiene" not in rules_hit(result)
+
+
+# ---------------------------------------------------------------------------
+# suppressions
+# ---------------------------------------------------------------------------
+class TestSuppressions:
+    def test_line_level_suppression(self, tmp_path):
+        result = lint(tmp_path, {"mod.py": """
+            import numpy as np
+
+            x = np.random.normal()  # repro: disable=determinism
+            y = np.random.normal()
+        """})
+        flagged = [f for f in result.findings if f.rule == "determinism"]
+        assert len(flagged) == 1
+        assert flagged[0].line == 5
+        assert result.summary.suppressed == 1
+
+    def test_def_scope_suppression(self, tmp_path):
+        result = lint(tmp_path, {"mod.py": """
+            import numpy as np
+
+
+            def noisy():  # repro: disable=determinism
+                a = np.random.normal()
+                b = np.random.rand()
+                return a + b
+        """})
+        assert "determinism" not in rules_hit(result)
+        assert result.summary.suppressed == 2
+
+    def test_class_scope_suppression_on_registry_rule(self, tmp_path):
+        result = lint(tmp_path, {"det.py": mod(DETECTOR_PREAMBLE, """
+            class Orphan(Detector):  # repro: disable=registry-contract
+                kind = "orphan"
+
+                def severities(self, series):
+                    return self._validate(series) * 0.0
+        """)})
+        assert "registry-contract" not in rules_hit(result)
+
+    def test_bare_disable_suppresses_all_rules(self, tmp_path):
+        result = lint(tmp_path, {"mod.py": """
+            import numpy as np
+
+            x = np.random.normal()  # repro: disable
+        """})
+        assert result.findings == []
+
+    def test_suppression_only_hits_named_rule(self, tmp_path):
+        result = lint(tmp_path, {"mod.py": """
+            import numpy as np
+
+            x = np.random.normal()  # repro: disable=api-hygiene
+        """})
+        assert "determinism" in rules_hit(result)
+
+
+# ---------------------------------------------------------------------------
+# config behaviour (overrides via LintConfig; TOML parsing in test_lint_cli)
+# ---------------------------------------------------------------------------
+class TestConfigOverrides:
+    def test_disabled_rule_does_not_run(self, tmp_path):
+        config = LintConfig(disabled_rules=["determinism"])
+        result = lint(tmp_path, {"mod.py": """
+            import numpy as np
+
+            x = np.random.normal()
+        """}, config=config)
+        assert result.findings == []
+        assert "determinism" not in result.rules
+
+    def test_severity_override_downgrades_to_warning(self, tmp_path):
+        config = LintConfig(
+            severity_overrides={"determinism": Severity.WARNING}
+        )
+        result = lint(tmp_path, {"mod.py": """
+            import numpy as np
+
+            x = np.random.normal()
+        """}, config=config)
+        assert result.summary.errors == 0
+        assert result.summary.warnings == 1
+        assert result.exit_code() == 0
+        assert result.exit_code(strict=True) == 1
+
+    def test_exclude_patterns_skip_files(self, tmp_path):
+        config = LintConfig(exclude=["*/skipme/*"])
+        result = lint(tmp_path, {
+            "skipme/mod.py": "import numpy as np\nx = np.random.normal()\n",
+            "keep.py": "import numpy as np\ny = np.random.normal()\n",
+        }, config=config)
+        assert len(result.findings) == 1
+        assert "keep.py" in result.findings[0].file
+
+    def test_parse_error_reported_not_raised(self, tmp_path):
+        result = lint(tmp_path, {"broken.py": """
+            def f(:
+                pass
+        """})
+        assert [f.rule for f in result.findings] == ["parse-error"]
+        assert result.summary.errors == 1
