@@ -15,8 +15,10 @@ speed and do not change who wins.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
-from typing import Dict, List
+from pathlib import Path
+from typing import Dict, List, Optional
 
 import numpy as np
 import pytest
@@ -25,6 +27,17 @@ from repro.core import FeatureExtractor, FeatureMatrix, I1
 from repro.core.opprentice import _subsample_training
 from repro.data import InjectionResult, make_all
 from repro.ml import Imputer, RandomForest
+from repro.obs import (
+    enable_from_env,
+    get_provider,
+    render_prometheus,
+    write_snapshot,
+)
+
+#: Directory (overridable via $REPRO_OBS_DIR) where benchmark metric
+#: snapshots land when observability is enabled.
+OBS_SNAPSHOT_DIR_ENV = "REPRO_OBS_DIR"
+DEFAULT_OBS_SNAPSHOT_DIR = "obs-snapshots"
 
 #: Evaluation-scale forest (see module docstring).
 N_TREES = 50
@@ -101,3 +114,35 @@ def print_header(title: str) -> None:
     print("=" * 72)
     print(title)
     print("=" * 72)
+
+
+# ----------------------------------------------------------------------
+# Observability wiring: run any bench with REPRO_OBS=1 to record the
+# §5.8 quantities (per-stage latency histograms, span wall times) and
+# drop a machine-checkable JSON + Prometheus snapshot at session end.
+# ----------------------------------------------------------------------
+def maybe_enable_observability() -> bool:
+    """Install a live provider when ``$REPRO_OBS`` is set."""
+    return enable_from_env()
+
+
+def write_metrics_snapshot(
+    label: str, directory: Optional[str] = None
+) -> Optional[Path]:
+    """Dump the active provider's metrics as ``<label>.json`` (plus a
+    ``.prom`` rendering) under the snapshot directory.
+
+    Returns the JSON path, or None when observability is disabled —
+    benches can call this unconditionally.
+    """
+    provider = get_provider()
+    if not provider.enabled:
+        return None
+    target_dir = Path(
+        directory
+        or os.environ.get(OBS_SNAPSHOT_DIR_ENV, DEFAULT_OBS_SNAPSHOT_DIR)
+    )
+    snapshot = provider.snapshot()
+    path = write_snapshot(snapshot, target_dir / f"{label}.json")
+    (target_dir / f"{label}.prom").write_text(render_prometheus(snapshot))
+    return path

@@ -7,7 +7,25 @@ import pytest
 from repro.core import FeatureExtractor, FeatureMatrix
 from repro.data import InjectionResult, make_all
 
-from _common import WeeklyScores, run_i1_weekly_scores
+from _common import (
+    WeeklyScores,
+    maybe_enable_observability,
+    run_i1_weekly_scores,
+    write_metrics_snapshot,
+)
+
+
+@pytest.fixture(scope="session", autouse=True)
+def observability():
+    """With REPRO_OBS=1, record metrics/spans for the whole bench run
+    and write a JSON + Prometheus snapshot at session end (see
+    docs/observability.md; CI uploads the artifact)."""
+    enabled = maybe_enable_observability()
+    yield
+    if enabled:
+        path = write_metrics_snapshot("benchmarks")
+        if path is not None:
+            print(f"\nmetrics snapshot written to {path}")
 
 
 @pytest.fixture(scope="session")

@@ -10,9 +10,15 @@ Simulates a production deployment on an SRT-like KPI:
    cThld by the EWMA rule;
 4. ingest the 6th week with the refreshed model.
 
+Observability is switched on for the run (`repro.obs.enable()`), so the
+script ends with a Prometheus-format dump of the per-stage latency
+histograms (feature extraction, classification, retraining) and the
+alert lifecycle counters — the §5.8 numbers as scrapeable metrics.
+
 Usage: python examples/streaming_service.py
 """
 
+from repro import obs
 from repro.core import MonitoringService
 from repro.data import make_kpi
 from repro.data.datasets import SRT_PROFILE
@@ -20,6 +26,7 @@ from repro.ml import RandomForest
 
 
 def main() -> None:
+    provider = obs.enable()
     result = make_kpi(SRT_PROFILE, weeks=6)
     series = result.series
     ppw = series.points_per_week
@@ -65,6 +72,13 @@ def main() -> None:
         f"{stats.alerts_opened} alerts, "
         f"{stats.retrain_rounds} retraining round(s)"
     )
+
+    print("\nStructured events (last 5):")
+    for event in provider.events.events[-5:]:
+        print(f"  {event}")
+
+    print("\nPrometheus metrics dump:")
+    print(obs.render_prometheus(provider.snapshot()))
 
 
 if __name__ == "__main__":

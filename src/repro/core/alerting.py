@@ -15,6 +15,7 @@ from typing import List
 
 import numpy as np
 
+from ..obs import get_provider
 from ..timeseries import AnomalyWindow, TimeSeries, points_to_windows
 
 
@@ -71,21 +72,34 @@ def alerts_from_predictions(
     scores = np.asarray(scores, dtype=np.float64)
     if len(predictions) != len(series) or len(scores) != len(series):
         raise ValueError("predictions/scores length must match the series")
-    filtered = duration_filter(predictions, min_duration_points)
-    alerts = []
-    for window in points_to_windows((filtered == 1).astype(np.int8)):
-        window_scores = scores[window.begin: window.end]
-        peak = float(np.nanmax(window_scores)) if len(window_scores) else 0.0
-        alerts.append(
-            Alert(
-                begin_index=window.begin,
-                end_index=window.end,
-                begin_timestamp=int(series.timestamps[window.begin]),
-                end_timestamp=int(series.timestamps[window.end - 1])
-                + series.interval,
-                peak_score=peak,
+    obs = get_provider()
+    with obs.span(
+        "alerting.aggregate",
+        kpi=series.name or "",
+        n_points=len(series),
+    ) as span:
+        filtered = duration_filter(predictions, min_duration_points)
+        alerts = []
+        for window in points_to_windows((filtered == 1).astype(np.int8)):
+            window_scores = scores[window.begin: window.end]
+            peak = (
+                float(np.nanmax(window_scores)) if len(window_scores) else 0.0
             )
-        )
+            alerts.append(
+                Alert(
+                    begin_index=window.begin,
+                    end_index=window.end,
+                    begin_timestamp=int(series.timestamps[window.begin]),
+                    end_timestamp=int(series.timestamps[window.end - 1])
+                    + series.interval,
+                    peak_score=peak,
+                )
+            )
+        span.set("n_alerts", len(alerts))
+    obs.counter(
+        "repro_alerts_emitted_total",
+        "Alerts aggregated from batch predictions",
+    ).inc(len(alerts))
     return alerts
 
 

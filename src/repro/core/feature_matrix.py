@@ -20,6 +20,7 @@ import numpy as np
 
 from ..detectors import DetectorConfig, configs_for
 from ..detectors.holt_winters import HoltWinters, batch_severities
+from ..obs import get_provider
 from ..timeseries import TimeSeries
 
 
@@ -114,42 +115,67 @@ class FeatureExtractor:
         """The full severity matrix for ``series``."""
         configs = self.configs(series)
         n = len(series)
-        matrix = np.full((n, len(configs)), np.nan)
+        obs = get_provider()
+        with obs.span(
+            "feature_matrix.extract",
+            kpi=series.name or "",
+            n_points=n,
+            n_configs=len(configs),
+        ):
+            matrix = np.full((n, len(configs)), np.nan)
 
-        # Group the Holt-Winters configurations per season length and
-        # run each group through the vectorised batch loop.
-        hw_groups: dict = {}
-        for config in configs:
-            detector = config.detector
-            if isinstance(detector, HoltWinters):
-                hw_groups.setdefault(detector.season_points, []).append(config)
+            # Group the Holt-Winters configurations per season length and
+            # run each group through the vectorised batch loop.
+            hw_groups: dict = {}
+            for config in configs:
+                detector = config.detector
+                if isinstance(detector, HoltWinters):
+                    hw_groups.setdefault(
+                        detector.season_points, []
+                    ).append(config)
 
-        for season, group in hw_groups.items():
-            severities = batch_severities(
-                series.values,
-                np.array([c.detector.alpha for c in group]),
-                np.array([c.detector.beta for c in group]),
-                np.array([c.detector.gamma for c in group]),
-                season,
-            )
-            for j, config in enumerate(group):
-                matrix[:, config.index] = severities[:, j]
+            for season, group in hw_groups.items():
+                with obs.timer(
+                    "repro_detector_severities_seconds",
+                    "Severity extraction per detector configuration batch",
+                    detector=group[0].detector.kind,
+                ):
+                    severities = batch_severities(
+                        series.values,
+                        np.array([c.detector.alpha for c in group]),
+                        np.array([c.detector.beta for c in group]),
+                        np.array([c.detector.gamma for c in group]),
+                        season,
+                    )
+                for j, config in enumerate(group):
+                    matrix[:, config.index] = severities[:, j]
 
-        remaining = [
-            c for c in configs if not isinstance(c.detector, HoltWinters)
-        ]
-        if self.workers > 1 and len(remaining) > 1:
-            from concurrent.futures import ThreadPoolExecutor
+            remaining = [
+                c for c in configs if not isinstance(c.detector, HoltWinters)
+            ]
 
             def run(config: DetectorConfig):
-                return config.index, config.detector.severities(series)
+                with obs.timer(
+                    "repro_detector_severities_seconds",
+                    "Severity extraction per detector configuration batch",
+                    detector=config.detector.kind,
+                ):
+                    return config.index, config.detector.severities(series)
 
-            with ThreadPoolExecutor(max_workers=self.workers) as pool:
-                for index, severities in pool.map(run, remaining):
+            if self.workers > 1 and len(remaining) > 1:
+                from concurrent.futures import ThreadPoolExecutor
+
+                with ThreadPoolExecutor(max_workers=self.workers) as pool:
+                    for index, severities in pool.map(run, remaining):
+                        matrix[:, index] = severities
+            else:
+                for config in remaining:
+                    index, severities = run(config)
                     matrix[:, index] = severities
-        else:
-            for config in remaining:
-                matrix[:, config.index] = config.detector.severities(series)
+        obs.counter(
+            "repro_feature_points_total",
+            "Points x extraction passes through the detector bank",
+        ).inc(n)
         return FeatureMatrix(values=matrix, names=[c.name for c in configs])
 
 

@@ -29,6 +29,7 @@ from ..evaluation import (
     evaluate_threshold,
 )
 from ..ml import Classifier, Imputer, RandomForest
+from ..obs import get_provider
 from ..timeseries import TimeSeries
 from .feature_matrix import FeatureExtractor, FeatureMatrix
 from .prediction import CThldPredictor, EWMAPredictor, best_cthld
@@ -122,25 +123,52 @@ class Opprentice:
         """
         if not series.is_labeled:
             raise ValueError("fit requires a labelled series (§4.2)")
-        matrix = self.extractor.extract(series)
-        self._history = series
-        return self.fit_features(matrix.values, series.labels)
+        with get_provider().span(
+            "train.fit", kpi=series.name or "", n_points=len(series)
+        ):
+            matrix = self.extractor.extract(series)
+            self._history = series
+            return self.fit_features(matrix.values, series.labels)
 
     def fit_features(
         self, features: np.ndarray, labels: np.ndarray
     ) -> "Opprentice":
         """Train directly on a precomputed feature matrix."""
         labels = np.asarray(labels, dtype=np.int8)
-        self.imputer_ = Imputer().fit(features)
-        imputed = self.imputer_.transform(features)
-        train_x, train_y = _subsample_training(
-            imputed, labels, self.max_train_points, self.seed
-        )
-        self._train_features, self._train_labels = train_x, train_y
-        self.classifier_ = self.classifier_factory()
-        self.classifier_.fit(train_x, train_y)
-        self.cthld_ = self.cthld_predictor.predict(
-            self.classifier_factory, train_x, train_y
+        obs = get_provider()
+        with obs.span(
+            "train.fit_features", n_points=len(labels)
+        ) as span:
+            self.imputer_ = Imputer().fit(features)
+            imputed = self.imputer_.transform(features)
+            train_x, train_y = _subsample_training(
+                imputed, labels, self.max_train_points, self.seed
+            )
+            self._train_features, self._train_labels = train_x, train_y
+            self.classifier_ = self.classifier_factory()
+            with obs.timer(
+                "repro_training_seconds",
+                "Wall time per training sub-stage",
+                stage="classifier_fit",
+            ):
+                self.classifier_.fit(train_x, train_y)
+            with obs.timer(
+                "repro_training_seconds",
+                "Wall time per training sub-stage",
+                stage="cthld_predict",
+            ):
+                self.cthld_ = self.cthld_predictor.predict(
+                    self.classifier_factory, train_x, train_y
+                )
+            span.set("cthld", self.cthld_)
+        obs.counter(
+            "repro_training_rounds_total", "Classifier (re)training rounds"
+        ).inc()
+        obs.emit(
+            "training_round",
+            n_points=int(len(train_y)),
+            n_anomalies=int(train_y.sum()),
+            cthld=self.cthld_,
         )
         return self
 
@@ -185,7 +213,16 @@ class Opprentice:
     def score_features(self, features: np.ndarray) -> np.ndarray:
         if self.classifier_ is None or self.imputer_ is None:
             raise RuntimeError("Opprentice is not fitted")
-        return self.classifier_.predict_proba(self.imputer_.transform(features))
+        obs = get_provider()
+        with obs.span("classify.score_features", n_points=len(features)):
+            scores = self.classifier_.predict_proba(
+                self.imputer_.transform(features)
+            )
+        obs.counter(
+            "repro_points_classified_total",
+            "Points scored by the classifier",
+        ).inc(len(features))
+        return scores
 
     def detect(self, series: TimeSeries) -> "DetectionResult":
         """Classify every point of ``series`` at the configured cThld."""
@@ -392,27 +429,52 @@ def run_online(
     predictions_best = np.full(n, -1, dtype=np.int8)
     outcomes: List[WeeklyOutcome] = []
 
+    obs = get_provider()
     for split in strategy.splits(series):
-        train_rows = matrix.rows(split.train_begin, split.train_end)
-        train_labels = labels[split.train_begin: split.train_end]
-        imputer = Imputer().fit(train_rows)
-        train_x, train_y = _subsample_training(
-            imputer.transform(train_rows),
-            train_labels,
-            max_train_points,
-            seed + split.test_week,
+        weekly_span = obs.span(
+            "train.weekly_round",
+            kpi=series.name or "",
+            week=split.test_week,
+            strategy=strategy.id,
         )
-        if train_y.sum() == 0 or train_y.sum() == len(train_y):
-            # Degenerate training window (no anomalies labelled yet):
-            # nothing to learn from; skip this step.
-            continue
-        classifier = classifier_factory()
-        classifier.fit(train_x, train_y)
-        cthld = predictor.predict(classifier_factory, train_x, train_y)
+        with weekly_span:
+            train_rows = matrix.rows(split.train_begin, split.train_end)
+            train_labels = labels[split.train_begin: split.train_end]
+            imputer = Imputer().fit(train_rows)
+            train_x, train_y = _subsample_training(
+                imputer.transform(train_rows),
+                train_labels,
+                max_train_points,
+                seed + split.test_week,
+            )
+            if train_y.sum() == 0 or train_y.sum() == len(train_y):
+                # Degenerate training window (no anomalies labelled yet):
+                # nothing to learn from; skip this step.
+                weekly_span.set("skipped", True)
+                continue
+            with obs.timer(
+                "repro_training_seconds",
+                "Wall time per training sub-stage",
+                stage="classifier_fit",
+            ):
+                classifier = classifier_factory()
+                classifier.fit(train_x, train_y)
+            with obs.timer(
+                "repro_training_seconds",
+                "Wall time per training sub-stage",
+                stage="cthld_predict",
+            ):
+                cthld = predictor.predict(classifier_factory, train_x, train_y)
 
-        test_rows = imputer.transform(matrix.rows(split.test_begin, split.test_end))
-        test_scores = classifier.predict_proba(test_rows)
-        test_labels = labels[split.test_begin: split.test_end]
+            test_rows = imputer.transform(
+                matrix.rows(split.test_begin, split.test_end)
+            )
+            with obs.timer(
+                "repro_classification_seconds",
+                "Wall time per classification batch",
+            ):
+                test_scores = classifier.predict_proba(test_rows)
+            test_labels = labels[split.test_begin: split.test_end]
 
         best = best_cthld(test_scores, test_labels, preference)
         predictor.observe_best(best)

@@ -25,6 +25,7 @@ from ..evaluation import (
     PCScoreSelector,
     cross_validate_cthld,
 )
+from ..obs import get_provider
 
 #: §4.5.2: "We use alpha = 0.8 in this paper".
 EWMA_CTHLD_ALPHA = 0.8
@@ -65,13 +66,18 @@ class CrossValidationPredictor(CThldPredictor):
         train_features: np.ndarray,
         train_labels: np.ndarray,
     ) -> float:
-        return cross_validate_cthld(
-            classifier_factory,
-            train_features,
-            train_labels,
-            self.preference,
-            k=self.k,
-        )
+        with get_provider().span(
+            "cthld.predict", predictor=self.name
+        ) as span:
+            cthld = cross_validate_cthld(
+                classifier_factory,
+                train_features,
+                train_labels,
+                self.preference,
+                k=self.k,
+            )
+            span.set("cthld", cthld)
+        return cthld
 
 
 class EWMAPredictor(CThldPredictor):
@@ -111,13 +117,17 @@ class EWMAPredictor(CThldPredictor):
         train_labels: np.ndarray,
     ) -> float:
         if self._prediction is None:
-            self._prediction = cross_validate_cthld(
-                classifier_factory,
-                train_features,
-                train_labels,
-                self.preference,
-                k=self.k,
-            )
+            with get_provider().span(
+                "cthld.predict", predictor=self.name, initial=True
+            ) as span:
+                self._prediction = cross_validate_cthld(
+                    classifier_factory,
+                    train_features,
+                    train_labels,
+                    self.preference,
+                    k=self.k,
+                )
+                span.set("cthld", self._prediction)
         return self._prediction
 
     def observe_best(self, best_cthld: float) -> None:
@@ -130,6 +140,21 @@ class EWMAPredictor(CThldPredictor):
             self._prediction = (
                 self.alpha * best_cthld + (1.0 - self.alpha) * self._prediction
             )
+        obs = get_provider()
+        obs.counter(
+            "repro_cthld_updates_total",
+            "Best-cThld observations folded into the predictor",
+            predictor=self.name,
+        ).inc()
+        obs.gauge(
+            "repro_cthld_prediction", "Predicted cThld for the next window"
+        ).set(self._prediction)
+        obs.emit(
+            "cthld_observed",
+            predictor=self.name,
+            best=best_cthld,
+            prediction=self._prediction,
+        )
 
 
 def best_cthld(

@@ -26,6 +26,7 @@ import numpy as np
 from ..detectors import DetectorConfig
 from ..evaluation import MODERATE_PREFERENCE, AccuracyPreference
 from ..ml import Classifier
+from ..obs import MetricsRegistry, get_provider
 from ..timeseries import AnomalyWindow, TimeSeries, merge_windows, windows_to_points
 from .opprentice import Opprentice, default_classifier_factory
 from .prediction import best_cthld
@@ -42,14 +43,78 @@ class AlertEvent:
     peak_score: float
 
 
-@dataclass
 class ServiceStats:
-    """Counters exposed for dashboards."""
+    """Counters exposed for dashboards, backed by a per-service
+    :class:`~repro.obs.MetricsRegistry`.
 
-    points_ingested: int = 0
-    anomalous_points: int = 0
-    alerts_opened: int = 0
-    retrain_rounds: int = 0
+    The attribute API is unchanged (``stats.points_ingested += 1``
+    still works via property setters) but the numbers now live in real
+    counter metrics, so ``stats.registry.snapshot()`` exports the same
+    dashboard through the Prometheus/JSON exporters. The registry is
+    always live — independent of whether the process-global
+    observability provider is enabled.
+    """
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None):
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._points_ingested = self.registry.counter(
+            "repro_points_ingested_total", "Points pushed through ingest()"
+        )
+        self._anomalous_points = self.registry.counter(
+            "repro_points_anomalous_total",
+            "Ingested points classified anomalous",
+        )
+        self._alerts_opened = self.registry.counter(
+            "repro_alerts_opened_total",
+            "Alerts that crossed the duration filter",
+        )
+        self._retrain_rounds = self.registry.counter(
+            "repro_retrain_rounds_total", "Incremental retraining rounds"
+        )
+
+    @property
+    def points_ingested(self) -> int:
+        return int(self._points_ingested.value)
+
+    @points_ingested.setter
+    def points_ingested(self, value: int) -> None:
+        self._points_ingested._set_total(value)
+
+    @property
+    def anomalous_points(self) -> int:
+        return int(self._anomalous_points.value)
+
+    @anomalous_points.setter
+    def anomalous_points(self, value: int) -> None:
+        self._anomalous_points._set_total(value)
+
+    @property
+    def alerts_opened(self) -> int:
+        return int(self._alerts_opened.value)
+
+    @alerts_opened.setter
+    def alerts_opened(self, value: int) -> None:
+        self._alerts_opened._set_total(value)
+
+    @property
+    def retrain_rounds(self) -> int:
+        return int(self._retrain_rounds.value)
+
+    @retrain_rounds.setter
+    def retrain_rounds(self, value: int) -> None:
+        self._retrain_rounds._set_total(value)
+
+    def as_dict(self) -> dict:
+        return {
+            "points_ingested": self.points_ingested,
+            "anomalous_points": self.anomalous_points,
+            "alerts_opened": self.alerts_opened,
+            "retrain_rounds": self.retrain_rounds,
+        }
+
+    def __repr__(self) -> str:  # keeps the old dataclass-style repr
+        body = ", ".join(f"{k}={v}" for k, v in self.as_dict().items())
+        return f"ServiceStats({body})"
 
 
 class MonitoringService:
@@ -108,32 +173,58 @@ class MonitoringService:
         anomalies in the historical data at the beginning")."""
         if not labeled_history.is_labeled:
             raise ValueError("bootstrap requires a labelled series")
-        self._history = labeled_history.copy()
-        self._labeled_until = len(labeled_history)
-        from ..timeseries import points_to_windows
+        obs = get_provider()
+        with obs.span(
+            "service.bootstrap",
+            kpi=labeled_history.name or "",
+            n_points=len(labeled_history),
+        ):
+            self._history = labeled_history.copy()
+            self._labeled_until = len(labeled_history)
+            from ..timeseries import points_to_windows
 
-        self._label_windows = points_to_windows(labeled_history.labels)
-        self._opprentice.fit(labeled_history)
-        self._streaming = StreamingDetector(
-            self._opprentice, history=labeled_history
+            self._label_windows = points_to_windows(labeled_history.labels)
+            self._opprentice.fit(labeled_history)
+            self._streaming = StreamingDetector(
+                self._opprentice, history=labeled_history
+            )
+            self._scores = [float("nan")] * len(labeled_history)
+            self._pending_values = []
+        obs.gauge("repro_cthld", "Current classification threshold").set(
+            self.cthld
         )
-        self._scores = [float("nan")] * len(labeled_history)
-        self._pending_values = []
+        obs.emit(
+            "bootstrap",
+            kpi=labeled_history.name or "",
+            n_points=len(labeled_history),
+            cthld=self.cthld,
+        )
 
     # ------------------------------------------------------------------
     def ingest(self, value: float) -> List[AlertEvent]:
         """Process one incoming point; returns alert lifecycle events."""
         if self._streaming is None:
             raise RuntimeError("bootstrap() must run before ingest()")
-        decision = self._streaming.push(value)
+        obs = get_provider()
+        with obs.timer(
+            "repro_ingest_seconds", "MonitoringService.ingest wall time"
+        ):
+            decision = self._streaming.push(value)
         self._pending_values.append(float(value))
         self._scores.append(decision.score)
         self.stats.points_ingested += 1
+        obs.counter(
+            "repro_points_ingested_total", "Points pushed through ingest()"
+        ).inc()
 
         events: List[AlertEvent] = []
         index = decision.index
         if decision.is_anomaly:
             self.stats.anomalous_points += 1
+            obs.counter(
+                "repro_points_anomalous_total",
+                "Ingested points classified anomalous",
+            ).inc()
             if self._run_begin is None:
                 self._run_begin = index
                 self._run_scores = []
@@ -164,6 +255,18 @@ class MonitoringService:
                     )
                 self._run_begin = None
                 self._run_scores = []
+        for event in events:
+            obs.counter(
+                "repro_alerts_total",
+                "Alert lifecycle transitions",
+                event=event.kind,
+            ).inc()
+            obs.emit(
+                f"alert_{event.kind}",
+                begin_index=event.begin_index,
+                end_index=event.end_index,
+                peak_score=event.peak_score,
+            )
         if self._alert_callback is not None:
             for event in events:
                 self._alert_callback(event)
@@ -195,7 +298,18 @@ class MonitoringService:
             raise RuntimeError("bootstrap() must run before retrain()")
         if not self._pending_values:
             raise ValueError("no new data since the last retraining round")
+        obs = get_provider()
+        retrain_span = obs.span(
+            "service.retrain",
+            kpi=self._history.name or "",
+            n_new_points=len(self._pending_values),
+        )
+        with retrain_span:
+            return self._retrain_impl(retrain_span)
 
+    def _retrain_impl(self, span) -> float:
+        assert self._history is not None
+        obs = get_provider()
         new_values = np.asarray(self._pending_values)
         extension = TimeSeries(
             values=new_values,
@@ -229,4 +343,17 @@ class MonitoringService:
         self._labeled_until = len(combined)
         self._pending_values = []
         self.stats.retrain_rounds += 1
+        obs.counter(
+            "repro_retrain_rounds_total", "Incremental retraining rounds"
+        ).inc()
+        obs.gauge("repro_cthld", "Current classification threshold").set(
+            self.cthld
+        )
+        span.set("cthld", self.cthld)
+        obs.emit(
+            "retrain",
+            kpi=combined.name or "",
+            n_points=len(combined),
+            cthld=self.cthld,
+        )
         return self.cthld

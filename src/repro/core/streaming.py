@@ -20,6 +20,7 @@ from typing import List, Optional
 import numpy as np
 
 from ..detectors import SeverityStream
+from ..obs import get_provider
 from ..timeseries import TimeSeries
 from .opprentice import Opprentice
 
@@ -80,8 +81,11 @@ class StreamingDetector:
     def replay(self, series: TimeSeries) -> None:
         """Warm the detector streams with historical data (no decisions
         are produced)."""
-        for value in series.values:
-            self._advance(value)
+        with get_provider().span(
+            "stream.replay", kpi=series.name or "", n_points=len(series)
+        ):
+            for value in series.values:
+                self._advance(value)
 
     def _advance(self, value: float) -> np.ndarray:
         self._index += 1
@@ -91,10 +95,24 @@ class StreamingDetector:
 
     def push(self, value: float) -> StreamDecision:
         """Consume the next data point and classify it."""
-        severities = self._advance(float(value))
+        obs = get_provider()
+        with obs.timer(
+            "repro_stream_point_seconds",
+            "Per-point streaming latency by stage (§4.3.2/§5.8)",
+            stage="features",
+        ):
+            severities = self._advance(float(value))
         opprentice = self._opprentice
-        features = opprentice.imputer_.transform(severities[np.newaxis, :])
-        score = float(opprentice.classifier_.predict_proba(features)[0])
+        with obs.timer(
+            "repro_stream_point_seconds",
+            "Per-point streaming latency by stage (§4.3.2/§5.8)",
+            stage="classify",
+        ):
+            features = opprentice.imputer_.transform(severities[np.newaxis, :])
+            score = float(opprentice.classifier_.predict_proba(features)[0])
+        obs.counter(
+            "repro_stream_points_total", "Points pushed through streams"
+        ).inc()
         assert opprentice.cthld_ is not None
         return StreamDecision(
             index=self._index,

@@ -22,6 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterator, List
 
+from ..obs import get_provider
 from ..timeseries import TimeSeries
 
 #: Week (1-based, paper counting) where testing starts: "The test sets
@@ -78,6 +79,11 @@ class TrainingStrategy:
         ppw = series.points_per_week
         n = len(series)
         first_test_begin = (FIRST_TEST_WEEK - 1) * ppw
+        splits_counter = get_provider().counter(
+            "repro_training_splits_total",
+            "Moving-window splits generated per strategy",
+            strategy=self.id,
+        )
         step = 0
         while True:
             test_begin = first_test_begin + step * ppw
@@ -94,6 +100,7 @@ class TrainingStrategy:
                 train_end = min(self.history_weeks * ppw, test_begin)
             else:
                 train_end = test_begin
+            splits_counter.inc()
             yield TrainTestSplit(
                 train_begin=train_begin,
                 train_end=train_end,

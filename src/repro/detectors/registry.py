@@ -32,6 +32,7 @@ from __future__ import annotations
 import itertools
 from typing import List, Sequence
 
+from ..obs import get_provider
 from ..timeseries import DAY, TimeSeries
 from .arima import ARIMA
 from .base import Detector, DetectorConfig, build_configs
@@ -140,7 +141,13 @@ def extended_detectors(interval: int) -> List[Detector]:
 
 def default_configs(interval: int, **kwargs) -> List[DetectorConfig]:
     """The Table 3 bank with stable feature-column indices."""
-    return build_configs(default_detectors(interval, **kwargs))
+    obs = get_provider()
+    with obs.span("registry.build_bank", interval=interval):
+        configs = build_configs(default_detectors(interval, **kwargs))
+    obs.gauge(
+        "repro_detector_configs", "Configurations in the active bank"
+    ).set(len(configs))
+    return configs
 
 
 def configs_for(series: TimeSeries, **kwargs) -> List[DetectorConfig]:

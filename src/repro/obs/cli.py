@@ -1,0 +1,100 @@
+"""``repro-obs`` — inspect and compare metrics snapshots.
+
+Usage::
+
+    repro-obs dump snapshot.json                 # Prometheus text format
+    repro-obs dump snapshot.json --format json   # normalised JSON
+    repro-obs diff before.json after.json        # per-series deltas
+    repro-obs diff before.json after.json --format json
+
+``dump`` renders a JSON snapshot (written by the benchmark harness, the
+streaming example, or :func:`repro.obs.write_snapshot`) as Prometheus
+text exposition or normalised JSON. ``diff`` compares two snapshots and
+exits non-zero with ``--fail-on-change`` when any series moved — usable
+as a regression gate in CI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from .exporters import (
+    diff_snapshots,
+    load_snapshot,
+    render_diff_text,
+    render_prometheus,
+    render_snapshot_json,
+)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-obs",
+        description="Inspect and compare repro metrics snapshots.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    dump = sub.add_parser("dump", help="render one snapshot")
+    dump.add_argument("snapshot", help="path to a JSON metrics snapshot")
+    dump.add_argument(
+        "--format", choices=["prom", "json"], default="prom",
+        help="output format (default: Prometheus text exposition)",
+    )
+
+    diff = sub.add_parser("diff", help="compare two snapshots")
+    diff.add_argument("old", help="baseline snapshot (JSON)")
+    diff.add_argument("new", help="comparison snapshot (JSON)")
+    diff.add_argument(
+        "--format", choices=["text", "json"], default="text",
+        help="output format (default: text)",
+    )
+    diff.add_argument(
+        "--fail-on-change", action="store_true",
+        help="exit 1 when any series changed, appeared or disappeared",
+    )
+    return parser
+
+
+def run_dump(args: argparse.Namespace) -> int:
+    snapshot = load_snapshot(args.snapshot)
+    if args.format == "json":
+        print(render_snapshot_json(snapshot))
+    else:
+        sys.stdout.write(render_prometheus(snapshot))
+    return 0
+
+
+def run_diff(args: argparse.Namespace) -> int:
+    diff = diff_snapshots(load_snapshot(args.old), load_snapshot(args.new))
+    if args.format == "json":
+        print(json.dumps(diff, indent=2, sort_keys=True))
+    else:
+        sys.stdout.write(render_diff_text(diff))
+    dirty = bool(diff["changed"] or diff["added"] or diff["removed"])
+    if args.fail_on_change and dirty:
+        return 1
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        if args.command == "dump":
+            return run_dump(args)
+        return run_diff(args)
+    except (OSError, ValueError) as error:
+        # json.JSONDecodeError subclasses ValueError; a missing or
+        # malformed snapshot is a user error, not a traceback.
+        print(f"repro-obs: {error}", file=sys.stderr)
+        return 2
+
+
+__all__ = [
+    "build_parser",
+    "run_dump",
+    "run_diff",
+    "main",
+]

@@ -1,0 +1,105 @@
+"""Structured JSON event log.
+
+Where metrics aggregate and spans time, events *narrate*: one JSON
+object per pipeline occurrence (alert opened, retraining round, cThld
+observation), machine-parseable for audit trails and incident review::
+
+    log.emit("alert_opened", kpi="PV", begin=1042, peak=0.92)
+
+Events live in a bounded in-memory buffer and can additionally be
+streamed to a *sink* callable (e.g. ``file.write`` composed with a
+newline) for durable JSONL logs.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from typing import Callable, Dict, List, Optional
+
+#: Default cap on buffered events (oldest dropped first).
+DEFAULT_MAX_EVENTS = 10_000
+
+
+class EventLog:
+    """A bounded, thread-safe structured event buffer.
+
+    Parameters
+    ----------
+    max_events:
+        Buffer bound; :attr:`dropped` counts evictions.
+    sink:
+        Optional callable receiving each event's JSON line (with
+        trailing newline) as it is emitted.
+    clock:
+        Timestamp source (seconds); injectable for deterministic tests.
+    """
+
+    def __init__(
+        self,
+        max_events: int = DEFAULT_MAX_EVENTS,
+        sink: Optional[Callable[[str], object]] = None,
+        clock: Callable[[], float] = time.time,
+    ):
+        if max_events < 1:
+            raise ValueError(f"max_events must be >= 1, got {max_events}")
+        self.max_events = max_events
+        self.sink = sink
+        self.clock = clock
+        self._events: List[Dict[str, object]] = []
+        self._seq = 0
+        self._dropped = 0
+        self._lock = threading.Lock()
+
+    def emit(self, kind: str, **fields) -> Dict[str, object]:
+        """Record one event; returns the stored dict."""
+        if not kind:
+            raise ValueError("event kind must be non-empty")
+        with self._lock:
+            event: Dict[str, object] = {
+                "event": kind,
+                "seq": self._seq,
+                "ts": self.clock(),
+            }
+            self._seq += 1
+            for key, value in fields.items():
+                event[key] = value
+            self._events.append(event)
+            if len(self._events) > self.max_events:
+                overflow = len(self._events) - self.max_events
+                del self._events[:overflow]
+                self._dropped += overflow
+        if self.sink is not None:
+            self.sink(json.dumps(event, default=str) + "\n")
+        return event
+
+    # ------------------------------------------------------------------
+    @property
+    def events(self) -> List[Dict[str, object]]:
+        with self._lock:
+            return list(self._events)
+
+    @property
+    def dropped(self) -> int:
+        return self._dropped
+
+    def find(self, kind: str) -> List[Dict[str, object]]:
+        return [e for e in self.events if e["event"] == kind]
+
+    def to_jsonl(self) -> str:
+        """The buffered events as one JSON object per line."""
+        return "\n".join(
+            json.dumps(event, default=str) for event in self.events
+        )
+
+    def clear(self) -> None:
+        with self._lock:
+            self._events.clear()
+            self._dropped = 0
+
+
+__all__ = [
+    "DEFAULT_MAX_EVENTS",
+    "EventLog",
+]

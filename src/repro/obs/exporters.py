@@ -1,0 +1,179 @@
+"""Exporters for metric snapshots.
+
+Two wire formats:
+
+* **Prometheus text exposition** (:func:`render_prometheus`) — scrape-
+  or textfile-collector-ready; histograms become the standard
+  ``_bucket``/``_sum``/``_count`` triplet with cumulative ``le`` labels.
+* **JSON snapshot** (:func:`render_snapshot_json` /
+  :func:`write_snapshot` / :func:`load_snapshot`) — the registry's
+  :meth:`~repro.obs.metrics.MetricsRegistry.snapshot` dict verbatim, the
+  interchange format of the ``repro-obs`` CLI and the benchmark
+  artifacts.
+
+:func:`diff_snapshots` compares two JSON snapshots sample-by-sample
+(counter/gauge value deltas, histogram count/sum deltas, added and
+removed series) — the machine-checkable §5.8 artifact story: run a
+benchmark twice, diff the snapshots, see exactly which stages moved.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Tuple
+
+_ESCAPES = {"\\": "\\\\", "\n": "\\n", '"': '\\"'}
+
+
+def _escape_label_value(value: str) -> str:
+    out = []
+    for char in value:
+        out.append(_ESCAPES.get(char, char))
+    return "".join(out)
+
+
+def _format_labels(labels: Dict[str, str], extra: Tuple[Tuple[str, str], ...] = ()) -> str:
+    items = [(k, str(v)) for k, v in sorted(labels.items())] + list(extra)
+    if not items:
+        return ""
+    body = ",".join(
+        f'{key}="{_escape_label_value(value)}"' for key, value in items
+    )
+    return "{" + body + "}"
+
+
+def _format_value(value: float) -> str:
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def render_prometheus(snapshot: dict) -> str:
+    """The snapshot in Prometheus text exposition format (0.0.4)."""
+    lines: List[str] = []
+    for family in snapshot.get("metrics", []):
+        name = family["name"]
+        if family.get("help"):
+            help_text = str(family["help"]).replace("\\", "\\\\").replace("\n", "\\n")
+            lines.append(f"# HELP {name} {help_text}")
+        lines.append(f"# TYPE {name} {family['kind']}")
+        for sample in family["samples"]:
+            labels = sample.get("labels", {})
+            if family["kind"] == "histogram":
+                for bound, cumulative in sample["buckets"]:
+                    label_text = _format_labels(labels, (("le", str(bound)),))
+                    lines.append(
+                        f"{name}_bucket{label_text} {_format_value(cumulative)}"
+                    )
+                label_text = _format_labels(labels)
+                lines.append(f"{name}_sum{label_text} {repr(float(sample['sum']))}")
+                lines.append(
+                    f"{name}_count{label_text} {_format_value(sample['count'])}"
+                )
+            else:
+                label_text = _format_labels(labels)
+                lines.append(
+                    f"{name}{label_text} {_format_value(sample['value'])}"
+                )
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+# ----------------------------------------------------------------------
+def render_snapshot_json(snapshot: dict, indent: int = 2) -> str:
+    return json.dumps(snapshot, indent=indent, sort_keys=True)
+
+
+def write_snapshot(snapshot: dict, path) -> Path:
+    """Write a snapshot as JSON; returns the path written."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(render_snapshot_json(snapshot) + "\n")
+    return target
+
+
+def load_snapshot(path) -> dict:
+    """Read a snapshot JSON file, validating the envelope."""
+    data = json.loads(Path(path).read_text())
+    if not isinstance(data, dict) or "metrics" not in data:
+        raise ValueError(f"{path}: not a metrics snapshot (no 'metrics' key)")
+    return data
+
+
+# ----------------------------------------------------------------------
+def _series_index(snapshot: dict) -> Dict[Tuple[str, str, Tuple[Tuple[str, str], ...]], dict]:
+    index = {}
+    for family in snapshot.get("metrics", []):
+        for sample in family["samples"]:
+            labels = tuple(sorted(sample.get("labels", {}).items()))
+            index[(family["name"], family["kind"], labels)] = sample
+    return index
+
+
+def diff_snapshots(old: dict, new: dict) -> dict:
+    """Per-series deltas between two snapshots.
+
+    Returns ``{"changed": [...], "added": [...], "removed": [...]}``;
+    two snapshots of identical state diff to three empty lists, which is
+    the round-trip property the exporter tests pin down.
+    """
+    old_index = _series_index(old)
+    new_index = _series_index(new)
+    changed: List[dict] = []
+    added: List[dict] = []
+    removed: List[dict] = []
+
+    for key in sorted(set(old_index) | set(new_index)):
+        name, kind, labels = key
+        entry = {"name": name, "kind": kind, "labels": dict(labels)}
+        if key not in old_index:
+            added.append(entry)
+            continue
+        if key not in new_index:
+            removed.append(entry)
+            continue
+        before, after = old_index[key], new_index[key]
+        if kind == "histogram":
+            delta_count = after["count"] - before["count"]
+            delta_sum = after["sum"] - before["sum"]
+            if delta_count or delta_sum:
+                entry["delta_count"] = delta_count
+                entry["delta_sum"] = delta_sum
+                changed.append(entry)
+        else:
+            delta = after["value"] - before["value"]
+            if delta:
+                entry["delta"] = delta
+                changed.append(entry)
+    return {"changed": changed, "added": added, "removed": removed}
+
+
+def render_diff_text(diff: dict) -> str:
+    """A human-readable rendering of :func:`diff_snapshots`."""
+    lines: List[str] = []
+    for entry in diff["changed"]:
+        labels = _format_labels(entry["labels"])
+        if entry["kind"] == "histogram":
+            lines.append(
+                f"~ {entry['name']}{labels} "
+                f"count {entry['delta_count']:+d} sum {entry['delta_sum']:+g}"
+            )
+        else:
+            lines.append(f"~ {entry['name']}{labels} {entry['delta']:+g}")
+    for entry in diff["added"]:
+        lines.append(f"+ {entry['name']}{_format_labels(entry['labels'])}")
+    for entry in diff["removed"]:
+        lines.append(f"- {entry['name']}{_format_labels(entry['labels'])}")
+    if not lines:
+        return "no changes\n"
+    return "\n".join(lines) + "\n"
+
+
+__all__ = [
+    "render_prometheus",
+    "render_snapshot_json",
+    "write_snapshot",
+    "load_snapshot",
+    "diff_snapshots",
+    "render_diff_text",
+]

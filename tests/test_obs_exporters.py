@@ -1,0 +1,171 @@
+"""Exporters + the repro-obs CLI: Prometheus text, JSON snapshots, diff."""
+
+import json
+import re
+
+import pytest
+
+from repro.obs import (
+    MetricsRegistry,
+    diff_snapshots,
+    disable,
+    load_snapshot,
+    render_diff_text,
+    render_prometheus,
+    render_snapshot_json,
+    write_snapshot,
+)
+from repro.obs.cli import main as obs_main
+
+
+@pytest.fixture(autouse=True)
+def _reset_provider():
+    yield
+    disable()
+
+
+@pytest.fixture()
+def registry():
+    registry = MetricsRegistry()
+    registry.counter(
+        "repro_points_ingested_total", "Points seen", kpi="PV"
+    ).inc(42)
+    registry.gauge("repro_cthld", "Current threshold").set(0.65)
+    histogram = registry.histogram(
+        "repro_ingest_seconds", "Ingest latency", buckets=(0.001, 0.1, 1.0)
+    )
+    for value in (0.0005, 0.05, 0.5, 2.0):
+        histogram.observe(value)
+    return registry
+
+
+#: name{labels} value — the two exposition line shapes we emit.
+SAMPLE_LINE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})? (?P<value>[0-9eE+.\-]+)$"
+)
+
+
+class TestPrometheus:
+    def test_every_line_parses(self, registry):
+        text = render_prometheus(registry.snapshot())
+        samples = {}
+        for line in text.splitlines():
+            if line.startswith("# HELP ") or line.startswith("# TYPE "):
+                continue
+            match = SAMPLE_LINE.match(line)
+            assert match, f"unparseable exposition line: {line!r}"
+            samples[(match["name"], match["labels"] or "")] = float(
+                match["value"]
+            )
+        assert samples[("repro_points_ingested_total", 'kpi="PV"')] == 42.0
+        assert samples[("repro_cthld", "")] == 0.65
+        assert samples[("repro_ingest_seconds_bucket", 'le="0.001"')] == 1.0
+        assert samples[("repro_ingest_seconds_bucket", 'le="+Inf"')] == 4.0
+        assert samples[("repro_ingest_seconds_count", "")] == 4.0
+        assert samples[("repro_ingest_seconds_sum", "")] == pytest.approx(
+            2.5505
+        )
+
+    def test_type_and_help_lines(self, registry):
+        text = render_prometheus(registry.snapshot())
+        assert "# TYPE repro_points_ingested_total counter" in text
+        assert "# TYPE repro_cthld gauge" in text
+        assert "# TYPE repro_ingest_seconds histogram" in text
+        assert "# HELP repro_ingest_seconds Ingest latency" in text
+
+    def test_histogram_buckets_cumulative(self, registry):
+        text = render_prometheus(registry.snapshot())
+        counts = [
+            float(SAMPLE_LINE.match(line)["value"])
+            for line in text.splitlines()
+            if line.startswith("repro_ingest_seconds_bucket")
+        ]
+        assert counts == sorted(counts), "bucket counts must be cumulative"
+
+    def test_label_values_escaped(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_x_total", kpi='we"ird\nname').inc()
+        text = render_prometheus(registry.snapshot())
+        assert r'kpi="we\"ird\nname"' in text
+
+
+class TestSnapshotRoundTrip:
+    def test_json_round_trips_clean_diff(self, registry, tmp_path):
+        snapshot = registry.snapshot()
+        path = write_snapshot(snapshot, tmp_path / "snap.json")
+        reloaded = load_snapshot(path)
+        assert reloaded == json.loads(render_snapshot_json(snapshot))
+        diff = diff_snapshots(snapshot, reloaded)
+        assert diff == {"changed": [], "added": [], "removed": []}
+        assert render_diff_text(diff) == "no changes\n"
+
+    def test_diff_detects_changes(self, registry):
+        before = registry.snapshot()
+        registry.counter("repro_points_ingested_total", kpi="PV").inc(8)
+        registry.histogram(
+            "repro_ingest_seconds", buckets=(0.001, 0.1, 1.0)
+        ).observe(0.2)
+        registry.counter("repro_new_total").inc()
+        after = registry.snapshot()
+        diff = diff_snapshots(before, after)
+        changed = {e["name"]: e for e in diff["changed"]}
+        assert changed["repro_points_ingested_total"]["delta"] == 8.0
+        assert changed["repro_ingest_seconds"]["delta_count"] == 1
+        assert [e["name"] for e in diff["added"]] == ["repro_new_total"]
+        assert diff["removed"] == []
+
+    def test_load_rejects_non_snapshot(self, tmp_path):
+        path = tmp_path / "not-a-snapshot.json"
+        path.write_text("[1, 2, 3]")
+        with pytest.raises(ValueError, match="metrics"):
+            load_snapshot(path)
+
+
+class TestCli:
+    @pytest.fixture()
+    def snapshot_path(self, registry, tmp_path):
+        return write_snapshot(registry.snapshot(), tmp_path / "snap.json")
+
+    def test_dump_prometheus(self, snapshot_path, capsys):
+        assert obs_main(["dump", str(snapshot_path)]) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE repro_ingest_seconds histogram" in out
+
+    def test_dump_json(self, snapshot_path, capsys):
+        assert obs_main(["dump", str(snapshot_path), "--format", "json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["version"] == 1
+
+    def test_diff_identical_snapshots(self, snapshot_path, capsys):
+        code = obs_main(
+            ["diff", str(snapshot_path), str(snapshot_path),
+             "--fail-on-change"]
+        )
+        assert code == 0
+        assert capsys.readouterr().out == "no changes\n"
+
+    def test_diff_changed_snapshots(self, registry, snapshot_path, tmp_path,
+                                    capsys):
+        registry.gauge("repro_cthld").set(0.7)
+        second = write_snapshot(registry.snapshot(), tmp_path / "after.json")
+        code = obs_main(
+            ["diff", str(snapshot_path), str(second), "--fail-on-change"]
+        )
+        assert code == 1
+        assert "repro_cthld" in capsys.readouterr().out
+
+    def test_diff_json_format(self, registry, snapshot_path, tmp_path,
+                              capsys):
+        registry.counter("repro_points_ingested_total", kpi="PV").inc()
+        second = write_snapshot(registry.snapshot(), tmp_path / "after.json")
+        assert obs_main(
+            ["diff", str(snapshot_path), str(second), "--format", "json"]
+        ) == 0
+        diff = json.loads(capsys.readouterr().out)
+        assert diff["changed"][0]["delta"] == 1.0
+
+    def test_missing_file_is_a_clean_error(self, tmp_path, capsys):
+        code = obs_main(["dump", str(tmp_path / "nope.json")])
+        assert code == 2
+        assert "repro-obs:" in capsys.readouterr().err

@@ -1,0 +1,277 @@
+"""repro.obs core: registry, tracer, event log, provider switching."""
+
+import threading
+
+import pytest
+
+from repro.obs import (
+    DEFAULT_LATENCY_BUCKETS,
+    Counter,
+    EventLog,
+    Gauge,
+    Histogram,
+    MetricError,
+    MetricsRegistry,
+    NullProvider,
+    ObservabilityProvider,
+    SPAN_SECONDS_METRIC,
+    Tracer,
+    disable,
+    enable,
+    get_provider,
+    is_enabled,
+    set_provider,
+)
+
+
+@pytest.fixture(autouse=True)
+def _reset_provider():
+    yield
+    disable()
+
+
+class TestMetrics:
+    def test_counter_monotonic(self):
+        counter = Counter()
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == 3.5
+        with pytest.raises(MetricError):
+            counter.inc(-1)
+
+    def test_gauge_up_down(self):
+        gauge = Gauge()
+        gauge.set(4.0)
+        gauge.inc()
+        gauge.dec(2.0)
+        assert gauge.value == 3.0
+
+    def test_histogram_buckets(self):
+        histogram = Histogram(buckets=(0.1, 1.0, 10.0))
+        for value in (0.05, 0.5, 5.0, 50.0):
+            histogram.observe(value)
+        assert histogram.count == 4
+        assert histogram.sum == pytest.approx(55.55)
+        assert histogram.cumulative() == [
+            ("0.1", 1), ("1", 2), ("10", 3), ("+Inf", 4),
+        ]
+
+    def test_histogram_bound_is_inclusive(self):
+        histogram = Histogram(buckets=(0.1, 1.0))
+        histogram.observe(0.1)
+        assert histogram.cumulative()[0] == ("0.1", 1)
+
+    def test_histogram_rejects_unsorted_buckets(self):
+        with pytest.raises(MetricError):
+            Histogram(buckets=(1.0, 0.1))
+
+    def test_default_buckets_ascending(self):
+        assert list(DEFAULT_LATENCY_BUCKETS) == sorted(DEFAULT_LATENCY_BUCKETS)
+
+    def test_registry_same_labels_same_child(self):
+        registry = MetricsRegistry()
+        a = registry.counter("repro_x_total", kpi="PV")
+        b = registry.counter("repro_x_total", kpi="PV")
+        c = registry.counter("repro_x_total", kpi="SR")
+        assert a is b and a is not c
+
+    def test_registry_kind_clash_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_x_total")
+        with pytest.raises(MetricError):
+            registry.gauge("repro_x_total")
+
+    def test_registry_invalid_names_rejected(self):
+        registry = MetricsRegistry()
+        with pytest.raises(MetricError):
+            registry.counter("bad name")
+        with pytest.raises(MetricError):
+            registry.counter("repro_ok_total", **{"0bad": "x"})
+
+    def test_registry_thread_safety(self):
+        registry = MetricsRegistry()
+
+        def work():
+            for _ in range(1000):
+                registry.counter("repro_hits_total").inc()
+                registry.histogram("repro_lat_seconds").observe(0.001)
+
+        threads = [threading.Thread(target=work) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert registry.counter("repro_hits_total").value == 8000
+        assert registry.histogram("repro_lat_seconds").count == 8000
+
+    def test_snapshot_shape(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_a_total", "help a", kpi="PV").inc(2)
+        registry.histogram("repro_b_seconds").observe(0.5)
+        snap = registry.snapshot()
+        assert snap["version"] == 1
+        by_name = {m["name"]: m for m in snap["metrics"]}
+        assert by_name["repro_a_total"]["kind"] == "counter"
+        assert by_name["repro_a_total"]["samples"][0] == {
+            "labels": {"kpi": "PV"}, "value": 2.0,
+        }
+        histogram = by_name["repro_b_seconds"]["samples"][0]
+        assert histogram["count"] == 1
+        assert histogram["buckets"][-1][0] == "+Inf"
+
+
+class TestTracer:
+    def test_nesting_and_metadata(self):
+        tracer = Tracer()
+        with tracer.span("outer", kpi="PV") as outer:
+            with tracer.span("inner"):
+                pass
+            outer.set("n_points", 7)
+        inner, outer = tracer.finished
+        assert inner.name == "inner" and outer.name == "outer"
+        assert inner.parent_id == outer.span_id
+        assert inner.depth == 1 and outer.depth == 0
+        assert outer.meta == {"kpi": "PV", "n_points": 7}
+        assert inner.duration <= outer.duration
+
+    def test_durations_and_find(self):
+        tracer = Tracer()
+        for _ in range(3):
+            with tracer.span("stage"):
+                pass
+        assert len(tracer.find("stage")) == 3
+        assert all(d >= 0 for d in tracer.durations("stage"))
+
+    def test_buffer_bound(self):
+        tracer = Tracer(max_spans=5)
+        for _ in range(8):
+            with tracer.span("s"):
+                pass
+        assert len(tracer.finished) == 5
+        assert tracer.dropped == 3
+        # The *newest* records are retained.
+        assert [r.span_id for r in tracer.finished] == [3, 4, 5, 6, 7]
+
+
+class TestEventLog:
+    def test_emit_and_find(self):
+        log = EventLog(clock=lambda: 123.0)
+        log.emit("alert_opened", begin=4, peak=0.9)
+        log.emit("retrain", cthld=0.5)
+        opened = log.find("alert_opened")
+        assert opened == [
+            {"event": "alert_opened", "seq": 0, "ts": 123.0,
+             "begin": 4, "peak": 0.9},
+        ]
+
+    def test_jsonl_round_trip(self):
+        import json
+
+        log = EventLog(clock=lambda: 1.0)
+        log.emit("a", x=1)
+        log.emit("b", y="z")
+        lines = log.to_jsonl().splitlines()
+        assert [json.loads(line)["event"] for line in lines] == ["a", "b"]
+
+    def test_sink_receives_lines(self):
+        lines = []
+        log = EventLog(sink=lines.append, clock=lambda: 0.0)
+        log.emit("a")
+        assert len(lines) == 1 and lines[0].endswith("\n")
+
+    def test_buffer_bound(self):
+        log = EventLog(max_events=2, clock=lambda: 0.0)
+        for i in range(5):
+            log.emit("e", i=i)
+        assert [e["i"] for e in log.events] == [3, 4]
+        assert log.dropped == 3
+
+
+class TestProvider:
+    def test_default_is_noop(self):
+        assert not is_enabled()
+        assert isinstance(get_provider(), NullProvider)
+
+    def test_null_provider_records_nothing(self):
+        provider = get_provider()
+        provider.counter("repro_x_total").inc(5)
+        provider.gauge("repro_g").set(2)
+        provider.histogram("repro_h_seconds").observe(0.1)
+        with provider.span("stage", kpi="PV") as span:
+            span.set("k", "v")
+        with provider.timer("repro_t_seconds"):
+            pass
+        provider.emit("event", x=1)
+        assert provider.snapshot() == {"version": 1, "metrics": []}
+        assert provider.counter("repro_x_total").value == 0.0
+
+    def test_null_handles_are_shared_singletons(self):
+        provider = get_provider()
+        assert provider.counter("a") is provider.counter("b")
+        assert provider.span("a") is provider.span("b", k=1)
+
+    def test_enable_disable_round_trip(self):
+        live = enable()
+        assert is_enabled() and get_provider() is live
+        assert enable() is live  # idempotent
+        disable()
+        assert not is_enabled()
+
+    def test_set_provider_returns_previous(self):
+        first = ObservabilityProvider()
+        previous = set_provider(first)
+        assert isinstance(previous, NullProvider)
+        assert set_provider(previous) is first
+
+    def test_live_provider_records(self):
+        provider = enable()
+        provider.counter("repro_x_total", kpi="PV").inc(2)
+        with provider.timer("repro_t_seconds"):
+            pass
+        names = {m["name"] for m in provider.snapshot()["metrics"]}
+        assert {"repro_x_total", "repro_t_seconds"} <= names
+
+    def test_spans_feed_latency_histogram(self):
+        provider = enable()
+        with provider.span("feature_matrix.extract", kpi="PV"):
+            pass
+        histogram = provider.registry.histogram(
+            SPAN_SECONDS_METRIC, span="feature_matrix.extract"
+        )
+        assert histogram.count == 1
+        assert provider.tracer.find("feature_matrix.extract")
+
+    def test_enable_from_env(self, monkeypatch):
+        from repro.obs import enable_from_env
+
+        monkeypatch.delenv("REPRO_OBS", raising=False)
+        assert enable_from_env() is False
+        monkeypatch.setenv("REPRO_OBS", "1")
+        assert enable_from_env() is True
+
+
+class TestServiceStats:
+    def test_attribute_api_backwards_compatible(self):
+        from repro.core import ServiceStats
+
+        stats = ServiceStats()
+        assert stats.points_ingested == 0
+        stats.points_ingested += 1
+        stats.points_ingested += 1
+        stats.anomalous_points += 1
+        stats.alerts_opened = 4
+        stats.retrain_rounds += 1
+        assert stats.points_ingested == 2
+        assert stats.anomalous_points == 1
+        assert stats.alerts_opened == 4
+        assert stats.retrain_rounds == 1
+        assert "points_ingested=2" in repr(stats)
+
+    def test_backed_by_registry(self):
+        from repro.core import ServiceStats
+
+        stats = ServiceStats()
+        stats.points_ingested += 3
+        snap = stats.registry.snapshot()
+        by_name = {m["name"]: m for m in snap["metrics"]}
+        assert by_name["repro_points_ingested_total"]["samples"][0]["value"] == 3.0
