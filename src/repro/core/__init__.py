@@ -25,7 +25,12 @@ from .opprentice import (
     default_classifier_factory,
     run_online,
 )
-from .persistence import load_model, save_model
+from .persistence import (
+    load_checkpoint,
+    load_model,
+    save_checkpoint,
+    save_model,
+)
 from .prediction import (
     EWMA_CTHLD_ALPHA,
     CrossValidationPredictor,
@@ -45,12 +50,18 @@ from .training import (
     TrainTestSplit,
 )
 from .service import AlertEvent, MonitoringService, ServiceStats
-from .streaming import StreamDecision, StreamingDetector
+from .streaming import (
+    STREAM_CHECKPOINT_VERSION,
+    StreamDecision,
+    StreamingDetector,
+)
 from .transfer import SeverityNormalizer, TransferDetector
 
 __all__ = [
     "save_model",
     "load_model",
+    "save_checkpoint",
+    "load_checkpoint",
     "FeatureExtractor",
     "FeatureMatrix",
     "extract_features",
@@ -95,6 +106,7 @@ __all__ = [
     "ServiceStats",
     "StreamingDetector",
     "StreamDecision",
+    "STREAM_CHECKPOINT_VERSION",
     "SeverityNormalizer",
     "TransferDetector",
 ]

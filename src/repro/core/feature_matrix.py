@@ -14,7 +14,7 @@ vectorised per configuration.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -104,6 +104,16 @@ class FeatureExtractor:
                 )
             self._configs = configs_for(series)
         return self._configs
+
+    @property
+    def config_bank(self) -> Optional[Tuple[DetectorConfig, ...]]:
+        """The resolved detector bank as an immutable tuple, or ``None``
+        if the default bank has not been derived from a series yet. The
+        public read-only counterpart of :meth:`configs` for callers that
+        must not trigger (or cannot provide a series for) derivation."""
+        if self._configs is None:
+            return None
+        return tuple(self._configs)
 
     @property
     def names(self) -> List[str]:

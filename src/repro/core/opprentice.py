@@ -112,6 +112,10 @@ class Opprentice:
         #: severities for the first incoming points (Fig 3b applies the
         #: detectors to the stream, not to an isolated window).
         self._history: Optional[TimeSeries] = None
+        #: Raw (un-imputed) feature rows of ``_history``, cached so that
+        #: fit_incremental() can extend the matrix with just the new
+        #: points' severity rows instead of re-extracting everything.
+        self._feature_values: Optional[np.ndarray] = None
 
     # ------------------------------------------------------------------
     def fit(self, series: TimeSeries) -> "Opprentice":
@@ -128,6 +132,7 @@ class Opprentice:
         ):
             matrix = self.extractor.extract(series)
             self._history = series
+            self._feature_values = matrix.values
             return self.fit_features(matrix.values, series.labels)
 
     def fit_features(
@@ -177,6 +182,52 @@ class Opprentice:
         with newly labelled data. Semantically identical to fit(); the
         separate name documents the weekly retraining call site."""
         return self.fit(series)
+
+    def fit_incremental(
+        self, series: TimeSeries, new_rows: np.ndarray
+    ) -> "Opprentice":
+        """Retrain on ``series`` — the fitted history extended by new
+        points — reusing the cached feature matrix.
+
+        ``new_rows`` are the severity rows of exactly the points that
+        extend the history, in order. The stream == batch invariant
+        makes the severities collected during streaming detection (each
+        :class:`~repro.core.StreamDecision`'s ``severities``) identical
+        to what a fresh batch extraction over the combined series would
+        produce for those points, so feature cost per retraining round
+        is O(new points) instead of O(all history). Classifier and cThld
+        fitting are unchanged — the result equals ``fit(series)``.
+        """
+        if not series.is_labeled:
+            raise ValueError("fit requires a labelled series (§4.2)")
+        cached = self._feature_values
+        if cached is None:
+            raise RuntimeError("fit() must run before fit_incremental()")
+        new_rows = np.asarray(new_rows, dtype=np.float64)
+        if new_rows.size == 0:
+            new_rows = new_rows.reshape(0, cached.shape[1])
+        if new_rows.ndim != 2 or new_rows.shape[1] != cached.shape[1]:
+            raise ValueError(
+                f"new rows of shape {new_rows.shape} do not match the "
+                f"cached {cached.shape[1]}-feature matrix"
+            )
+        if len(cached) + len(new_rows) != len(series):
+            raise ValueError(
+                f"{len(new_rows)} new rows do not extend the cached "
+                f"{len(cached)}-row matrix to {len(series)} points"
+            )
+        with get_provider().span(
+            "train.fit_incremental",
+            kpi=series.name or "",
+            n_points=len(series),
+            n_new_points=len(new_rows),
+        ):
+            features = (
+                np.vstack([cached, new_rows]) if len(new_rows) else cached
+            )
+            self._history = series
+            self._feature_values = features
+            return self.fit_features(features, series.labels)
 
     # ------------------------------------------------------------------
     def anomaly_scores(self, series: TimeSeries) -> np.ndarray:

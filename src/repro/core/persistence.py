@@ -23,8 +23,13 @@ import numpy as np
 from ..evaluation import AccuracyPreference
 from ..ml import Imputer, RandomForest
 from .opprentice import Opprentice
+from .streaming import StreamingDetector
 
 FORMAT_VERSION = 1
+
+#: On-disk envelope version for stream checkpoints (the inner layout is
+#: versioned separately by StreamingDetector.snapshot()).
+CHECKPOINT_FORMAT_VERSION = 1
 
 
 def save_model(opprentice: Opprentice, path: Union[str, Path]) -> None:
@@ -76,7 +81,7 @@ def load_model(
         opprentice.preference = preference
 
     stored_names = payload["feature_names"]
-    configs = opprentice.extractor._configs
+    configs = opprentice.extractor.config_bank
     if configs is not None:
         current = [c.name for c in configs]
         if current != stored_names:
@@ -101,3 +106,39 @@ def load_model(
     opprentice.imputer_ = imputer
     opprentice.cthld_ = float(payload["cthld"])
     return opprentice
+
+
+def save_checkpoint(
+    streaming: StreamingDetector, path: Union[str, Path]
+) -> None:
+    """Persist a :class:`StreamingDetector`'s warm stream state (JSON).
+
+    Together with :func:`save_model` this makes a deployed detector
+    process fully restartable: load the model, load the checkpoint, and
+    the next decision equals what the uninterrupted process would have
+    produced — no history replay. Severity buffers legitimately contain
+    NaN, so the document uses JSON's (widely supported, non-strict)
+    ``NaN`` token.
+    """
+    payload = {
+        "format_version": CHECKPOINT_FORMAT_VERSION,
+        "checkpoint": streaming.snapshot(),
+    }
+    Path(path).write_text(json.dumps(payload))
+
+
+def load_checkpoint(
+    path: Union[str, Path], opprentice: Opprentice
+) -> StreamingDetector:
+    """Rebuild a warm :class:`StreamingDetector` from a checkpoint saved
+    by :func:`save_checkpoint`. ``opprentice`` must be fitted and carry
+    the same detector bank the checkpoint was taken over (enforced via
+    feature names)."""
+    payload = json.loads(Path(path).read_text())
+    version = payload.get("format_version")
+    if version != CHECKPOINT_FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported checkpoint format {version!r} "
+            f"(expected {CHECKPOINT_FORMAT_VERSION})"
+        )
+    return StreamingDetector(opprentice, checkpoint=payload["checkpoint"])

@@ -166,8 +166,12 @@ def best_cthld(
     PC-Score maximiser over its PR curve (§4.5.2). Returns 0.5 when the
     window has no anomalies (every threshold is equally hopeless)."""
     labels = np.asarray(labels)
-    finite = np.isfinite(np.asarray(scores, dtype=np.float64))
+    scores = np.asarray(scores, dtype=np.float64)
+    finite = np.isfinite(scores)
     if labels[finite].sum() == 0:
         return 0.5
-    choice = PCScoreSelector(preference).select(scores, labels)
+    # Select over the finite points only — NaN scores (warm-up/missing
+    # points) carry no threshold information and must not reach the
+    # selector.
+    choice = PCScoreSelector(preference).select(scores[finite], labels[finite])
     return choice.threshold

@@ -18,6 +18,7 @@ detectors, and retraining uses only points the operator has labelled.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Callable, List, Optional, Sequence
 
@@ -53,6 +54,11 @@ class ServiceStats:
     dashboard through the Prometheus/JSON exporters. The registry is
     always live — independent of whether the process-global
     observability provider is enabled.
+
+    The property setters are a non-atomic read-modify-write and exist
+    only for tests and backfill; live code paths must use the
+    ``inc_*`` methods, which increment the underlying counters under
+    their lock and stay correct under concurrent ingest.
     """
 
     def __init__(self, registry: Optional[MetricsRegistry] = None):
@@ -104,6 +110,21 @@ class ServiceStats:
     def retrain_rounds(self, value: int) -> None:
         self._retrain_rounds._set_total(value)
 
+    # ------------------------------------------------------------------
+    # Atomic increments for live code paths.
+    # ------------------------------------------------------------------
+    def inc_points_ingested(self, amount: int = 1) -> None:
+        self._points_ingested.inc(amount)
+
+    def inc_anomalous_points(self, amount: int = 1) -> None:
+        self._anomalous_points.inc(amount)
+
+    def inc_alerts_opened(self, amount: int = 1) -> None:
+        self._alerts_opened.inc(amount)
+
+    def inc_retrain_rounds(self, amount: int = 1) -> None:
+        self._retrain_rounds.inc(amount)
+
     def as_dict(self) -> dict:
         return {
             "points_ingested": self.points_ingested,
@@ -146,8 +167,15 @@ class MonitoringService:
         self._label_windows: List[AnomalyWindow] = []
         self._labeled_until = 0
         self._streaming: Optional[StreamingDetector] = None
-        self._scores: List[float] = []
         self._pending_values: List[float] = []
+        #: Scores and severity rows of the pending (not yet labelled)
+        #: points only — retraining consumes and resets both, so their
+        #: memory is bounded by the inter-retrain window, not by the
+        #: total history. The severity rows double as the new points'
+        #: feature-matrix rows (stream == batch), which is what makes
+        #: retraining O(new points).
+        self._pending_scores: List[float] = []
+        self._pending_rows: List[np.ndarray] = []
         self._run_begin: Optional[int] = None
         self._run_scores: List[float] = []
 
@@ -188,11 +216,16 @@ class MonitoringService:
             self._streaming = StreamingDetector(
                 self._opprentice, history=labeled_history
             )
-            self._scores = [float("nan")] * len(labeled_history)
             self._pending_values = []
+            self._pending_scores = []
+            self._pending_rows = []
         obs.gauge("repro_cthld", "Current classification threshold").set(
             self.cthld
         )
+        obs.gauge(
+            "repro_stream_buffer_points",
+            "Points buffered across all detector streams",
+        ).set(self._streaming.buffered_points())
         obs.emit(
             "bootstrap",
             kpi=labeled_history.name or "",
@@ -211,8 +244,9 @@ class MonitoringService:
         ):
             decision = self._streaming.push(value)
         self._pending_values.append(float(value))
-        self._scores.append(decision.score)
-        self.stats.points_ingested += 1
+        self._pending_scores.append(decision.score)
+        self._pending_rows.append(decision.severities)
+        self.stats.inc_points_ingested()
         obs.counter(
             "repro_points_ingested_total", "Points pushed through ingest()"
         ).inc()
@@ -220,7 +254,7 @@ class MonitoringService:
         events: List[AlertEvent] = []
         index = decision.index
         if decision.is_anomaly:
-            self.stats.anomalous_points += 1
+            self.stats.inc_anomalous_points()
             obs.counter(
                 "repro_points_anomalous_total",
                 "Ingested points classified anomalous",
@@ -240,7 +274,7 @@ class MonitoringService:
                         peak_score=max(self._run_scores),
                     )
                 )
-                self.stats.alerts_opened += 1
+                self.stats.inc_alerts_opened()
         else:
             if self._run_begin is not None:
                 run_length = index - self._run_begin
@@ -255,6 +289,12 @@ class MonitoringService:
                     )
                 self._run_begin = None
                 self._run_scores = []
+        self._dispatch_events(events)
+        return events
+
+    def _dispatch_events(self, events: List[AlertEvent]) -> None:
+        """Record alert lifecycle events and notify the callback."""
+        obs = get_provider()
         for event in events:
             obs.counter(
                 "repro_alerts_total",
@@ -270,6 +310,26 @@ class MonitoringService:
         if self._alert_callback is not None:
             for event in events:
                 self._alert_callback(event)
+
+    def _close_open_run(self) -> List[AlertEvent]:
+        """Close a dangling alert run (retraining rebuilds the streams,
+        so a run left open would never emit its ``closed`` event). The
+        run ends — exclusively — at the last ingested point."""
+        events: List[AlertEvent] = []
+        if self._run_begin is not None:
+            end = self.history_length
+            if end - self._run_begin >= self.min_duration_points:
+                events.append(
+                    AlertEvent(
+                        kind="closed",
+                        begin_index=self._run_begin,
+                        end_index=end,
+                        peak_score=max(self._run_scores),
+                    )
+                )
+            self._run_begin = None
+            self._run_scores = []
+        self._dispatch_events(events)
         return events
 
     # ------------------------------------------------------------------
@@ -278,7 +338,13 @@ class MonitoringService:
         are absolute (matching :class:`AlertEvent` indices)."""
         total = self.history_length
         for window in windows:
-            if window.end > total:
+            begin, end = int(window.begin), int(window.end)
+            if begin < 0 or begin >= end:
+                raise ValueError(
+                    f"invalid label window [{begin}, {end}): begin must "
+                    "be >= 0 and < end"
+                )
+            if end > total:
                 raise ValueError(
                     f"window {window} beyond ingested history ({total})"
                 )
@@ -291,8 +357,15 @@ class MonitoringService:
 
         All pending points become labelled history (anomalous where the
         operator submitted windows), the best cThld of the newly
-        labelled span feeds the EWMA predictor, and the classifier and
-        detector streams are rebuilt. Returns the new cThld.
+        labelled span feeds the EWMA predictor, and the classifier is
+        refitted incrementally: the training feature matrix is extended
+        with the severity rows already collected during streaming
+        detection, and the warm detector streams carry over through a
+        checkpoint instead of replaying history — both O(new points),
+        keeping retrain cost flat in history length. An alert run still
+        open at this point is closed first (its ``closed`` event goes to
+        the callback/metrics, not to this call's return value), so alert
+        lifecycles always pair up. Returns the new cThld.
         """
         if self._history is None:
             raise RuntimeError("bootstrap() must run before retrain()")
@@ -309,7 +382,9 @@ class MonitoringService:
 
     def _retrain_impl(self, span) -> float:
         assert self._history is not None
+        assert self._streaming is not None
         obs = get_provider()
+        began = time.perf_counter()
         new_values = np.asarray(self._pending_values)
         extension = TimeSeries(
             values=new_values,
@@ -324,7 +399,7 @@ class MonitoringService:
         combined = combined.with_labels(labels)
 
         # Feed the finished span's best cThld into the EWMA predictor.
-        span_scores = np.asarray(self._scores[self._labeled_until:])
+        span_scores = np.asarray(self._pending_scores)
         span_labels = labels[self._labeled_until:]
         if len(span_scores) and span_labels.sum() > 0:
             best = best_cthld(
@@ -332,23 +407,44 @@ class MonitoringService:
             )
             self._opprentice.cthld_predictor.observe_best(best)
 
-        self._opprentice.fit(combined)
+        # The streams have already seen every point of `combined`
+        # (bootstrap replay + one push per ingested point), so their
+        # current state *is* the post-replay state: checkpoint them now
+        # and restore into the rebuilt detector instead of replaying.
+        self._close_open_run()
+        checkpoint = self._streaming.snapshot()
+
+        self._opprentice.fit_incremental(
+            combined, np.asarray(self._pending_rows, dtype=np.float64)
+        )
         self._opprentice.cthld_ = self._opprentice.cthld_predictor.predict(
             self._opprentice.classifier_factory,
             self._opprentice._train_features,
             self._opprentice._train_labels,
         )
-        self._streaming = StreamingDetector(self._opprentice, history=combined)
+        self._streaming = StreamingDetector(
+            self._opprentice, checkpoint=checkpoint
+        )
         self._history = combined
         self._labeled_until = len(combined)
         self._pending_values = []
-        self.stats.retrain_rounds += 1
+        self._pending_scores = []
+        self._pending_rows = []
+        self.stats.inc_retrain_rounds()
         obs.counter(
             "repro_retrain_rounds_total", "Incremental retraining rounds"
         ).inc()
         obs.gauge("repro_cthld", "Current classification threshold").set(
             self.cthld
         )
+        obs.gauge(
+            "repro_retrain_last_seconds",
+            "Wall time of the most recent retraining round",
+        ).set(time.perf_counter() - began)
+        obs.gauge(
+            "repro_stream_buffer_points",
+            "Points buffered across all detector streams",
+        ).set(self._streaming.buffered_points())
         span.set("cthld", self.cthld)
         obs.emit(
             "retrain",

@@ -15,7 +15,7 @@ scores and decisions as batch detection over the same data.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Any, Dict, List, Mapping, Optional
 
 import numpy as np
 
@@ -23,6 +23,10 @@ from ..detectors import SeverityStream
 from ..obs import get_provider
 from ..timeseries import TimeSeries
 from .opprentice import Opprentice
+
+#: Version tag of the stream-checkpoint dict layout produced by
+#: :meth:`StreamingDetector.snapshot`.
+STREAM_CHECKPOINT_VERSION = 1
 
 
 @dataclass(frozen=True)
@@ -51,23 +55,39 @@ class StreamingDetector:
         windowed detectors start warm — typically the training series.
         Replaying the training series makes subsequent decisions equal
         to the batch contextual scores.
+    checkpoint:
+        Alternative to ``history``: a dict from :meth:`snapshot` of a
+        previous StreamingDetector over the same detector bank. The
+        fresh streams are restored to the checkpointed state in O(state)
+        instead of replaying the whole history — this is what keeps
+        :meth:`MonitoringService.retrain` flat in history length.
     """
 
-    def __init__(self, opprentice: Opprentice, history: Optional[TimeSeries] = None):
+    def __init__(
+        self,
+        opprentice: Opprentice,
+        history: Optional[TimeSeries] = None,
+        checkpoint: Optional[Mapping[str, Any]] = None,
+    ):
         if opprentice.classifier_ is None or opprentice.imputer_ is None:
             raise ValueError("StreamingDetector needs a fitted Opprentice")
+        if history is not None and checkpoint is not None:
+            raise ValueError("pass either history or checkpoint, not both")
         self._opprentice = opprentice
-        configs = opprentice.extractor._configs
+        configs = opprentice.extractor.config_bank
         if configs is None:
             raise ValueError(
                 "the Opprentice has no detector configs yet; fit it on a "
                 "series (or pass configs explicitly) first"
             )
+        self._configs = configs
         self._streams: List[SeverityStream] = [
             config.detector.stream() for config in configs
         ]
         self._index = -1
-        if history is not None:
+        if checkpoint is not None:
+            self.restore(checkpoint)
+        elif history is not None:
             self.replay(history)
 
     @property
@@ -77,6 +97,49 @@ class StreamingDetector:
     @property
     def points_seen(self) -> int:
         return self._index + 1
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Dict[str, Any]:
+        """The warm state of every detector stream as one
+        JSON-serializable checkpoint dict (see
+        :func:`repro.core.persistence.save_checkpoint` for the on-disk
+        form). Restoring it into a fresh StreamingDetector over the same
+        bank reproduces this detector's future decisions exactly."""
+        return {
+            "format_version": STREAM_CHECKPOINT_VERSION,
+            "index": self._index,
+            "feature_names": [config.name for config in self._configs],
+            "streams": [stream.snapshot() for stream in self._streams],
+        }
+
+    def restore(self, checkpoint: Mapping[str, Any]) -> "StreamingDetector":
+        """Load a :meth:`snapshot` into this detector's fresh streams."""
+        version = checkpoint.get("format_version")
+        if version != STREAM_CHECKPOINT_VERSION:
+            raise ValueError(
+                f"unsupported stream checkpoint version {version!r} "
+                f"(expected {STREAM_CHECKPOINT_VERSION})"
+            )
+        names = list(checkpoint["feature_names"])
+        current = [config.name for config in self._configs]
+        if names != current:
+            raise ValueError(
+                "detector bank mismatch: the checkpoint was taken over a "
+                "different feature set"
+            )
+        with get_provider().span(
+            "stream.restore", n_streams=len(self._streams)
+        ):
+            for stream, state in zip(self._streams, checkpoint["streams"]):
+                stream.restore(state)
+        self._index = int(checkpoint["index"])
+        return self
+
+    def buffered_points(self) -> int:
+        """Total points buffered across all detector streams — the value
+        behind the ``repro_stream_buffer_points`` gauge. Flat over time
+        for the bounded streams every registered detector uses."""
+        return sum(stream.buffered_points() for stream in self._streams)
 
     def replay(self, series: TimeSeries) -> None:
         """Warm the detector streams with historical data (no decisions

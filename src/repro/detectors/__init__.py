@@ -4,6 +4,7 @@ from .arima import ARIMA, ARIMAOrder
 from .brutlag import Brutlag
 from .cusum import CUSUM
 from .base import (
+    STREAM_BUFFER_SLACK,
     Detector,
     DetectorConfig,
     DetectorError,
@@ -37,6 +38,7 @@ __all__ = [
     "DetectorConfig",
     "DetectorError",
     "SeverityStream",
+    "STREAM_BUFFER_SLACK",
     "build_configs",
     "rolling_mean",
     "rolling_std",

@@ -162,6 +162,12 @@ class ARIMA(Detector):
     def warmup(self) -> int:
         return self.fit_points
 
+    def stream_memory(self) -> None:
+        # The order is estimated on the *original* fit_points prefix and
+        # innovations recurse from there; a truncated buffer would refit
+        # a different model entirely.
+        return None
+
     # ------------------------------------------------------------------
     def estimate_order(self, values: np.ndarray) -> ARIMAOrder:
         """Box-Jenkins order and coefficient estimation on a prefix."""
@@ -238,6 +244,10 @@ class _ARIMAStream(SeverityStream):
     forward-fill of missing points.
     """
 
+    #: The fitted order is a dataclass the generic encoder cannot
+    #: serialize; snapshot()/restore() below handle it explicitly.
+    _snapshot_skip = ("_order",)
+
     def __init__(self, detector: ARIMA):
         self._detector = detector
         self._buffer: list = []
@@ -248,6 +258,35 @@ class _ARIMAStream(SeverityStream):
         self._innovations: list = []
         self._last_filled: float = float("nan")
         self._working_index = -1
+
+    def snapshot(self) -> dict:
+        state = super().snapshot()
+        order = self._order
+        state["_order"] = None if order is None else {
+            "p": order.p,
+            "d": order.d,
+            "q": order.q,
+            "const": order.const,
+            "ar": list(order.ar),
+            "ma": list(order.ma),
+            "aic": order.aic,
+        }
+        return state
+
+    def restore(self, state) -> "_ARIMAStream":
+        state = dict(state)
+        order = state.pop("_order", None)
+        super().restore(state)
+        self._order = None if order is None else ARIMAOrder(
+            p=int(order["p"]),
+            d=int(order["d"]),
+            q=int(order["q"]),
+            const=float(order["const"]),
+            ar=tuple(float(c) for c in order["ar"]),
+            ma=tuple(float(c) for c in order["ma"]),
+            aic=float(order["aic"]),
+        )
+        return self
 
     # ------------------------------------------------------------------
     def _fit_and_replay(self) -> None:

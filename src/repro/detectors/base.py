@@ -26,8 +26,9 @@ points ``0..t``. Points inside a detector's warm-up window (§4.3.2) get
 from __future__ import annotations
 
 import abc
+from collections import deque
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Union
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Tuple, Union
 
 import numpy as np
 
@@ -35,18 +36,122 @@ from ..timeseries import TimeSeries
 
 ParamValue = Union[int, float, str]
 
+#: Extra points kept beyond the warm-up window by the generic bounded
+#: buffer, so boundary effects (e.g. a window that straddles the oldest
+#: retained point) never reach the newest severity.
+STREAM_BUFFER_SLACK = 16
+
 
 class DetectorError(ValueError):
     """Raised for invalid detector parameters or inputs."""
 
 
+def _encode_state(value: Any) -> Any:
+    """Encode one stream attribute into JSON-serializable form.
+
+    Numpy arrays and deques carry a kind tag so :func:`_decode_state`
+    can rebuild them exactly (including a deque's ``maxlen``); plain
+    scalars, strings, None and lists pass through. NaN is a legal float
+    here — severity buffers legitimately contain NaN — and survives the
+    round trip via JSON's (non-strict) NaN token.
+    """
+    if isinstance(value, np.ndarray):
+        return {"__kind__": "ndarray", "values": value.tolist()}
+    if isinstance(value, deque):
+        return {
+            "__kind__": "deque",
+            "maxlen": value.maxlen,
+            "values": [_encode_state(item) for item in value],
+        }
+    if isinstance(value, tuple):
+        return {
+            "__kind__": "tuple",
+            "values": [_encode_state(item) for item in value],
+        }
+    if isinstance(value, list):
+        return [_encode_state(item) for item in value]
+    if isinstance(value, np.generic):
+        return value.item()
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    raise TypeError(
+        f"cannot checkpoint attribute of type {type(value).__name__}; "
+        "the stream must override snapshot()/restore()"
+    )
+
+
+def _decode_state(value: Any) -> Any:
+    """Inverse of :func:`_encode_state`."""
+    if isinstance(value, dict):
+        kind = value.get("__kind__")
+        if kind == "ndarray":
+            return np.asarray(value["values"], dtype=np.float64)
+        if kind == "deque":
+            return deque(
+                (_decode_state(item) for item in value["values"]),
+                maxlen=value["maxlen"],
+            )
+        if kind == "tuple":
+            return tuple(_decode_state(item) for item in value["values"])
+        raise ValueError(f"unknown checkpoint state kind {kind!r}")
+    if isinstance(value, list):
+        return [_decode_state(item) for item in value]
+    return value
+
+
 class SeverityStream(abc.ABC):
-    """Online severity computation: one :meth:`update` per data point."""
+    """Online severity computation: one :meth:`update` per data point.
+
+    Streams are *checkpointable*: :meth:`snapshot` captures the mutable
+    state as a JSON-serializable dict and :meth:`restore` rebuilds it on
+    a fresh stream of the same configuration, so a long-running service
+    can resume warm streams without replaying history. The generic
+    implementations walk ``__dict__``, skipping wiring (the owning
+    :class:`Detector`, bound methods/closures) and anything listed in
+    ``_snapshot_skip``; streams holding state the encoder cannot handle
+    override both methods (see ``_ARIMAStream``).
+    """
+
+    #: Attribute names the generic snapshot must not serialize.
+    _snapshot_skip: Tuple[str, ...] = ()
 
     @abc.abstractmethod
     def update(self, value: float) -> float:
         """Consume the next point and return its severity (NaN while the
         detector is warming up or the value is missing)."""
+
+    def snapshot(self) -> Dict[str, Any]:
+        """The stream's mutable state as a JSON-serializable dict."""
+        state: Dict[str, Any] = {}
+        for key, value in self.__dict__.items():
+            if key in self._snapshot_skip:
+                continue
+            if isinstance(value, Detector) or callable(value):
+                continue
+            state[key] = _encode_state(value)
+        return state
+
+    def restore(self, state: Mapping[str, Any]) -> "SeverityStream":
+        """Load a :meth:`snapshot` into this (fresh) stream and return it.
+
+        The stream must have been built by the *same* detector
+        configuration that produced the snapshot; this is enforced at
+        the :class:`~repro.core.StreamingDetector` level via feature
+        names, not per stream.
+        """
+        for key, value in state.items():
+            setattr(self, key, _decode_state(value))
+        return self
+
+    def buffered_points(self) -> int:
+        """Number of buffered points held in container state — the
+        quantity the ``repro_stream_buffer_points`` gauge aggregates.
+        Bounded streams keep this flat no matter how long they run."""
+        total = 0
+        for value in self.__dict__.values():
+            if isinstance(value, (list, deque, np.ndarray)):
+                total += len(value)
+        return total
 
 
 class Detector(abc.ABC):
@@ -76,11 +181,27 @@ class Detector(abc.ABC):
         """An online stream for this configuration.
 
         The default implementation re-runs the batch computation on a
-        growing buffer — O(n^2) but exactly consistent with
-        :meth:`severities`. Detectors with cheap recurrences override
-        this with a true O(1)-per-point stream.
+        buffer bounded by :meth:`stream_memory`, so the per-point cost
+        is O(memory), not O(points seen). Detectors with cheap
+        recurrences override this with a true O(1)-per-point stream.
         """
         return _BufferedStream(self)
+
+    def stream_memory(self) -> Optional[int]:
+        """Trailing points sufficient to reproduce the batch severity of
+        the newest point, or ``None`` when no finite window suffices.
+
+        The default — the warm-up window plus slack — is correct for
+        every *window-bounded* detector (the severity of point ``t``
+        depends only on points ``t - warmup() .. t``). Detectors whose
+        severity depends on the whole prefix (exponential smoothing,
+        cumulative statistics, models fitted on the prefix) must either
+        override :meth:`stream` with a true recurrence (all registered
+        ones do) or return ``None``, which makes :class:`_BufferedStream`
+        fall back to an unbounded buffer rather than silently break the
+        stream == batch invariant.
+        """
+        return self.warmup() + max(self.warmup(), STREAM_BUFFER_SLACK)
 
     # ------------------------------------------------------------------
     @property
@@ -109,15 +230,29 @@ class Detector(abc.ABC):
 class _BufferedStream(SeverityStream):
     """Generic stream: recompute the batch severities on a buffer.
 
-    A `max_history` cap bounds the per-point cost; it is chosen to cover
-    the detector's warm-up window with slack so results match the batch
-    mode for every detector whose memory is window-bounded.
+    A ``max_history`` cap — ``detector.stream_memory()``, floored at
+    ``warmup() + 1`` so the newest point is always past the warm-up —
+    bounds the buffer, making the per-point cost O(max_history) instead
+    of O(points seen). Results match the batch mode for every detector
+    whose memory is window-bounded; detectors with unbounded memory
+    report ``stream_memory() is None`` and keep the full buffer.
     """
 
     def __init__(self, detector: Detector, interval: int = 60):
         self._detector = detector
         self._interval = interval
-        self._values: List[float] = []
+        cap = detector.stream_memory()
+        if cap is not None:
+            cap = max(int(cap), detector.warmup() + 1)
+        self._max_history = cap
+        self._values: Union[List[float], deque] = (
+            deque(maxlen=cap) if cap is not None else []
+        )
+
+    @property
+    def max_history(self) -> Optional[int]:
+        """The buffer cap (``None`` = unbounded)."""
+        return self._max_history
 
     def update(self, value: float) -> float:
         self._values.append(float(value))

@@ -63,6 +63,11 @@ class Brutlag(Detector):
         # One season to initialise the state + one to seed deviations.
         return 2 * self.season_points
 
+    def stream_memory(self) -> None:
+        # Exponentially smoothed level/trend/seasonals/deviations carry
+        # the whole prefix; no finite replay buffer reproduces them.
+        return None
+
     def severities(self, series: TimeSeries) -> np.ndarray:
         values = self._validate(series)
         stream = self.stream()

@@ -49,6 +49,12 @@ class _HistoricalBase(Detector):
     def warmup(self) -> int:
         return self.window_days * self.points_per_day
 
+    def stream_memory(self) -> None:
+        # The scale floor is fixed from the *original* warm-up prefix
+        # (see _scale_floor); a truncated buffer would recompute it from
+        # a different prefix. The ring-buffer stream carries it instead.
+        return None
+
     def _history(self, values: np.ndarray) -> np.ndarray:
         """history[i, k] = value at the same time-of-day, k+1 days before
         point ``warmup + i``."""

@@ -56,6 +56,11 @@ class HoltWinters(Detector):
     def warmup(self) -> int:
         return self.season_points
 
+    def stream_memory(self) -> None:
+        # Triple exponential smoothing remembers the whole prefix; the
+        # stream's own state is one season of smoothed components.
+        return None
+
     def severities(self, series: TimeSeries) -> np.ndarray:
         values = self._validate(series)
         stream = self.stream()

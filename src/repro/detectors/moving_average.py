@@ -157,6 +157,11 @@ class EWMA(Detector):
     def warmup(self) -> int:
         return 1
 
+    def stream_memory(self) -> None:
+        # The exponential recursion remembers the whole prefix; no
+        # finite buffer reproduces it (the stream is O(1) regardless).
+        return None
+
     def severities(self, series: TimeSeries) -> np.ndarray:
         values = self._validate(series)
         n = len(values)

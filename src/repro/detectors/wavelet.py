@@ -63,6 +63,11 @@ class WaveletDetector(Detector):
     def warmup(self) -> int:
         return 2 * self.scale + self.window_days * self.points_per_day
 
+    def stream_memory(self) -> None:
+        # The detail-scale floor is fixed from the original warm-up
+        # prefix; a truncated buffer would recompute it differently.
+        return None
+
     def _details(self, values: np.ndarray) -> np.ndarray:
         """Causal Haar detail: mean(last s) - mean(previous s).
 

@@ -110,3 +110,20 @@ class TestBestCThld:
         scores = np.full(10, np.nan)
         labels = np.ones(10, dtype=int)
         assert best_cthld(scores, labels, AccuracyPreference()) == 0.5
+
+    def test_nan_scores_are_masked(self, rng):
+        scores = rng.random(300)
+        labels = (rng.random(300) < 0.2).astype(int)
+        noisy = scores.copy()
+        noisy[rng.choice(300, size=40, replace=False)] = np.nan
+        preference = AccuracyPreference(0.66, 0.66)
+        finite = np.isfinite(noisy)
+        expected = PCScoreSelector(preference).select(
+            noisy[finite], labels[finite]
+        ).threshold
+        assert best_cthld(noisy, labels, preference) == expected
+
+    def test_anomalies_only_at_nan_scores_returns_default(self):
+        scores = np.array([np.nan, 0.2, 0.3, np.nan])
+        labels = np.array([1, 0, 0, 1])
+        assert best_cthld(scores, labels, AccuracyPreference()) == 0.5

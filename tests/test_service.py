@@ -125,6 +125,47 @@ class TestIngestAndAlerts:
                    for e in events)
 
 
+class _RawWindow:
+    """A window-shaped object that skips AnomalyWindow's own validation,
+    so the service-level checks in submit_labels() are exercised."""
+
+    def __init__(self, begin, end):
+        self.begin = begin
+        self.end = end
+
+
+class TestSubmitLabels:
+    @pytest.mark.parametrize("begin,end", [(-1, 5), (5, 5), (7, 3)])
+    def test_invalid_windows_rejected(self, deployment, begin, end):
+        series, _, split = deployment
+        service = make_service(series)
+        service.bootstrap(series.slice(0, split))
+        with pytest.raises(ValueError, match="invalid label window"):
+            service.submit_labels([_RawWindow(begin, end)])
+
+
+class TestServiceStats:
+    def test_inc_methods_are_the_live_path(self, deployment):
+        series, _, _ = deployment
+        stats = make_service(series).stats
+        stats.inc_points_ingested()
+        stats.inc_points_ingested(3)
+        stats.inc_anomalous_points()
+        stats.inc_alerts_opened(2)
+        stats.inc_retrain_rounds()
+        assert stats.points_ingested == 4
+        assert stats.anomalous_points == 1
+        assert stats.alerts_opened == 2
+        assert stats.retrain_rounds == 1
+
+    def test_setters_still_backfill(self, deployment):
+        series, _, _ = deployment
+        stats = make_service(series).stats
+        stats.points_ingested = 10
+        stats.inc_points_ingested()
+        assert stats.points_ingested == 11
+
+
 class TestRetrain:
     def test_full_cycle(self, deployment):
         series, truth_windows, split = deployment
@@ -162,3 +203,77 @@ class TestRetrain:
         series, _, _ = deployment
         with pytest.raises(ValueError):
             make_service(series, min_duration_points=0)
+
+    def test_retrain_closes_dangling_run(self, deployment):
+        series, _, split = deployment
+        events_seen = []
+        service = make_service(
+            series, min_duration_points=2, alert_callback=events_seen.append
+        )
+        service.bootstrap(series.slice(0, split))
+        for value in series.values[split: split + 6]:
+            service.ingest(value)
+        # Force an open run over the last three ingested points, as if
+        # they had been classified anomalous.
+        service._run_begin = split + 3
+        service._run_scores = [0.9, 0.8, 0.95]
+        service.submit_labels([AnomalyWindow(split + 3, split + 6)])
+        service.retrain()
+        closed = [
+            e for e in events_seen
+            if e.kind == "closed" and e.begin_index == split + 3
+        ]
+        assert len(closed) == 1
+        assert closed[0].end_index == split + 6
+        assert closed[0].peak_score == 0.95
+        assert service._run_begin is None
+
+    def test_incremental_features_match_batch_extraction(self, deployment):
+        from repro.core import FeatureExtractor
+
+        series, truth_windows, split = deployment
+        service = make_service(series)
+        service.bootstrap(series.slice(0, split))
+        for value in series.values[split:]:
+            service.ingest(value)
+        service.submit_labels([w for w in truth_windows if w.begin >= split])
+        service.retrain()
+        fresh = FeatureExtractor(
+            small_bank(series.points_per_week)
+        ).extract(service._history)
+        np.testing.assert_allclose(
+            service.opprentice._feature_values,
+            fresh.values,
+            atol=1e-9,
+            equal_nan=True,
+        )
+
+    def test_retrain_matches_pre_checkpoint_full_refit(self, deployment):
+        """The incremental path (cached features + stream checkpoint)
+        must produce the same post-retrain decisions as the original
+        implementation: a full refit on the combined labelled series
+        followed by a full history replay."""
+        from repro.core import Opprentice
+
+        series, truth_windows, split = deployment
+        live_end = len(series) - 24
+        service = make_service(series)
+        service.bootstrap(series.slice(0, split))
+        for value in series.values[split:live_end]:
+            service.ingest(value)
+        live = [
+            w for w in truth_windows
+            if w.begin >= split and w.end <= live_end
+        ]
+        service.submit_labels(live)
+        service.retrain()
+
+        reference = Opprentice(
+            configs=small_bank(series.points_per_week),
+            classifier_factory=fast_forest,
+        ).fit(service._history)
+        probe = series.slice(live_end, len(series))
+        batch_scores = reference.anomaly_scores(probe)
+        decisions = service._streaming.push_many(probe.values)
+        online_scores = np.array([d.score for d in decisions])
+        np.testing.assert_allclose(online_scores, batch_scores, atol=1e-12)
