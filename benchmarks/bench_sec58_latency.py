@@ -16,7 +16,7 @@ import pytest
 from repro.core.opprentice import _subsample_training
 from repro.ml import Imputer
 
-from _common import MAX_TRAIN_POINTS, bench_forest, print_header
+from _common import MAX_TRAIN_POINTS, bench_extractor, bench_forest, print_header
 
 #: Every studied KPI has an interval of at least one minute.
 SHORTEST_INTERVAL_SECONDS = 60.0
@@ -41,11 +41,9 @@ def pv_model(kpis, feature_matrices):
 
 def test_feature_extraction_per_point(benchmark, kpis):
     """Feature-extraction share of the detection lag."""
-    from repro.core import FeatureExtractor
-
     series = kpis["PV"].series
     window = series.slice(0, 2 * series.points_per_week)
-    extractor = FeatureExtractor()
+    extractor = bench_extractor()
     benchmark.pedantic(
         lambda: extractor.extract(window), rounds=1, iterations=1
     )
@@ -93,11 +91,9 @@ def test_training_time_per_round(benchmark, kpis, feature_matrices):
 
 def test_detection_lag_ordering(benchmark, pv_model, kpis):
     """classification << extraction << interval."""
-    from repro.core import FeatureExtractor
-
     model, imputer, matrix, series = pv_model
     window = series.slice(0, series.points_per_week)
-    extractor = FeatureExtractor()
+    extractor = bench_extractor()
 
     import time
 

@@ -4,11 +4,12 @@ from typing import Dict
 
 import pytest
 
-from repro.core import FeatureExtractor, FeatureMatrix
+from repro.core import FeatureMatrix
 from repro.data import InjectionResult, make_all
 
 from _common import (
     WeeklyScores,
+    bench_extractor,
     maybe_enable_observability,
     run_i1_weekly_scores,
     write_metrics_snapshot,
@@ -38,7 +39,7 @@ def kpis() -> Dict[str, InjectionResult]:
 def feature_matrices(kpis) -> Dict[str, FeatureMatrix]:
     """133-column severity matrices, one per KPI."""
     return {
-        name: FeatureExtractor().extract(result.series)
+        name: bench_extractor().extract(result.series)
         for name, result in kpis.items()
     }
 

@@ -16,7 +16,13 @@ from .base import (
     register,
     subclasses_of,
 )
-from . import causality, determinism, hygiene, registry_contract  # noqa: F401
+from . import (  # noqa: F401
+    causality,
+    determinism,
+    hygiene,
+    registry_contract,
+    worker_safety,
+)
 
 __all__ = [
     "RULE_REGISTRY",

@@ -1,0 +1,193 @@
+"""``worker-safety``: detectors must not mutate module-level state.
+
+The ``process`` execution backend (see ``repro.core.execution``) fans
+detector configurations out over a process pool. A detector that
+mutates module-level state — a ``global`` rebind, an in-place update of
+a module constant, a class-attribute write used as a shared cache —
+still *works* under the serial and thread backends, but under the
+process backend every mutation lands in some worker's private copy of
+the module: results silently start depending on which worker ran which
+configuration, and the bit-identical-across-backends guarantee breaks.
+
+Flagged, inside any method of a ``Detector`` subclass (or of ``Detector``
+itself):
+
+* ``global`` statements — rebinding module state from a method;
+* assignments / augmented assignments through a module-level name
+  (``CACHE[key] = ...``, ``_TABLE.total += 1``) unless the name is
+  rebound locally first;
+* calls of known mutating methods (``append``, ``update``, ``add``, ...)
+  on a module-level name;
+* class-attribute writes (``cls.attr = ...``, ``type(self).attr = ...``,
+  ``SomeDetector.attr = ...``) — per-process class state is just module
+  state with extra steps.
+
+Reading module-level constants (parameter grids, window tables) is of
+course fine — only mutation is unsafe.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List, Set
+
+from ..finding import Finding, Severity, make_finding
+from .base import ModuleInfo, ProjectInfo, Rule, register, subclasses_of
+
+RULE_ID = "worker-safety"
+
+#: Method names that mutate their receiver in place.
+_MUTATING_METHODS = {
+    "append", "extend", "insert", "remove", "pop", "popitem", "clear",
+    "add", "discard", "update", "setdefault", "sort", "reverse",
+    "appendleft", "extendleft", "fill", "put", "itemset", "rotate",
+}
+
+#: Receiver names that are never module-level state.
+_LOCAL_RECEIVERS = {"self", "cls"}
+
+
+def _base_name(node: ast.AST) -> str:
+    """The root ``Name`` of an attribute/subscript chain, or ``""``."""
+    current = node
+    while isinstance(current, (ast.Attribute, ast.Subscript)):
+        current = current.value
+    if isinstance(current, ast.Name):
+        return current.id
+    return ""
+
+
+def _local_names(function: ast.AST) -> Set[str]:
+    """Names bound inside ``function``: arguments, assignment targets,
+    loop/with/comprehension targets, local defs and imports."""
+    names: Set[str] = set()
+    assert isinstance(function, (ast.FunctionDef, ast.AsyncFunctionDef))
+    args = function.args
+    for arg in (
+        list(args.posonlyargs) + list(args.args) + list(args.kwonlyargs)
+    ):
+        names.add(arg.arg)
+    if args.vararg:
+        names.add(args.vararg.arg)
+    if args.kwarg:
+        names.add(args.kwarg.arg)
+    for node in ast.walk(function):
+        if isinstance(node, ast.Name) and isinstance(
+            node.ctx, (ast.Store, ast.Del)
+        ):
+            names.add(node.id)
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            if node is not function:
+                names.add(node.name)
+        elif isinstance(node, (ast.Import, ast.ImportFrom)):
+            for alias in node.names:
+                if alias.name != "*":
+                    names.add(alias.asname or alias.name.split(".")[0])
+    return names
+
+
+def _is_class_attribute_write(node: ast.AST, class_names: Set[str]) -> bool:
+    """``cls.x`` / ``type(self).x`` / ``SomeDetectorClass.x`` targets."""
+    if not isinstance(node, ast.Attribute):
+        return False
+    value = node.value
+    if isinstance(value, ast.Name):
+        return value.id == "cls" or value.id in class_names
+    if (
+        isinstance(value, ast.Call)
+        and isinstance(value.func, ast.Name)
+        and value.func.id == "type"
+    ):
+        return True
+    return False
+
+
+@register
+class WorkerSafetyRule(Rule):
+    id = RULE_ID
+    description = (
+        "detectors must not mutate module-level or class-level state "
+        "(required by the process execution backend)"
+    )
+    default_severity = Severity.ERROR
+
+    def check_project(self, project: ProjectInfo) -> Iterable[Finding]:
+        findings: List[Finding] = []
+        detector_classes = subclasses_of(project, {"Detector"})
+        class_names = {node.name for _, node in detector_classes} | {"Detector"}
+        for module, class_node in detector_classes:
+            top_level = set(module.top_level_bindings())
+            for item in class_node.body:
+                if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    findings.extend(
+                        self._check_method(
+                            module, class_node, item, top_level, class_names
+                        )
+                    )
+        return findings
+
+    # ------------------------------------------------------------------
+    def _check_method(
+        self,
+        module: ModuleInfo,
+        class_node: ast.ClassDef,
+        method: ast.AST,
+        top_level: Set[str],
+        class_names: Set[str],
+    ) -> Iterable[Finding]:
+        assert isinstance(method, (ast.FunctionDef, ast.AsyncFunctionDef))
+        where = f"{class_node.name}.{method.name}"
+        locals_ = _local_names(method)
+
+        def shared(name: str) -> bool:
+            return bool(name) and name in top_level and name not in locals_
+
+        for node in ast.walk(method):
+            if isinstance(node, ast.Global):
+                yield make_finding(
+                    module, node, self.id, self.default_severity,
+                    f"{where} rebinds module globals "
+                    f"({', '.join(node.names)}); detectors must stay "
+                    "stateless across workers",
+                    data={"symbol": ", ".join(node.names)},
+                )
+            elif isinstance(node, (ast.Assign, ast.AugAssign)):
+                targets = (
+                    node.targets if isinstance(node, ast.Assign) else [node.target]
+                )
+                for target in targets:
+                    if isinstance(target, (ast.Attribute, ast.Subscript)):
+                        name = _base_name(target)
+                        if _is_class_attribute_write(target, class_names):
+                            yield make_finding(
+                                module, node, self.id, self.default_severity,
+                                f"{where} writes a class attribute; "
+                                "per-process class state breaks the "
+                                "process backend",
+                                data={"symbol": name or "type(...)"},
+                            )
+                        elif shared(name):
+                            yield make_finding(
+                                module, node, self.id, self.default_severity,
+                                f"{where} mutates module-level "
+                                f"{name!r}; detectors must not share "
+                                "mutable module state",
+                                data={"symbol": name},
+                            )
+            elif isinstance(node, ast.Call):
+                func = node.func
+                if (
+                    isinstance(func, ast.Attribute)
+                    and func.attr in _MUTATING_METHODS
+                ):
+                    name = _base_name(func.value)
+                    if name in _LOCAL_RECEIVERS:
+                        continue
+                    if shared(name):
+                        yield make_finding(
+                            module, node, self.id, self.default_severity,
+                            f"{where} calls {name}.{func.attr}(...) on "
+                            "module-level state; detectors must not "
+                            "mutate shared containers",
+                            data={"symbol": f"{name}.{func.attr}"},
+                        )

@@ -16,7 +16,18 @@ from .drift import (
     population_stability_index,
 )
 from .explain import DetectionExplanation, FeatureContribution, explain_features, explain_point
+from .execution import (
+    BACKEND_NAMES,
+    ExecutionBackend,
+    ProcessBackend,
+    SerialBackend,
+    ThreadBackend,
+    build_tasks,
+    resolve_backend,
+    resolve_workers,
+)
 from .feature_matrix import FeatureExtractor, FeatureMatrix, extract_features
+from .severity_cache import CACHE_DIR_ENV, SeverityCache, column_key, series_digest
 from .opprentice import (
     DetectionResult,
     OnlineRun,
@@ -65,6 +76,18 @@ __all__ = [
     "FeatureExtractor",
     "FeatureMatrix",
     "extract_features",
+    "BACKEND_NAMES",
+    "ExecutionBackend",
+    "SerialBackend",
+    "ThreadBackend",
+    "ProcessBackend",
+    "build_tasks",
+    "resolve_backend",
+    "resolve_workers",
+    "SeverityCache",
+    "CACHE_DIR_ENV",
+    "column_key",
+    "series_digest",
     "backtest_preferences",
     "PreferenceOutcome",
     "render_backtest",

@@ -1,0 +1,351 @@
+"""Pluggable execution backends for feature extraction (§5.8).
+
+The paper's per-point detection cost is dominated by running the
+14-detector / 133-configuration bank, and §5.8 notes that "all the
+detectors can run in parallel". This module turns that observation into
+an explicit execution layer: the extraction work is first compiled into
+:class:`ExtractionTask` units (one per configuration, plus one batched
+task per Holt-Winters season group), then an :class:`ExecutionBackend`
+decides *where* the tasks run:
+
+* ``serial`` — one task after another in the calling thread;
+* ``thread`` — a :class:`~concurrent.futures.ThreadPoolExecutor`; real
+  speed-ups only for detectors that release the GIL (SVD, the seasonal
+  matrices), the pure-Python ones serialize;
+* ``process`` — a :class:`~concurrent.futures.ProcessPoolExecutor` fed
+  through :mod:`multiprocessing.shared_memory`: the input series is
+  written to a shared segment once, every worker builds a *read-only*
+  numpy view over it, and only the per-configuration float64 severity
+  columns travel back.
+
+Whatever the backend, results are assembled into the feature matrix by
+each task's registry indices, so the matrix is bit-identical across all
+three backends (the test suite enforces this for the full Table 3
+bank). Detectors executed under the process backend must not mutate
+module-level state — mutations would be invisible to the parent and
+make results depend on worker scheduling; the ``worker-safety`` lint
+rule enforces this statically.
+"""
+
+from __future__ import annotations
+
+import abc
+import os
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..detectors import DetectorConfig
+from ..detectors.base import Detector
+from ..detectors.holt_winters import HoltWinters, batch_severities
+from ..obs import get_provider
+from ..timeseries import TimeSeries
+
+BACKEND_NAMES = ("serial", "thread", "process")
+
+
+def resolve_workers(workers: int) -> int:
+    """Validate and resolve a worker count.
+
+    ``0`` means "auto": one worker per available CPU. Negative counts
+    are rejected (they used to fall through to the serial path
+    silently).
+    """
+    if workers < 0:
+        raise ValueError(
+            f"workers must be >= 0 (0 = one per CPU), got {workers}"
+        )
+    if workers == 0:
+        return os.cpu_count() or 1
+    return workers
+
+
+# ----------------------------------------------------------------------
+# Task model
+# ----------------------------------------------------------------------
+class ExtractionTask(abc.ABC):
+    """One unit of extraction work filling one or more matrix columns."""
+
+    #: Feature-matrix column indices this task fills, in output order.
+    indices: Tuple[int, ...]
+    #: Feature names of those columns (cache keys derive from these).
+    names: Tuple[str, ...]
+    #: Detector family, for the per-task latency histogram label.
+    kind: str
+
+    @abc.abstractmethod
+    def run(self, series: TimeSeries) -> np.ndarray:
+        """Severity columns of shape ``(len(series), len(indices))``."""
+
+
+@dataclass(frozen=True)
+class ConfigTask(ExtractionTask):
+    """A single detector configuration -> a single severity column."""
+
+    index: int
+    detector: Detector
+
+    @property
+    def indices(self) -> Tuple[int, ...]:
+        return (self.index,)
+
+    @property
+    def names(self) -> Tuple[str, ...]:
+        return (self.detector.feature_name,)
+
+    @property
+    def kind(self) -> str:
+        return self.detector.kind
+
+    def run(self, series: TimeSeries) -> np.ndarray:
+        return np.asarray(
+            self.detector.severities(series), dtype=np.float64
+        ).reshape(-1, 1)
+
+
+@dataclass(frozen=True)
+class HoltWintersBatchTask(ExtractionTask):
+    """One vectorised pass over a season group of HW configurations."""
+
+    indices: Tuple[int, ...]
+    names: Tuple[str, ...]
+    alphas: Tuple[float, ...]
+    betas: Tuple[float, ...]
+    gammas: Tuple[float, ...]
+    season_points: int
+
+    kind = "holt-winters"
+
+    def run(self, series: TimeSeries) -> np.ndarray:
+        return np.asarray(
+            batch_severities(
+                series.values,
+                np.asarray(self.alphas),
+                np.asarray(self.betas),
+                np.asarray(self.gammas),
+                self.season_points,
+            ),
+            dtype=np.float64,
+        )
+
+
+def build_tasks(configs: Sequence[DetectorConfig]) -> List[ExtractionTask]:
+    """Compile a configuration bank into extraction tasks.
+
+    Holt-Winters configurations are grouped per season length into one
+    batched task each (the vectorised fast path); every other
+    configuration becomes its own task.
+    """
+    hw_groups: dict = {}
+    tasks: List[ExtractionTask] = []
+    for config in configs:
+        detector = config.detector
+        if isinstance(detector, HoltWinters):
+            hw_groups.setdefault(detector.season_points, []).append(config)
+        else:
+            tasks.append(ConfigTask(index=config.index, detector=detector))
+    for season, group in hw_groups.items():
+        tasks.append(
+            HoltWintersBatchTask(
+                indices=tuple(c.index for c in group),
+                names=tuple(c.name for c in group),
+                alphas=tuple(c.detector.alpha for c in group),
+                betas=tuple(c.detector.beta for c in group),
+                gammas=tuple(c.detector.gamma for c in group),
+                season_points=season,
+            )
+        )
+    return tasks
+
+
+def _run_task_instrumented(
+    task: ExtractionTask, series: TimeSeries, backend: str
+) -> np.ndarray:
+    """Run one task under the standard observability envelope.
+
+    In process-backend workers the global provider is the no-op, so the
+    span/timer cost nothing there; the parent's ``feature_matrix.extract``
+    span still records the overall wall time.
+    """
+    obs = get_provider()
+    with obs.span(
+        "extract.config",
+        backend=backend,
+        detector=task.kind,
+        n_columns=len(task.indices),
+    ):
+        with obs.timer(
+            "repro_detector_severities_seconds",
+            "Severity extraction per detector configuration batch",
+            detector=task.kind,
+        ):
+            return task.run(series)
+
+
+TaskResult = Tuple[ExtractionTask, np.ndarray]
+
+
+# ----------------------------------------------------------------------
+# Backends
+# ----------------------------------------------------------------------
+class ExecutionBackend(abc.ABC):
+    """Strategy deciding where extraction tasks execute."""
+
+    name: str = "backend"
+
+    def __init__(self, workers: int = 1):
+        self.workers = resolve_workers(workers)
+
+    @abc.abstractmethod
+    def run_tasks(
+        self, tasks: Sequence[ExtractionTask], series: TimeSeries
+    ) -> Iterator[TaskResult]:
+        """Yield ``(task, columns)`` pairs in any completion order."""
+
+
+class SerialBackend(ExecutionBackend):
+    """Run every task in the calling thread, registry order."""
+
+    name = "serial"
+
+    def run_tasks(
+        self, tasks: Sequence[ExtractionTask], series: TimeSeries
+    ) -> Iterator[TaskResult]:
+        for task in tasks:
+            yield task, _run_task_instrumented(task, series, self.name)
+
+
+class ThreadBackend(ExecutionBackend):
+    """Fan tasks out over a thread pool (GIL-releasing detectors only
+    actually overlap; this is the pre-existing behaviour)."""
+
+    name = "thread"
+
+    def run_tasks(
+        self, tasks: Sequence[ExtractionTask], series: TimeSeries
+    ) -> Iterator[TaskResult]:
+        if self.workers <= 1 or len(tasks) <= 1:
+            yield from SerialBackend(1).run_tasks(tasks, series)
+            return
+        from concurrent.futures import ThreadPoolExecutor
+
+        def run(task: ExtractionTask) -> TaskResult:
+            return task, _run_task_instrumented(task, series, self.name)
+
+        with ThreadPoolExecutor(max_workers=self.workers) as pool:
+            yield from pool.map(run, tasks)
+
+
+# -- process backend ---------------------------------------------------
+# Worker-global read-only series, installed once per worker by the pool
+# initializer so each task submission only pickles the task itself.
+_worker_series: Optional[TimeSeries] = None
+_worker_shm = None
+
+
+def _process_worker_init(
+    shm_name: str, n_points: int, interval: int, start: int, name: str
+) -> None:
+    from multiprocessing import shared_memory
+
+    global _worker_series, _worker_shm
+    # Forked workers share the parent's resource tracker, whose registry
+    # is a set: attaching re-registers the same segment name as a no-op,
+    # and the parent's unlink() unregisters it exactly once — no extra
+    # bookkeeping needed here.
+    _worker_shm = shared_memory.SharedMemory(name=shm_name)
+    values = np.ndarray((n_points,), dtype=np.float64, buffer=_worker_shm.buf)
+    values.flags.writeable = False
+    _worker_series = TimeSeries(
+        values=values, interval=interval, start=start, name=name
+    )
+
+
+def _process_worker_run(task: ExtractionTask) -> Tuple[ExtractionTask, np.ndarray]:
+    assert _worker_series is not None, "worker initializer did not run"
+    return task, _run_task_instrumented(task, _worker_series, "process")
+
+
+class ProcessBackend(ExecutionBackend):
+    """Fan tasks out over a process pool via shared memory.
+
+    The series values cross the process boundary exactly once (into a
+    :class:`multiprocessing.shared_memory.SharedMemory` segment the
+    workers map read-only); each result crosses back as one float64
+    column block. Pure-Python detectors finally run on real cores
+    instead of serializing on the GIL.
+    """
+
+    name = "process"
+
+    def run_tasks(
+        self, tasks: Sequence[ExtractionTask], series: TimeSeries
+    ) -> Iterator[TaskResult]:
+        if self.workers <= 1 or len(tasks) <= 1 or len(series) == 0:
+            yield from SerialBackend(1).run_tasks(tasks, series)
+            return
+        import multiprocessing
+        from concurrent.futures import ProcessPoolExecutor
+        from multiprocessing import shared_memory
+
+        values = np.ascontiguousarray(series.values, dtype=np.float64)
+        shm = shared_memory.SharedMemory(create=True, size=values.nbytes)
+        try:
+            np.ndarray(values.shape, dtype=np.float64, buffer=shm.buf)[:] = values
+            try:
+                context = multiprocessing.get_context("fork")
+            except ValueError:  # pragma: no cover - non-POSIX platforms
+                context = multiprocessing.get_context()
+            with ProcessPoolExecutor(
+                max_workers=min(self.workers, len(tasks)),
+                mp_context=context,
+                initializer=_process_worker_init,
+                initargs=(
+                    shm.name,
+                    len(series),
+                    series.interval,
+                    series.start,
+                    series.name,
+                ),
+            ) as pool:
+                futures = [
+                    pool.submit(_process_worker_run, task) for task in tasks
+                ]
+                for future in futures:
+                    yield future.result()
+        finally:
+            shm.close()
+            shm.unlink()
+
+
+_BACKENDS = {
+    "serial": SerialBackend,
+    "thread": ThreadBackend,
+    "process": ProcessBackend,
+}
+
+BackendSpec = Union[str, ExecutionBackend, None]
+
+
+def resolve_backend(backend: BackendSpec, workers: int = 1) -> ExecutionBackend:
+    """Turn a backend spec into a backend instance.
+
+    ``None`` keeps the historical behaviour: serial for one worker, the
+    thread pool when more are requested. A string selects by name; an
+    :class:`ExecutionBackend` instance is returned unchanged (its own
+    worker count wins).
+    """
+    if isinstance(backend, ExecutionBackend):
+        return backend
+    effective = resolve_workers(workers)
+    if backend is None:
+        backend = "thread" if effective > 1 else "serial"
+    try:
+        cls = _BACKENDS[backend]
+    except KeyError:
+        raise ValueError(
+            f"unknown execution backend {backend!r}; "
+            f"expected one of {sorted(_BACKENDS)}"
+        ) from None
+    return cls(workers=effective)

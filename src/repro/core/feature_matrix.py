@@ -8,20 +8,32 @@ point of the KPI.
 
 Holt-Winters configurations are computed through the vectorised batch
 runner (64 configurations in one pass); everything else is already
-vectorised per configuration.
+vectorised per configuration. *Where* the work runs is delegated to an
+execution backend (``serial`` / ``thread`` / ``process``, see
+:mod:`repro.core.execution`), and already-computed columns are served
+from an optional content-addressed :class:`~repro.core.severity_cache.
+SeverityCache` — the matrix is bit-identical whichever combination is
+active (see docs/performance.md).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from ..detectors import DetectorConfig, configs_for
-from ..detectors.holt_winters import HoltWinters, batch_severities
 from ..obs import get_provider
 from ..timeseries import TimeSeries
+from .execution import (
+    BackendSpec,
+    ExecutionBackend,
+    build_tasks,
+    resolve_backend,
+    resolve_workers,
+)
+from .severity_cache import SeverityCache, column_key, series_digest
 
 
 @dataclass
@@ -77,10 +89,24 @@ class FeatureExtractor:
         Detector configurations; defaults to the Table 3 bank sized for
         the first series passed to :meth:`extract`.
     workers:
-        Thread count for parallel extraction (§5.8: "all the detectors
-        can run in parallel"). The numpy-heavy detectors (SVD, the
-        seasonal matrices) release the GIL, so threads give a real
-        speed-up; 1 (default) runs sequentially.
+        Parallelism for extraction (§5.8: "all the detectors can run in
+        parallel"). ``0`` means one worker per available CPU; ``1``
+        (default) runs sequentially; negative counts raise.
+    backend:
+        Where the work runs: ``"serial"``, ``"thread"``, ``"process"``,
+        or an :class:`~repro.core.execution.ExecutionBackend` instance.
+        ``None`` keeps the historical mapping — serial for one worker,
+        the thread pool for more. The ``process`` backend fans
+        configurations out over real cores with the series shared via
+        :mod:`multiprocessing.shared_memory`; all backends produce
+        bit-identical matrices.
+    cache:
+        Severity-column cache: a
+        :class:`~repro.core.severity_cache.SeverityCache`, ``True``
+        (fresh in-memory cache, disk-backed when ``$REPRO_CACHE_DIR``
+        is set), ``False`` (caching off even if the environment enables
+        it), or ``None`` (default: on only when ``$REPRO_CACHE_DIR`` is
+        set).
     """
 
     def __init__(
@@ -88,13 +114,22 @@ class FeatureExtractor:
         configs: Optional[Sequence[DetectorConfig]] = None,
         *,
         workers: int = 1,
+        backend: BackendSpec = None,
+        cache: Union[SeverityCache, bool, None] = None,
     ):
-        if workers < 1:
-            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.workers = resolve_workers(workers)
         self._configs: Optional[List[DetectorConfig]] = (
             list(configs) if configs is not None else None
         )
-        self.workers = workers
+        self.backend: ExecutionBackend = resolve_backend(backend, self.workers)
+        if cache is True:
+            self.cache: Optional[SeverityCache] = SeverityCache.from_env() or SeverityCache()
+        elif cache is False:
+            self.cache = None
+        elif cache is None:
+            self.cache = SeverityCache.from_env()
+        else:
+            self.cache = cache
 
     def configs(self, series: Optional[TimeSeries] = None) -> List[DetectorConfig]:
         if self._configs is None:
@@ -122,7 +157,13 @@ class FeatureExtractor:
         return [c.name for c in self._configs]
 
     def extract(self, series: TimeSeries) -> FeatureMatrix:
-        """The full severity matrix for ``series``."""
+        """The full severity matrix for ``series``.
+
+        Cached columns are filled first (a column hit costs one dict or
+        file lookup, no detector runs); only the remaining tasks go to
+        the execution backend. A fully warm cache therefore performs
+        zero detector evaluations.
+        """
         configs = self.configs(series)
         n = len(series)
         obs = get_provider()
@@ -131,57 +172,53 @@ class FeatureExtractor:
             kpi=series.name or "",
             n_points=n,
             n_configs=len(configs),
+            backend=self.backend.name,
         ):
+            obs.gauge(
+                "repro_extract_workers",
+                "Workers used by the active extraction backend",
+            ).set(self.backend.workers)
             matrix = np.full((n, len(configs)), np.nan)
+            tasks = build_tasks(configs)
 
-            # Group the Holt-Winters configurations per season length and
-            # run each group through the vectorised batch loop.
-            hw_groups: dict = {}
-            for config in configs:
-                detector = config.detector
-                if isinstance(detector, HoltWinters):
-                    hw_groups.setdefault(
-                        detector.season_points, []
-                    ).append(config)
-
-            for season, group in hw_groups.items():
-                with obs.timer(
-                    "repro_detector_severities_seconds",
-                    "Severity extraction per detector configuration batch",
-                    detector=group[0].detector.kind,
-                ):
-                    severities = batch_severities(
-                        series.values,
-                        np.array([c.detector.alpha for c in group]),
-                        np.array([c.detector.beta for c in group]),
-                        np.array([c.detector.gamma for c in group]),
-                        season,
-                    )
-                for j, config in enumerate(group):
-                    matrix[:, config.index] = severities[:, j]
-
-            remaining = [
-                c for c in configs if not isinstance(c.detector, HoltWinters)
-            ]
-
-            def run(config: DetectorConfig):
-                with obs.timer(
-                    "repro_detector_severities_seconds",
-                    "Severity extraction per detector configuration batch",
-                    detector=config.detector.kind,
-                ):
-                    return config.index, config.detector.severities(series)
-
-            if self.workers > 1 and len(remaining) > 1:
-                from concurrent.futures import ThreadPoolExecutor
-
-                with ThreadPoolExecutor(max_workers=self.workers) as pool:
-                    for index, severities in pool.map(run, remaining):
-                        matrix[:, index] = severities
+            if self.cache is not None:
+                digest = series_digest(series)
+                keys = {
+                    task: [column_key(name, digest) for name in task.names]
+                    for task in tasks
+                }
+                remaining = []
+                hits = misses = 0
+                for task in tasks:
+                    columns = [self.cache.get(key) for key in keys[task]]
+                    if all(column is not None for column in columns):
+                        # Every column of the task is warm: no detector
+                        # evaluation needed.
+                        hits += len(columns)
+                        for index, column in zip(task.indices, columns):
+                            matrix[:, index] = column
+                    else:
+                        misses += len(columns)
+                        remaining.append(task)
+                obs.counter(
+                    "repro_extract_cache_hits_total",
+                    "Severity columns served from the cache",
+                ).inc(hits)
+                obs.counter(
+                    "repro_extract_cache_misses_total",
+                    "Severity columns that had to be recomputed",
+                ).inc(misses)
             else:
-                for config in remaining:
-                    index, severities = run(config)
-                    matrix[:, index] = severities
+                keys = {}
+                remaining = list(tasks)
+
+            if remaining:
+                for task, columns in self.backend.run_tasks(remaining, series):
+                    for j, index in enumerate(task.indices):
+                        matrix[:, index] = columns[:, j]
+                    if self.cache is not None:
+                        for j, key in enumerate(keys[task]):
+                            self.cache.put(key, columns[:, j])
         obs.counter(
             "repro_feature_points_total",
             "Points x extraction passes through the detector bank",
@@ -190,7 +227,14 @@ class FeatureExtractor:
 
 
 def extract_features(
-    series: TimeSeries, configs: Optional[Sequence[DetectorConfig]] = None
+    series: TimeSeries,
+    configs: Optional[Sequence[DetectorConfig]] = None,
+    *,
+    workers: int = 1,
+    backend: BackendSpec = None,
+    cache: Union[SeverityCache, bool, None] = None,
 ) -> FeatureMatrix:
     """One-shot convenience wrapper around :class:`FeatureExtractor`."""
-    return FeatureExtractor(configs).extract(series)
+    return FeatureExtractor(
+        configs, workers=workers, backend=backend, cache=cache
+    ).extract(series)

@@ -84,6 +84,11 @@ class Opprentice:
         Strategy for the online cThld; default EWMA (§4.5.2).
     max_train_points:
         Optional training-set size cap (see evaluation harness docs).
+    workers / backend / cache:
+        Feature-extraction execution knobs, passed through to
+        :class:`FeatureExtractor` (see docs/performance.md): worker
+        count (0 = one per CPU), execution backend
+        (serial/thread/process) and severity-column cache.
     """
 
     def __init__(
@@ -94,8 +99,13 @@ class Opprentice:
         cthld_predictor: Optional[CThldPredictor] = None,
         max_train_points: Optional[int] = None,
         seed: int = 0,
+        workers: int = 1,
+        backend=None,
+        cache=None,
     ):
-        self.extractor = FeatureExtractor(configs)
+        self.extractor = FeatureExtractor(
+            configs, workers=workers, backend=backend, cache=cache
+        )
         self.preference = preference
         self.classifier_factory = classifier_factory
         self.cthld_predictor = cthld_predictor or EWMAPredictor(preference)
@@ -447,6 +457,9 @@ def run_online(
     features: Optional[FeatureMatrix] = None,
     max_train_points: Optional[int] = None,
     seed: int = 0,
+    workers: int = 1,
+    backend=None,
+    cache=None,
 ) -> OnlineRun:
     """The paper's online evaluation loop (§5.6).
 
@@ -464,7 +477,9 @@ def run_online(
     if not series.is_labeled:
         raise ValueError("online evaluation needs a labelled series")
     predictor = predictor or EWMAPredictor(preference)
-    extractor = FeatureExtractor(configs)
+    extractor = FeatureExtractor(
+        configs, workers=workers, backend=backend, cache=cache
+    )
     matrix = features if features is not None else extractor.extract(series)
     if matrix.n_points != len(series):
         raise ValueError(

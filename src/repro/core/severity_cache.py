@@ -1,0 +1,160 @@
+"""Content-addressed severity-column cache.
+
+Every feature column Opprentice extracts is a pure function of three
+things: the detector family, its sampled parameters, and the input
+series. :class:`SeverityCache` keys columns by exactly that triple —
+``sha256(feature_name | interval | value bytes)`` — so repeated
+``fit`` / backtest / benchmark passes over the same KPI skip the
+detector bank entirely, and invalidation is automatic: change any
+input and the key changes with it.
+
+Two layers:
+
+* an in-process LRU (bounded entry count, thread-safe) that serves the
+  common "same series, same session" case;
+* an optional on-disk store (one ``.npy`` file per column under a
+  two-level fan-out) that survives process restarts; point
+  ``$REPRO_CACHE_DIR`` at a directory to enable it, or pass
+  ``directory=`` explicitly.
+
+Cached columns are returned read-only; the extractor copies them into
+the output matrix, so shared entries can never be corrupted by callers.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import threading
+from collections import OrderedDict
+from pathlib import Path
+from typing import Optional, Union
+
+import numpy as np
+
+from ..timeseries import TimeSeries
+
+#: Environment variable enabling the on-disk store (and, via
+#: :func:`SeverityCache.from_env`, caching as a whole).
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+#: Default in-process LRU capacity, in columns. The full Table 3 bank
+#: is 133 columns per KPI, so this comfortably holds a fleet of KPIs.
+DEFAULT_MAX_ENTRIES = 4096
+
+#: Bump when the severity semantics of any detector change in a way the
+#: key cannot see (should be never — parameters are part of the key).
+_KEY_VERSION = "v1"
+
+
+def series_digest(series: TimeSeries) -> str:
+    """Hex digest of everything a severity column depends on in the
+    series: the exact value bytes (NaN patterns included) and the
+    sampling interval (seasonal detectors consume it via window
+    parameters derived from it)."""
+    values = np.ascontiguousarray(series.values, dtype=np.float64)
+    hasher = hashlib.sha256()
+    hasher.update(_KEY_VERSION.encode())
+    hasher.update(str(int(series.interval)).encode())
+    hasher.update(values.tobytes())
+    return hasher.hexdigest()
+
+
+def column_key(feature_name: str, digest: str) -> str:
+    """Cache key for one configuration's column of one series."""
+    return hashlib.sha256(
+        f"{_KEY_VERSION}|{feature_name}|{digest}".encode()
+    ).hexdigest()
+
+
+class SeverityCache:
+    """A two-layer (memory LRU + optional disk) severity-column store."""
+
+    def __init__(
+        self,
+        *,
+        max_entries: int = DEFAULT_MAX_ENTRIES,
+        directory: Optional[Union[str, Path]] = None,
+    ):
+        if max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+        self.max_entries = max_entries
+        self.directory = Path(directory) if directory else None
+        self._lock = threading.Lock()
+        self._memory: "OrderedDict[str, np.ndarray]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    @classmethod
+    def from_env(cls) -> Optional["SeverityCache"]:
+        """A disk-backed cache when ``$REPRO_CACHE_DIR`` is set, else
+        ``None`` (caching off). This is what extractors consult when no
+        explicit cache is configured."""
+        directory = os.environ.get(CACHE_DIR_ENV, "")
+        if not directory:
+            return None
+        return cls(directory=directory)
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._memory)
+
+    def _path_for(self, key: str) -> Path:
+        assert self.directory is not None
+        return self.directory / key[:2] / f"{key}.npy"
+
+    def get(self, key: str) -> Optional[np.ndarray]:
+        """The cached column for ``key``, or ``None``. Disk hits are
+        promoted into the memory LRU."""
+        with self._lock:
+            column = self._memory.get(key)
+            if column is not None:
+                self._memory.move_to_end(key)
+                self.hits += 1
+                return column
+        if self.directory is not None:
+            path = self._path_for(key)
+            try:
+                column = np.load(path, allow_pickle=False)
+            except (OSError, ValueError):
+                column = None
+            if column is not None:
+                column = np.asarray(column, dtype=np.float64)
+                column.flags.writeable = False
+                with self._lock:
+                    self._remember(key, column)
+                    self.hits += 1
+                return column
+        with self._lock:
+            self.misses += 1
+        return None
+
+    def put(self, key: str, column: np.ndarray) -> None:
+        """Store one severity column under ``key`` (memory + disk)."""
+        column = np.array(column, dtype=np.float64, copy=True).reshape(-1)
+        column.flags.writeable = False
+        with self._lock:
+            self._remember(key, column)
+        if self.directory is not None:
+            path = self._path_for(key)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            # Atomic publish: readers only ever see complete files.
+            tmp = path.with_suffix(f".tmp-{os.getpid()}")
+            try:
+                with open(tmp, "wb") as handle:
+                    np.save(handle, column, allow_pickle=False)
+                os.replace(tmp, path)
+            except OSError:
+                tmp.unlink(missing_ok=True)
+
+    def _remember(self, key: str, column: np.ndarray) -> None:
+        self._memory[key] = column
+        self._memory.move_to_end(key)
+        while len(self._memory) > self.max_entries:
+            self._memory.popitem(last=False)
+
+    def clear_memory(self) -> None:
+        """Drop the in-process layer (the disk store is untouched)."""
+        with self._lock:
+            self._memory.clear()

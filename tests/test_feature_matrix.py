@@ -86,4 +86,10 @@ class TestParallelExtraction:
 
     def test_workers_validated(self):
         with pytest.raises(ValueError):
-            FeatureExtractor(workers=0)
+            FeatureExtractor(workers=-1)
+
+    def test_workers_zero_means_auto(self):
+        import os
+
+        extractor = FeatureExtractor(workers=0)
+        assert extractor.workers == (os.cpu_count() or 1)

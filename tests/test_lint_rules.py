@@ -494,6 +494,120 @@ class TestApiHygiene:
 
 
 # ---------------------------------------------------------------------------
+# worker-safety
+# ---------------------------------------------------------------------------
+class TestWorkerSafety:
+    def test_global_statement_flagged(self, tmp_path):
+        result = lint(tmp_path, {"det.py": mod(DETECTOR_PREAMBLE, """
+            _CALLS = 0
+
+            class Bad(Detector):
+                kind = "bad"
+
+                def severities(self, series):
+                    global _CALLS
+                    _CALLS += 1
+                    return np.zeros(len(series))
+        """)})
+        flagged = [f for f in result.findings if f.rule == "worker-safety"]
+        assert flagged
+        assert flagged[0].severity is Severity.ERROR
+        assert any(f.data["symbol"] == "_CALLS" for f in flagged)
+
+    def test_module_container_mutation_flagged(self, tmp_path):
+        result = lint(tmp_path, {"det.py": mod(DETECTOR_PREAMBLE, """
+            CACHE = {}
+
+            class Bad(Detector):
+                kind = "bad"
+
+                def severities(self, series):
+                    CACHE[series.name] = len(series)
+                    return np.zeros(len(series))
+        """)})
+        flagged = [f for f in result.findings if f.rule == "worker-safety"]
+        assert [f.data["symbol"] for f in flagged] == ["CACHE"]
+        assert "module-level" in flagged[0].message
+
+    def test_mutating_method_on_module_list_flagged(self, tmp_path):
+        result = lint(tmp_path, {"det.py": mod(DETECTOR_PREAMBLE, """
+            _SEEN = []
+
+            class Bad(Detector):
+                kind = "bad"
+
+                def severities(self, series):
+                    _SEEN.append(series.name)
+                    return np.zeros(len(series))
+        """)})
+        flagged = [f for f in result.findings if f.rule == "worker-safety"]
+        assert [f.data["symbol"] for f in flagged] == ["_SEEN.append"]
+
+    def test_class_attribute_write_flagged(self, tmp_path):
+        result = lint(tmp_path, {"det.py": mod(DETECTOR_PREAMBLE, """
+            class Bad(Detector):
+                kind = "bad"
+                runs = 0
+
+                def severities(self, series):
+                    cls = type(self)
+                    cls.runs = cls.runs + 1
+                    return np.zeros(len(series))
+
+                @classmethod
+                def reset(cls):
+                    cls.runs = 0
+        """)})
+        flagged = [f for f in result.findings if f.rule == "worker-safety"]
+        assert len(flagged) == 2
+        assert all("class attribute" in f.message for f in flagged)
+
+    def test_local_shadowing_stays_quiet(self, tmp_path):
+        result = lint(tmp_path, {"det.py": mod(DETECTOR_PREAMBLE, """
+            CACHE = {}
+
+            class Fine(Detector):
+                kind = "fine"
+
+                def severities(self, series):
+                    CACHE = {}
+                    CACHE[series.name] = len(series)
+                    return np.zeros(len(series))
+        """)})
+        assert "worker-safety" not in rules_hit(result)
+
+    def test_self_state_and_module_reads_stay_quiet(self, tmp_path):
+        result = lint(tmp_path, {"det.py": mod(DETECTOR_PREAMBLE, """
+            WINDOWS = (10, 20, 40)
+
+            class Fine(Detector):
+                kind = "fine"
+
+                def __init__(self, window):
+                    self.window = window
+                    self._buffer = []
+
+                def severities(self, series):
+                    self._buffer.append(len(series))
+                    self.window = min(self.window, WINDOWS[-1])
+                    out = list(WINDOWS)
+                    out.append(self.window)
+                    return np.zeros(len(series))
+        """)})
+        assert "worker-safety" not in rules_hit(result)
+
+    def test_non_detector_classes_not_checked(self, tmp_path):
+        result = lint(tmp_path, {"helper.py": """
+            STATS = {}
+
+            class Accumulator:
+                def bump(self, key):
+                    STATS[key] = STATS.get(key, 0) + 1
+        """})
+        assert "worker-safety" not in rules_hit(result)
+
+
+# ---------------------------------------------------------------------------
 # suppressions
 # ---------------------------------------------------------------------------
 class TestSuppressions:

@@ -1,0 +1,138 @@
+#!/usr/bin/env python3
+"""Compare a pytest-benchmark JSON run against a committed baseline.
+
+The CI ``bench-regression`` job runs the extraction benchmarks with
+``--benchmark-json BENCH_4.json`` and then calls::
+
+    python tools/bench_compare.py benchmarks/baselines/bench_baseline.json \
+        BENCH_4.json --max-slowdown 1.25
+
+Exit codes: 0 — no benchmark slowed down beyond the threshold;
+1 — at least one regressed (or a baseline benchmark disappeared);
+2 — usage error / unreadable input.
+
+Comparison is per benchmark by full name on the *median* (the most
+robust pytest-benchmark statistic for noisy CI hardware). Benchmarks
+present only in the current run are reported as new and do not fail the
+gate; they start being enforced once the baseline is refreshed with
+``--update-baseline``.
+
+``--inject-slowdown X`` multiplies every current median by X before
+comparing. It exists so CI can prove the gate actually fails on a
+synthetic 2x regression (a gate that cannot fail is not a gate).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import shutil
+import sys
+from pathlib import Path
+from typing import Dict
+
+#: Default failure threshold: >25% median slowdown.
+DEFAULT_MAX_SLOWDOWN = 1.25
+
+
+def load_medians(path: Path) -> Dict[str, float]:
+    """``fullname -> median seconds`` from a pytest-benchmark JSON file."""
+    try:
+        payload = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as error:
+        raise SystemExit(f"cannot read benchmark JSON {path}: {error}")
+    medians: Dict[str, float] = {}
+    for bench in payload.get("benchmarks", []):
+        name = bench.get("fullname") or bench.get("name")
+        stats = bench.get("stats", {})
+        median = stats.get("median")
+        if name and isinstance(median, (int, float)) and median > 0:
+            medians[name] = float(median)
+    if not medians:
+        raise SystemExit(f"no usable benchmarks in {path}")
+    return medians
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        description="Fail when benchmarks regress past a median-slowdown "
+        "threshold."
+    )
+    parser.add_argument("baseline", type=Path, help="committed baseline JSON")
+    parser.add_argument("current", type=Path, help="freshly recorded JSON")
+    parser.add_argument(
+        "--max-slowdown", type=float, default=DEFAULT_MAX_SLOWDOWN,
+        metavar="RATIO",
+        help=f"failing current/baseline median ratio "
+             f"(default {DEFAULT_MAX_SLOWDOWN:.2f} = 25%% slower)",
+    )
+    parser.add_argument(
+        "--inject-slowdown", type=float, default=1.0, metavar="FACTOR",
+        help="multiply current medians by FACTOR (gate self-test only)",
+    )
+    parser.add_argument(
+        "--update-baseline", action="store_true",
+        help="copy the current run over the baseline file and exit 0",
+    )
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.max_slowdown <= 1.0:
+        raise SystemExit("--max-slowdown must be > 1.0")
+    if args.inject_slowdown <= 0.0:
+        raise SystemExit("--inject-slowdown must be positive")
+
+    current = load_medians(args.current)
+    if args.update_baseline:
+        args.baseline.parent.mkdir(parents=True, exist_ok=True)
+        shutil.copyfile(args.current, args.baseline)
+        print(f"baseline updated from {args.current} -> {args.baseline}")
+        return 0
+
+    baseline = load_medians(args.baseline)
+    if args.inject_slowdown != 1.0:
+        current = {
+            name: median * args.inject_slowdown
+            for name, median in current.items()
+        }
+        print(f"[self-test] injected a synthetic "
+              f"{args.inject_slowdown:g}x slowdown into the current run")
+
+    regressions = []
+    missing = sorted(set(baseline) - set(current))
+    new = sorted(set(current) - set(baseline))
+    width = max((len(n) for n in baseline), default=10)
+    print(f"{'benchmark':<{width}}  {'baseline':>10}  {'current':>10}  ratio")
+    for name in sorted(baseline):
+        if name not in current:
+            continue
+        ratio = current[name] / baseline[name]
+        flag = "  << REGRESSION" if ratio > args.max_slowdown else ""
+        print(f"{name:<{width}}  {baseline[name]:>10.6f}  "
+              f"{current[name]:>10.6f}  {ratio:5.2f}x{flag}")
+        if ratio > args.max_slowdown:
+            regressions.append((name, ratio))
+
+    for name in new:
+        print(f"new benchmark (not gated yet): {name}")
+    for name in missing:
+        print(f"missing from current run: {name}")
+
+    if regressions:
+        worst = max(ratio for _, ratio in regressions)
+        print(f"\nFAIL: {len(regressions)} benchmark(s) slower than "
+              f"{args.max_slowdown:.2f}x baseline (worst {worst:.2f}x)")
+        return 1
+    if missing:
+        print(f"\nFAIL: {len(missing)} baseline benchmark(s) missing from "
+              "the current run")
+        return 1
+    print(f"\nOK: no benchmark exceeded {args.max_slowdown:.2f}x baseline "
+          f"median")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
