@@ -1,0 +1,159 @@
+"""Fleet ingest scaling: per-point cost must stay flat in fleet size.
+
+§5.8 prices a single KPI's detection loop; ``repro.fleet`` multiplexes
+N of them over one process. The orchestration layer (consistent-hash
+scheduling, bounded queues, batch dispatch, state gauges) must be
+amortized noise next to the per-point work itself: the acceptance
+target is a per-point ingest cost at 64 KPIs within 2x of the
+single-KPI cost. The CI ``bench-regression`` job records these timings
+in BENCH_4.json and gates median slowdowns via tools/bench_compare.py.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.core import MonitoringService, load_model, save_model
+from repro.data import SeasonalProfile, generate_kpi, inject_anomalies
+from repro.detectors import (
+    Diff,
+    EWMA,
+    HistoricalAverage,
+    SimpleMA,
+    SimpleThreshold,
+    TSDMad,
+    build_configs,
+)
+from repro.fleet import FleetManager
+from repro.ml import RandomForest
+
+from _common import print_header, write_metrics_snapshot
+
+BOOTSTRAP_WEEKS = 2
+LIVE_POINTS = 48
+FLEET_SIZES = [1, 8, 64]
+
+#: Median per-point milliseconds per fleet size, filled in
+#: parametrization order so the 64-KPI case can check the 2x budget.
+_per_point_ms = {}
+
+
+def _bench_bank(points_per_week: int):
+    """The fleet cost model is orchestration around per-KPI streams, so
+    a small bank keeps the bench about the fleet, not the bank."""
+    return build_configs(
+        [
+            SimpleThreshold(),
+            Diff("last-slot", 1),
+            SimpleMA(10),
+            EWMA(0.5),
+            TSDMad(1, points_per_week),
+            HistoricalAverage(1, points_per_week // 7),
+        ]
+    )
+
+
+def _make_service(ppw: int) -> MonitoringService:
+    return MonitoringService(
+        configs=_bench_bank(ppw),
+        classifier_factory=lambda: RandomForest(n_estimators=15, seed=0),
+    )
+
+
+@pytest.fixture(scope="module")
+def fleet_template(tmp_path_factory):
+    """One bootstrapped service, cloned into every fleet below through
+    the public checkpoint path (so N bootstraps cost one extraction)."""
+    generated = generate_kpi(
+        weeks=BOOTSTRAP_WEEKS + 1,
+        interval=3600,
+        profile=SeasonalProfile(
+            base_level=100.0, daily_amplitude=0.5, noise_scale=0.02, trend=0.0
+        ),
+        seed=61,
+        name="fleet-template",
+    )
+    result = inject_anomalies(
+        generated.series, target_fraction=0.05, seed=62, mean_window=4.0
+    )
+    series = result.series
+    ppw = series.points_per_week
+    split = BOOTSTRAP_WEEKS * ppw
+    service = _make_service(ppw)
+    service.bootstrap(series.slice(0, split))
+    model_path = tmp_path_factory.mktemp("fleet-bench") / "model.json"
+    save_model(service.opprentice, model_path)
+    return {
+        "snapshot": service.snapshot(),
+        "model_path": model_path,
+        "ppw": ppw,
+        "live": [float(v) for v in series.values[split:split + LIVE_POINTS]],
+    }
+
+
+def _build_fleet(template, n_kpis: int) -> FleetManager:
+    fleet = FleetManager(n_shards=4, queue_depth=256, batch_points=8)
+    for index in range(n_kpis):
+        kpi_id = f"kpi-{index:03d}"
+        service = _make_service(template["ppw"])
+        load_model(template["model_path"], opprentice=service.opprentice)
+        snapshot = template["snapshot"]
+        snapshot["kpi"] = kpi_id
+        snapshot["history"]["name"] = kpi_id
+        service.restore_snapshot(snapshot)
+        fleet.add_kpi(kpi_id, service=service)
+    return fleet
+
+
+@pytest.mark.parametrize("n_kpis", FLEET_SIZES)
+def test_fleet_ingest_scaling(benchmark, fleet_template, n_kpis):
+    """Offer one point per KPI per cycle and pump, timing each cycle.
+
+    Per-point cost = cycle wall time / fleet size; p99 over cycles is
+    the tail a single slow point would hide behind a plain mean.
+    """
+    fleet = _build_fleet(fleet_template, n_kpis)
+    live = fleet_template["live"]
+    cycle_seconds = []
+
+    def run():
+        for value in live:
+            began = time.perf_counter()
+            for kpi_id in fleet.kpi_ids:
+                fleet.offer(kpi_id, value)
+            fleet.pump()
+            cycle_seconds.append(time.perf_counter() - began)
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+    per_point_ms = np.asarray(cycle_seconds) / n_kpis * 1000.0
+    median_ms = float(np.median(per_point_ms))
+    p99_ms = float(np.percentile(per_point_ms, 99))
+    total_seconds = float(np.sum(cycle_seconds))
+    throughput = len(live) * n_kpis / total_seconds
+    _per_point_ms[n_kpis] = median_ms
+
+    print_header(f"Fleet ingest scaling [{n_kpis} KPIs]")
+    print(
+        f"{len(live)} cycles x {n_kpis} KPIs: {throughput:,.0f} points/s; "
+        f"per point median {median_ms:.3f} ms, p99 {p99_ms:.3f} ms"
+    )
+    status = fleet.status()
+    assert status.total_points_ingested == len(live) * n_kpis
+    assert status.total_dropped == 0
+
+    if n_kpis == FLEET_SIZES[-1] and FLEET_SIZES[0] in _per_point_ms:
+        single = _per_point_ms[FLEET_SIZES[0]]
+        ratio = median_ms / single
+        print(
+            f"per-point cost vs single KPI: {ratio:.2f}x "
+            f"({single:.3f} ms -> {median_ms:.3f} ms)"
+        )
+        # The fleet layer must amortize: the per-point budget at 64
+        # KPIs is 2x the single-KPI cost (ISSUE acceptance bar).
+        assert ratio < 2.0, (
+            f"per-point ingest cost grew {ratio:.2f}x from 1 to "
+            f"{n_kpis} KPIs"
+        )
+        write_metrics_snapshot("fleet_scaling")

@@ -23,6 +23,7 @@ from .execution import (
     SerialBackend,
     ThreadBackend,
     build_tasks,
+    map_ordered,
     resolve_backend,
     resolve_workers,
 )
@@ -39,8 +40,10 @@ from .opprentice import (
 from .persistence import (
     load_checkpoint,
     load_model,
+    load_service_checkpoint,
     save_checkpoint,
     save_model,
+    save_service_checkpoint,
 )
 from .prediction import (
     EWMA_CTHLD_ALPHA,
@@ -60,7 +63,12 @@ from .training import (
     TrainingStrategy,
     TrainTestSplit,
 )
-from .service import AlertEvent, MonitoringService, ServiceStats
+from .service import (
+    SERVICE_SNAPSHOT_VERSION,
+    AlertEvent,
+    MonitoringService,
+    ServiceStats,
+)
 from .streaming import (
     STREAM_CHECKPOINT_VERSION,
     StreamDecision,
@@ -73,6 +81,8 @@ __all__ = [
     "load_model",
     "save_checkpoint",
     "load_checkpoint",
+    "save_service_checkpoint",
+    "load_service_checkpoint",
     "FeatureExtractor",
     "FeatureMatrix",
     "extract_features",
@@ -82,6 +92,7 @@ __all__ = [
     "ThreadBackend",
     "ProcessBackend",
     "build_tasks",
+    "map_ordered",
     "resolve_backend",
     "resolve_workers",
     "SeverityCache",
@@ -127,6 +138,7 @@ __all__ = [
     "MonitoringService",
     "AlertEvent",
     "ServiceStats",
+    "SERVICE_SNAPSHOT_VERSION",
     "StreamingDetector",
     "StreamDecision",
     "STREAM_CHECKPOINT_VERSION",

@@ -61,6 +61,26 @@ def resolve_workers(workers: int) -> int:
     return workers
 
 
+def map_ordered(fn, items: Sequence, workers: int = 1) -> list:
+    """Apply ``fn`` to every item, returning results in *item* order.
+
+    One worker (or one item) runs inline; more fan out over a thread
+    pool. This is the in-process dispatch primitive the fleet layer
+    (``repro.fleet``) uses to run independent shards concurrently:
+    unlike the extraction backends there is no process option, because
+    the units carry live stateful services (classifier, warm streams)
+    that must not be copied into workers.
+    """
+    items = list(items)
+    effective = resolve_workers(workers)
+    if effective <= 1 or len(items) <= 1:
+        return [fn(item) for item in items]
+    from concurrent.futures import ThreadPoolExecutor
+
+    with ThreadPoolExecutor(max_workers=min(effective, len(items))) as pool:
+        return list(pool.map(fn, items))
+
+
 # ----------------------------------------------------------------------
 # Task model
 # ----------------------------------------------------------------------

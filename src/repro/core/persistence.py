@@ -23,6 +23,7 @@ import numpy as np
 from ..evaluation import AccuracyPreference
 from ..ml import Imputer, RandomForest
 from .opprentice import Opprentice
+from .service import MonitoringService
 from .streaming import StreamingDetector
 
 FORMAT_VERSION = 1
@@ -30,6 +31,10 @@ FORMAT_VERSION = 1
 #: On-disk envelope version for stream checkpoints (the inner layout is
 #: versioned separately by StreamingDetector.snapshot()).
 CHECKPOINT_FORMAT_VERSION = 1
+
+#: On-disk envelope version for full service checkpoints (the inner
+#: layout is versioned separately by MonitoringService.snapshot()).
+SERVICE_CHECKPOINT_FORMAT_VERSION = 1
 
 
 def save_model(opprentice: Opprentice, path: Union[str, Path]) -> None:
@@ -142,3 +147,43 @@ def load_checkpoint(
             f"(expected {CHECKPOINT_FORMAT_VERSION})"
         )
     return StreamingDetector(opprentice, checkpoint=payload["checkpoint"])
+
+
+def save_service_checkpoint(
+    service: MonitoringService,
+    path: Union[str, Path],
+    *,
+    include_features: bool = True,
+) -> None:
+    """Persist a bootstrapped :class:`MonitoringService`'s full mutable
+    state (JSON): warm streams, the open alert run, pending buffers,
+    label windows, the labelled history and counters.
+
+    The model itself is saved separately with :func:`save_model`; a
+    ``(model.json, service.json)`` pair makes the service restartable
+    with a future alert stream identical to the uninterrupted one. Set
+    ``include_features=False`` to drop the cached training matrix (the
+    O(history × configs) bulk) at the cost of one full refit on the
+    first post-restore retraining round.
+    """
+    payload = {
+        "format_version": SERVICE_CHECKPOINT_FORMAT_VERSION,
+        "snapshot": service.snapshot(include_features=include_features),
+    }
+    Path(path).write_text(json.dumps(payload))
+
+
+def load_service_checkpoint(
+    path: Union[str, Path], service: MonitoringService
+) -> MonitoringService:
+    """Restore a checkpoint saved by :func:`save_service_checkpoint`
+    into ``service``, whose Opprentice must already be fitted (via
+    :func:`load_model`) over the same detector bank."""
+    payload = json.loads(Path(path).read_text())
+    version = payload.get("format_version")
+    if version != SERVICE_CHECKPOINT_FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported service checkpoint format {version!r} "
+            f"(expected {SERVICE_CHECKPOINT_FORMAT_VERSION})"
+        )
+    return service.restore_snapshot(payload["snapshot"])

@@ -50,6 +50,14 @@ class CThldPredictor(abc.ABC):
         """Feed back the offline best cThld of the window that just
         finished (no-op for stateless predictors)."""
 
+    def snapshot(self) -> dict:
+        """JSON-serializable predictor state for service checkpoints
+        (stateless predictors have none)."""
+        return {}
+
+    def restore(self, state: dict) -> None:
+        """Load a :meth:`snapshot` (no-op for stateless predictors)."""
+
 
 class CrossValidationPredictor(CThldPredictor):
     """Re-run 5-fold cross-validation on all history every week."""
@@ -155,6 +163,13 @@ class EWMAPredictor(CThldPredictor):
             best=best_cthld,
             prediction=self._prediction,
         )
+
+    def snapshot(self) -> dict:
+        return {"prediction": self._prediction}
+
+    def restore(self, state: dict) -> None:
+        prediction = state.get("prediction")
+        self._prediction = None if prediction is None else float(prediction)
 
 
 def best_cthld(

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Sequence
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence
 
 import numpy as np
 
@@ -33,6 +33,10 @@ from .opprentice import Opprentice, default_classifier_factory
 from .prediction import best_cthld
 from .streaming import StreamingDetector
 
+#: Version tag of the service-checkpoint dict layout produced by
+#: :meth:`MonitoringService.snapshot`.
+SERVICE_SNAPSHOT_VERSION = 1
+
 
 @dataclass(frozen=True)
 class AlertEvent:
@@ -42,6 +46,11 @@ class AlertEvent:
     begin_index: int
     end_index: int  # exclusive; == begin for a just-opened alert
     peak_score: float
+    #: Which KPI the alert belongs to (the monitored series' name).
+    #: Defaults to None so single-KPI callers constructing events by
+    #: hand stay source-compatible; fleet deployments rely on it to
+    #: attribute alerts from many services on one sink.
+    kpi: Optional[str] = None
 
 
 class ServiceStats:
@@ -77,6 +86,10 @@ class ServiceStats:
         self._retrain_rounds = self.registry.counter(
             "repro_retrain_rounds_total", "Incremental retraining rounds"
         )
+        self._callback_errors = self.registry.counter(
+            "repro_alert_callback_errors_total",
+            "Alert callbacks that raised (and were contained)",
+        )
 
     @property
     def points_ingested(self) -> int:
@@ -110,6 +123,14 @@ class ServiceStats:
     def retrain_rounds(self, value: int) -> None:
         self._retrain_rounds._set_total(value)
 
+    @property
+    def callback_errors(self) -> int:
+        return int(self._callback_errors.value)
+
+    @callback_errors.setter
+    def callback_errors(self, value: int) -> None:
+        self._callback_errors._set_total(value)
+
     # ------------------------------------------------------------------
     # Atomic increments for live code paths.
     # ------------------------------------------------------------------
@@ -125,12 +146,16 @@ class ServiceStats:
     def inc_retrain_rounds(self, amount: int = 1) -> None:
         self._retrain_rounds.inc(amount)
 
+    def inc_callback_errors(self, amount: int = 1) -> None:
+        self._callback_errors.inc(amount)
+
     def as_dict(self) -> dict:
         return {
             "points_ingested": self.points_ingested,
             "anomalous_points": self.anomalous_points,
             "alerts_opened": self.alerts_opened,
             "retrain_rounds": self.retrain_rounds,
+            "callback_errors": self.callback_errors,
         }
 
     def __repr__(self) -> str:  # keeps the old dataclass-style repr
@@ -194,9 +219,19 @@ class MonitoringService:
         return self._opprentice
 
     @property
+    def kpi(self) -> Optional[str]:
+        """The monitored KPI's identity (the bootstrap series' name)."""
+        return self._history.name if self._history is not None else None
+
+    @property
     def history_length(self) -> int:
         base = len(self._history) if self._history is not None else 0
         return base + len(self._pending_values)
+
+    @property
+    def pending_points(self) -> int:
+        """Ingested points not yet consumed by a retraining round."""
+        return len(self._pending_values)
 
     @property
     def cthld(self) -> float:
@@ -281,6 +316,7 @@ class MonitoringService:
                         begin_index=self._run_begin,
                         end_index=index + 1,
                         peak_score=max(self._run_scores),
+                        kpi=self.kpi,
                     )
                 )
                 self.stats.inc_alerts_opened()
@@ -294,6 +330,7 @@ class MonitoringService:
                             begin_index=self._run_begin,
                             end_index=index,
                             peak_score=max(self._run_scores),
+                            kpi=self.kpi,
                         )
                     )
                 self._run_begin = None
@@ -302,7 +339,13 @@ class MonitoringService:
         return events
 
     def _dispatch_events(self, events: List[AlertEvent]) -> None:
-        """Record alert lifecycle events and notify the callback."""
+        """Record alert lifecycle events and notify the callback.
+
+        The callback is operator-supplied code (a pager, a webhook, a
+        fleet sink): if it raises, the error is counted and logged but
+        never propagates — a broken alert sink must not wedge the
+        ingest stream mid-point.
+        """
         obs = get_provider()
         for event in events:
             obs.counter(
@@ -312,13 +355,28 @@ class MonitoringService:
             ).inc()
             obs.emit(
                 f"alert_{event.kind}",
+                kpi=event.kpi or "",
                 begin_index=event.begin_index,
                 end_index=event.end_index,
                 peak_score=event.peak_score,
             )
         if self._alert_callback is not None:
             for event in events:
-                self._alert_callback(event)
+                try:
+                    self._alert_callback(event)
+                except Exception as error:  # repro: disable=api-hygiene — callbacks are arbitrary operator code; swallowing (after counting) is the contract
+                    self.stats.inc_callback_errors()
+                    obs.counter(
+                        "repro_alert_callback_errors_total",
+                        "Alert callbacks that raised (and were contained)",
+                    ).inc()
+                    obs.emit(
+                        "alert_callback_error",
+                        kpi=event.kpi or "",
+                        event=event.kind,
+                        begin_index=event.begin_index,
+                        error=repr(error),
+                    )
 
     def _close_open_run(self) -> List[AlertEvent]:
         """Close a dangling alert run (retraining rebuilds the streams,
@@ -334,6 +392,7 @@ class MonitoringService:
                         begin_index=self._run_begin,
                         end_index=end,
                         peak_score=max(self._run_scores),
+                        kpi=self.kpi,
                     )
                 )
             self._run_begin = None
@@ -423,9 +482,17 @@ class MonitoringService:
         self._close_open_run()
         checkpoint = self._streaming.snapshot()
 
-        self._opprentice.fit_incremental(
-            combined, np.asarray(self._pending_rows, dtype=np.float64)
-        )
+        if self._opprentice._feature_values is None:
+            # A service restored from a checkpoint saved without the
+            # feature-matrix cache (snapshot(include_features=False)):
+            # fall back to a full refit, which re-extracts the combined
+            # series and re-primes the cache. The incremental == full
+            # equivalence tests make the two paths interchangeable.
+            self._opprentice.fit(combined)
+        else:
+            self._opprentice.fit_incremental(
+                combined, np.asarray(self._pending_rows, dtype=np.float64)
+            )
         self._opprentice.cthld_ = self._opprentice.cthld_predictor.predict(
             self._opprentice.classifier_factory,
             self._opprentice._train_features,
@@ -462,3 +529,149 @@ class MonitoringService:
             cthld=self.cthld,
         )
         return self.cthld
+
+    # ------------------------------------------------------------------
+    # Checkpointing: the full mutable service state as one JSON dict.
+    # ------------------------------------------------------------------
+    def snapshot(self, include_features: bool = True) -> Dict[str, Any]:
+        """The service's mutable state as a JSON-serializable dict.
+
+        Together with the model artifact (:func:`~repro.core.save_model`)
+        this makes a deployed service fully restartable: restoring the
+        snapshot into a fresh service over the same fitted model
+        reproduces the uninterrupted service's future alert stream
+        exactly — including an alert run still *open* at checkpoint time
+        (``_run_begin``/``_run_scores``) and the pending not-yet-labelled
+        buffers, so a crash-restart never silently drops an in-flight
+        alert or the points awaiting the next retraining round.
+
+        ``include_features=False`` omits the cached training feature
+        matrix (the bulkiest part, O(history × configs)); a service
+        restored without it stays bit-identical for ingest and falls
+        back to a full refit on its next :meth:`retrain`.
+        """
+        if self._history is None or self._streaming is None:
+            raise RuntimeError("bootstrap() must run before snapshot()")
+        features = self._opprentice._feature_values
+        return {
+            "format_version": SERVICE_SNAPSHOT_VERSION,
+            "kpi": self._history.name,
+            "min_duration_points": self.min_duration_points,
+            "history": {
+                "values": [float(v) for v in self._history.values],
+                "labels": [int(v) for v in self._history.labels],
+                "interval": int(self._history.interval),
+                "start": int(self._history.start),
+                "name": self._history.name,
+            },
+            "label_windows": [
+                [int(w.begin), int(w.end)] for w in self._label_windows
+            ],
+            "labeled_until": int(self._labeled_until),
+            "pending": {
+                "values": list(self._pending_values),
+                "scores": [float(s) for s in self._pending_scores],
+                "rows": [
+                    [float(x) for x in row] for row in self._pending_rows
+                ],
+            },
+            "run": {
+                "begin": self._run_begin,
+                "scores": [float(s) for s in self._run_scores],
+            },
+            "stream": self._streaming.snapshot(),
+            "cthld_predictor": self._opprentice.cthld_predictor.snapshot(),
+            "train_features": (
+                [[float(x) for x in row] for row in features]
+                if include_features and features is not None
+                else None
+            ),
+            "stats": self.stats.as_dict(),
+        }
+
+    def restore_snapshot(
+        self, snapshot: Mapping[str, Any]
+    ) -> "MonitoringService":
+        """Load a :meth:`snapshot` into this service.
+
+        The service must carry a *fitted* Opprentice over the same
+        detector bank the snapshot was taken with (typically via
+        :func:`~repro.core.load_model` into ``service.opprentice``); the
+        stream restore validates the bank through its feature names.
+        """
+        version = snapshot.get("format_version")
+        if version != SERVICE_SNAPSHOT_VERSION:
+            raise ValueError(
+                f"unsupported service snapshot version {version!r} "
+                f"(expected {SERVICE_SNAPSHOT_VERSION})"
+            )
+        if (
+            self._opprentice.classifier_ is None
+            or self._opprentice.imputer_ is None
+        ):
+            raise RuntimeError(
+                "restore_snapshot() needs a fitted model; load_model() "
+                "into service.opprentice first"
+            )
+        with get_provider().span(
+            "service.restore", kpi=snapshot.get("kpi") or ""
+        ):
+            stored = snapshot["history"]
+            history = TimeSeries(
+                values=np.asarray(stored["values"], dtype=np.float64),
+                interval=int(stored["interval"]),
+                start=int(stored["start"]),
+                labels=np.asarray(stored["labels"], dtype=np.int8),
+                name=stored["name"],
+            )
+            # A default-bank service has no configs until it sees a
+            # series; derive them from the restored history so a plain
+            # MonitoringService() can be rebuilt from model + snapshot
+            # without re-bootstrapping.
+            self._opprentice.extractor.configs(history)
+            # The stream restore is the bank-compatibility gate: run it
+            # first so a mismatched checkpoint leaves the service
+            # untouched.
+            streaming = StreamingDetector(
+                self._opprentice, checkpoint=snapshot["stream"]
+            )
+            self._history = history
+            self._label_windows = [
+                AnomalyWindow(int(begin), int(end))
+                for begin, end in snapshot["label_windows"]
+            ]
+            self._labeled_until = int(snapshot["labeled_until"])
+            pending = snapshot["pending"]
+            self._pending_values = [float(v) for v in pending["values"]]
+            self._pending_scores = [float(s) for s in pending["scores"]]
+            self._pending_rows = [
+                np.asarray(row, dtype=np.float64) for row in pending["rows"]
+            ]
+            run = snapshot["run"]
+            self._run_begin = (
+                None if run["begin"] is None else int(run["begin"])
+            )
+            self._run_scores = [float(s) for s in run["scores"]]
+            self._streaming = streaming
+            self.min_duration_points = int(snapshot["min_duration_points"])
+            self._opprentice.cthld_predictor.restore(
+                snapshot.get("cthld_predictor") or {}
+            )
+            # Re-prime the incremental-retraining caches: the fitted
+            # history and (when persisted) its raw feature rows.
+            self._opprentice._history = history
+            features = snapshot.get("train_features")
+            self._opprentice._feature_values = (
+                np.asarray(features, dtype=np.float64)
+                if features is not None
+                else None
+            )
+            stats = snapshot.get("stats") or {}
+            self.stats.points_ingested = int(stats.get("points_ingested", 0))
+            self.stats.anomalous_points = int(
+                stats.get("anomalous_points", 0)
+            )
+            self.stats.alerts_opened = int(stats.get("alerts_opened", 0))
+            self.stats.retrain_rounds = int(stats.get("retrain_rounds", 0))
+            self.stats.callback_errors = int(stats.get("callback_errors", 0))
+        return self

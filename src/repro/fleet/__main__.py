@@ -1,0 +1,8 @@
+"""``python -m repro.fleet`` — the repro-fleet CLI."""
+
+import sys
+
+from .cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

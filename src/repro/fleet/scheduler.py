@@ -1,0 +1,227 @@
+"""Shard-aware scheduling: consistent hashing + bounded ingest queues.
+
+The fleet multiplexes many KPIs over a bounded worker pool. Two
+mechanisms make the multiplexing predictable:
+
+* **Consistent-hash assignment** — every KPI id maps onto a shard
+  through a :class:`ConsistentHashRing` (SHA-256 based, so stable
+  across processes and Python hash randomization). Adding shards moves
+  only ~1/n of the KPIs, which is what makes future re-sharding cheap;
+  a naive ``hash(kpi) % n`` would reshuffle almost everything.
+* **Bounded per-KPI ingest queues** — points wait in an
+  :class:`IngestQueue` of fixed depth between :meth:`Scheduler.offer`
+  and batch dispatch. When a producer outruns the fleet the queue
+  applies an explicit backpressure policy instead of growing without
+  bound: ``drop-oldest`` (keep the freshest window, the default for
+  monitoring data where stale points age out anyway), ``drop-newest``
+  (reject the incoming point), or ``block`` (raise
+  :class:`BackpressureError` so a synchronous driver can pump before
+  retrying — actually blocking would deadlock a single-threaded loop).
+
+Every drop is *returned* to the caller as a reason string so the fleet
+layer can count it (``repro_fleet_dropped_points_total``); nothing is
+discarded silently.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from collections import deque
+from typing import Deque, Dict, List, Optional, Sequence
+
+#: The recognised backpressure policies of :class:`IngestQueue`.
+QUEUE_POLICIES = ("drop-oldest", "drop-newest", "block")
+
+
+class BackpressureError(RuntimeError):
+    """Raised by the ``block`` queue policy when an offer finds the
+    queue full: the caller must pump the fleet before retrying."""
+
+
+def _ring_hash(text: str) -> int:
+    """A stable 64-bit hash (process- and run-independent)."""
+    digest = hashlib.sha256(text.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+class ConsistentHashRing:
+    """Maps KPI ids onto ``n_shards`` shards via consistent hashing.
+
+    Each shard owns ``replicas`` virtual points on a 64-bit ring; a KPI
+    lands on the first point clockwise of its own hash. The assignment
+    is deterministic (SHA-256, no process-seeded ``hash()``) and
+    balanced to within a few percent at the default replica count.
+    """
+
+    def __init__(
+        self, n_shards: int, replicas: int = 64, salt: str = "repro-fleet"
+    ):
+        if n_shards < 1:
+            raise ValueError(f"n_shards must be >= 1, got {n_shards}")
+        if replicas < 1:
+            raise ValueError(f"replicas must be >= 1, got {replicas}")
+        self.n_shards = n_shards
+        self.replicas = replicas
+        self.salt = salt
+        points = []
+        for shard in range(n_shards):
+            for replica in range(replicas):
+                points.append(
+                    (_ring_hash(f"{salt}:{shard}:{replica}"), shard)
+                )
+        points.sort()
+        self._hashes = [point for point, _ in points]
+        self._shards = [shard for _, shard in points]
+
+    def shard_for(self, kpi_id: str) -> int:
+        """The shard owning ``kpi_id`` (stable across processes)."""
+        position = bisect.bisect_right(self._hashes, _ring_hash(kpi_id))
+        if position == len(self._hashes):
+            position = 0
+        return self._shards[position]
+
+
+class IngestQueue:
+    """A bounded FIFO of pending points with an explicit drop policy.
+
+    Depth is enforced manually (not via ``deque(maxlen=...)``) so that
+    :meth:`requeue_front` — putting back the undispatched tail of a
+    batch after a mid-batch failure — can never evict points silently.
+    """
+
+    def __init__(self, depth: int, policy: str = "drop-oldest"):
+        if depth < 1:
+            raise ValueError(f"queue depth must be >= 1, got {depth}")
+        if policy not in QUEUE_POLICIES:
+            raise ValueError(
+                f"unknown queue policy {policy!r}; "
+                f"expected one of {QUEUE_POLICIES}"
+            )
+        self.depth = depth
+        self.policy = policy
+        self._values: Deque[float] = deque()
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def offer(self, value: float) -> Optional[str]:
+        """Enqueue ``value``; returns the drop reason, or None if the
+        point was accepted without displacing anything.
+
+        ``drop-oldest`` accepts the point and reports the evicted
+        oldest one; ``drop-newest`` rejects the offered point;
+        ``block`` raises :class:`BackpressureError`.
+        """
+        if len(self._values) < self.depth:
+            self._values.append(float(value))
+            return None
+        if self.policy == "drop-oldest":
+            self._values.popleft()
+            self._values.append(float(value))
+            return "drop-oldest"
+        if self.policy == "drop-newest":
+            return "drop-newest"
+        raise BackpressureError(
+            f"ingest queue full ({self.depth} points); pump the fleet "
+            "before offering more"
+        )
+
+    def drain(self, limit: Optional[int] = None) -> List[float]:
+        """Pop up to ``limit`` points (all of them when None), oldest
+        first."""
+        count = len(self._values) if limit is None else min(
+            limit, len(self._values)
+        )
+        return [self._values.popleft() for _ in range(count)]
+
+    def requeue_front(self, values: Sequence[float]) -> None:
+        """Put drained-but-undispatched points back at the *front*, in
+        their original order (used after a mid-batch failure)."""
+        for value in reversed(values):
+            self._values.appendleft(float(value))
+
+
+class Scheduler:
+    """Assigns KPIs to shards and owns their ingest queues.
+
+    The scheduler is pure bookkeeping — it never touches a
+    :class:`~repro.core.MonitoringService`. The
+    :class:`~repro.fleet.FleetManager` drains its queues shard by shard
+    and decides what to do with the points.
+    """
+
+    def __init__(
+        self,
+        n_shards: int = 4,
+        queue_depth: int = 1024,
+        queue_policy: str = "drop-oldest",
+        replicas: int = 64,
+    ):
+        self.ring = ConsistentHashRing(n_shards, replicas=replicas)
+        self.queue_depth = queue_depth
+        self.queue_policy = queue_policy
+        self._queues: Dict[str, IngestQueue] = {}
+        self._shard_of: Dict[str, int] = {}
+        #: Per-shard KPI ids in registration order (the deterministic
+        #: dispatch order within a shard).
+        self._by_shard: List[List[str]] = [
+            [] for _ in range(self.ring.n_shards)
+        ]
+
+    @property
+    def n_shards(self) -> int:
+        return self.ring.n_shards
+
+    def register(self, kpi_id: str) -> int:
+        """Assign ``kpi_id`` to its shard and create its queue; returns
+        the shard index."""
+        if kpi_id in self._queues:
+            raise ValueError(f"KPI {kpi_id!r} is already registered")
+        shard = self.ring.shard_for(kpi_id)
+        self._queues[kpi_id] = IngestQueue(
+            self.queue_depth, self.queue_policy
+        )
+        self._shard_of[kpi_id] = shard
+        self._by_shard[shard].append(kpi_id)
+        return shard
+
+    def unregister(self, kpi_id: str) -> None:
+        shard = self._shard_of.pop(kpi_id)
+        del self._queues[kpi_id]
+        self._by_shard[shard].remove(kpi_id)
+
+    def shard_of(self, kpi_id: str) -> int:
+        return self._shard_of[kpi_id]
+
+    def kpis_by_shard(self) -> List[List[str]]:
+        """KPI ids grouped per shard (copies; registration order)."""
+        return [list(kpis) for kpis in self._by_shard]
+
+    def queue(self, kpi_id: str) -> IngestQueue:
+        return self._queues[kpi_id]
+
+    def offer(self, kpi_id: str, value: float) -> Optional[str]:
+        """Enqueue one point; returns the drop reason or None."""
+        return self._queues[kpi_id].offer(value)
+
+    def drain(self, kpi_id: str, limit: Optional[int] = None) -> List[float]:
+        return self._queues[kpi_id].drain(limit)
+
+    def requeue_front(self, kpi_id: str, values: Sequence[float]) -> None:
+        self._queues[kpi_id].requeue_front(values)
+
+    def depth(self, kpi_id: str) -> int:
+        return len(self._queues[kpi_id])
+
+    def total_depth(self) -> int:
+        return sum(len(queue) for queue in self._queues.values())
+
+
+__all__ = [
+    "QUEUE_POLICIES",
+    "BackpressureError",
+    "ConsistentHashRing",
+    "IngestQueue",
+    "Scheduler",
+]

@@ -1,0 +1,164 @@
+"""Fleet rollup surfaces: per-KPI and fleet-wide status snapshots.
+
+:class:`FleetStatus` is the "one pane of glass" view of a running
+fleet — every KPI's lifecycle state, queue depth, drop/quarantine
+counters, and the headline service numbers — as plain data
+(:meth:`FleetStatus.as_dict`) plus a terminal rendering
+(:meth:`FleetStatus.render`) for the ``repro-fleet status`` CLI.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+#: KPI lifecycle states (see docs/architecture.md, fleet layer):
+#: ``active`` — dispatching normally; ``quarantined`` — last batch
+#: failed, sitting out an exponential backoff; ``recovered`` — healthy
+#: again after a quarantine (informational; behaves like active);
+#: ``degraded`` — retries exhausted, points dropped until revive().
+ACTIVE = "active"
+QUARANTINED = "quarantined"
+RECOVERED = "recovered"
+DEGRADED = "degraded"
+KPI_STATES = (ACTIVE, QUARANTINED, RECOVERED, DEGRADED)
+
+
+@dataclass(frozen=True)
+class KpiStatus:
+    """One KPI's health at snapshot time."""
+
+    kpi_id: str
+    state: str
+    shard: int
+    queue_depth: int
+    points_ingested: int
+    anomalous_points: int
+    alerts_opened: int
+    retrain_rounds: int
+    callback_errors: int
+    pending_points: int
+    cthld: float
+    retries: int = 0
+    backoff_remaining: int = 0
+    quarantines: int = 0
+    last_error: Optional[str] = None
+    dropped: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def dropped_total(self) -> int:
+        return sum(self.dropped.values())
+
+    def as_dict(self) -> dict:
+        return {
+            "kpi_id": self.kpi_id,
+            "state": self.state,
+            "shard": self.shard,
+            "queue_depth": self.queue_depth,
+            "points_ingested": self.points_ingested,
+            "anomalous_points": self.anomalous_points,
+            "alerts_opened": self.alerts_opened,
+            "retrain_rounds": self.retrain_rounds,
+            "callback_errors": self.callback_errors,
+            "pending_points": self.pending_points,
+            "cthld": self.cthld,
+            "retries": self.retries,
+            "backoff_remaining": self.backoff_remaining,
+            "quarantines": self.quarantines,
+            "last_error": self.last_error,
+            "dropped": dict(self.dropped),
+        }
+
+
+@dataclass(frozen=True)
+class FleetStatus:
+    """The whole fleet's health at snapshot time."""
+
+    kpis: Tuple[KpiStatus, ...]
+    cycles: int = 0
+
+    @property
+    def n_kpis(self) -> int:
+        return len(self.kpis)
+
+    @property
+    def states(self) -> Dict[str, int]:
+        """KPI count per lifecycle state (all states present, 0s kept)."""
+        counts = {state: 0 for state in KPI_STATES}
+        for kpi in self.kpis:
+            counts[kpi.state] = counts.get(kpi.state, 0) + 1
+        return counts
+
+    @property
+    def total_queue_depth(self) -> int:
+        return sum(kpi.queue_depth for kpi in self.kpis)
+
+    @property
+    def total_dropped(self) -> int:
+        return sum(kpi.dropped_total for kpi in self.kpis)
+
+    @property
+    def total_quarantines(self) -> int:
+        return sum(kpi.quarantines for kpi in self.kpis)
+
+    @property
+    def total_points_ingested(self) -> int:
+        return sum(kpi.points_ingested for kpi in self.kpis)
+
+    @property
+    def total_alerts_opened(self) -> int:
+        return sum(kpi.alerts_opened for kpi in self.kpis)
+
+    def as_dict(self) -> dict:
+        return {
+            "cycles": self.cycles,
+            "n_kpis": self.n_kpis,
+            "states": self.states,
+            "total_queue_depth": self.total_queue_depth,
+            "total_dropped": self.total_dropped,
+            "total_quarantines": self.total_quarantines,
+            "total_points_ingested": self.total_points_ingested,
+            "total_alerts_opened": self.total_alerts_opened,
+            "kpis": [kpi.as_dict() for kpi in self.kpis],
+        }
+
+    def render(self) -> str:
+        """A fixed-width table for terminals (the ``status`` CLI)."""
+        header = (
+            f"{'KPI':<20} {'STATE':<12} {'SHARD':>5} {'QUEUE':>6} "
+            f"{'POINTS':>8} {'ALERTS':>7} {'DROPPED':>8} {'QUAR':>5} "
+            f"{'CTHLD':>8}"
+        )
+        lines = [header, "-" * len(header)]
+        for kpi in self.kpis:
+            lines.append(
+                f"{kpi.kpi_id:<20} {kpi.state:<12} {kpi.shard:>5} "
+                f"{kpi.queue_depth:>6} {kpi.points_ingested:>8} "
+                f"{kpi.alerts_opened:>7} {kpi.dropped_total:>8} "
+                f"{kpi.quarantines:>5} {kpi.cthld:>8.4f}"
+            )
+        states = self.states
+        summary = ", ".join(
+            f"{count} {state}" for state, count in states.items() if count
+        )
+        lines.append("-" * len(header))
+        lines.append(
+            f"{self.n_kpis} KPIs ({summary or 'none'}); "
+            f"{self.total_points_ingested} points, "
+            f"{self.total_alerts_opened} alerts, "
+            f"{self.total_dropped} dropped, "
+            f"{self.total_quarantines} quarantines, "
+            f"{self.cycles} pump cycles"
+        )
+        return "\n".join(lines)
+
+
+__all__ = [
+    "ACTIVE",
+    "QUARANTINED",
+    "RECOVERED",
+    "DEGRADED",
+    "KPI_STATES",
+    "KpiStatus",
+    "FleetStatus",
+]

@@ -33,6 +33,7 @@ from .events import DEFAULT_MAX_EVENTS, EventLog
 from .exporters import (
     diff_snapshots,
     load_snapshot,
+    merge_snapshots,
     render_diff_text,
     render_prometheus,
     render_snapshot_json,
@@ -96,6 +97,7 @@ __all__ = [
     "render_snapshot_json",
     "write_snapshot",
     "load_snapshot",
+    "merge_snapshots",
     "diff_snapshots",
     "render_diff_text",
 ]

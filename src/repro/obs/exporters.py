@@ -101,6 +101,48 @@ def load_snapshot(path) -> dict:
 
 
 # ----------------------------------------------------------------------
+def merge_snapshots(snapshots: Dict[str, dict], label: str = "kpi") -> dict:
+    """Merge named registry snapshots into one, tagging every sample.
+
+    ``snapshots`` maps a source name (e.g. a KPI id) to that source's
+    :meth:`~repro.obs.metrics.MetricsRegistry.snapshot`; each sample of
+    the merged snapshot gains ``label=<source name>``, so a fleet of
+    per-service registries rolls up into a single exportable snapshot
+    whose series stay attributable (`repro.fleet` uses this for its
+    one-pane-of-glass dump). A metric registered with different kinds
+    across sources is rejected rather than silently merged.
+    """
+    families: Dict[str, dict] = {}
+    for source in sorted(snapshots):
+        for family in snapshots[source].get("metrics", []):
+            name = family["name"]
+            merged = families.get(name)
+            if merged is None:
+                merged = {
+                    "name": name,
+                    "kind": family["kind"],
+                    "help": family.get("help", ""),
+                    "samples": [],
+                }
+                families[name] = merged
+            elif merged["kind"] != family["kind"]:
+                raise ValueError(
+                    f"cannot merge metric {name!r}: kind "
+                    f"{family['kind']!r} from {source!r} conflicts with "
+                    f"{merged['kind']!r}"
+                )
+            if family.get("help") and not merged["help"]:
+                merged["help"] = family["help"]
+            for sample in family["samples"]:
+                tagged = dict(sample)
+                tagged["labels"] = {
+                    **sample.get("labels", {}), label: source
+                }
+                merged["samples"].append(tagged)
+    metrics = sorted(families.values(), key=lambda m: m["name"])
+    return {"version": 1, "metrics": metrics}
+
+
 def _series_index(snapshot: dict) -> Dict[Tuple[str, str, Tuple[Tuple[str, str], ...]], dict]:
     index = {}
     for family in snapshot.get("metrics", []):
@@ -174,6 +216,7 @@ __all__ = [
     "render_snapshot_json",
     "write_snapshot",
     "load_snapshot",
+    "merge_snapshots",
     "diff_snapshots",
     "render_diff_text",
 ]

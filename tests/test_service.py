@@ -125,6 +125,52 @@ class TestIngestAndAlerts:
                    for e in events)
 
 
+class TestAlertCallbackContainment:
+    def test_raising_callback_does_not_break_ingest(self, deployment):
+        series, _, split = deployment
+
+        def broken_callback(event):
+            raise RuntimeError("pager is down")
+
+        service = make_service(
+            series, min_duration_points=1, alert_callback=broken_callback
+        )
+        service.bootstrap(series.slice(0, split))
+        all_events = []
+        for value in series.values[split:split + 72]:
+            all_events.extend(service.ingest(float(value)))
+        # Ingest survived every callback explosion; each delivered
+        # event corresponds to one contained error.
+        assert service.stats.points_ingested == 72
+        assert service.stats.callback_errors == len(all_events)
+        assert all_events, "no alert events to exercise the callback"
+
+    def test_callback_errors_in_stats_dict(self, deployment):
+        series, _, _ = deployment
+        stats = make_service(series).stats
+        stats.inc_callback_errors(2)
+        assert stats.as_dict()["callback_errors"] == 2
+
+
+class TestAlertAttribution:
+    def test_events_carry_the_kpi_name(self, deployment):
+        series, _, split = deployment
+        service = make_service(series, min_duration_points=1)
+        service.bootstrap(series.slice(0, split))
+        events = []
+        for value in series.values[split:split + 72]:
+            events.extend(service.ingest(float(value)))
+        assert events, "no alert events in the probe window"
+        assert all(e.kpi == "service-kpi" for e in events)
+        assert service.kpi == "service-kpi"
+
+    def test_kpi_field_defaults_to_none(self):
+        event = AlertEvent(
+            kind="opened", begin_index=0, end_index=1, peak_score=0.5
+        )
+        assert event.kpi is None
+
+
 class _RawWindow:
     """A window-shaped object that skips AnomalyWindow's own validation,
     so the service-level checks in submit_labels() are exercised."""

@@ -1,0 +1,283 @@
+"""Service checkpoints: crash-restart resume equivalence.
+
+The contract under test: ``load_model`` + ``restore_snapshot`` on a
+fresh service reproduces the uninterrupted service's *future* exactly —
+the remaining alert stream bit for bit, including an alert run that was
+still open at checkpoint time, the pending buffers feeding the next
+retraining round, and the EWMA cThld predictor's state.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    MonitoringService,
+    load_model,
+    load_service_checkpoint,
+    save_model,
+    save_service_checkpoint,
+)
+
+from test_opprentice import fast_forest, small_bank
+
+
+@pytest.fixture(scope="module")
+def deployment():
+    """4 weeks of hourly KPI: 3 bootstrap + 1 live."""
+    from repro.data import SeasonalProfile, generate_kpi, inject_anomalies
+
+    generated = generate_kpi(
+        weeks=4,
+        interval=3600,
+        profile=SeasonalProfile(base_level=100.0, daily_amplitude=0.5,
+                                noise_scale=0.02, trend=0.0),
+        seed=55,
+        name="ckpt-kpi",
+    )
+    result = inject_anomalies(
+        generated.series, target_fraction=0.06, seed=56, mean_window=4.0
+    )
+    series = result.series
+    split = 3 * series.points_per_week
+    return series, result.windows, split
+
+
+def make_service(series, **kwargs):
+    kwargs.setdefault("min_duration_points", 2)
+    return MonitoringService(
+        configs=small_bank(series.points_per_week),
+        classifier_factory=fast_forest,
+        **kwargs,
+    )
+
+
+def restore_clone(original, series, tmp_path, **snapshot_kwargs):
+    """Clone ``original`` through the public model + snapshot path."""
+    model_path = tmp_path / "model.json"
+    save_model(original.opprentice, model_path)
+    clone = make_service(series)
+    load_model(model_path, opprentice=clone.opprentice)
+    clone.restore_snapshot(original.snapshot(**snapshot_kwargs))
+    return clone
+
+
+class TestResumeEquivalence:
+    def test_remaining_alert_stream_is_bit_identical(
+        self, deployment, tmp_path
+    ):
+        series, truth_windows, split = deployment
+        checkpoint_at = split + 60
+        service = make_service(series)
+        service.bootstrap(series.slice(0, split))
+        for value in series.values[split:checkpoint_at]:
+            service.ingest(float(value))
+
+        clone = restore_clone(service, series, tmp_path)
+        expected, actual = [], []
+        for value in series.values[checkpoint_at:]:
+            expected.extend(service.ingest(float(value)))
+            actual.extend(clone.ingest(float(value)))
+        assert actual == expected
+        assert clone.stats.as_dict() == service.stats.as_dict()
+
+    def test_open_alert_run_survives_restore(self, deployment, tmp_path):
+        series, _, split = deployment
+        service = make_service(series)
+        service.bootstrap(series.slice(0, split))
+        checkpoint_at = None
+        for offset, value in enumerate(series.values[split:]):
+            service.ingest(float(value))
+            if service._run_begin is not None:
+                checkpoint_at = split + offset + 1
+                break
+        assert checkpoint_at is not None, (
+            "no anomalous point in a live week with injected anomalies"
+        )
+
+        snapshot = service.snapshot()
+        assert snapshot["run"]["begin"] == service._run_begin
+        clone = restore_clone(service, series, tmp_path)
+        assert clone._run_begin == service._run_begin
+        assert clone._run_scores == service._run_scores
+
+        # The run's eventual closed event matches: same begin, same
+        # peak score accumulated across the checkpoint boundary.
+        expected, actual = [], []
+        for value in series.values[checkpoint_at:]:
+            expected.extend(service.ingest(float(value)))
+            actual.extend(clone.ingest(float(value)))
+        closed_expected = [e for e in expected if e.kind == "closed"]
+        closed_actual = [e for e in actual if e.kind == "closed"]
+        assert closed_actual == closed_expected
+        assert closed_expected, "the open run never closed"
+
+    def test_post_restore_retrain_matches(self, deployment, tmp_path):
+        series, truth_windows, split = deployment
+        checkpoint_at = split + 100
+        service = make_service(series)
+        service.bootstrap(series.slice(0, split))
+        for value in series.values[split:checkpoint_at]:
+            service.ingest(float(value))
+
+        clone = restore_clone(service, series, tmp_path)
+        windows = [
+            w for w in truth_windows
+            if w.begin >= split and w.end <= checkpoint_at
+        ]
+        service.submit_labels(windows)
+        clone.submit_labels(windows)
+        assert clone.retrain() == service.retrain()
+
+        # And the post-retrain services still agree point for point.
+        expected, actual = [], []
+        for value in series.values[checkpoint_at:checkpoint_at + 24]:
+            expected.extend(service.ingest(float(value)))
+            actual.extend(clone.ingest(float(value)))
+        assert actual == expected
+
+    def test_snapshot_without_features_falls_back_to_full_refit(
+        self, deployment, tmp_path
+    ):
+        series, truth_windows, split = deployment
+        checkpoint_at = split + 100
+        service = make_service(series)
+        service.bootstrap(series.slice(0, split))
+        for value in series.values[split:checkpoint_at]:
+            service.ingest(float(value))
+
+        slim = restore_clone(
+            service, series, tmp_path, include_features=False
+        )
+        assert slim.opprentice._feature_values is None
+        # The slim snapshot really is smaller.
+        full_size = len(json.dumps(service.snapshot()))
+        slim_size = len(json.dumps(service.snapshot(include_features=False)))
+        assert slim_size < full_size
+
+        windows = [
+            w for w in truth_windows
+            if w.begin >= split and w.end <= checkpoint_at
+        ]
+        service.submit_labels(windows)
+        slim.submit_labels(windows)
+        # Incremental (cached features) and full-refit paths converge —
+        # the same equivalence the retrain tests pin — so the slim
+        # restore retrains to the same threshold and decisions.
+        assert slim.retrain() == service.retrain()
+        expected, actual = [], []
+        for value in series.values[checkpoint_at:checkpoint_at + 24]:
+            expected.extend(service.ingest(float(value)))
+            actual.extend(slim.ingest(float(value)))
+        assert actual == expected
+
+    def test_ewma_predictor_state_round_trips(self, deployment, tmp_path):
+        series, truth_windows, split = deployment
+        service = make_service(series)
+        service.bootstrap(series.slice(0, split))
+        for value in series.values[split:split + 100]:
+            service.ingest(float(value))
+        service.submit_labels(
+            [
+                w for w in truth_windows
+                if w.begin >= split and w.end <= split + 100
+            ]
+        )
+        service.retrain()
+        predictor = service.opprentice.cthld_predictor
+        assert predictor.snapshot() == {
+            "prediction": predictor._prediction
+        }
+
+        clone = restore_clone(service, series, tmp_path)
+        assert (
+            clone.opprentice.cthld_predictor._prediction
+            == predictor._prediction
+        )
+
+
+class TestCheckpointFiles:
+    def test_file_round_trip(self, deployment, tmp_path):
+        series, _, split = deployment
+        service = make_service(series)
+        service.bootstrap(series.slice(0, split))
+        for value in series.values[split:split + 30]:
+            service.ingest(float(value))
+
+        model_path = tmp_path / "model.json"
+        ckpt_path = tmp_path / "service.json"
+        save_model(service.opprentice, model_path)
+        save_service_checkpoint(service, ckpt_path)
+
+        clone = make_service(series)
+        load_model(model_path, opprentice=clone.opprentice)
+        load_service_checkpoint(ckpt_path, clone)
+        assert clone.kpi == "ckpt-kpi"
+        assert clone.pending_points == service.pending_points
+        expected = service.ingest(float(series.values[split + 30]))
+        actual = clone.ingest(float(series.values[split + 30]))
+        assert actual == expected
+
+    def test_default_bank_service_restores_without_bootstrap(
+        self, deployment, tmp_path
+    ):
+        """A default-bank service (configs=None) must be rebuildable
+        from model + checkpoint alone: the Table 3 bank is re-derived
+        from the restored history, not from a fresh bootstrap."""
+        series, _, split = deployment
+        service = MonitoringService(
+            classifier_factory=fast_forest, min_duration_points=2
+        )
+        service.bootstrap(series.slice(0, split))
+        for value in series.values[split:split + 10]:
+            service.ingest(float(value))
+        model_path = tmp_path / "model.json"
+        ckpt_path = tmp_path / "service.json"
+        save_model(service.opprentice, model_path)
+        save_service_checkpoint(service, ckpt_path)
+
+        clone = MonitoringService(
+            classifier_factory=fast_forest, min_duration_points=2
+        )
+        assert clone.opprentice.extractor.config_bank is None
+        load_model(model_path, opprentice=clone.opprentice)
+        load_service_checkpoint(ckpt_path, clone)
+        assert clone.opprentice.extractor.config_bank is not None
+        probe = float(series.values[split + 10])
+        assert clone.ingest(probe) == service.ingest(probe)
+
+    def test_checkpoint_version_rejected(self, deployment, tmp_path):
+        series, _, split = deployment
+        service = make_service(series)
+        service.bootstrap(series.slice(0, split))
+        ckpt_path = tmp_path / "service.json"
+        save_service_checkpoint(service, ckpt_path)
+        payload = json.loads(ckpt_path.read_text())
+        payload["format_version"] = 999
+        ckpt_path.write_text(json.dumps(payload))
+        with pytest.raises(ValueError, match="unsupported service"):
+            load_service_checkpoint(ckpt_path, service)
+
+    def test_snapshot_version_rejected(self, deployment):
+        series, _, split = deployment
+        service = make_service(series)
+        service.bootstrap(series.slice(0, split))
+        snapshot = service.snapshot()
+        snapshot["format_version"] = 999
+        with pytest.raises(ValueError, match="unsupported service"):
+            service.restore_snapshot(snapshot)
+
+    def test_restore_requires_fitted_model(self, deployment):
+        series, _, split = deployment
+        service = make_service(series)
+        service.bootstrap(series.slice(0, split))
+        snapshot = service.snapshot()
+        fresh = make_service(series)
+        with pytest.raises(RuntimeError, match="fitted model"):
+            fresh.restore_snapshot(snapshot)
+
+    def test_snapshot_requires_bootstrap(self, deployment):
+        series, _, _ = deployment
+        with pytest.raises(RuntimeError, match="bootstrap"):
+            make_service(series).snapshot()
