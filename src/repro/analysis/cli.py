@@ -7,6 +7,13 @@ Examples::
     repro-lint --list-rules              # show the rule set
     repro-lint --disable api-hygiene src # switch a rule off for one run
     repro-lint --strict src/repro        # warnings also fail the run
+    repro-lint --changed-only            # findings only in files changed
+                                         # vs origin/main (pre-commit)
+    repro-lint --changed-only HEAD~3     # ... vs an explicit git ref
+
+``--changed-only`` still analyses every configured path — the
+cross-module rules need the whole project, and the analysis cache makes
+that cheap — but reports only findings located in changed files.
 
 Exit codes: 0 clean, 1 findings at failing severity, 2 usage/config
 error. Configuration is read from the nearest ``pyproject.toml``
@@ -17,9 +24,10 @@ error. Configuration is read from the nearest ``pyproject.toml``
 from __future__ import annotations
 
 import argparse
+import subprocess
 import sys
 from pathlib import Path
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Set
 
 from .config import ConfigError, LintConfig, find_pyproject, load_config
 from .engine import LintEngine
@@ -68,7 +76,50 @@ def build_parser() -> argparse.ArgumentParser:
         "--list-rules", action="store_true",
         help="list registered rules and exit",
     )
+    parser.add_argument(
+        "--changed-only", nargs="?", const="origin/main", default=None,
+        metavar="REF",
+        help="report only findings in files changed vs a git ref "
+             "(default ref: origin/main); the whole project is still "
+             "analysed so cross-module rules stay sound",
+    )
+    parser.add_argument(
+        "--cache-dir", type=Path, default=None, metavar="DIR",
+        help="analysis-cache directory (overrides [tool.repro-lint] "
+             "cache-dir)",
+    )
     return parser
+
+
+def _changed_files(ref: str) -> Set[str]:
+    """Posix paths (relative to the cwd) of .py files changed vs ``ref``.
+
+    Includes committed, staged and unstaged changes plus untracked
+    files, so the pre-commit hook sees exactly what a push would.
+    """
+    toplevel = subprocess.run(
+        ["git", "rev-parse", "--show-toplevel"],
+        capture_output=True, text=True, check=True,
+    ).stdout.strip()
+    commands = [
+        ["git", "diff", "--name-only", "-z", ref, "--"],
+        ["git", "ls-files", "--others", "--exclude-standard", "-z"],
+    ]
+    changed: Set[str] = set()
+    for command in commands:
+        proc = subprocess.run(
+            command, capture_output=True, text=True, check=True
+        )
+        for name in proc.stdout.split("\0"):
+            if not name.endswith(".py"):
+                continue
+            # git paths are repo-root-relative; findings are cwd-relative
+            path = Path(toplevel) / name
+            try:
+                changed.add(path.resolve().relative_to(Path.cwd()).as_posix())
+            except ValueError:
+                changed.add(path.as_posix())
+    return changed
 
 
 def _resolve_config(args: argparse.Namespace) -> LintConfig:
@@ -114,9 +165,26 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print(f"repro-lint: config error: {exc}", file=sys.stderr)
         return USAGE_EXIT
 
+    only_files: Optional[Set[str]] = None
+    if args.changed_only is not None:
+        try:
+            only_files = _changed_files(args.changed_only)
+        except (subprocess.CalledProcessError, OSError) as exc:
+            detail = ""
+            if isinstance(exc, subprocess.CalledProcessError) and exc.stderr:
+                detail = f": {exc.stderr.strip()}"
+            print(
+                f"repro-lint: cannot list files changed vs "
+                f"{args.changed_only!r}{detail}",
+                file=sys.stderr,
+            )
+            return USAGE_EXIT
+
     paths: List[str] = list(args.paths) or list(config.paths) or ["src/repro"]
     try:
-        result = LintEngine(config).run(paths)
+        result = LintEngine(config, cache_dir=args.cache_dir).run(
+            paths, only_files=only_files
+        )
     except FileNotFoundError as exc:
         print(f"repro-lint: {exc}", file=sys.stderr)
         return USAGE_EXIT

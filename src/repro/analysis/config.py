@@ -14,6 +14,16 @@ Recognised keys::
     exempt = ["ExperimentalDet"]   # Detector subclasses that may stay
                                    # outside the default bank
 
+    cache-dir = ".lint-cache"      # analysis cache (relative to the
+                                   # pyproject's directory)
+
+    [tool.repro-lint.obs-taxonomy]
+    doc = "docs/observability.md"  # taxonomy doc to cross-check
+                                   # (relative to the pyproject's dir)
+
+    [tool.repro-lint.worker-reachability]
+    entry-points = ["_process_worker_init", "_process_worker_run"]
+
 Unknown keys are rejected so typos fail loudly instead of silently
 disabling a contract check. TOML parsing uses the stdlib ``tomllib``
 (Python >= 3.11); on older interpreters configuration is skipped with
@@ -33,8 +43,16 @@ try:  # pragma: no cover - exercised only on Python < 3.11
 except ModuleNotFoundError:  # pragma: no cover
     tomllib = None  # type: ignore[assignment]
 
-_KNOWN_KEYS = {"paths", "exclude", "disable", "severity", "registry-contract"}
+_KNOWN_KEYS = {
+    "paths", "exclude", "disable", "severity", "registry-contract",
+    "cache-dir", "obs-taxonomy", "worker-reachability",
+}
 _KNOWN_REGISTRY_KEYS = {"exempt"}
+_KNOWN_OBS_KEYS = {"doc"}
+_KNOWN_WORKER_KEYS = {"entry-points"}
+
+#: Worker entry points assumed when the config does not override them.
+DEFAULT_WORKER_ENTRY_POINTS = ["_process_worker_init", "_process_worker_run"]
 
 
 class ConfigError(ValueError):
@@ -51,8 +69,26 @@ class LintConfig:
     severity_overrides: Dict[str, Severity] = field(default_factory=dict)
     #: Detector class names allowed to stay out of the default bank.
     registry_exempt: List[str] = field(default_factory=list)
+    #: Analysis-cache directory ("" = caching off). Relative paths are
+    #: resolved against the config's directory by :meth:`resolve_path`.
+    cache_dir: str = ""
+    #: Observability taxonomy doc for obs-taxonomy ("" = no doc check).
+    obs_doc: str = ""
+    #: Bare function names treated as process-worker entry points.
+    worker_entry_points: List[str] = field(
+        default_factory=lambda: list(DEFAULT_WORKER_ENTRY_POINTS)
+    )
     #: Where the config came from, for error messages ("" = defaults).
     source: str = ""
+
+    def resolve_path(self, value: str) -> Optional[Path]:
+        """Resolve a configured path against the config's directory."""
+        if not value:
+            return None
+        path = Path(value)
+        if path.is_absolute() or not self.source:
+            return path
+        return Path(self.source).parent / path
 
 
 def _expect_str_list(value, key: str) -> List[str]:
@@ -97,6 +133,37 @@ def parse_config(table: dict, source: str = "") -> LintConfig:
     if "exempt" in registry:
         config.registry_exempt = _expect_str_list(
             registry["exempt"], "registry-contract.exempt"
+        )
+    if "cache-dir" in table:
+        if not isinstance(table["cache-dir"], str):
+            raise ConfigError("[tool.repro-lint] cache-dir must be a string")
+        config.cache_dir = table["cache-dir"]
+    obs = table.get("obs-taxonomy", {})
+    if not isinstance(obs, dict):
+        raise ConfigError("[tool.repro-lint] obs-taxonomy must be a table")
+    unknown = set(obs) - _KNOWN_OBS_KEYS
+    if unknown:
+        raise ConfigError(
+            f"unknown [tool.repro-lint.obs-taxonomy] keys: {sorted(unknown)}"
+        )
+    if "doc" in obs:
+        if not isinstance(obs["doc"], str):
+            raise ConfigError("[tool.repro-lint] obs-taxonomy.doc must be a string")
+        config.obs_doc = obs["doc"]
+    worker = table.get("worker-reachability", {})
+    if not isinstance(worker, dict):
+        raise ConfigError(
+            "[tool.repro-lint] worker-reachability must be a table"
+        )
+    unknown = set(worker) - _KNOWN_WORKER_KEYS
+    if unknown:
+        raise ConfigError(
+            f"unknown [tool.repro-lint.worker-reachability] keys: "
+            f"{sorted(unknown)}"
+        )
+    if "entry-points" in worker:
+        config.worker_entry_points = _expect_str_list(
+            worker["entry-points"], "worker-reachability.entry-points"
         )
     return config
 

@@ -1,32 +1,43 @@
-"""The lint engine: discover files, parse, run rules, filter, report.
+"""The lint engine: discover files, parse (or hit the cache), run rules.
 
 Pipeline::
 
-    paths -> .py files -> ModuleInfo (AST + suppressions)
-          -> per-module rules + project rules
+    paths -> .py files -> cache lookup by sha256(source + fingerprint)
+          miss: parse -> per-module rules -> JSON summary -> cache
+          hit:  cached findings + summary, zero parsing
+          -> ProjectIndex over all summaries -> summary-based rules
           -> drop suppressed findings, apply severity overrides
-          -> sorted findings + summary
+          -> sorted findings + summary + timing
 
 Files that fail to parse are reported under the ``parse-error`` pseudo
 rule instead of crashing the run, so one broken file cannot hide the
-findings in the other hundred.
+findings in the other hundred; the error is cached like any other
+result, so a warm run stays parse-free even over broken files.
 """
 
 from __future__ import annotations
 
 import ast
 import fnmatch
+import time
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set
 
 from .config import LintConfig
 from .finding import Finding, LintSummary, Severity
-from .rules import ModuleInfo, ProjectInfo, all_rules
+from .project import AnalysisCache, ProjectIndex, SUMMARY_SCHEMA_VERSION, summarize_module
+from .project.cache import engine_fingerprint
+from .rules import ModuleInfo, all_rules
 from .suppressions import build_suppressions, is_suppressed
 
 #: Pseudo rule id for unparseable files (not suppressible by design).
 PARSE_ERROR_RULE = "parse-error"
+
+#: Rules whose findings bypass inline suppression filtering: the
+#: suppression-justification rule anchors its findings on the very
+#: directive line that would otherwise swallow them.
+NON_SUPPRESSIBLE_RULES = frozenset({PARSE_ERROR_RULE, "suppression-justification"})
 
 
 @dataclass
@@ -37,6 +48,10 @@ class LintResult:
     summary: LintSummary
     #: rule ids that actually ran (for reporters / debugging).
     rules: List[str] = field(default_factory=list)
+    #: wall time and cache effectiveness of the run:
+    #: ``duration_seconds``, ``parsed`` (modules analysed from source)
+    #: and ``cached`` (modules served from the analysis cache).
+    timing: Dict[str, float] = field(default_factory=dict)
 
     def exit_code(self, strict: bool = False) -> int:
         return 1 if self.summary.failed(strict) else 0
@@ -70,67 +85,147 @@ def _display_path(path: Path) -> str:
         return path.as_posix()
 
 
-@dataclass
-class _ParsedModule:
-    info: ModuleInfo
-    suppressions: Dict[int, FrozenSet[str]]
+def _finding_to_dict(finding: Finding) -> dict:
+    return {
+        "line": finding.line,
+        "col": finding.col,
+        "rule": finding.rule,
+        "severity": finding.severity.value,
+        "message": finding.message,
+        "data": dict(finding.data),
+    }
 
 
-def _parse(path: Path) -> Tuple[Optional[_ParsedModule], Optional[Finding]]:
-    display = _display_path(path)
-    try:
-        source = path.read_text(encoding="utf-8")
-        tree = ast.parse(source, filename=str(path))
-    except (SyntaxError, UnicodeDecodeError, OSError) as exc:
-        line = getattr(exc, "lineno", 1) or 1
-        col = getattr(exc, "offset", 1) or 1
-        return None, Finding(
-            file=display,
-            line=line,
-            col=max(col - 1, 0),
-            rule=PARSE_ERROR_RULE,
-            severity=Severity.ERROR,
-            message=f"cannot parse file: {exc}",
-        )
-    info = ModuleInfo(display, source, tree)
-    return _ParsedModule(info, build_suppressions(source, tree)), None
+def _finding_from_dict(payload: dict, display_path: str) -> Finding:
+    return Finding(
+        file=display_path,
+        line=payload["line"],
+        col=payload["col"],
+        rule=payload["rule"],
+        severity=Severity(payload["severity"]),
+        message=payload["message"],
+        data=dict(payload["data"]),
+    )
 
 
 class LintEngine:
     """One configured lint run over a set of paths."""
 
-    def __init__(self, config: Optional[LintConfig] = None):
+    def __init__(
+        self,
+        config: Optional[LintConfig] = None,
+        cache_dir: Optional[Path] = None,
+    ):
         self.config = config or LintConfig()
         disabled = set(self.config.disabled_rules)
         self.rules = [rule for rule in all_rules() if rule.id not in disabled]
-
-    def run(self, paths: Sequence[str]) -> LintResult:
-        files = discover_files(paths, self.config.exclude)
-        parsed: List[_ParsedModule] = []
-        findings: List[Finding] = []
-        for path in files:
-            module, error = _parse(path)
-            if error is not None:
-                findings.append(error)
-            if module is not None:
-                parsed.append(module)
-
-        project = ProjectInfo(
-            [m.info for m in parsed], self.config.registry_exempt
+        if cache_dir is None:
+            cache_dir = self.config.resolve_path(self.config.cache_dir)
+        fingerprint = engine_fingerprint(
+            SUMMARY_SCHEMA_VERSION, (rule.id for rule in self.rules)
         )
-        suppression_index = {
-            m.info.display_path: m.suppressions for m in parsed
-        }
+        self.cache = AnalysisCache(cache_dir, fingerprint)
+
+    # ------------------------------------------------------------------
+    def _analyse(self, path: Path, display: str, source: bytes) -> dict:
+        """Parse one module, run its per-module rules, summarize it."""
+        try:
+            text = source.decode("utf-8")
+            tree = ast.parse(text, filename=str(path))
+        except (SyntaxError, UnicodeDecodeError, ValueError) as exc:
+            line = getattr(exc, "lineno", 1) or 1
+            col = getattr(exc, "offset", 1) or 1
+            error = Finding(
+                file=display,
+                line=line,
+                col=max(col - 1, 0),
+                rule=PARSE_ERROR_RULE,
+                severity=Severity.ERROR,
+                message=f"cannot parse file: {exc}",
+            )
+            return {
+                "summary": None,
+                "findings": [],
+                "error": _finding_to_dict(error),
+            }
+        info = ModuleInfo(display, text, tree)
+        suppressions = build_suppressions(text, tree)
+        findings: List[Finding] = []
         for rule in self.rules:
-            for module in parsed:
-                findings.extend(rule.check_module(module.info))
-            findings.extend(rule.check_project(project))
+            findings.extend(rule.check_module(info))
+        return {
+            "summary": summarize_module(info, suppressions),
+            "findings": [_finding_to_dict(f) for f in findings],
+            "error": None,
+        }
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        paths: Sequence[str],
+        only_files: Optional[Set[str]] = None,
+    ) -> LintResult:
+        """Lint ``paths``; with ``only_files``, analyse everything (the
+        cross-module rules need the whole project) but report only
+        findings located in the given display paths."""
+        start = time.perf_counter()
+        files = discover_files(paths, self.config.exclude)
+        findings: List[Finding] = []
+        summaries: List[dict] = []
+        suppression_index: Dict[str, Dict[int, FrozenSet[str]]] = {}
+        parsed = 0
+        cached = 0
+
+        for path in files:
+            display = _display_path(path)
+            try:
+                source = path.read_bytes()
+            except OSError as exc:
+                findings.append(Finding(
+                    file=display, line=1, col=0, rule=PARSE_ERROR_RULE,
+                    severity=Severity.ERROR,
+                    message=f"cannot parse file: {exc}",
+                ))
+                continue
+            key = self.cache.key_for(source)
+            payload = self.cache.get(key)
+            if payload is None:
+                payload = self._analyse(path, display, source)
+                self.cache.put(key, payload)
+                parsed += 1
+            else:
+                cached += 1
+            if payload["error"] is not None:
+                findings.append(_finding_from_dict(payload["error"], display))
+            summary = payload["summary"]
+            if summary is not None:
+                # the cwd (and hence the display path) may differ from
+                # the run that populated the cache entry
+                summary = dict(summary, path=display)
+                summaries.append(summary)
+                suppression_index[display] = {
+                    int(line): frozenset(rules)
+                    for line, rules in summary["suppressions"].items()
+                }
+                findings.extend(
+                    _finding_from_dict(f, display)
+                    for f in payload["findings"]
+                )
+
+        index = ProjectIndex(
+            summaries,
+            registry_exempt=self.config.registry_exempt,
+            worker_entry_points=self.config.worker_entry_points,
+            obs_doc=self.config.resolve_path(self.config.obs_doc),
+        )
+        for rule in self.rules:
+            findings.extend(rule.check_summaries(index))
 
         kept: List[Finding] = []
         suppressed = 0
         for finding in findings:
             table = suppression_index.get(finding.file, {})
-            if finding.rule != PARSE_ERROR_RULE and is_suppressed(
+            if finding.rule not in NON_SUPPRESSIBLE_RULES and is_suppressed(
                 table, finding.line, finding.rule
             ):
                 suppressed += 1
@@ -139,6 +234,9 @@ class LintEngine:
             if override is not None:
                 finding = finding.with_severity(override)
             kept.append(finding)
+
+        if only_files is not None:
+            kept = [f for f in kept if f.file in only_files]
 
         kept.sort(key=lambda f: f.sort_key)
         summary = LintSummary(
@@ -151,6 +249,11 @@ class LintEngine:
             findings=kept,
             summary=summary,
             rules=[rule.id for rule in self.rules],
+            timing={
+                "duration_seconds": time.perf_counter() - start,
+                "parsed": parsed,
+                "cached": cached,
+            },
         )
 
 

@@ -1,0 +1,25 @@
+"""Project-wide analysis layer: summaries, symbol/call graph, cache.
+
+The engine parses each module once into a JSON-serializable
+:func:`~repro.analysis.project.summary.summarize_module` record holding
+everything the cross-module rules need — classes and bases, per-function
+call and mutation records, snapshot/restore key sets, ``repro.obs`` call
+sites, lock-guarded attribute accesses, registry factory terms and the
+suppression table. Because summaries (and per-module rule findings) are
+content-addressed by file hash in :class:`AnalysisCache`, a warm run
+re-parses nothing: project rules execute over cached summaries through
+:class:`ProjectIndex` and the :class:`CallGraph` built from them.
+"""
+
+from .cache import AnalysisCache
+from .callgraph import CallGraph
+from .index import ProjectIndex
+from .summary import SUMMARY_SCHEMA_VERSION, summarize_module
+
+__all__ = [
+    "AnalysisCache",
+    "CallGraph",
+    "ProjectIndex",
+    "SUMMARY_SCHEMA_VERSION",
+    "summarize_module",
+]

@@ -1,0 +1,151 @@
+"""Approximate project call graph built from module summaries.
+
+Nodes (*units*) are top-level functions and class methods; calls inside
+nested functions are attributed to the enclosing unit. Edges are
+resolved by name:
+
+* plain-name calls (``helper(...)``, ``mod.helper(...)`` through an
+  import) link to every project top-level function with that name, and
+  to ``Cls.__init__`` when the name is a project class (construction);
+* ``self.``/``cls.``/``super().`` method calls link to methods of the
+  caller's name-based class family (ancestors + descendants), falling
+  back to every method of that name when the family defines none;
+* other attribute calls (``task.run(...)``) link to *every* project
+  method of that name — a deliberate over-approximation, since the
+  receiver's type is unknown statically.
+
+Known limits, by construction: dynamic dispatch through containers of
+callables, ``getattr``/``functools.partial`` indirection and string-based
+invocation produce no edges. Rules built on reachability therefore pair
+the graph with inline suppressions for the few intentional escapes.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+#: A unit key: ``"<display_path>::<qualname>"``.
+UnitKey = str
+
+
+class CallGraph:
+    """Name-resolved call edges over every summarized function."""
+
+    def __init__(self, summaries: Sequence[dict]):
+        #: unit key -> (module summary, function record)
+        self.units: Dict[UnitKey, Tuple[dict, dict]] = {}
+        self._top_level: Dict[str, List[UnitKey]] = {}
+        self._methods: Dict[str, List[UnitKey]] = {}
+        self._class_methods: Dict[str, Dict[str, UnitKey]] = {}
+        self._bases: Dict[str, Set[str]] = {}
+        self._children: Dict[str, Set[str]] = {}
+
+        for summary in summaries:
+            path = summary["path"]
+            for cls in summary["classes"]:
+                bases = set(cls["bases"])
+                self._bases.setdefault(cls["name"], set()).update(bases)
+                for base in bases:
+                    self._children.setdefault(base, set()).add(cls["name"])
+            for func in summary["functions"]:
+                key = f"{path}::{func['qualname']}"
+                self.units[key] = (summary, func)
+                if func["cls"] is None:
+                    self._top_level.setdefault(func["name"], []).append(key)
+                else:
+                    self._methods.setdefault(func["name"], []).append(key)
+                    self._class_methods.setdefault(func["cls"], {})[
+                        func["name"]
+                    ] = key
+
+    # ------------------------------------------------------------------
+    # Class hierarchy (name-based)
+    # ------------------------------------------------------------------
+    def family(self, cls: str) -> Set[str]:
+        """``cls`` plus its transitive bases and subclasses by name."""
+        members = {cls}
+        frontier = deque([cls])
+        while frontier:
+            current = frontier.popleft()
+            for neighbour in self._bases.get(current, set()) | self._children.get(
+                current, set()
+            ):
+                if neighbour not in members:
+                    members.add(neighbour)
+                    frontier.append(neighbour)
+        return members
+
+    # ------------------------------------------------------------------
+    # Edge resolution
+    # ------------------------------------------------------------------
+    def _resolve_name_call(self, target: str) -> List[UnitKey]:
+        name = target.rsplit(".", 1)[-1]
+        keys = list(self._top_level.get(name, ()))
+        constructor = self._class_methods.get(name, {}).get("__init__")
+        if constructor is not None:
+            keys.append(constructor)
+        return keys
+
+    def _resolve_attr_call(self, caller_cls: Optional[str], call: dict) -> List[UnitKey]:
+        attr = call["attr"]
+        candidates = self._methods.get(attr, [])
+        if not candidates:
+            return list(self._top_level.get(attr, ()))
+        if call["receiver"] in ("self", "cls", "super") and caller_cls:
+            family = self.family(caller_cls)
+            scoped = [
+                key for key in candidates
+                if self.units[key][1]["cls"] in family
+            ]
+            if scoped:
+                return scoped
+        return list(candidates)
+
+    def callees(self, key: UnitKey) -> List[UnitKey]:
+        _, func = self.units[key]
+        targets: List[UnitKey] = []
+        for call in func["calls"]:
+            if call["kind"] == "name":
+                targets.extend(self._resolve_name_call(call["target"]))
+            else:
+                targets.extend(self._resolve_attr_call(func["cls"], call))
+        return targets
+
+    # ------------------------------------------------------------------
+    # Reachability
+    # ------------------------------------------------------------------
+    def reachable_from(
+        self, entry_names: Iterable[str]
+    ) -> Dict[UnitKey, Optional[UnitKey]]:
+        """BFS parent map from every unit whose bare name is an entry.
+
+        Entry units map to ``None``; every other reachable unit maps to
+        the unit it was first reached from, so callers can render the
+        shortest call chain in a finding message.
+        """
+        wanted = set(entry_names)
+        parents: Dict[UnitKey, Optional[UnitKey]] = {}
+        frontier: deque = deque()
+        for key in sorted(self.units):
+            if self.units[key][1]["name"] in wanted:
+                parents[key] = None
+                frontier.append(key)
+        while frontier:
+            current = frontier.popleft()
+            for callee in self.callees(current):
+                if callee not in parents:
+                    parents[callee] = current
+                    frontier.append(callee)
+        return parents
+
+    def chain(
+        self, key: UnitKey, parents: Dict[UnitKey, Optional[UnitKey]]
+    ) -> List[str]:
+        """Qualnames from the entry point down to ``key``."""
+        names: List[str] = []
+        current: Optional[UnitKey] = key
+        while current is not None:
+            names.append(self.units[current][1]["qualname"])
+            current = parents.get(current)
+        return list(reversed(names))

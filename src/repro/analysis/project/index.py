@@ -1,0 +1,72 @@
+"""The cross-module view one lint run hands to its project rules."""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
+
+from .callgraph import CallGraph
+
+
+class ProjectIndex:
+    """Every module summary of one run plus run-wide configuration.
+
+    Project rules consume only this object, never raw ASTs — which is
+    what lets the engine serve cached summaries on a warm run without
+    re-parsing anything.
+    """
+
+    def __init__(
+        self,
+        summaries: List[dict],
+        registry_exempt: Iterable[str] = (),
+        worker_entry_points: Iterable[str] = (),
+        obs_doc: Optional[Path] = None,
+    ):
+        self.summaries = sorted(summaries, key=lambda s: s["path"])
+        self.registry_exempt = set(registry_exempt)
+        self.worker_entry_points = list(worker_entry_points)
+        #: Resolved path of the observability taxonomy document, if the
+        #: run is configured to cross-check one.
+        self.obs_doc = obs_doc
+        self._callgraph: Optional[CallGraph] = None
+        self._class_bases: Optional[Dict[str, Set[str]]] = None
+
+    # ------------------------------------------------------------------
+    @property
+    def callgraph(self) -> CallGraph:
+        if self._callgraph is None:
+            self._callgraph = CallGraph(self.summaries)
+        return self._callgraph
+
+    # ------------------------------------------------------------------
+    def iter_classes(self) -> Iterator[Tuple[dict, dict]]:
+        """Yield ``(module summary, class record)`` project-wide."""
+        for summary in self.summaries:
+            for cls in summary["classes"]:
+                yield summary, cls
+
+    def class_names(self) -> Set[str]:
+        return {cls["name"] for _, cls in self.iter_classes()}
+
+    def subclasses_of(self, roots: Iterable[str]) -> Set[str]:
+        """Class names transitively deriving from any root, by name.
+
+        Resolution is by class *name* across the analysed module set, so
+        a hierarchy split over files is followed without importing
+        anything. Root names themselves are excluded.
+        """
+        if self._class_bases is None:
+            bases: Dict[str, Set[str]] = {}
+            for _, cls in self.iter_classes():
+                bases.setdefault(cls["name"], set()).update(cls["bases"])
+            self._class_bases = bases
+        derived = set(roots)
+        changed = True
+        while changed:
+            changed = False
+            for name, base_set in self._class_bases.items():
+                if name not in derived and base_set & derived:
+                    derived.add(name)
+                    changed = True
+        return derived - set(roots)

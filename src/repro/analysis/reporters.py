@@ -5,15 +5,19 @@ The text format is the classic one editors parse
 and versioned so CI jobs and dashboards can consume it::
 
     {
-      "version": 1,
+      "version": 2,
       "findings": [
         {"file": ..., "line": ..., "col": ..., "rule": ...,
          "severity": "error"|"warning", "message": ..., "data": {...}}
       ],
       "summary": {"files": N, "errors": N, "warnings": N,
                   "suppressed": N},
-      "rules": ["no-lookahead", ...]
+      "rules": ["no-lookahead", ...],
+      "timing": {"duration_seconds": S, "parsed": N, "cached": N}
     }
+
+Version history: 2 added the ``timing`` section (wall time plus
+analysis-cache hit counts) so CI can assert the cache is effective.
 """
 
 from __future__ import annotations
@@ -23,7 +27,7 @@ from typing import Callable, Dict
 
 from .engine import LintResult
 
-JSON_FORMAT_VERSION = 1
+JSON_FORMAT_VERSION = 2
 
 
 def render_text(result: LintResult) -> str:
@@ -59,6 +63,13 @@ def render_json(result: LintResult) -> str:
             "suppressed": result.summary.suppressed,
         },
         "rules": list(result.rules),
+        "timing": {
+            "duration_seconds": round(
+                result.timing.get("duration_seconds", 0.0), 6
+            ),
+            "parsed": int(result.timing.get("parsed", 0)),
+            "cached": int(result.timing.get("cached", 0)),
+        },
     }
     return json.dumps(payload, indent=2, sort_keys=False)
 

@@ -10,26 +10,28 @@ the only wiring step.
 from .base import (
     RULE_REGISTRY,
     ModuleInfo,
-    ProjectInfo,
     Rule,
     all_rules,
+    base_names,
     register,
-    subclasses_of,
 )
 from . import (  # noqa: F401
     causality,
+    checkpoint_symmetry,
     determinism,
     hygiene,
+    lock_discipline,
+    obs_taxonomy,
     registry_contract,
-    worker_safety,
+    suppression_justification,
+    worker_reachability,
 )
 
 __all__ = [
     "RULE_REGISTRY",
     "ModuleInfo",
-    "ProjectInfo",
     "Rule",
     "all_rules",
+    "base_names",
     "register",
-    "subclasses_of",
 ]

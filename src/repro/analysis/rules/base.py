@@ -4,9 +4,14 @@ A rule declares an ``id``, a ``default_severity`` and one or both of:
 
 * :meth:`Rule.check_module` — runs once per parsed module; for checks
   that only need one file's AST (randomness calls, except clauses...).
-* :meth:`Rule.check_project` — runs once per lint run with every parsed
-  module; for cross-module contracts (detector registration, class
-  hierarchies).
+  Its findings are cached with the module, so it must depend on nothing
+  but the module itself.
+* :meth:`Rule.check_summaries` — runs once per lint run with the
+  :class:`~repro.analysis.project.index.ProjectIndex` of every
+  module's (possibly cached) summary; for cross-module contracts
+  (detector registration, class hierarchies, call-graph reachability).
+  Summary-based rules never see an AST, which is what keeps warm-cache
+  runs parse-free.
 
 Rules register themselves with :func:`register`, which is how the
 engine, CLI ``--list-rules`` and the docs stay in sync: there is
@@ -16,9 +21,12 @@ exactly one list of rules, and it lives here.
 from __future__ import annotations
 
 import ast
-from typing import Dict, Iterable, Iterator, List, Optional, Type
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Type
 
 from ..finding import Finding, Severity
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..project.index import ProjectIndex
 
 
 class Rule:
@@ -33,7 +41,7 @@ class Rule:
     def check_module(self, module: "ModuleInfo") -> Iterable[Finding]:
         return ()
 
-    def check_project(self, project: "ProjectInfo") -> Iterable[Finding]:
+    def check_summaries(self, index: "ProjectIndex") -> Iterable[Finding]:
         return ()
 
 
@@ -161,20 +169,6 @@ class ModuleInfo:
         return bound
 
 
-class ProjectInfo:
-    """Every module of one lint run plus run-wide configuration."""
-
-    def __init__(self, modules: List[ModuleInfo], registry_exempt: List[str]):
-        self.modules = modules
-        self.registry_exempt = set(registry_exempt)
-
-    def walk_classes(self) -> Iterator["tuple[ModuleInfo, ast.ClassDef]"]:
-        for module in self.modules:
-            for node in ast.walk(module.tree):
-                if isinstance(node, ast.ClassDef):
-                    yield module, node
-
-
 def base_names(node: ast.ClassDef) -> List[str]:
     """Unqualified base-class names of a class definition."""
     names: List[str] = []
@@ -184,32 +178,3 @@ def base_names(node: ast.ClassDef) -> List[str]:
         elif isinstance(base, ast.Attribute):
             names.append(base.attr)
     return names
-
-
-def subclasses_of(
-    project: ProjectInfo, roots: Iterable[str]
-) -> List["tuple[ModuleInfo, ast.ClassDef]"]:
-    """All classes transitively deriving from any root name.
-
-    Resolution is by class *name* across the analysed module set, so a
-    hierarchy split over files (``Diff(Detector)`` in one module,
-    ``_HistoricalBase(Detector)`` + subclasses in another) is followed
-    without importing anything.
-    """
-    classes = list(project.walk_classes())
-    derived = set(roots)
-    changed = True
-    while changed:
-        changed = False
-        for _, node in classes:
-            if node.name in derived:
-                continue
-            if any(base in derived for base in base_names(node)):
-                derived.add(node.name)
-                changed = True
-    root_set = set(roots)
-    return [
-        (module, node)
-        for module, node in classes
-        if node.name in derived and node.name not in root_set
-    ]

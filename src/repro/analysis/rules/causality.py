@@ -31,10 +31,13 @@ subscript breaks the alias, which keeps legitimate windowed statistics
 from __future__ import annotations
 
 import ast
-from typing import Iterable, List, Set
+from typing import TYPE_CHECKING, Dict, Iterable, List, Set
 
-from ..finding import Finding, Severity, make_finding
-from .base import ModuleInfo, ProjectInfo, Rule, register, subclasses_of
+from ..finding import Finding, Severity
+from .base import ModuleInfo, Rule, register
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..project.index import ProjectIndex
 
 RULE_ID = "no-lookahead"
 
@@ -124,6 +127,130 @@ class _SeriesAliases(ast.NodeVisitor):
         self.generic_visit(node)
 
 
+# ---------------------------------------------------------------------------
+# Summary-time scan: candidates, gated by hierarchy at project time
+# ---------------------------------------------------------------------------
+def _candidate(node: ast.AST, root: str, cls: str, message: str,
+               shape: str, where: str) -> dict:
+    return {
+        "cls": cls,
+        "root": root,
+        "lineno": getattr(node, "lineno", 1),
+        "col": getattr(node, "col_offset", 0),
+        "message": message,
+        "data": {"shape": shape, "method": where},
+    }
+
+
+def _scan_method(
+    cls: ast.ClassDef, method: ast.FunctionDef, module: ModuleInfo, root: str
+) -> Iterable[dict]:
+    where = f"{cls.name}.{method.name}"
+    args = method.args.posonlyargs + method.args.args
+    series_param = args[1].arg if len(args) > 1 else ""
+    alias_scan = _SeriesAliases(series_param)
+    alias_scan.visit(method)
+    aliases = alias_scan.aliases
+
+    def series_wide(node: ast.AST) -> bool:
+        if isinstance(node, ast.Name):
+            return node.id in aliases
+        return (
+            isinstance(node, ast.Attribute)
+            and node.attr == "values"
+            and isinstance(node.value, ast.Name)
+            and node.value.id == series_param
+        )
+
+    for node in ast.walk(method):
+        if isinstance(node, ast.Subscript):
+            index = node.slice
+            if isinstance(index, ast.Slice):
+                if index.lower is not None and _is_forward_offset(index.lower):
+                    yield _candidate(
+                        node, root, cls.name,
+                        f"{where}: slice starts past the current point "
+                        f"({ast.unparse(index.lower)}); severities must be "
+                        f"causal (§4.3.2)",
+                        "forward-slice", where,
+                    )
+                if (
+                    series_wide(node.value)
+                    and isinstance(index.step, ast.UnaryOp)
+                    and isinstance(index.step.op, ast.USub)
+                    and _positive_int(index.step.operand)
+                ):
+                    yield _candidate(
+                        node, root, cls.name,
+                        f"{where}: reversing the input series traverses "
+                        f"future-to-past; severities must be causal",
+                        "reversal", where,
+                    )
+            elif _is_forward_offset(index):
+                yield _candidate(
+                    node, root, cls.name,
+                    f"{where}: index {ast.unparse(index)} reads a future "
+                    f"point; the severity of t may use only points 0..t",
+                    "forward-index", where,
+                )
+        elif isinstance(node, ast.Call):
+            func = node.func
+            # np.mean(values) etc. — resolved through the module's imports.
+            if isinstance(func, ast.Attribute) and func.attr in AGGREGATE_FUNCS:
+                path = module.resolve(func)
+                if (
+                    path.startswith("numpy.")
+                    and node.args
+                    and series_wide(node.args[0])
+                ):
+                    yield _candidate(
+                        node, root, cls.name,
+                        f"{where}: whole-series aggregate "
+                        f"{ast.unparse(func)}(...) over the full input bakes "
+                        f"future points into every severity; aggregate a "
+                        f"window or prefix instead",
+                        "whole-series-aggregate", where,
+                    )
+                    continue
+            # values.mean() etc. — method call on a series-wide alias.
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr in AGGREGATE_METHODS
+                and series_wide(func.value)
+            ):
+                yield _candidate(
+                    node, root, cls.name,
+                    f"{where}: whole-series aggregate .{func.attr}() over "
+                    f"the full input bakes future points into every "
+                    f"severity; aggregate a window or prefix instead",
+                    "whole-series-aggregate", where,
+                )
+
+
+def scan_class(module: ModuleInfo, cls: ast.ClassDef) -> List[dict]:
+    """Candidate lookahead findings for one class, hierarchy-agnostic.
+
+    Runs at summary time on *every* class defining a ``severities``/
+    ``stream``/``update`` method. Each candidate records the root class
+    (``Detector`` or ``SeverityStream``) whose subclasses the contract
+    binds; :class:`NoLookaheadRule` keeps only candidates whose class is
+    actually in that hierarchy once the cross-module class graph is
+    known — so a ``Smoother.severities`` on an unrelated class stays
+    quiet without re-parsing anything.
+    """
+    candidates: List[dict] = []
+    for item in cls.body:
+        if not isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        if item.name in DETECTOR_METHODS:
+            candidates.extend(_scan_method(cls, item, module, "Detector"))
+        elif item.name in STREAM_METHODS:
+            candidates.extend(
+                _scan_method(cls, item, module, "SeverityStream")
+            )
+    return candidates
+
+
 @register
 class NoLookaheadRule(Rule):
     id = RULE_ID
@@ -133,113 +260,21 @@ class NoLookaheadRule(Rule):
     )
     default_severity = Severity.ERROR
 
-    def check_project(self, project: ProjectInfo) -> Iterable[Finding]:
-        findings: List[Finding] = []
-        targets = [
-            (module, cls, DETECTOR_METHODS)
-            for module, cls in subclasses_of(project, ["Detector"])
-        ] + [
-            (module, cls, STREAM_METHODS)
-            for module, cls in subclasses_of(project, ["SeverityStream"])
-        ]
-        for module, cls, method_names in targets:
-            for item in cls.body:
-                if (
-                    isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef))
-                    and item.name in method_names
-                ):
-                    findings.extend(self._check_method(module, cls, item))
-        return findings
-
-    # ------------------------------------------------------------------
-    def _check_method(
-        self, module: ModuleInfo, cls: ast.ClassDef, method: ast.FunctionDef
-    ) -> Iterable[Finding]:
-        where = f"{cls.name}.{method.name}"
-        args = method.args.posonlyargs + method.args.args
-        series_param = args[1].arg if len(args) > 1 else ""
-        alias_scan = _SeriesAliases(series_param)
-        alias_scan.visit(method)
-        aliases = alias_scan.aliases
-
-        def series_wide(node: ast.AST) -> bool:
-            if isinstance(node, ast.Name):
-                return node.id in aliases
-            return (
-                isinstance(node, ast.Attribute)
-                and node.attr == "values"
-                and isinstance(node.value, ast.Name)
-                and node.value.id == series_param
-            )
-
-        for node in ast.walk(method):
-            if isinstance(node, ast.Subscript):
-                yield from self._check_subscript(
-                    module, node, where, series_wide
+    def check_summaries(self, index: "ProjectIndex") -> Iterable[Finding]:
+        members: Dict[str, Set[str]] = {
+            "Detector": index.subclasses_of(["Detector"]),
+            "SeverityStream": index.subclasses_of(["SeverityStream"]),
+        }
+        for summary in index.summaries:
+            for candidate in summary["causality"]:
+                if candidate["cls"] not in members[candidate["root"]]:
+                    continue
+                yield Finding(
+                    file=summary["path"],
+                    line=candidate["lineno"],
+                    col=candidate["col"],
+                    rule=self.id,
+                    severity=self.default_severity,
+                    message=candidate["message"],
+                    data=dict(candidate["data"]),
                 )
-            elif isinstance(node, ast.Call):
-                yield from self._check_aggregate(module, node, where, series_wide)
-
-    def _check_subscript(
-        self, module, node: ast.Subscript, where: str, series_wide
-    ) -> Iterable[Finding]:
-        index = node.slice
-        if isinstance(index, ast.Slice):
-            if index.lower is not None and _is_forward_offset(index.lower):
-                yield make_finding(
-                    module, node, self.id, self.default_severity,
-                    f"{where}: slice starts past the current point "
-                    f"({ast.unparse(index.lower)}); severities must be "
-                    f"causal (§4.3.2)",
-                    data={"shape": "forward-slice", "method": where},
-                )
-            if (
-                series_wide(node.value)
-                and isinstance(index.step, ast.UnaryOp)
-                and isinstance(index.step.op, ast.USub)
-                and _positive_int(index.step.operand)
-            ):
-                yield make_finding(
-                    module, node, self.id, self.default_severity,
-                    f"{where}: reversing the input series traverses "
-                    f"future-to-past; severities must be causal",
-                    data={"shape": "reversal", "method": where},
-                )
-        elif _is_forward_offset(index):
-            yield make_finding(
-                module, node, self.id, self.default_severity,
-                f"{where}: index {ast.unparse(index)} reads a future "
-                f"point; the severity of t may use only points 0..t",
-                data={"shape": "forward-index", "method": where},
-            )
-
-    def _check_aggregate(
-        self, module, node: ast.Call, where: str, series_wide
-    ) -> Iterable[Finding]:
-        func = node.func
-        # np.mean(values) etc. — resolved through the module's imports.
-        if isinstance(func, ast.Attribute) and func.attr in AGGREGATE_FUNCS:
-            path = module.resolve(func)
-            if path.startswith("numpy.") and node.args and series_wide(node.args[0]):
-                yield make_finding(
-                    module, node, self.id, self.default_severity,
-                    f"{where}: whole-series aggregate "
-                    f"{ast.unparse(func)}(...) over the full input bakes "
-                    f"future points into every severity; aggregate a "
-                    f"window or prefix instead",
-                    data={"shape": "whole-series-aggregate", "method": where},
-                )
-                return
-        # values.mean() etc. — method call on a series-wide alias.
-        if (
-            isinstance(func, ast.Attribute)
-            and func.attr in AGGREGATE_METHODS
-            and series_wide(func.value)
-        ):
-            yield make_finding(
-                module, node, self.id, self.default_severity,
-                f"{where}: whole-series aggregate .{func.attr}() over the "
-                f"full input bakes future points into every severity; "
-                f"aggregate a window or prefix instead",
-                data={"shape": "whole-series-aggregate", "method": where},
-            )

@@ -1,0 +1,102 @@
+"""``checkpoint-symmetry``: ``snapshot()`` and ``restore()`` must agree.
+
+Fleet resume (``FleetManager.restore``/``MonitoringService``
+``restore_snapshot``) is bit-identical only if every key a
+``snapshot()`` writes is read back by the paired ``restore()`` — a key
+stored but never restored silently drops state on resume, and a key
+restored but never stored crashes on a real checkpoint. For every class
+defining both ``snapshot()`` and ``restore()``/``restore_snapshot()``,
+the summaries record:
+
+* the statically enumerable snapshot keys (dict-literal entries and
+  ``state["k"] = ...`` assignments), plus values that are provably not
+  JSON-serializable (sets, bytes, numpy objects);
+* the keys the restore body reads off its state argument
+  (``state["k"]``, ``state.get("k")``, ``state.pop("k")``) through
+  direct aliases only, so nested payload dicts don't count.
+
+Either side can be *dynamic* — ``super().snapshot()`` delegation,
+``self.__dict__`` walks, ``state.items()`` iteration — in which case
+the key-set comparison that depends on it is skipped rather than
+guessed: coverage needs a static restore, phantom-read detection a
+static snapshot. ``state.get(...)`` reads are optional by construction
+and never count as phantoms.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable
+
+from ..finding import Finding, Severity
+from .base import Rule, register
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..project.index import ProjectIndex
+
+RULE_ID = "checkpoint-symmetry"
+
+
+@register
+class CheckpointSymmetryRule(Rule):
+    id = RULE_ID
+    description = (
+        "snapshot() keys must be read back by the paired restore() and "
+        "stay JSON-serializable, so fleet resume cannot drop state"
+    )
+    default_severity = Severity.ERROR
+
+    def check_summaries(self, index: "ProjectIndex") -> Iterable[Finding]:
+        for summary in index.summaries:
+            for record in summary["checkpoints"]:
+                yield from self._check_pair(summary, record)
+
+    # ------------------------------------------------------------------
+    def _check_pair(self, summary: dict, record: dict) -> Iterable[Finding]:
+        cls = record["cls"]
+        snapshot = record["snapshot"]
+        restore = record["restore"]
+
+        def finding(loc: dict, message: str, data: dict) -> Finding:
+            return Finding(
+                file=summary["path"],
+                line=loc["lineno"],
+                col=loc["col"],
+                rule=self.id,
+                severity=self.default_severity,
+                message=message,
+                data=dict(data, cls=cls),
+            )
+
+        for entry in snapshot["unsafe"]:
+            yield finding(
+                entry,
+                f"{cls}.snapshot() stores {entry['reason']} under key "
+                f"{entry['key']!r}; snapshots must stay JSON-serializable "
+                f"for on-disk fleet checkpoints",
+                {"check": "json-unsafe", "key": entry["key"]},
+            )
+
+        snapshot_keys = {entry["key"] for entry in snapshot["keys"]}
+        read_keys = {read["key"] for read in restore["reads"]}
+
+        if not restore["dynamic"]:
+            for entry in snapshot["keys"]:
+                if entry["key"] not in read_keys:
+                    yield finding(
+                        entry,
+                        f"{cls}.snapshot() stores key {entry['key']!r} but "
+                        f"{restore['name']}() never reads it; fleet resume "
+                        f"would silently drop that state",
+                        {"check": "dropped-key", "key": entry["key"]},
+                    )
+
+        if not snapshot["dynamic"]:
+            for read in restore["reads"]:
+                if read["kind"] == "subscript" and read["key"] not in snapshot_keys:
+                    yield finding(
+                        read,
+                        f"{cls}.{restore['name']}() requires key "
+                        f"{read['key']!r} that snapshot() never writes; "
+                        f"restoring a real checkpoint would raise KeyError",
+                        {"check": "phantom-key", "key": read["key"]},
+                    )

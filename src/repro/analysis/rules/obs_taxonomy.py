@@ -1,0 +1,192 @@
+"""``obs-taxonomy``: the observability name inventory stays coherent.
+
+Every literal metric/span/event name passed to the ``repro.obs`` facade
+(``counter``/``gauge``/``histogram``/``timer``/``span``/``emit``) is
+extracted at summary time, including names routed through same-module
+string constants (``SPAN_SECONDS_METRIC``). Across the project the rule
+then checks:
+
+* **kind consistency** — one metric name never registers as two
+  different instrument kinds (``counter`` vs ``gauge``);
+* **label-key consistency** — every call site of one name passes the
+  same label-key set as the first (canonical) site, so Prometheus-style
+  exporters never see a label schema change mid-run;
+* **documentation** — when ``[tool.repro-lint.obs-taxonomy] doc`` points
+  at ``docs/observability.md``, every name used in code appears in a
+  doc table (backticked, first column) and every documented name is
+  still used somewhere — undocumented *and* stale names fail.
+
+Names passed as variables/attributes from other modules are dynamic and
+skipped; the delegating provider methods therefore don't double-count.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+from typing import TYPE_CHECKING, Dict, Iterable, List, Tuple
+
+from ..finding import Finding, Severity
+from .base import Rule, register
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..project.index import ProjectIndex
+
+RULE_ID = "obs-taxonomy"
+
+#: APIs that register a metric *instrument* (kind must be consistent).
+METRIC_APIS = {"counter", "gauge", "histogram", "timer"}
+
+#: ``timer`` is sugar over a histogram; treat them as one kind.
+_KIND_ALIASES = {"timer": "histogram"}
+
+#: A backticked name inside a markdown table cell.
+_DOC_NAME = re.compile(r"`([^`]+)`")
+
+
+def _doc_names(text: str) -> Dict[str, int]:
+    """Documented name -> line number, from the taxonomy tables.
+
+    Only the *first* column of each table row is inventoried, but one
+    cell may document several names (``| `alert_opened` /
+    `alert_closed` | ...``) — every backticked token in it counts.
+    """
+    names: Dict[str, int] = {}
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        stripped = line.strip()
+        if not stripped.startswith("|"):
+            continue
+        first_cell = stripped[1:].split("|", 1)[0]
+        for name in _DOC_NAME.findall(first_cell):
+            names.setdefault(name, lineno)
+    return names
+
+
+@register
+class ObsTaxonomyRule(Rule):
+    id = RULE_ID
+    description = (
+        "repro.obs metric/span/event names use consistent label keys and "
+        "instrument kinds, and match the docs/observability.md inventory"
+    )
+    default_severity = Severity.ERROR
+
+    def check_summaries(self, index: "ProjectIndex") -> Iterable[Finding]:
+        sites: Dict[str, List[Tuple[dict, dict]]] = {}
+        for summary in index.summaries:
+            for site in summary["obs"]:
+                if site["name"] is not None:
+                    sites.setdefault(site["name"], []).append((summary, site))
+
+        for name in sorted(sites):
+            yield from self._check_name(name, sites[name])
+        yield from self._check_doc(index, sites)
+
+    # ------------------------------------------------------------------
+    def _check_name(
+        self, name: str, occurrences: List[Tuple[dict, dict]]
+    ) -> Iterable[Finding]:
+        def finding(summary: dict, site: dict, message: str,
+                    data: dict) -> Finding:
+            return Finding(
+                file=summary["path"],
+                line=site["lineno"],
+                col=site["col"],
+                rule=self.id,
+                severity=self.default_severity,
+                message=message,
+                data=dict(data, name=name),
+            )
+
+        metric_sites = [
+            (summary, site)
+            for summary, site in occurrences
+            if site["api"] in METRIC_APIS
+        ]
+        if metric_sites:
+            canonical_summary, canonical = metric_sites[0]
+            kind = _KIND_ALIASES.get(canonical["api"], canonical["api"])
+            for summary, site in metric_sites[1:]:
+                site_kind = _KIND_ALIASES.get(site["api"], site["api"])
+                if site_kind != kind:
+                    yield finding(
+                        summary, site,
+                        f"metric {name!r} is registered as a {site_kind} "
+                        f"here but as a {kind} at "
+                        f"{canonical_summary['path']}:"
+                        f"{canonical['lineno']}; one name, one instrument "
+                        f"kind",
+                        {"check": "kind-mismatch"},
+                    )
+
+        label_sites = [
+            (summary, site)
+            for summary, site in occurrences
+            if not site["labels_dynamic"]
+        ]
+        if label_sites:
+            canonical_summary, canonical = label_sites[0]
+            labels = canonical["labels"]
+            for summary, site in label_sites[1:]:
+                if site["labels"] != labels:
+                    yield finding(
+                        summary, site,
+                        f"{name!r} is called with label keys "
+                        f"{site['labels']} here but {labels} at "
+                        f"{canonical_summary['path']}:{canonical['lineno']}; "
+                        f"label keys must be identical at every call site",
+                        {"check": "label-mismatch"},
+                    )
+
+    # ------------------------------------------------------------------
+    def _check_doc(
+        self, index: "ProjectIndex", sites: Dict[str, List[Tuple[dict, dict]]]
+    ) -> Iterable[Finding]:
+        doc = index.obs_doc
+        if doc is None or not doc.is_file():
+            return  # the run is not configured to cross-check docs
+        documented = _doc_names(doc.read_text(encoding="utf-8"))
+        try:
+            doc_display = doc.resolve().relative_to(Path.cwd()).as_posix()
+        except ValueError:
+            doc_display = doc.as_posix()
+
+        for name in sorted(set(sites) - set(documented)):
+            summary, site = sites[name][0]
+            yield Finding(
+                file=summary["path"],
+                line=site["lineno"],
+                col=site["col"],
+                rule=self.id,
+                severity=self.default_severity,
+                message=(
+                    f"{site['api']} name {name!r} is not documented in "
+                    f"{doc_display}; add it to the taxonomy table"
+                ),
+                data={"check": "undocumented", "name": name},
+            )
+        # Dynamic names with a literal f-string head (f"alert_{kind}")
+        # can't be matched exactly; a documented name covered by such a
+        # prefix is assumed emitted rather than reported stale.
+        prefixes = {
+            site["prefix"]
+            for summary in index.summaries
+            for site in summary["obs"]
+            if site["name"] is None and site.get("prefix")
+        }
+        for name in sorted(set(documented) - set(sites)):
+            if any(name.startswith(prefix) for prefix in prefixes):
+                continue
+            yield Finding(
+                file=doc_display,
+                line=documented[name],
+                col=0,
+                rule=self.id,
+                severity=self.default_severity,
+                message=(
+                    f"documented name {name!r} is never emitted by any "
+                    f"analysed module; remove the stale taxonomy row or "
+                    f"restore the instrumentation"
+                ),
+                data={"check": "stale", "name": name},
+            )

@@ -22,20 +22,26 @@ Two contracts from ``repro.detectors.registry``:
 
 Parameter grids (``MA_WINDOWS = (10, 20, ...)``) are resolved from
 top-level literal assignments across the whole analysed module set, so
-grids living next to their detector still count.
+grids living next to their detector still count. The whole check runs
+off cached module summaries: factory bodies are distilled into symbolic
+contribution terms (integer factors and grid *names*) at summary time,
+and the grid names are resolved here once every module is known.
 """
 
 from __future__ import annotations
 
-import ast
-from typing import Dict, Iterable, List, Optional, Set, Tuple
+from typing import TYPE_CHECKING, Dict, Iterable, List, Set
 
-from ..finding import Finding, Severity, make_finding
-from .base import ModuleInfo, ProjectInfo, Rule, base_names, register, subclasses_of
+from ..finding import Finding, Severity
+from .base import Rule, register
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..project.index import ProjectIndex
 
 RULE_ID = "registry-contract"
 
-#: Functions that register detectors into the bank.
+#: Functions that register detectors into the bank (also recognised at
+#: summary time, see ``repro.analysis.project.summary.FACTORY_NAMES``).
 FACTORY_NAMES = {"default_detectors", "extended_detectors"}
 #: The factory whose size Table 3 pins down.
 COUNTED_FACTORY = "default_detectors"
@@ -44,176 +50,17 @@ EXPECTED_CONFIGS_NAME = "EXPECTED_CONFIGURATIONS"
 EXPECTED_DETECTORS_NAME = "EXPECTED_DETECTORS"
 
 
-class _Unresolvable(Exception):
-    """A grid length could not be derived statically."""
-
-    def __init__(self, expr: ast.AST):
-        super().__init__(ast.unparse(expr))
-        self.expr = expr
-
-
-def _literal_grids(project: ProjectInfo) -> Dict[str, int]:
-    """Lengths of top-level literal tuple/list constants, project-wide."""
-    grids: Dict[str, int] = {}
-    for module in project.modules:
-        for node in module.tree.body:
-            targets: List[ast.expr] = []
-            value: Optional[ast.expr] = None
-            if isinstance(node, ast.Assign):
-                targets, value = node.targets, node.value
-            elif isinstance(node, ast.AnnAssign) and node.value is not None:
-                targets, value = [node.target], node.value
-            if value is None or not isinstance(value, (ast.Tuple, ast.List)):
-                continue
-            try:
-                length = len(ast.literal_eval(value))
-            except (ValueError, SyntaxError, TypeError):
-                continue
-            for target in targets:
-                if isinstance(target, ast.Name):
-                    grids[target.id] = length
-    return grids
-
-
-class _FactoryCounter:
-    """Static configuration count of one registry factory function."""
-
-    def __init__(self, grids: Dict[str, int]):
-        self.grids = grids
-        self.classes_used: Set[str] = set()
-
-    # -- length of an iterable expression --------------------------------
-    def _iter_len(self, node: ast.AST) -> int:
-        if isinstance(node, ast.Name):
-            if node.id in self.grids:
-                return self.grids[node.id]
-            raise _Unresolvable(node)
-        if isinstance(node, (ast.Tuple, ast.List)):
-            return len(node.elts)
-        if isinstance(node, ast.Call):
-            path = _call_name(node)
-            if path in {"product", "itertools.product"}:
-                total = 1
-                for arg in node.args:
-                    total *= self._iter_len(arg)
-                return total
-            if path == "range" and all(
-                isinstance(a, ast.Constant) for a in node.args
-            ):
-                return len(range(*[a.value for a in node.args]))
-        raise _Unresolvable(node)
-
-    # -- number of detectors one expression contributes ------------------
-    def count_expr(self, node: ast.AST) -> int:
-        if isinstance(node, ast.List):
-            return sum(self.count_expr(elt) for elt in node.elts)
-        if isinstance(node, ast.ListComp):
-            total = 1
-            for generator in node.generators:
-                if generator.ifs:
-                    raise _Unresolvable(node)
-                total *= self._iter_len(generator.iter)
-            self._note_class(node.elt)
-            return total
-        if isinstance(node, ast.Call):
-            self._note_class(node)
-            return 1
-        raise _Unresolvable(node)
-
-    def _note_class(self, node: ast.AST) -> None:
-        if isinstance(node, ast.Call):
-            func = node.func
-            if isinstance(func, ast.Name):
-                self.classes_used.add(func.id)
-            elif isinstance(func, ast.Attribute):
-                self.classes_used.add(func.attr)
-
-    # -- walk the factory body -------------------------------------------
-    def count(self, factory: ast.FunctionDef) -> int:
-        accumulator = _returned_name(factory)
-        total = 0
-        for node in ast.walk(factory):
-            if isinstance(node, ast.Assign):
-                if any(
-                    isinstance(t, ast.Name) and t.id == accumulator
-                    for t in node.targets
-                ):
-                    total += self.count_expr(node.value)
-            elif isinstance(node, ast.AnnAssign):
-                if (
-                    isinstance(node.target, ast.Name)
-                    and node.target.id == accumulator
-                    and node.value is not None
-                ):
-                    total += self.count_expr(node.value)
-            elif isinstance(node, ast.AugAssign):
-                if (
-                    isinstance(node.target, ast.Name)
-                    and node.target.id == accumulator
-                    and isinstance(node.op, ast.Add)
-                ):
-                    total += self.count_expr(node.value)
-            elif isinstance(node, ast.Expr) and isinstance(node.value, ast.Call):
-                call = node.value
-                if (
-                    isinstance(call.func, ast.Attribute)
-                    and isinstance(call.func.value, ast.Name)
-                    and call.func.value.id == accumulator
-                ):
-                    if call.func.attr == "append":
-                        for arg in call.args:
-                            self._note_class(arg)
-                        total += len(call.args)
-                    elif call.func.attr == "extend":
-                        total += sum(self.count_expr(a) for a in call.args)
-        return total
-
-
-def _call_name(node: ast.AST) -> str:
-    if isinstance(node, ast.Call):
-        node = node.func
-    if isinstance(node, ast.Name):
-        return node.id
-    if isinstance(node, ast.Attribute):
-        parts = [node.attr]
-        value = node.value
-        while isinstance(value, ast.Attribute):
-            parts.append(value.attr)
-            value = value.value
-        if isinstance(value, ast.Name):
-            parts.append(value.id)
-        return ".".join(reversed(parts))
-    return ""
-
-
-def _returned_name(factory: ast.FunctionDef) -> str:
-    for node in ast.walk(factory):
-        if isinstance(node, ast.Return) and isinstance(node.value, ast.Name):
-            return node.value.id
-    return ""
-
-
-def _int_constant(module: ModuleInfo, name: str) -> Optional[Tuple[ast.AST, int]]:
-    for node in module.tree.body:
-        if isinstance(node, ast.Assign):
-            for target in node.targets:
-                if isinstance(target, ast.Name) and target.id == name:
-                    if isinstance(node.value, ast.Constant) and isinstance(
-                        node.value.value, int
-                    ):
-                        return node, node.value.value
-    return None
-
-
-def _is_abstract(cls: ast.ClassDef) -> bool:
-    """Statically abstract: declares an @abstractmethod of its own."""
-    for item in cls.body:
-        if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
-            for decorator in item.decorator_list:
-                name = _call_name(decorator)
-                if name.endswith("abstractmethod"):
-                    return True
-    return False
+def _finding(summary: dict, record: dict, severity: Severity,
+             message: str, data: Dict[str, str]) -> Finding:
+    return Finding(
+        file=summary["path"],
+        line=record.get("lineno", 1),
+        col=record.get("col", 0),
+        rule=RULE_ID,
+        severity=severity,
+        message=message,
+        data=data,
+    )
 
 
 @register
@@ -226,95 +73,114 @@ class RegistryContractRule(Rule):
     )
     default_severity = Severity.ERROR
 
-    def check_project(self, project: ProjectInfo) -> Iterable[Finding]:
+    def check_summaries(self, index: "ProjectIndex") -> Iterable[Finding]:
         findings: List[Finding] = []
-        factories: List[Tuple[ModuleInfo, ast.FunctionDef]] = []
-        for module in project.modules:
-            for node in module.tree.body:
-                if (
-                    isinstance(node, ast.FunctionDef)
-                    and node.name in FACTORY_NAMES
-                ):
-                    factories.append((module, node))
-
-        findings.extend(self._check_reachability(project, factories))
-        findings.extend(self._check_grid_counts(project, factories))
+        findings.extend(self._check_reachability(index))
+        findings.extend(self._check_grid_counts(index))
         return findings
 
     # ------------------------------------------------------------------
-    def _check_reachability(
-        self,
-        project: ProjectInfo,
-        factories: List[Tuple[ModuleInfo, ast.FunctionDef]],
-    ) -> Iterable[Finding]:
-        referenced: Set[str] = set()
-        for _, factory in factories:
-            for node in ast.walk(factory):
-                if isinstance(node, ast.Name):
-                    referenced.add(node.id)
+    def _concrete_detectors(self, index: "ProjectIndex") -> Set[str]:
+        detector_subs = index.subclasses_of(["Detector"])
+        return {
+            cls["name"]
+            for _, cls in index.iter_classes()
+            if cls["name"] in detector_subs
+            and not cls["name"].startswith("_")
+            and not cls["is_abstract"]
+        }
 
-        for module, cls in subclasses_of(project, ["Detector"]):
-            if cls.name.startswith("_") or _is_abstract(cls):
-                continue  # private/abstract bases are not bank entries
-            if cls.name in referenced or cls.name in project.registry_exempt:
-                continue
-            yield make_finding(
-                module, cls, self.id, self.default_severity,
-                f"detector {cls.name!r} is not reachable from any registry "
-                f"factory ({', '.join(sorted(FACTORY_NAMES))}); register it "
-                f"or exempt it in [tool.repro-lint.registry-contract]",
-                data={"detector": cls.name, "check": "reachability"},
-            )
+    def _check_reachability(self, index: "ProjectIndex") -> Iterable[Finding]:
+        referenced: Set[str] = set()
+        for summary in index.summaries:
+            for factory in summary["registry"]["factories"]:
+                referenced.update(factory["referenced"])
+
+        concrete = self._concrete_detectors(index)
+        for summary in index.summaries:
+            for cls in summary["classes"]:
+                if cls["name"] not in concrete:
+                    continue
+                if cls["name"] in referenced or cls["name"] in index.registry_exempt:
+                    continue
+                yield _finding(
+                    summary, cls, self.default_severity,
+                    f"detector {cls['name']!r} is not reachable from any "
+                    f"registry factory ({', '.join(sorted(FACTORY_NAMES))}); "
+                    f"register it or exempt it in "
+                    f"[tool.repro-lint.registry-contract]",
+                    data={"detector": cls["name"], "check": "reachability"},
+                )
 
     # ------------------------------------------------------------------
-    def _check_grid_counts(
-        self,
-        project: ProjectInfo,
-        factories: List[Tuple[ModuleInfo, ast.FunctionDef]],
+    def _check_grid_counts(self, index: "ProjectIndex") -> Iterable[Finding]:
+        grids: Dict[str, int] = {}
+        for summary in index.summaries:
+            grids.update(summary["registry"]["grids"])
+
+        for summary in index.summaries:
+            registry = summary["registry"]
+            for factory in registry["factories"]:
+                if factory["name"] != COUNTED_FACTORY:
+                    continue
+                expected_configs = registry["int_constants"].get(
+                    EXPECTED_CONFIGS_NAME
+                )
+                expected_detectors = registry["int_constants"].get(
+                    EXPECTED_DETECTORS_NAME
+                )
+                if expected_configs is None and expected_detectors is None:
+                    continue  # module does not pin the bank size
+                yield from self._check_one_factory(
+                    index, summary, factory, grids,
+                    expected_configs, expected_detectors,
+                )
+
+    def _check_one_factory(
+        self, index, summary, factory, grids,
+        expected_configs, expected_detectors,
     ) -> Iterable[Finding]:
-        counted = [
-            (module, factory)
-            for module, factory in factories
-            if factory.name == COUNTED_FACTORY
-        ]
-        for module, factory in counted:
-            expected_configs = _int_constant(module, EXPECTED_CONFIGS_NAME)
-            expected_detectors = _int_constant(module, EXPECTED_DETECTORS_NAME)
-            if expected_configs is None and expected_detectors is None:
-                continue  # module does not pin the bank size
-            counter = _FactoryCounter(_literal_grids(project))
-            try:
-                derived = counter.count(factory)
-            except _Unresolvable as exc:
-                yield make_finding(
-                    module, exc.expr if hasattr(exc.expr, "lineno") else factory,
-                    self.id, Severity.WARNING,
+        derived = 0
+        classes_used: Set[str] = set()
+        for term in factory["contributions"]:
+            unresolved = term.get("unresolvable")
+            if unresolved is None:
+                # an unknown grid name makes the term symbolic too
+                unresolved = next(
+                    (f for f in term["factors"]
+                     if isinstance(f, str) and f not in grids),
+                    None,
+                )
+            if unresolved is not None:
+                yield _finding(
+                    summary, term, Severity.WARNING,
                     f"cannot statically derive the configuration count of "
-                    f"{factory.name}(): unresolvable grid {exc}",
+                    f"{factory['name']}(): unresolvable grid {unresolved}",
                     data={"check": "grid-unresolvable"},
                 )
-                continue
-            if expected_configs is not None and derived != expected_configs[1]:
-                node, value = expected_configs
-                yield make_finding(
-                    module, node, self.id, self.default_severity,
-                    f"{EXPECTED_CONFIGS_NAME} = {value} but the parameter "
-                    f"grids in {factory.name}() produce {derived} "
-                    f"configurations; Table 3 and the code have drifted",
-                    data={"check": "config-count", "derived": str(derived)},
-                )
-            concrete = {
-                cls.name
-                for _, cls in subclasses_of(project, ["Detector"])
-                if not cls.name.startswith("_") and not _is_abstract(cls)
-            }
-            used = counter.classes_used & concrete if concrete else counter.classes_used
-            if expected_detectors is not None and len(used) != expected_detectors[1]:
-                node, value = expected_detectors
-                yield make_finding(
-                    module, node, self.id, self.default_severity,
-                    f"{EXPECTED_DETECTORS_NAME} = {value} but "
-                    f"{factory.name}() constructs {len(used)} distinct "
-                    f"detector classes ({', '.join(sorted(used))})",
-                    data={"check": "detector-count", "derived": str(len(used))},
-                )
+                return
+            count = 1
+            for factor in term["factors"]:
+                count *= grids[factor] if isinstance(factor, str) else factor
+            derived += count
+            classes_used.update(term["classes"])
+
+        if expected_configs is not None and derived != expected_configs["value"]:
+            yield _finding(
+                summary, expected_configs, self.default_severity,
+                f"{EXPECTED_CONFIGS_NAME} = {expected_configs['value']} but "
+                f"the parameter grids in {factory['name']}() produce "
+                f"{derived} configurations; Table 3 and the code have "
+                f"drifted",
+                data={"check": "config-count", "derived": str(derived)},
+            )
+        concrete = self._concrete_detectors(index)
+        used = classes_used & concrete if concrete else classes_used
+        if expected_detectors is not None and len(used) != expected_detectors["value"]:
+            yield _finding(
+                summary, expected_detectors, self.default_severity,
+                f"{EXPECTED_DETECTORS_NAME} = {expected_detectors['value']} "
+                f"but {factory['name']}() constructs {len(used)} distinct "
+                f"detector classes ({', '.join(sorted(used))})",
+                data={"check": "detector-count", "derived": str(len(used))},
+            )

@@ -1,0 +1,67 @@
+"""``suppression-justification``: every disable carries a reason.
+
+A ``# repro: disable=<rule>`` comment switches a contract check off for
+a line or a whole definition; six months later nobody remembers why.
+This rule makes the why part of the directive itself:
+
+* a *bare* ``# repro: disable`` (no rule list) is always a finding —
+  it silences every current and future rule at once;
+* ``# repro: disable=<rule>`` without trailing justification text
+  (``— reason`` / ``: reason``) is a finding.
+
+Findings of this rule are deliberately **not suppressible** (the engine
+exempts them from suppression filtering, like ``parse-error``) — the
+directive being complained about sits on the very line the finding
+anchors to and would otherwise swallow it.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..finding import Finding, Severity
+from ..suppressions import iter_directives
+from .base import ModuleInfo, Rule, register
+
+RULE_ID = "suppression-justification"
+
+
+@register
+class SuppressionJustificationRule(Rule):
+    id = RULE_ID
+    description = (
+        "every `# repro: disable=<rule>` names its rules and carries a "
+        "trailing justification (`— reason`); bare disables are findings"
+    )
+    default_severity = Severity.ERROR
+
+    def check_module(self, module: ModuleInfo) -> Iterable[Finding]:
+        for line, rules, justification in iter_directives(module.source):
+            if rules is None:
+                yield Finding(
+                    file=module.display_path,
+                    line=line,
+                    col=0,
+                    rule=self.id,
+                    severity=self.default_severity,
+                    message=(
+                        "bare '# repro: disable' suppresses every rule, "
+                        "current and future; name the rule(s) and add a "
+                        "reason: '# repro: disable=<rule> — reason'"
+                    ),
+                    data={"check": "bare"},
+                )
+            elif not justification:
+                listed = ",".join(sorted(rules))
+                yield Finding(
+                    file=module.display_path,
+                    line=line,
+                    col=0,
+                    rule=self.id,
+                    severity=self.default_severity,
+                    message=(
+                        f"suppression of {listed} has no justification; "
+                        f"append one: '# repro: disable={listed} — reason'"
+                    ),
+                    data={"check": "unjustified", "rules": listed},
+                )

@@ -1,0 +1,133 @@
+"""``worker-reachability``: process-pool workers must stay stateless.
+
+The process backend in ``repro.core.execution`` forks workers that each
+import the library fresh; any module- or class-level state a worker
+mutates is silently process-local and never reaches the parent. Instead
+of heuristically scanning ``Detector`` methods, this rule walks the
+approximate project call graph from the configured worker entry points
+(``_process_worker_init`` / ``_process_worker_run`` by default, see
+``[tool.repro-lint.worker-reachability] entry-points``) and flags every
+*transitively reachable* function that:
+
+* declares ``global`` and rebinds module names,
+* writes class attributes (``cls.x = ...``, ``type(self).x = ...``,
+  ``SomeClass.x = ...``),
+* assigns through module-level state (``STATE["k"] = ...``), or
+* calls a mutating method on module-level state (``CACHE.append(...)``).
+
+Mutations of imported *modules* (``os``, ``np``) are out of scope here —
+seeding is the determinism rule's job — as is instance state
+(``self.x``), which is process-local by design. Each finding names the
+call chain the mutation is reached through, so the fix (or the
+justified suppression) is one hop away. The call graph resolves
+dispatch by name only; functions invoked via ``getattr`` or stored
+callables are invisible to it (documented in docs/static_analysis.md).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable, List, Set
+
+from ..finding import Finding, Severity
+from .base import Rule, register
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..project.index import ProjectIndex
+
+RULE_ID = "worker-reachability"
+
+#: Entry points used when the config does not override them.
+DEFAULT_ENTRY_POINTS = ("_process_worker_init", "_process_worker_run")
+
+
+@register
+class WorkerReachabilityRule(Rule):
+    id = RULE_ID
+    description = (
+        "functions reachable from the process-backend worker entry points "
+        "must not mutate module or class state (call-graph reachability)"
+    )
+    default_severity = Severity.ERROR
+
+    def check_summaries(self, index: "ProjectIndex") -> Iterable[Finding]:
+        entries = index.worker_entry_points or list(DEFAULT_ENTRY_POINTS)
+        graph = index.callgraph
+        parents = graph.reachable_from(entries)
+        if not parents:
+            return
+
+        class_names = index.class_names()
+        module_state: dict = {}
+        for summary in index.summaries:
+            imported = set(summary["imports"])
+            module_state[summary["path"]] = (
+                set(summary["top_level"]) - imported - class_names
+            )
+
+        for key in sorted(parents):
+            summary, func = graph.units[key]
+            chain = " -> ".join(graph.chain(key, parents))
+            where = func["qualname"]
+            shared = module_state[summary["path"]]
+            yield from self._check_unit(
+                summary, func, where, chain, shared, class_names
+            )
+
+    # ------------------------------------------------------------------
+    def _check_unit(
+        self, summary: dict, func: dict, where: str, chain: str,
+        shared: Set[str], class_names: Set[str],
+    ) -> Iterable[Finding]:
+        def finding(record: dict, message: str, data: dict) -> Finding:
+            data = dict(data, chain=chain)
+            return Finding(
+                file=summary["path"],
+                line=record["lineno"],
+                col=record.get("col", 0),
+                rule=self.id,
+                severity=self.default_severity,
+                message=message,
+                data=data,
+            )
+
+        for record in func["globals"]:
+            names = ", ".join(record["names"])
+            yield finding(
+                record,
+                f"{where} rebinds module globals ({names}) and is reachable "
+                f"from the process backend via {chain}; worker-visible "
+                f"state must stay process-local and explicit",
+                {"kind": "global"},
+            )
+
+        for record in func["attr_writes"]:
+            base = record["base"]
+            if record["direct_attr"] and (
+                base == "cls"
+                or record["is_type_call"]
+                or base in class_names
+            ):
+                yield finding(
+                    record,
+                    f"{where} writes a class attribute; per-process class "
+                    f"state breaks the process backend (reachable via "
+                    f"{chain})",
+                    {"kind": "class-write"},
+                )
+            elif not record["is_local"] and base in shared:
+                yield finding(
+                    record,
+                    f"{where} writes module-level {base!r}; workers never "
+                    f"share it back with the parent (reachable via {chain})",
+                    {"kind": "module-write"},
+                )
+
+        for record in func["mut_calls"]:
+            if not record["is_local"] and record["base"] in shared:
+                yield finding(
+                    record,
+                    f"{where} calls {record['base']}.{record['method']}(...) "
+                    f"on module-level state; workers never share it back "
+                    f"with the parent (reachable via {chain})",
+                    {"kind": "module-mutation"},
+                )

@@ -1,4 +1,4 @@
-"""Inline suppression comments: ``# repro: disable=<rule>``.
+"""Inline suppression comments: ``# repro: disable=<rule> — reason``.
 
 Suppressions are scoped by where the comment sits:
 
@@ -6,9 +6,12 @@ Suppressions are scoped by where the comment sits:
 * On a ``def``/``class`` header line (or one of its decorator lines) —
   suppresses the named rules for the whole body of that definition.
 * ``# repro: disable`` with no rule list disables every rule for the
-  same scope. Use sparingly; prefer naming the rule being silenced.
+  same scope — but the ``suppression-justification`` rule reports every
+  bare disable, so name the rules being silenced.
 
-Multiple rules are comma-separated: ``# repro: disable=a,b``. The
+Multiple rules are comma-separated: ``# repro: disable=a,b — reason``.
+The justification text after the rule list (separated by a dash or
+colon) is mandatory: a directive without one is itself a finding. The
 engine counts how many findings each suppression removed, so reporters
 can surface the suppressed total.
 """
@@ -19,7 +22,7 @@ import ast
 import io
 import re
 import tokenize
-from typing import Dict, FrozenSet, Set
+from typing import Dict, FrozenSet, Iterator, Optional, Set, Tuple
 
 #: Sentinel meaning "all rules" (a bare ``disable`` with no rule list).
 ALL_RULES = "*"
@@ -27,6 +30,39 @@ ALL_RULES = "*"
 _DIRECTIVE = re.compile(
     r"#\s*repro:\s*disable(?:\s*=\s*(?P<rules>[\w\-\*]+(?:\s*,\s*[\w\-\*]+)*))?"
 )
+
+
+def iter_directives(
+    source: str,
+) -> Iterator[Tuple[int, Optional[FrozenSet[str]], str]]:
+    """Yield ``(line, rules, justification)`` per suppression directive.
+
+    ``rules`` is ``None`` for a bare ``# repro: disable`` (suppresses
+    everything); ``justification`` is the comment text after the
+    directive with leading separators (dashes, colons) stripped — empty
+    when the author gave no reason.
+    """
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for token in tokens:
+            if token.type != tokenize.COMMENT:
+                continue
+            match = _DIRECTIVE.search(token.string)
+            if match is None:
+                continue
+            rules = match.group("rules")
+            parsed = (
+                None
+                if rules is None
+                else frozenset(
+                    part.strip() for part in rules.split(",") if part.strip()
+                )
+            )
+            trailer = token.string[match.end():]
+            justification = trailer.strip().lstrip("—–-: \t").strip()
+            yield token.start[0], parsed, justification
+    except (tokenize.TokenizeError, IndentationError, SyntaxError):
+        return  # unparseable files are reported via the parse-error rule
 
 
 def _parse_directive(comment: str) -> Set[str]:

@@ -21,10 +21,11 @@ decides *where* the tasks run:
 Whatever the backend, results are assembled into the feature matrix by
 each task's registry indices, so the matrix is bit-identical across all
 three backends (the test suite enforces this for the full Table 3
-bank). Detectors executed under the process backend must not mutate
+bank). Code reachable from the worker entry points must not mutate
 module-level state — mutations would be invisible to the parent and
-make results depend on worker scheduling; the ``worker-safety`` lint
-rule enforces this statically.
+make results depend on worker scheduling; the ``worker-reachability``
+lint rule enforces this statically by walking the project call graph
+from ``_process_worker_init`` / ``_process_worker_run``.
 """
 
 from __future__ import annotations
@@ -264,7 +265,7 @@ _worker_series: Optional[TimeSeries] = None
 _worker_shm = None
 
 
-def _process_worker_init(
+def _process_worker_init(  # repro: disable=worker-reachability — the pool initializer installs the worker-local shared-memory series exactly once per process by design
     shm_name: str, n_points: int, interval: int, start: int, name: str
 ) -> None:
     from multiprocessing import shared_memory

@@ -75,7 +75,7 @@ class CrossValidationPredictor(CThldPredictor):
         train_labels: np.ndarray,
     ) -> float:
         with get_provider().span(
-            "cthld.predict", predictor=self.name
+            "cthld.predict", predictor=self.name, initial=False
         ) as span:
             cthld = cross_validate_cthld(
                 classifier_factory,

@@ -82,7 +82,8 @@ class EventLog:
 
     @property
     def dropped(self) -> int:
-        return self._dropped
+        with self._lock:
+            return self._dropped
 
     def find(self, kind: str) -> List[Dict[str, object]]:
         return [e for e in self.events if e["event"] == kind]

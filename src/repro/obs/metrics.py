@@ -59,7 +59,8 @@ class Counter:
 
     @property
     def value(self) -> float:
-        return self._value
+        with self._lock:
+            return self._value
 
 
 class Gauge:
@@ -84,7 +85,8 @@ class Gauge:
 
     @property
     def value(self) -> float:
-        return self._value
+        with self._lock:
+            return self._value
 
 
 class Histogram:
@@ -118,24 +120,28 @@ class Histogram:
 
     @property
     def counts(self) -> List[int]:
-        return list(self._counts)
+        with self._lock:
+            return list(self._counts)
 
     @property
     def sum(self) -> float:
-        return self._sum
+        with self._lock:
+            return self._sum
 
     @property
     def count(self) -> int:
-        return self._count
+        with self._lock:
+            return self._count
 
     def cumulative(self) -> List[Tuple[str, int]]:
         """``(upper_bound_label, cumulative_count)`` pairs, ``+Inf`` last."""
+        counts = self.counts
         pairs: List[Tuple[str, int]] = []
         running = 0
-        for bound, count in zip(self.buckets, self._counts):
+        for bound, count in zip(self.buckets, counts):
             running += count
             pairs.append((format_bound(bound), running))
-        pairs.append(("+Inf", running + self._counts[-1]))
+        pairs.append(("+Inf", running + counts[-1]))
         return pairs
 
 

@@ -145,7 +145,8 @@ class Tracer:
 
     @property
     def dropped(self) -> int:
-        return self._dropped
+        with self._lock:
+            return self._dropped
 
     def find(self, name: str) -> List[SpanRecord]:
         return [r for r in self.finished if r.name == name]

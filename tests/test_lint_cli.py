@@ -131,14 +131,19 @@ class TestJsonShape:
             capsys, "--no-config", "--format", "json", str(tmp_path)
         )
         payload = json.loads(out)
-        assert payload["version"] == 1
-        assert set(payload) == {"version", "findings", "summary", "rules"}
+        assert payload["version"] == 2
+        assert set(payload) == {
+            "version", "findings", "summary", "rules", "timing"
+        }
         assert payload["summary"] == {
             "files": 1,
             "errors": len(payload["findings"]),
             "warnings": 0,
             "suppressed": 0,
         }
+        assert payload["timing"]["parsed"] == 1
+        assert payload["timing"]["cached"] == 0
+        assert payload["timing"]["duration_seconds"] >= 0.0
         for finding in payload["findings"]:
             assert set(finding) == {
                 "file", "line", "col", "rule", "severity", "message", "data"
@@ -252,3 +257,73 @@ class TestPyprojectConfig:
         monkeypatch.chdir(tmp_path)
         code, _, _ = run_cli(capsys, "--no-config", str(tmp_path / "bad.py"))
         assert code == 1
+
+
+class TestCacheDirOption:
+    def test_warm_run_parses_nothing(self, tmp_path, capsys):
+        (tmp_path / "ok.py").write_text(CLEAN_MODULE)
+        cache = tmp_path / "cache"
+        argv = ("--no-config", "--cache-dir", str(cache), "--format",
+                "json", str(tmp_path / "ok.py"))
+        _, out, _ = run_cli(capsys, *argv)
+        assert json.loads(out)["timing"]["parsed"] == 1
+        _, out, _ = run_cli(capsys, *argv)
+        timing = json.loads(out)["timing"]
+        assert timing["parsed"] == 0
+        assert timing["cached"] == 1
+
+
+class TestChangedOnly:
+    """--changed-only analyses everything but reports only changed files."""
+
+    def _git(self, cwd, *argv):
+        import subprocess
+
+        subprocess.run(
+            ["git", "-c", "user.name=t", "-c", "user.email=t@example.com",
+             *argv],
+            cwd=cwd, check=True, capture_output=True,
+        )
+
+    def _setup_repo(self, tmp_path):
+        self._git(tmp_path, "init", "-q")
+        (tmp_path / "committed.py").write_text(
+            "import numpy as np\nx = np.random.normal()\n"
+        )
+        self._git(tmp_path, "add", ".")
+        self._git(tmp_path, "commit", "-q", "-m", "seed")
+
+    def test_committed_findings_filtered_out(self, tmp_path, capsys,
+                                             monkeypatch):
+        self._setup_repo(tmp_path)
+        monkeypatch.chdir(tmp_path)
+        code, out, _ = run_cli(
+            capsys, "--no-config", "--changed-only", "HEAD", str(tmp_path)
+        )
+        assert code == 0
+        assert "0 error(s)" in out
+
+    def test_new_file_findings_reported(self, tmp_path, capsys, monkeypatch):
+        self._setup_repo(tmp_path)
+        (tmp_path / "fresh.py").write_text(
+            "import numpy as np\ny = np.random.normal()\n"
+        )
+        monkeypatch.chdir(tmp_path)
+        code, out, _ = run_cli(
+            capsys, "--no-config", "--changed-only", "HEAD", "--format",
+            "json", str(tmp_path)
+        )
+        assert code == 1
+        files = {f["file"] for f in json.loads(out)["findings"]}
+        assert any(f.endswith("fresh.py") for f in files)
+        assert not any(f.endswith("committed.py") for f in files)
+
+    def test_bad_ref_exits_two(self, tmp_path, capsys, monkeypatch):
+        self._setup_repo(tmp_path)
+        monkeypatch.chdir(tmp_path)
+        code, _, err = run_cli(
+            capsys, "--no-config", "--changed-only", "no-such-ref",
+            str(tmp_path)
+        )
+        assert code == 2
+        assert "no-such-ref" in err
