@@ -284,7 +284,8 @@ class MonitoringService:
             raise RuntimeError("bootstrap() must run before ingest()")
         obs = get_provider()
         with obs.timer(
-            "repro_ingest_seconds", "MonitoringService.ingest wall time"
+            "repro_ingest_seconds", "MonitoringService.ingest wall time",
+            kpi=self.kpi or "",
         ):
             decision = self._streaming.push(value)
         self._pending_values.append(float(value))
@@ -499,7 +500,7 @@ class MonitoringService:
             self._opprentice._train_labels,
         )
         self._streaming = StreamingDetector(
-            self._opprentice, checkpoint=checkpoint
+            self._opprentice, checkpoint=checkpoint, kpi=combined.name
         )
         self._history = combined
         self._labeled_until = len(combined)
@@ -633,7 +634,8 @@ class MonitoringService:
             # first so a mismatched checkpoint leaves the service
             # untouched.
             streaming = StreamingDetector(
-                self._opprentice, checkpoint=snapshot["stream"]
+                self._opprentice, checkpoint=snapshot["stream"],
+                kpi=history.name,
             )
             self._history = history
             self._label_windows = [

@@ -68,12 +68,18 @@ class StreamingDetector:
         opprentice: Opprentice,
         history: Optional[TimeSeries] = None,
         checkpoint: Optional[Mapping[str, Any]] = None,
+        kpi: Optional[str] = None,
     ):
         if opprentice.classifier_ is None or opprentice.imputer_ is None:
             raise ValueError("StreamingDetector needs a fitted Opprentice")
         if history is not None and checkpoint is not None:
             raise ValueError("pass either history or checkpoint, not both")
         self._opprentice = opprentice
+        # Per-KPI latency attribution: the kpi label on the per-point
+        # stage timers; falls back to the replayed history's name.
+        self.kpi = kpi if kpi is not None else (
+            history.name if history is not None else None
+        )
         configs = opprentice.extractor.config_bank
         if configs is None:
             raise ValueError(
@@ -163,6 +169,7 @@ class StreamingDetector:
             "repro_stream_point_seconds",
             "Per-point streaming latency by stage (§4.3.2/§5.8)",
             stage="features",
+            kpi=self.kpi or "",
         ):
             severities = self._advance(float(value))
         opprentice = self._opprentice
@@ -170,6 +177,7 @@ class StreamingDetector:
             "repro_stream_point_seconds",
             "Per-point streaming latency by stage (§4.3.2/§5.8)",
             stage="classify",
+            kpi=self.kpi or "",
         ):
             features = opprentice.imputer_.transform(severities[np.newaxis, :])
             score = float(opprentice.classifier_.predict_proba(features)[0])

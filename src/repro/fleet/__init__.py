@@ -24,6 +24,7 @@ boundaries: the other KPIs' alert streams are bit-identical to a fleet
 without the fault (pinned by the fleet test suite).
 """
 
+from .banks import small_bank
 from .manager import FLEET_FORMAT_VERSION, FleetManager, ServiceFactory
 from .scheduler import (
     QUEUE_POLICIES,
@@ -43,6 +44,7 @@ from .status import (
 )
 
 __all__ = [
+    "small_bank",
     "FleetManager",
     "ServiceFactory",
     "FLEET_FORMAT_VERSION",

@@ -1,0 +1,40 @@
+"""Shared detector banks for fleet-scale runs.
+
+The full Table 3 bank (133 configurations, HW season scans) is priced
+for one KPI; a fleet of 64+ KPIs on one core needs a lighter bank with
+the same detector diversity. :func:`small_bank` is that bank — it was
+born in the ``repro-fleet`` CLI and is now shared with the
+``repro-loadgen`` soak harness so benchmarks, soaks and the CLI all
+exercise identical per-point work.
+"""
+
+from __future__ import annotations
+
+from ..detectors import (
+    EWMA,
+    Diff,
+    HistoricalAverage,
+    SimpleMA,
+    SimpleThreshold,
+    TSDMad,
+    build_configs,
+)
+
+
+def small_bank(points_per_week: int):
+    """A 7-configuration bank for fleet smokes and soaks — the same
+    shape the unit tests use, fast enough for 64 KPIs on one core."""
+    return build_configs(
+        [
+            SimpleThreshold(),
+            Diff("last-slot", 1),
+            SimpleMA(5),
+            SimpleMA(20),
+            EWMA(0.5),
+            TSDMad(1, points_per_week),
+            HistoricalAverage(1, points_per_week // 7),
+        ]
+    )
+
+
+__all__ = ["small_bank"]

@@ -31,43 +31,19 @@ from pathlib import Path
 from typing import List, Optional
 
 from ..core import MonitoringService
-from ..detectors import (
-    EWMA,
-    Diff,
-    HistoricalAverage,
-    SimpleMA,
-    SimpleThreshold,
-    TSDMad,
-    build_configs,
-)
 from ..ml import RandomForest
 from ..obs import enable_from_env, write_snapshot
 from ..timeseries import TimeSeries
 from ..timeseries.io import read_csv
+from .banks import small_bank
 from .manager import FleetManager
 from .status import DEGRADED
-
-
-def _small_bank(points_per_week: int):
-    """A 7-configuration bank for fleet smokes and soaks — the same
-    shape the unit tests use, fast enough for 64 KPIs on one core."""
-    return build_configs(
-        [
-            SimpleThreshold(),
-            Diff("last-slot", 1),
-            SimpleMA(5),
-            SimpleMA(20),
-            EWMA(0.5),
-            TSDMad(1, points_per_week),
-            HistoricalAverage(1, points_per_week // 7),
-        ]
-    )
 
 
 def _service_factory(args, points_per_week: int):
     def build(kpi_id: str) -> MonitoringService:
         configs = (
-            None if args.bank == "full" else _small_bank(points_per_week)
+            None if args.bank == "full" else small_bank(points_per_week)
         )
         return MonitoringService(
             configs=configs,

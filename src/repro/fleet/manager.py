@@ -50,7 +50,7 @@ from ..core.persistence import (
     save_service_checkpoint,
 )
 from ..core.service import AlertEvent, MonitoringService
-from ..obs import get_provider, merge_snapshots
+from ..obs import estimate_percentile, get_provider, merge_snapshots
 from ..timeseries import TimeSeries
 from .scheduler import Scheduler
 from .status import (
@@ -305,9 +305,16 @@ class FleetManager:
             return []
         batch = self._scheduler.drain(kpi_id, limit)
         events: List[AlertEvent] = []
+        ingest_timer = get_provider().timer(
+            "repro_fleet_ingest_seconds",
+            "Per-point fleet ingest wall time (queue drain to alert "
+            "decision), labelled by KPI",
+            kpi=kpi_id,
+        )
         for position, value in enumerate(batch):
             try:
-                events.extend(handle.service.ingest(value))
+                with ingest_timer:
+                    events.extend(handle.service.ingest(value))
             except Exception as error:  # repro: disable=api-hygiene — fault isolation: one KPI's detector/classifier failure must quarantine that KPI, not crash the fleet
                 self._record_drop(kpi_id, handle, "error")
                 self._scheduler.requeue_front(kpi_id, batch[position + 1:])
@@ -451,6 +458,25 @@ class FleetManager:
     # ------------------------------------------------------------------
     # Rollups
     # ------------------------------------------------------------------
+    def _ingest_p99(self, kpi_id: str) -> Optional[float]:
+        """Estimated p99 of ``repro_fleet_ingest_seconds{kpi=...}`` from
+        the global provider (None when obs is off or no points yet)."""
+        histogram = get_provider().histogram(
+            "repro_fleet_ingest_seconds",
+            "Per-point fleet ingest wall time (queue drain to alert "
+            "decision), labelled by KPI",
+            kpi=kpi_id,
+        )
+        counts = getattr(histogram, "counts", None)
+        if counts is None:  # NullProvider handle has no buckets
+            return None
+        cumulative: List[float] = []
+        running = 0.0
+        for count in counts:
+            running += count
+            cumulative.append(running)
+        return estimate_percentile(histogram.buckets, cumulative, 0.99)
+
     def status(self) -> FleetStatus:
         """A point-in-time :class:`FleetStatus` snapshot."""
         kpis = []
@@ -474,6 +500,7 @@ class FleetManager:
                     quarantines=handle.quarantines,
                     last_error=handle.last_error,
                     dropped=dict(handle.dropped),
+                    ingest_p99=self._ingest_p99(kpi_id),
                 )
             )
         return FleetStatus(kpis=tuple(kpis), cycles=self._cycles)

@@ -44,6 +44,10 @@ class KpiStatus:
     quarantines: int = 0
     last_error: Optional[str] = None
     dropped: Dict[str, int] = field(default_factory=dict)
+    #: Estimated p99 of ``repro_fleet_ingest_seconds{kpi=...}`` in
+    #: seconds; None when observability is disabled or no point has
+    #: been pumped yet.
+    ingest_p99: Optional[float] = None
 
     @property
     def dropped_total(self) -> int:
@@ -67,6 +71,7 @@ class KpiStatus:
             "quarantines": self.quarantines,
             "last_error": self.last_error,
             "dropped": dict(self.dropped),
+            "ingest_p99": self.ingest_p99,
         }
 
 
@@ -127,15 +132,19 @@ class FleetStatus:
         header = (
             f"{'KPI':<20} {'STATE':<12} {'SHARD':>5} {'QUEUE':>6} "
             f"{'POINTS':>8} {'ALERTS':>7} {'DROPPED':>8} {'QUAR':>5} "
-            f"{'CTHLD':>8}"
+            f"{'CTHLD':>8} {'ING-P99':>9}"
         )
         lines = [header, "-" * len(header)]
         for kpi in self.kpis:
+            p99 = (
+                "-" if kpi.ingest_p99 is None
+                else f"{kpi.ingest_p99:.4g}s"
+            )
             lines.append(
                 f"{kpi.kpi_id:<20} {kpi.state:<12} {kpi.shard:>5} "
                 f"{kpi.queue_depth:>6} {kpi.points_ingested:>8} "
                 f"{kpi.alerts_opened:>7} {kpi.dropped_total:>8} "
-                f"{kpi.quarantines:>5} {kpi.cthld:>8.4f}"
+                f"{kpi.quarantines:>5} {kpi.cthld:>8.4f} {p99:>9}"
             )
         states = self.states
         summary = ", ".join(

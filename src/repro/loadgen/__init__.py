@@ -1,0 +1,36 @@
+"""Sustained-load generation for the Opprentice fleet.
+
+§5.8's runtime numbers are one-shot measurements; the ROADMAP's
+north-star asks whether they *hold* under sustained multi-KPI load —
+retraining waves, quarantine churn, backpressure drops — over simulated
+weeks. This package is the harness that finds out:
+
+* :class:`SoakHarness` — replays Table 1 synthetic profiles into a
+  :class:`~repro.fleet.FleetManager` on a simulated clock, drives
+  staggered retraining waves and (optionally) injected faults, and
+  records kpi-tagged metrics snapshots at simulated-time checkpoints;
+* :class:`FaultInjectingService` — a :class:`~repro.core.
+  MonitoringService` that fails every Nth ingest, exercising the
+  fleet's quarantine/recovery lifecycle under load;
+* the ``repro-loadgen`` CLI (``python -m repro.loadgen``) — the
+  entry point the CI ``slo-gate`` job runs; its soak document feeds
+  ``repro-obs slo`` (see :mod:`repro.obs.slo`).
+"""
+
+from .harness import (
+    DEFAULT_ALERT_DELAY_BUCKETS,
+    FaultInjectingService,
+    InjectedFault,
+    SoakConfig,
+    SoakHarness,
+    SoakResult,
+)
+
+__all__ = [
+    "DEFAULT_ALERT_DELAY_BUCKETS",
+    "FaultInjectingService",
+    "InjectedFault",
+    "SoakConfig",
+    "SoakHarness",
+    "SoakResult",
+]

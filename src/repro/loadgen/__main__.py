@@ -1,0 +1,8 @@
+"""``python -m repro.loadgen`` — the :mod:`repro.loadgen.cli` entry."""
+
+import sys
+
+from .cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,148 @@
+"""``repro-loadgen`` — soak the fleet and write an SLO-ready document.
+
+Usage::
+
+    repro-loadgen --kpis 8 --weeks 0.25 --out soak.json
+    repro-obs slo --targets slo/targets.toml --snapshot soak.json
+
+The CLI enables observability unconditionally (a soak without metrics
+would gate on nothing), streams the configured simulated span through a
+:class:`~repro.loadgen.SoakHarness`, prints the fleet status table and
+a one-line summary, and writes the checkpointed soak document that
+``repro-obs slo`` evaluates. Exit code 0 when the soak streamed the
+whole simulated span, 3 when the wall-clock budget cut it short
+(``--max-wall-seconds``), 2 on bad arguments.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from ..obs import enable
+from .harness import SoakConfig, SoakHarness
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-loadgen",
+        description=(
+            "Replay Table 1 synthetic profiles into a fleet over "
+            "simulated weeks, with retraining waves and quarantine "
+            "churn, and write kpi-tagged metrics checkpoints."
+        ),
+    )
+    parser.add_argument(
+        "--kpis", type=int, default=8, help="KPIs to manage (default 8)"
+    )
+    parser.add_argument(
+        "--weeks", type=float, default=0.25,
+        help="simulated stream length after bootstrap (default 0.25)",
+    )
+    parser.add_argument(
+        "--bootstrap-weeks", type=float, default=1.0,
+        help="labelled bootstrap history per KPI (default 1.0)",
+    )
+    parser.add_argument(
+        "--profiles", nargs="+", default=["PV", "#SR", "SRT"],
+        help="Table 1 profiles to cycle across KPIs",
+    )
+    parser.add_argument(
+        "--checkpoint-every", type=float, default=3600.0,
+        help="simulated seconds between metrics checkpoints",
+    )
+    parser.add_argument(
+        "--retrain-every", type=float, default=6 * 3600.0,
+        help="simulated seconds between retrain waves (0 disables)",
+    )
+    parser.add_argument(
+        "--fault-kpis", type=int, default=2,
+        help="leading KPIs that fail every Nth ingest (default 2)",
+    )
+    parser.add_argument(
+        "--fault-every", type=int, default=40,
+        help="inject a fault every Nth ingest on fault KPIs",
+    )
+    parser.add_argument(
+        "--points-per-second", type=float, default=0.0,
+        help="real-time pacing; 0 streams as fast as possible",
+    )
+    parser.add_argument(
+        "--max-wall-seconds", type=float, default=0.0,
+        help="wall-clock budget; 0 is unbounded",
+    )
+    parser.add_argument(
+        "--trees", type=int, default=10,
+        help="random-forest size per KPI (default 10)",
+    )
+    parser.add_argument(
+        "--seed-offset", type=int, default=0,
+        help="shift every KPI's generation seed (replica soaks)",
+    )
+    parser.add_argument(
+        "--out", default=None,
+        help="write the checkpointed soak document (JSON) here",
+    )
+    parser.add_argument(
+        "--json", action="store_true",
+        help="print the run summary as JSON instead of text",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        config = SoakConfig(
+            n_kpis=args.kpis,
+            weeks=args.weeks,
+            bootstrap_weeks=args.bootstrap_weeks,
+            profiles=tuple(args.profiles),
+            checkpoint_every=args.checkpoint_every,
+            retrain_every=args.retrain_every,
+            fault_kpis=args.fault_kpis,
+            fault_every=args.fault_every,
+            points_per_second=args.points_per_second,
+            max_wall_seconds=args.max_wall_seconds,
+            trees=args.trees,
+            seed_offset=args.seed_offset,
+        )
+        enable()
+        harness = SoakHarness(config)
+        result = harness.run()
+    except ValueError as error:
+        print(f"repro-loadgen: {error}", file=sys.stderr)
+        return 2
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(result.document, handle, indent=None, sort_keys=True)
+            handle.write("\n")
+    if args.json:
+        summary = dict(result.document)
+        del summary["checkpoints"]  # the bulky part lives in --out
+        print(json.dumps(summary, indent=2, sort_keys=True))
+    else:
+        print(harness.fleet.status().render())
+        print(
+            f"soak: {result.points_offered} points over "
+            f"{result.sim_seconds / 3600.0:.1f} simulated hours in "
+            f"{result.wall_seconds:.1f}s wall "
+            f"({len(result.document['checkpoints'])} checkpoints, "
+            f"{result.alerts_opened} alerts, "
+            f"{result.quarantines} quarantines)"
+        )
+        if args.out:
+            print(f"soak document written to {args.out}")
+    if not result.completed:
+        print(
+            "repro-loadgen: wall budget expired before the simulated "
+            "span finished",
+            file=sys.stderr,
+        )
+        return 3
+    return 0
+
+
+__all__ = ["build_parser", "main"]

@@ -1,0 +1,415 @@
+"""The soak harness: simulated weeks of multi-KPI load on one fleet.
+
+The harness replays Table 1 synthetic profiles (PV, #SR, SRT — cycled
+when more KPIs are requested than profiles exist) into a
+:class:`~repro.fleet.FleetManager` on a *simulated* clock: one tick per
+greatest-common-divisor of the KPI sampling intervals, each KPI
+offering a point whenever its interval comes due, one fleet pump per
+tick. On top of the steady stream it drives the two operational
+stressors the SLO gate cares about:
+
+* **retraining waves** — every ``retrain_every`` simulated seconds the
+  ground-truth anomaly windows accumulated so far are submitted as
+  operator labels and a staggered :meth:`FleetManager.retrain` wave
+  runs;
+* **quarantine churn** — the first ``fault_kpis`` KPIs are built on a
+  :class:`FaultInjectingService` that raises on every Nth ingest, so
+  the fleet's quarantine → backoff → recovery lifecycle keeps cycling
+  under load (failures are never consecutive, so no KPI degrades).
+
+At every ``checkpoint_every`` simulated seconds the harness records a
+combined metrics snapshot (the global provider plus the per-KPI
+registry rollup) tagged with the simulated timestamp. The resulting
+soak document is exactly what ``repro-obs slo`` consumes for
+multi-window burn-rate evaluation (see :mod:`repro.obs.slo`).
+
+Two metrics exist only here:
+
+* ``repro_loadgen_points_offered_total{kpi}`` — the denominator for
+  drop-ratio SLOs (``repro_fleet_dropped_points_total`` is the
+  numerator);
+* ``repro_alert_delay_points{kpi}`` — detection delay of each opened
+  alert in *points* past the ground-truth window begin (the paper's
+  Fig. 12 delay axis), a point-valued histogram the alert-delay SLO
+  consumes.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from bisect import bisect_right
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.service import AlertEvent, MonitoringService
+from ..data.datasets import PROFILES, make_kpi
+from ..fleet.banks import small_bank
+from ..fleet.manager import FleetManager
+from ..ml import RandomForest
+from ..obs import combine_snapshots, get_provider
+from ..timeseries.windows import AnomalyWindow
+
+#: Point-valued buckets for ``repro_alert_delay_points`` — spanning the
+#: duration filter's floor (alerts open after ``min_duration_points``)
+#: up to a whole missed window.
+DEFAULT_ALERT_DELAY_BUCKETS: Tuple[float, ...] = (
+    0.0, 1.0, 2.0, 3.0, 4.0, 6.0, 8.0, 12.0, 16.0, 24.0, 32.0, 48.0,
+    64.0,
+)
+
+SECONDS_PER_WEEK = 7 * 24 * 3600
+
+
+class InjectedFault(RuntimeError):
+    """The deliberate failure a :class:`FaultInjectingService` raises."""
+
+
+class FaultInjectingService(MonitoringService):
+    """A monitoring service that fails every Nth ingest.
+
+    The failures are periodic, never consecutive, so the owning fleet
+    quarantines and recovers the KPI over and over without ever
+    degrading it — sustained lifecycle churn, which is exactly what the
+    soak wants on a few KPIs.
+    """
+
+    def __init__(self, *args, fault_every: int = 100, **kwargs):
+        if fault_every < 2:
+            raise ValueError("fault_every must be >= 2 (never consecutive)")
+        super().__init__(*args, **kwargs)
+        self.fault_every = fault_every
+        self._ingest_calls = 0
+
+    def ingest(self, value: float) -> List[AlertEvent]:
+        self._ingest_calls += 1
+        if self._ingest_calls % self.fault_every == 0:
+            raise InjectedFault(
+                f"injected fault on ingest #{self._ingest_calls}"
+            )
+        return super().ingest(value)
+
+
+@dataclass(frozen=True)
+class SoakConfig:
+    """Everything one soak run needs, all in simulated seconds."""
+
+    n_kpis: int = 8
+    #: Simulated stream length after bootstrap, in weeks.
+    weeks: float = 0.25
+    #: Labelled history each KPI bootstraps on, in weeks.
+    bootstrap_weeks: float = 1.0
+    #: Profiles cycled across KPIs (Table 1 names).
+    profiles: Tuple[str, ...] = ("PV", "#SR", "SRT")
+    #: Simulated seconds between metrics checkpoints.
+    checkpoint_every: float = 3600.0
+    #: Simulated seconds between label-submission + retrain waves
+    #: (0 disables retraining).
+    retrain_every: float = 6.0 * 3600.0
+    #: How many leading KPIs run on a :class:`FaultInjectingService`.
+    fault_kpis: int = 2
+    #: Those KPIs fail every Nth ingest.
+    fault_every: int = 40
+    #: Real points/second pacing; 0 streams as fast as possible.
+    points_per_second: float = 0.0
+    #: Wall-clock budget in real seconds; 0 is unbounded. On expiry the
+    #: stream stops early (a final checkpoint is still recorded).
+    max_wall_seconds: float = 0.0
+    #: Forest size for the per-KPI classifiers (small: soak, not F1).
+    trees: int = 10
+    min_duration_points: int = 2
+    n_shards: int = 4
+    queue_depth: int = 256
+    batch_points: int = 64
+    max_concurrent_retrains: int = 2
+    seed_offset: int = 0
+
+    def validate(self) -> None:
+        if self.n_kpis < 1:
+            raise ValueError("n_kpis must be >= 1")
+        if self.weeks <= 0 or self.bootstrap_weeks <= 0:
+            raise ValueError("weeks and bootstrap_weeks must be > 0")
+        if not self.profiles:
+            raise ValueError("profiles must not be empty")
+        unknown = [p for p in self.profiles if p not in PROFILES]
+        if unknown:
+            raise ValueError(
+                f"unknown profile(s) {unknown}; Table 1 has "
+                f"{sorted(PROFILES)}"
+            )
+        if self.checkpoint_every <= 0:
+            raise ValueError("checkpoint_every must be > 0")
+        if self.fault_kpis < 0 or self.fault_kpis > self.n_kpis:
+            raise ValueError("fault_kpis must be in [0, n_kpis]")
+
+
+@dataclass
+class SoakResult:
+    """What a soak run produced (``document`` is the on-disk form)."""
+
+    points_offered: int
+    alerts_opened: int
+    quarantines: int
+    sim_seconds: float
+    wall_seconds: float
+    completed: bool  # False when the wall budget expired early
+    document: dict = field(repr=False, default_factory=dict)
+
+
+def _kpi_identifier(profile_name: str, index: int) -> str:
+    """A fleet-legal KPI id (``#SR`` itself is not: ids must start
+    alphanumeric), keeping the profile recognisable: ``SR-003``."""
+    clean = "".join(
+        ch for ch in profile_name if ch.isalnum() or ch in "._-"
+    ) or "KPI"
+    return f"{clean}-{index:03d}"
+
+
+class SoakHarness:
+    """Build the fleet, stream the load, record the checkpoints.
+
+    The harness records into whatever observability provider is active;
+    enable one first (the CLI does) or every checkpoint snapshot — and
+    therefore every SLO — will be empty.
+    """
+
+    def __init__(self, config: SoakConfig):
+        config.validate()
+        self.config = config
+        self._windows: Dict[str, List[AnomalyWindow]] = {}
+        self._window_begins: Dict[str, List[int]] = {}
+        self._live: Dict[str, Sequence[float]] = {}
+        self._intervals: Dict[str, int] = {}
+        self._bootstrap_points: Dict[str, int] = {}
+        self._fault_ids: List[str] = []
+        self.fleet = self._build_fleet()
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def _service_for(self, kpi_id: str) -> MonitoringService:
+        points_per_week = SECONDS_PER_WEEK // self._intervals[kpi_id]
+        config = self.config
+        kwargs = dict(
+            configs=small_bank(points_per_week),
+            classifier_factory=lambda: RandomForest(
+                n_estimators=config.trees, seed=0
+            ),
+            min_duration_points=config.min_duration_points,
+        )
+        if kpi_id in self._fault_ids:
+            return FaultInjectingService(
+                fault_every=config.fault_every, **kwargs
+            )
+        return MonitoringService(**kwargs)
+
+    def _build_fleet(self) -> FleetManager:
+        config = self.config
+        total_weeks = config.bootstrap_weeks + config.weeks
+        fleet = FleetManager(
+            n_shards=config.n_shards,
+            queue_depth=config.queue_depth,
+            batch_points=config.batch_points,
+            max_concurrent_retrains=config.max_concurrent_retrains,
+            service_factory=self._service_for,
+        )
+        for index in range(config.n_kpis):
+            profile = PROFILES[config.profiles[index % len(config.profiles)]]
+            kpi_id = _kpi_identifier(profile.name, index)
+            generated = make_kpi(
+                profile,
+                seed_offset=config.seed_offset + index,
+                weeks=total_weeks,
+            )
+            series = generated.series
+            interval = series.interval
+            points_per_week = SECONDS_PER_WEEK // interval
+            bootstrap_points = int(config.bootstrap_weeks * points_per_week)
+            if len(series) <= bootstrap_points:
+                raise ValueError(
+                    f"{kpi_id}: {len(series)} points cannot cover the "
+                    f"{bootstrap_points}-point bootstrap"
+                )
+            self._intervals[kpi_id] = interval
+            self._bootstrap_points[kpi_id] = bootstrap_points
+            if index < config.fault_kpis:
+                self._fault_ids.append(kpi_id)
+            windows = sorted(generated.windows)
+            self._windows[kpi_id] = windows
+            self._window_begins[kpi_id] = [w.begin for w in windows]
+            self._live[kpi_id] = [
+                float(v)
+                for v in series.slice(bootstrap_points, len(series)).values
+            ]
+            fleet.add_kpi(
+                kpi_id, bootstrap=series.slice(0, bootstrap_points)
+            )
+        return fleet
+
+    # ------------------------------------------------------------------
+    # Attribution
+    # ------------------------------------------------------------------
+    def _record_alert_delays(self, events: Sequence[AlertEvent]) -> int:
+        """Observe per-KPI detection delay (in points) for every opened
+        alert that falls inside a ground-truth anomaly window."""
+        obs = get_provider()
+        opened = 0
+        for event in events:
+            if event.kind != "opened" or event.kpi is None:
+                continue
+            opened += 1
+            begins = self._window_begins.get(event.kpi)
+            if not begins:
+                continue
+            slot = bisect_right(begins, event.begin_index) - 1
+            if slot < 0:
+                continue
+            window = self._windows[event.kpi][slot]
+            if event.begin_index >= window.end:
+                continue  # false alarm between windows; no delay sample
+            obs.histogram(
+                "repro_alert_delay_points",
+                "Detection delay of opened alerts, in points past the "
+                "ground-truth window begin (Fig. 12 delay axis)",
+                buckets=DEFAULT_ALERT_DELAY_BUCKETS,
+                kpi=event.kpi,
+            ).observe(float(event.begin_index - window.begin))
+        return opened
+
+    def _submit_ground_truth(self) -> None:
+        """Feed each KPI the ground-truth windows its service has fully
+        ingested — the operator labelling step before a retrain wave."""
+        for kpi_id, windows in self._windows.items():
+            horizon = self.fleet.service(kpi_id).history_length
+            visible = [w for w in windows if w.end <= horizon]
+            if visible:
+                self.fleet.submit_labels(kpi_id, visible)
+
+    # ------------------------------------------------------------------
+    # The run loop
+    # ------------------------------------------------------------------
+    def run(self) -> SoakResult:
+        config = self.config
+        obs = get_provider()
+        sim_end = config.weeks * SECONDS_PER_WEEK
+        tick = float(math.gcd(*self._intervals.values()))
+        offered_counters = {
+            kpi_id: obs.counter(
+                "repro_loadgen_points_offered_total",
+                "Points the load generator offered to the fleet",
+                kpi=kpi_id,
+            )
+            for kpi_id in self.fleet.kpi_ids
+        }
+        cursors = {kpi_id: 0 for kpi_id in self.fleet.kpi_ids}
+        checkpoints: List[dict] = []
+        points_offered = 0
+        alerts_opened = 0
+        completed = True
+        began = time.monotonic()
+        next_checkpoint = config.checkpoint_every
+        next_retrain = config.retrain_every or float("inf")
+
+        def record_checkpoint(sim_now: float) -> None:
+            checkpoints.append(
+                {
+                    "sim_seconds": sim_now,
+                    "points_offered": points_offered,
+                    "snapshot": combine_snapshots(
+                        [obs.snapshot(), self.fleet.metrics_snapshot()]
+                    ),
+                }
+            )
+
+        with obs.span(
+            "loadgen.soak", n_kpis=config.n_kpis, weeks=config.weeks
+        ) as span:
+            sim_now = 0.0
+            while sim_now < sim_end:
+                sim_now += tick
+                for kpi_id, interval in self._intervals.items():
+                    if sim_now % interval:
+                        continue
+                    cursor = cursors[kpi_id]
+                    live = self._live[kpi_id]
+                    if cursor >= len(live):
+                        continue
+                    self.fleet.offer(kpi_id, live[cursor])
+                    offered_counters[kpi_id].inc()
+                    cursors[kpi_id] = cursor + 1
+                    points_offered += 1
+                alerts_opened += self._record_alert_delays(
+                    self.fleet.pump()
+                )
+                if config.retrain_every and sim_now >= next_retrain:
+                    next_retrain += config.retrain_every
+                    self._submit_ground_truth()
+                    self.fleet.retrain()
+                if sim_now >= next_checkpoint:
+                    next_checkpoint += config.checkpoint_every
+                    record_checkpoint(sim_now)
+                if config.points_per_second > 0:
+                    ahead = (
+                        points_offered / config.points_per_second
+                        - (time.monotonic() - began)
+                    )
+                    if ahead > 0:
+                        time.sleep(ahead)
+                if (
+                    config.max_wall_seconds
+                    and time.monotonic() - began > config.max_wall_seconds
+                ):
+                    completed = False
+                    break
+            # Flush whatever the queues still hold (quarantine backoff
+            # may have starved some KPIs) and close with a checkpoint.
+            alerts_opened += self._record_alert_delays(
+                self.fleet.drain_all()
+            )
+            if not checkpoints or checkpoints[-1]["sim_seconds"] < sim_now:
+                record_checkpoint(sim_now)
+            span.set("points_offered", points_offered)
+            span.set("completed", completed)
+
+        wall = time.monotonic() - began
+        status = self.fleet.status()
+        document = {
+            "version": 1,
+            "config": {
+                "n_kpis": config.n_kpis,
+                "weeks": config.weeks,
+                "bootstrap_weeks": config.bootstrap_weeks,
+                "profiles": list(config.profiles),
+                "checkpoint_every": config.checkpoint_every,
+                "retrain_every": config.retrain_every,
+                "fault_kpis": config.fault_kpis,
+                "fault_every": config.fault_every,
+                "seed_offset": config.seed_offset,
+            },
+            "completed": completed,
+            "wall_seconds": wall,
+            "points_offered": points_offered,
+            "alerts_opened": alerts_opened,
+            "fleet": status.as_dict(),
+            "checkpoints": checkpoints,
+        }
+        return SoakResult(
+            points_offered=points_offered,
+            alerts_opened=alerts_opened,
+            quarantines=status.total_quarantines,
+            sim_seconds=checkpoints[-1]["sim_seconds"],
+            wall_seconds=wall,
+            completed=completed,
+            document=document,
+        )
+
+
+__all__ = [
+    "DEFAULT_ALERT_DELAY_BUCKETS",
+    "SECONDS_PER_WEEK",
+    "InjectedFault",
+    "FaultInjectingService",
+    "SoakConfig",
+    "SoakResult",
+    "SoakHarness",
+]

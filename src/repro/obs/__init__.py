@@ -31,7 +31,10 @@ See ``docs/observability.md`` for the metric and span taxonomy.
 
 from .events import DEFAULT_MAX_EVENTS, EventLog
 from .exporters import (
+    DEFAULT_QUANTILES,
+    combine_snapshots,
     diff_snapshots,
+    histogram_sample_percentiles,
     load_snapshot,
     merge_snapshots,
     render_diff_text,
@@ -46,7 +49,24 @@ from .metrics import (
     Histogram,
     MetricError,
     MetricsRegistry,
+    estimate_cdf,
+    estimate_percentile,
     format_bound,
+)
+from .slo import (
+    DEFAULT_WINDOWS,
+    SLOReport,
+    SLOResult,
+    SLOSpec,
+    SLOSpecError,
+    WindowEval,
+    evaluate_slo,
+    evaluate_slos,
+    load_slo_specs,
+    load_snapshot_series,
+    parse_slo_spec,
+    parse_slo_specs,
+    parse_window,
 )
 from .provider import (
     NULL_PROVIDER,
@@ -72,6 +92,8 @@ __all__ = [
     "MetricError",
     "DEFAULT_LATENCY_BUCKETS",
     "format_bound",
+    "estimate_percentile",
+    "estimate_cdf",
     # tracing
     "Tracer",
     "Span",
@@ -98,6 +120,23 @@ __all__ = [
     "write_snapshot",
     "load_snapshot",
     "merge_snapshots",
+    "combine_snapshots",
     "diff_snapshots",
     "render_diff_text",
+    "histogram_sample_percentiles",
+    "DEFAULT_QUANTILES",
+    # slo
+    "SLOSpec",
+    "SLOSpecError",
+    "SLOReport",
+    "SLOResult",
+    "WindowEval",
+    "DEFAULT_WINDOWS",
+    "parse_window",
+    "parse_slo_spec",
+    "parse_slo_specs",
+    "load_slo_specs",
+    "load_snapshot_series",
+    "evaluate_slo",
+    "evaluate_slos",
 ]

@@ -1,17 +1,23 @@
-"""``repro-obs`` — inspect and compare metrics snapshots.
+"""``repro-obs`` — inspect, compare and gate metrics snapshots.
 
 Usage::
 
     repro-obs dump snapshot.json                 # Prometheus text format
     repro-obs dump snapshot.json --format json   # normalised JSON
+    repro-obs dump snapshot.json --format table  # histogram percentiles
     repro-obs diff before.json after.json        # per-series deltas
     repro-obs diff before.json after.json --format json
+    repro-obs slo --targets slo/targets.toml --snapshot soak.json
 
 ``dump`` renders a JSON snapshot (written by the benchmark harness, the
 streaming example, or :func:`repro.obs.write_snapshot`) as Prometheus
-text exposition or normalised JSON. ``diff`` compares two snapshots and
-exits non-zero with ``--fail-on-change`` when any series moved — usable
-as a regression gate in CI.
+text exposition, normalised JSON, or a histogram table with estimated
+p50/p90/p99 columns. ``diff`` compares two snapshots and exits non-zero
+with ``--fail-on-change`` when any series moved — usable as a
+regression gate in CI. ``slo`` evaluates a declarative targets file
+(see :mod:`repro.obs.slo`) against a snapshot or a ``repro-loadgen``
+soak document and exits 1 on any violated objective — the CI
+``slo-gate`` job is exactly this invocation.
 """
 
 from __future__ import annotations
@@ -23,25 +29,33 @@ from typing import List, Optional
 
 from .exporters import (
     diff_snapshots,
+    histogram_sample_percentiles,
     load_snapshot,
     render_diff_text,
     render_prometheus,
     render_snapshot_json,
+)
+from .slo import (
+    SLOSpecError,
+    evaluate_slos,
+    load_slo_specs,
+    load_snapshot_series,
 )
 
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-obs",
-        description="Inspect and compare repro metrics snapshots.",
+        description="Inspect, compare and gate repro metrics snapshots.",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
     dump = sub.add_parser("dump", help="render one snapshot")
     dump.add_argument("snapshot", help="path to a JSON metrics snapshot")
     dump.add_argument(
-        "--format", choices=["prom", "json"], default="prom",
-        help="output format (default: Prometheus text exposition)",
+        "--format", choices=["prom", "json", "table"], default="prom",
+        help="output format (default: Prometheus text exposition; "
+        "'table' shows estimated p50/p90/p99 per histogram series)",
     )
 
     diff = sub.add_parser("diff", help="compare two snapshots")
@@ -55,13 +69,71 @@ def build_parser() -> argparse.ArgumentParser:
         "--fail-on-change", action="store_true",
         help="exit 1 when any series changed, appeared or disappeared",
     )
+
+    slo = sub.add_parser(
+        "slo", help="evaluate SLO targets against a snapshot"
+    )
+    slo.add_argument(
+        "--targets", required=True,
+        help="SLO spec file (.toml or .json, [[slo]] tables)",
+    )
+    slo.add_argument(
+        "--snapshot", required=True,
+        help="metrics snapshot or repro-loadgen soak document (JSON)",
+    )
+    slo.add_argument(
+        "--format", choices=["text", "json"], default="text",
+        help="report format on stdout (default: text)",
+    )
+    slo.add_argument(
+        "--json-out", default=None,
+        help="also write the full SLOReport JSON to this path",
+    )
     return parser
+
+
+def render_histogram_table(snapshot: dict) -> str:
+    """Histogram families with estimated p50/p90/p99 per series."""
+    header = (
+        f"{'HISTOGRAM':<36} {'LABELS':<28} {'COUNT':>8} "
+        f"{'P50':>10} {'P90':>10} {'P99':>10}"
+    )
+    lines = [header, "-" * len(header)]
+    rows = 0
+    for family in snapshot.get("metrics", []):
+        if family["kind"] != "histogram":
+            continue
+        for sample in family["samples"]:
+            labels = ",".join(
+                f"{key}={value}"
+                for key, value in sorted(sample.get("labels", {}).items())
+            )
+            percentiles = histogram_sample_percentiles(sample)
+            cells = {
+                key: (
+                    "-" if percentiles is None
+                    or percentiles.get(key) is None
+                    else f"{percentiles[key]:.4g}"
+                )
+                for key in ("p50", "p90", "p99")
+            }
+            lines.append(
+                f"{family['name']:<36} {labels:<28} "
+                f"{sample['count']:>8g} {cells['p50']:>10} "
+                f"{cells['p90']:>10} {cells['p99']:>10}"
+            )
+            rows += 1
+    if not rows:
+        lines.append("(no histogram series in snapshot)")
+    return "\n".join(lines) + "\n"
 
 
 def run_dump(args: argparse.Namespace) -> int:
     snapshot = load_snapshot(args.snapshot)
     if args.format == "json":
         print(render_snapshot_json(snapshot))
+    elif args.format == "table":
+        sys.stdout.write(render_histogram_table(snapshot))
     else:
         sys.stdout.write(render_prometheus(snapshot))
     return 0
@@ -79,12 +151,32 @@ def run_diff(args: argparse.Namespace) -> int:
     return 0
 
 
+def run_slo(args: argparse.Namespace) -> int:
+    specs = load_slo_specs(args.targets)
+    series = load_snapshot_series(args.snapshot)
+    report = evaluate_slos(specs, series)
+    if args.json_out:
+        with open(args.json_out, "w", encoding="utf-8") as handle:
+            json.dump(report.as_dict(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    if args.format == "json":
+        print(json.dumps(report.as_dict(), indent=2, sort_keys=True))
+    else:
+        print(report.render())
+    return 0 if report.ok else 1
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     try:
         if args.command == "dump":
             return run_dump(args)
+        if args.command == "slo":
+            return run_slo(args)
         return run_diff(args)
+    except SLOSpecError as error:
+        print(f"repro-obs: invalid SLO spec: {error}", file=sys.stderr)
+        return 2
     except (OSError, ValueError) as error:
         # json.JSONDecodeError subclasses ValueError; a missing or
         # malformed snapshot is a user error, not a traceback.
@@ -94,7 +186,9 @@ def main(argv: Optional[List[str]] = None) -> int:
 
 __all__ = [
     "build_parser",
+    "render_histogram_table",
     "run_dump",
     "run_diff",
+    "run_slo",
     "main",
 ]

@@ -21,7 +21,13 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Dict, List, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from .metrics import estimate_percentile
+
+#: Quantiles rendered by ``repro-obs dump --format table`` and attached
+#: to histogram entries in :func:`diff_snapshots`.
+DEFAULT_QUANTILES: Tuple[float, ...] = (0.5, 0.9, 0.99)
 
 _ESCAPES = {"\\": "\\\\", "\n": "\\n", '"': '\\"'}
 
@@ -101,6 +107,104 @@ def load_snapshot(path) -> dict:
 
 
 # ----------------------------------------------------------------------
+def histogram_sample_percentiles(
+    sample: dict, quantiles: Sequence[float] = DEFAULT_QUANTILES
+) -> Optional[Dict[str, float]]:
+    """``{"p50": ..., "p90": ...}`` estimated from a snapshot histogram
+    sample's cumulative buckets (shared bucket interpolation with the
+    SLO engine — see :func:`repro.obs.metrics.estimate_percentile`).
+    Returns None when the sample has no observations."""
+    bounds, cumulative = _sample_buckets(sample)
+    out: Dict[str, float] = {}
+    for q in quantiles:
+        value = estimate_percentile(bounds, cumulative, q)
+        if value is None:
+            return None
+        out[f"p{q * 100:g}".replace(".", "_")] = value
+    return out
+
+
+def _sample_buckets(sample: dict) -> Tuple[List[float], List[float]]:
+    """Finite bounds + cumulative counts (``+Inf`` last) of a snapshot
+    histogram sample."""
+    bounds: List[float] = []
+    cumulative: List[float] = []
+    for label, count in sample["buckets"]:
+        bound = float(label)
+        cumulative.append(float(count))
+        if bound != float("inf"):
+            bounds.append(bound)
+    return bounds, cumulative
+
+
+def _accumulate_sample(kind: str, into: dict, sample: dict) -> None:
+    """Fold ``sample`` into the already-collected ``into`` (same metric
+    name + label set), honouring the metric kind's semantics: counters
+    and histograms are additive, gauges are point-in-time readings so
+    the last write wins (summing two queue-depth gauges would invent a
+    queue nobody has)."""
+    if kind == "histogram":
+        if [b for b, _ in into["buckets"]] != [b for b, _ in sample["buckets"]]:
+            raise ValueError(
+                "cannot merge histogram samples with different bucket "
+                "layouts"
+            )
+        into["buckets"] = [
+            [bound, count + other]
+            for (bound, count), (_, other) in zip(
+                into["buckets"], sample["buckets"]
+            )
+        ]
+        into["sum"] += sample["sum"]
+        into["count"] += sample["count"]
+    elif kind == "counter":
+        into["value"] += sample["value"]
+    else:  # gauge: last write wins
+        into["value"] = sample["value"]
+
+
+def _merge_family(
+    families: Dict[str, dict],
+    seen: Dict[Tuple[str, Tuple[Tuple[str, str], ...]], dict],
+    family: dict,
+    source: str,
+    tag: Optional[Tuple[str, str]],
+) -> None:
+    name = family["name"]
+    merged = families.get(name)
+    if merged is None:
+        merged = {
+            "name": name,
+            "kind": family["kind"],
+            "help": family.get("help", ""),
+            "samples": [],
+        }
+        families[name] = merged
+    elif merged["kind"] != family["kind"]:
+        raise ValueError(
+            f"cannot merge metric {name!r}: kind "
+            f"{family['kind']!r} from {source!r} conflicts with "
+            f"{merged['kind']!r}"
+        )
+    if family.get("help") and not merged["help"]:
+        merged["help"] = family["help"]
+    for sample in family["samples"]:
+        labels = dict(sample.get("labels", {}))
+        if tag is not None:
+            labels[tag[0]] = tag[1]
+        key = (name, tuple(sorted(labels.items())))
+        existing = seen.get(key)
+        if existing is None:
+            copied = dict(sample)
+            copied["labels"] = labels
+            if family["kind"] == "histogram":
+                copied["buckets"] = [list(pair) for pair in sample["buckets"]]
+            merged["samples"].append(copied)
+            seen[key] = copied
+        else:
+            _accumulate_sample(family["kind"], existing, sample)
+
+
 def merge_snapshots(snapshots: Dict[str, dict], label: str = "kpi") -> dict:
     """Merge named registry snapshots into one, tagging every sample.
 
@@ -111,36 +215,61 @@ def merge_snapshots(snapshots: Dict[str, dict], label: str = "kpi") -> dict:
     whose series stay attributable (`repro.fleet` uses this for its
     one-pane-of-glass dump). A metric registered with different kinds
     across sources is rejected rather than silently merged.
+
+    Two sources producing the *same* series (identical name and labels
+    after tagging) are combined per metric kind: counter values and
+    histogram buckets add up, but a gauge takes the last-written value
+    (sources are folded in sorted-name order) — a gauge is a
+    point-in-time reading, and summing two snapshots of the same gauge
+    would silently double it.
     """
     families: Dict[str, dict] = {}
+    seen: Dict[Tuple[str, Tuple[Tuple[str, str], ...]], dict] = {}
     for source in sorted(snapshots):
         for family in snapshots[source].get("metrics", []):
-            name = family["name"]
-            merged = families.get(name)
-            if merged is None:
-                merged = {
-                    "name": name,
-                    "kind": family["kind"],
-                    "help": family.get("help", ""),
-                    "samples": [],
-                }
-                families[name] = merged
-            elif merged["kind"] != family["kind"]:
-                raise ValueError(
-                    f"cannot merge metric {name!r}: kind "
-                    f"{family['kind']!r} from {source!r} conflicts with "
-                    f"{merged['kind']!r}"
-                )
-            if family.get("help") and not merged["help"]:
-                merged["help"] = family["help"]
-            for sample in family["samples"]:
-                tagged = dict(sample)
-                tagged["labels"] = {
-                    **sample.get("labels", {}), label: source
-                }
-                merged["samples"].append(tagged)
+            _merge_family(families, seen, family, source, (label, source))
     metrics = sorted(families.values(), key=lambda m: m["name"])
     return {"version": 1, "metrics": metrics}
+
+
+def combine_snapshots(snapshots: Iterable[dict]) -> dict:
+    """Union several snapshots into one *without* tagging the samples.
+
+    The soak harness uses this to fold the process-global provider's
+    registry (fleet histograms, span latencies — already kpi-labelled
+    where it matters) together with the fleet's per-service rollup into
+    the one snapshot a checkpoint records. Colliding series follow the
+    same per-kind semantics as :func:`merge_snapshots`: counters and
+    histograms add, gauges take the value from the *last* snapshot in
+    iteration order.
+    """
+    families: Dict[str, dict] = {}
+    seen: Dict[Tuple[str, Tuple[Tuple[str, str], ...]], dict] = {}
+    for position, snapshot in enumerate(snapshots):
+        for family in snapshot.get("metrics", []):
+            _merge_family(
+                families, seen, family, f"snapshot #{position}", None
+            )
+    metrics = sorted(families.values(), key=lambda m: m["name"])
+    return {"version": 1, "metrics": metrics}
+
+
+def _window_sample(before: dict, after: dict) -> Optional[dict]:
+    """The histogram observations added between two snapshots, as a
+    synthetic sample (bucket-wise cumulative difference). None when the
+    bucket layouts differ (the histogram was re-registered)."""
+    if [b for b, _ in before["buckets"]] != [b for b, _ in after["buckets"]]:
+        return None
+    return {
+        "buckets": [
+            [bound, later - earlier]
+            for (bound, later), (_, earlier) in zip(
+                after["buckets"], before["buckets"]
+            )
+        ],
+        "sum": after["sum"] - before["sum"],
+        "count": after["count"] - before["count"],
+    }
 
 
 def _series_index(snapshot: dict) -> Dict[Tuple[str, str, Tuple[Tuple[str, str], ...]], dict]:
@@ -181,6 +310,15 @@ def diff_snapshots(old: dict, new: dict) -> dict:
             if delta_count or delta_sum:
                 entry["delta_count"] = delta_count
                 entry["delta_sum"] = delta_sum
+                window = _window_sample(before, after)
+                if window is not None:
+                    percentiles = histogram_sample_percentiles(window)
+                    if percentiles is not None:
+                        # The distribution of the observations that
+                        # arrived *between* the snapshots — the same
+                        # delta-histogram math the SLO engine's burn-
+                        # rate windows use.
+                        entry["window_percentiles"] = percentiles
                 changed.append(entry)
         else:
             delta = after["value"] - before["value"]
@@ -196,9 +334,17 @@ def render_diff_text(diff: dict) -> str:
     for entry in diff["changed"]:
         labels = _format_labels(entry["labels"])
         if entry["kind"] == "histogram":
+            percentiles = entry.get("window_percentiles")
+            tail = ""
+            if percentiles:
+                tail = " window " + " ".join(
+                    f"{key.replace('_', '.')}={value:g}"
+                    for key, value in percentiles.items()
+                )
             lines.append(
                 f"~ {entry['name']}{labels} "
                 f"count {entry['delta_count']:+d} sum {entry['delta_sum']:+g}"
+                f"{tail}"
             )
         else:
             lines.append(f"~ {entry['name']}{labels} {entry['delta']:+g}")
@@ -212,11 +358,14 @@ def render_diff_text(diff: dict) -> str:
 
 
 __all__ = [
+    "DEFAULT_QUANTILES",
     "render_prometheus",
     "render_snapshot_json",
     "write_snapshot",
     "load_snapshot",
     "merge_snapshots",
+    "combine_snapshots",
     "diff_snapshots",
     "render_diff_text",
+    "histogram_sample_percentiles",
 ]

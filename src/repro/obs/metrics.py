@@ -151,6 +151,82 @@ def format_bound(bound: float) -> str:
     return text
 
 
+def estimate_percentile(
+    bounds: Sequence[float], cumulative: Sequence[float], q: float
+) -> Optional[float]:
+    """Prometheus-style percentile estimate from cumulative buckets.
+
+    ``bounds`` are the finite ascending upper bounds; ``cumulative`` has
+    one extra trailing entry for the implicit ``+Inf`` bucket, so
+    ``cumulative[-1]`` is the total observation count. The estimate
+    interpolates linearly inside the bucket the rank falls in (lower
+    edge 0 for the first bucket, matching ``histogram_quantile``); a
+    rank landing in the overflow bucket returns the highest finite
+    bound, the standard conservative convention. Returns None for an
+    empty histogram.
+
+    This is the single quantile implementation shared by the SLO engine
+    (`repro.obs.slo`), the ``repro-obs dump``/``diff`` percentile
+    columns and the fleet status rollup.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise MetricError(f"quantile must be in [0, 1], got {q}")
+    if len(cumulative) != len(bounds) + 1:
+        raise MetricError(
+            f"cumulative counts must cover every bound plus +Inf: "
+            f"{len(bounds)} bounds, {len(cumulative)} counts"
+        )
+    total = cumulative[-1]
+    if total <= 0:
+        return None
+    rank = q * total
+    index = bisect.bisect_left(cumulative, rank)
+    if index >= len(bounds):
+        return float(bounds[-1])
+    previous = cumulative[index - 1] if index else 0
+    in_bucket = cumulative[index] - previous
+    upper = bounds[index]
+    if in_bucket <= 0:
+        return float(upper)
+    lower = bounds[index - 1] if index else min(0.0, upper)
+    fraction = (rank - previous) / in_bucket
+    return float(lower + (upper - lower) * fraction)
+
+
+def estimate_cdf(
+    bounds: Sequence[float], cumulative: Sequence[float], value: float
+) -> Optional[float]:
+    """Estimated fraction of observations <= ``value`` (interpolated).
+
+    The inverse view of :func:`estimate_percentile`, used by the SLO
+    engine to turn a latency histogram into an error ratio ("what
+    fraction of requests exceeded the target?"). A ``value`` at or
+    beyond the highest finite bound returns the known fraction below
+    that bound — overflow observations are counted as violations, the
+    conservative choice for a compliance gate. Returns None for an
+    empty histogram.
+    """
+    if len(cumulative) != len(bounds) + 1:
+        raise MetricError(
+            f"cumulative counts must cover every bound plus +Inf: "
+            f"{len(bounds)} bounds, {len(cumulative)} counts"
+        )
+    total = cumulative[-1]
+    if total <= 0:
+        return None
+    index = bisect.bisect_left(bounds, value)
+    if index >= len(bounds):
+        return float(cumulative[-2] / total)
+    previous = cumulative[index - 1] if index else 0
+    in_bucket = cumulative[index] - previous
+    upper = bounds[index]
+    lower = bounds[index - 1] if index else min(0.0, upper)
+    if in_bucket <= 0 or upper == lower:
+        return float(previous / total)
+    fraction = max(0.0, min(1.0, (value - lower) / (upper - lower)))
+    return float((previous + in_bucket * fraction) / total)
+
+
 class _Family:
     """One metric name: shared kind/help, children per label set."""
 
@@ -278,4 +354,6 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "format_bound",
+    "estimate_percentile",
+    "estimate_cdf",
 ]

@@ -118,7 +118,8 @@ class NullProvider:
     def gauge(self, name: str, help_text: str = "", **labels) -> _NullGauge:
         return _NULL_GAUGE
 
-    def histogram(self, name: str, help_text: str = "", **labels) -> _NullHistogram:
+    def histogram(self, name: str, help_text: str = "",
+                  buckets=None, **labels) -> _NullHistogram:
         return _NULL_HISTOGRAM
 
     def span(self, name: str, **meta) -> _NullSpan:
@@ -194,8 +195,9 @@ class ObservabilityProvider:
     def gauge(self, name: str, help_text: str = "", **labels) -> Gauge:
         return self.registry.gauge(name, help_text, **labels)
 
-    def histogram(self, name: str, help_text: str = "", **labels) -> Histogram:
-        return self.registry.histogram(name, help_text, **labels)
+    def histogram(self, name: str, help_text: str = "",
+                  buckets=None, **labels) -> Histogram:
+        return self.registry.histogram(name, help_text, buckets, **labels)
 
     def span(self, name: str, **meta):
         return self.tracer.span(name, **meta)

@@ -1,0 +1,673 @@
+"""SLO engine: declarative service-level objectives over snapshots.
+
+§5.8 backs Opprentice's practicality claim with absolute runtime
+numbers (per-point feature extraction ~0.15 s, classification
+< 0.0001 s, retraining < 5 min). Everything else in `repro.obs` only
+*records* latencies; this module *judges* them: a TOML/JSON spec file
+declares objectives (a latency quantile, an error/drop ratio, an
+availability floor) against metric names in a
+:meth:`~repro.obs.metrics.MetricsRegistry.snapshot`, and
+:func:`evaluate_slos` turns a snapshot — or a checkpointed soak series
+from ``repro-loadgen`` — into an :class:`SLOReport` whose violations
+fail the build (``repro-obs slo`` exits non-zero).
+
+Spec schema (one ``[[slo]]`` table per objective)::
+
+    [[slo]]
+    name = "fleet-ingest-p99"          # unique, shown in the report
+    objective = "p99_latency"          # p<Q>_latency | latency_quantile
+                                       # | error_ratio | drop_ratio
+                                       # | availability
+    metric = "repro_fleet_ingest_seconds"   # histogram (latency) or
+                                            # numerator counter (ratios)
+    target = 0.25                      # seconds / max ratio / min avail
+    windows = ["5m", "1h"]             # fast/slow burn-rate windows,
+                                       # in *simulated* soak time
+    burn_rate_limit = 1.0              # breach when every window's
+                                       # burn rate exceeds this
+    [slo.labels]                       # optional series selector
+    kpi = "PV-000"
+
+Ratio objectives additionally take ``denominator`` (+ optional
+``denominator_labels``); ``latency_quantile`` takes an explicit
+``quantile``.
+
+Burn-rate semantics follow the multi-window SRE recipe: each window is
+the *delta* between the newest checkpoint and the checkpoint one window
+earlier (cumulative counters and histogram buckets subtract cleanly),
+its error ratio is divided by the objective's error budget, and the SLO
+is violated only when **every** evaluated window burns above
+``burn_rate_limit`` — a fast-window spike that the slow window has
+already absorbed is reported but does not page. A plain snapshot (no
+checkpoints) evaluates one ``total`` window over the whole run. A spec
+whose metric has no data at all is a violation, not a pass: a gate that
+silently measures nothing is the worst kind of green.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from .exporters import load_snapshot
+from .metrics import estimate_cdf, estimate_percentile
+
+#: Objective types after normalisation (``p99_latency`` and friends are
+#: sugar for ``latency_quantile`` with the quantile baked in).
+OBJECTIVE_TYPES = (
+    "latency_quantile",
+    "error_ratio",
+    "drop_ratio",
+    "availability",
+)
+
+#: Default fast/slow burn-rate windows, in simulated soak time.
+DEFAULT_WINDOWS: Tuple[str, ...] = ("5m", "1h")
+
+_P_LATENCY = re.compile(r"^p(\d{1,3}(?:\.\d+)?)_latency$")
+_WINDOW = re.compile(r"^(\d+(?:\.\d+)?)\s*(s|m|h|d|w)$")
+_WINDOW_UNITS = {"s": 1.0, "m": 60.0, "h": 3600.0, "d": 86400.0,
+                 "w": 604800.0}
+
+_SPEC_KEYS = {
+    "name", "objective", "metric", "target", "labels", "quantile",
+    "denominator", "denominator_labels", "windows", "burn_rate_limit",
+    "description",
+}
+
+
+class SLOSpecError(ValueError):
+    """A malformed SLO spec (unknown objective, bad target, ...)."""
+
+
+def parse_window(text: str) -> float:
+    """``"5m"`` -> 300.0 seconds (units: s, m, h, d, w)."""
+    match = _WINDOW.match(str(text).strip())
+    if not match:
+        raise SLOSpecError(
+            f"invalid window {text!r}: expected <number><s|m|h|d|w>, "
+            f"e.g. '5m' or '1h'"
+        )
+    return float(match.group(1)) * _WINDOW_UNITS[match.group(2)]
+
+
+@dataclass(frozen=True)
+class SLOSpec:
+    """One declared objective, normalised and validated."""
+
+    name: str
+    objective: str  # one of OBJECTIVE_TYPES
+    metric: str
+    target: float
+    labels: Tuple[Tuple[str, str], ...] = ()
+    quantile: Optional[float] = None  # latency_quantile only
+    denominator: Optional[str] = None  # ratio objectives only
+    denominator_labels: Tuple[Tuple[str, str], ...] = ()
+    windows: Tuple[str, ...] = DEFAULT_WINDOWS
+    burn_rate_limit: float = 1.0
+    description: str = ""
+
+    @property
+    def budget(self) -> float:
+        """The error budget the burn rate is measured against."""
+        if self.objective == "latency_quantile":
+            assert self.quantile is not None
+            return 1.0 - self.quantile
+        if self.objective == "availability":
+            return 1.0 - self.target
+        return self.target  # error_ratio / drop_ratio
+
+
+def _labels_tuple(value: object, where: str) -> Tuple[Tuple[str, str], ...]:
+    if value is None:
+        return ()
+    if not isinstance(value, Mapping):
+        raise SLOSpecError(f"{where}: labels must be a table of key = value")
+    return tuple(sorted((str(k), str(v)) for k, v in value.items()))
+
+
+def parse_slo_spec(raw: Mapping[str, object]) -> SLOSpec:
+    """Validate one spec table; raises :class:`SLOSpecError` on any
+    unknown key, objective, or out-of-range value."""
+    name = raw.get("name")
+    if not name or not isinstance(name, str):
+        raise SLOSpecError("every SLO needs a non-empty string 'name'")
+    where = f"SLO {name!r}"
+    unknown = set(raw) - _SPEC_KEYS
+    if unknown:
+        raise SLOSpecError(
+            f"{where}: unknown key(s) {sorted(unknown)}; "
+            f"expected {sorted(_SPEC_KEYS)}"
+        )
+    metric = raw.get("metric")
+    if not metric or not isinstance(metric, str):
+        raise SLOSpecError(f"{where}: 'metric' is required")
+    target = raw.get("target")
+    if not isinstance(target, (int, float)) or isinstance(target, bool):
+        raise SLOSpecError(f"{where}: 'target' must be a number")
+    target = float(target)
+
+    objective = str(raw.get("objective", ""))
+    quantile = raw.get("quantile")
+    match = _P_LATENCY.match(objective)
+    if match:
+        if quantile is not None:
+            raise SLOSpecError(
+                f"{where}: {objective!r} implies the quantile; drop the "
+                f"explicit 'quantile' key or use objective = "
+                f"'latency_quantile'"
+            )
+        quantile = float(match.group(1)) / 100.0
+        objective = "latency_quantile"
+    if objective not in OBJECTIVE_TYPES:
+        raise SLOSpecError(
+            f"{where}: unknown objective {raw.get('objective')!r}; "
+            f"expected p<Q>_latency or one of {list(OBJECTIVE_TYPES)}"
+        )
+
+    if objective == "latency_quantile":
+        if quantile is None:
+            raise SLOSpecError(
+                f"{where}: latency_quantile needs a 'quantile' in (0, 1)"
+            )
+        quantile = float(quantile)
+        if not 0.0 < quantile < 1.0:
+            raise SLOSpecError(
+                f"{where}: quantile must be in (0, 1), got {quantile}"
+            )
+        if target <= 0.0:
+            raise SLOSpecError(
+                f"{where}: latency target must be > 0, got {target}"
+            )
+    elif quantile is not None:
+        raise SLOSpecError(f"{where}: 'quantile' only applies to latency")
+
+    denominator = raw.get("denominator")
+    if objective in ("error_ratio", "drop_ratio", "availability"):
+        if not denominator or not isinstance(denominator, str):
+            raise SLOSpecError(
+                f"{where}: {objective} needs a 'denominator' counter name"
+            )
+        if objective == "availability":
+            if not 0.0 < target < 1.0:
+                raise SLOSpecError(
+                    f"{where}: availability target must be in (0, 1), "
+                    f"got {target}"
+                )
+        elif not 0.0 < target <= 1.0:
+            raise SLOSpecError(
+                f"{where}: ratio target must be in (0, 1], got {target}"
+            )
+    elif denominator is not None:
+        raise SLOSpecError(
+            f"{where}: 'denominator' only applies to ratio objectives"
+        )
+
+    windows = raw.get("windows", list(DEFAULT_WINDOWS))
+    if (
+        not isinstance(windows, (list, tuple))
+        or not windows
+        or not all(isinstance(w, str) for w in windows)
+    ):
+        raise SLOSpecError(
+            f"{where}: 'windows' must be a non-empty list of durations"
+        )
+    for window in windows:
+        parse_window(window)  # raises on malformed durations
+
+    burn_rate_limit = raw.get("burn_rate_limit", 1.0)
+    if (
+        not isinstance(burn_rate_limit, (int, float))
+        or isinstance(burn_rate_limit, bool)
+        or float(burn_rate_limit) <= 0.0
+    ):
+        raise SLOSpecError(
+            f"{where}: burn_rate_limit must be > 0, "
+            f"got {burn_rate_limit!r}"
+        )
+
+    return SLOSpec(
+        name=name,
+        objective=objective,
+        metric=metric,
+        target=target,
+        labels=_labels_tuple(raw.get("labels"), where),
+        quantile=quantile,
+        denominator=denominator if isinstance(denominator, str) else None,
+        denominator_labels=_labels_tuple(
+            raw.get("denominator_labels"), where
+        ),
+        windows=tuple(windows),
+        burn_rate_limit=float(burn_rate_limit),
+        description=str(raw.get("description", "")),
+    )
+
+
+def parse_slo_specs(document: Mapping[str, object]) -> List[SLOSpec]:
+    """All ``[[slo]]`` tables of a targets document, validated."""
+    tables = document.get("slo")
+    if not isinstance(tables, list) or not tables:
+        raise SLOSpecError(
+            "targets document must contain at least one [[slo]] table"
+        )
+    specs = [parse_slo_spec(raw) for raw in tables]
+    names = [spec.name for spec in specs]
+    duplicates = {name for name in names if names.count(name) > 1}
+    if duplicates:
+        raise SLOSpecError(f"duplicate SLO name(s): {sorted(duplicates)}")
+    return specs
+
+
+def load_slo_specs(path: Union[str, Path]) -> List[SLOSpec]:
+    """Read a ``.toml`` or ``.json`` targets file."""
+    target = Path(path)
+    text = target.read_text(encoding="utf-8")
+    if target.suffix == ".toml":
+        try:
+            import tomllib
+        except ImportError as error:  # Python < 3.11
+            raise SLOSpecError(
+                f"{target}: TOML targets need Python >= 3.11 (tomllib); "
+                f"use a .json targets file on older interpreters"
+            ) from error
+        try:
+            document = tomllib.loads(text)
+        except tomllib.TOMLDecodeError as error:
+            raise SLOSpecError(f"{target}: invalid TOML: {error}") from error
+    else:
+        try:
+            document = json.loads(text)
+        except json.JSONDecodeError as error:
+            raise SLOSpecError(f"{target}: invalid JSON: {error}") from error
+    return parse_slo_specs(document)
+
+
+# ----------------------------------------------------------------------
+# Snapshot series: (simulated seconds, snapshot) checkpoints.
+# ----------------------------------------------------------------------
+SnapshotSeries = List[Tuple[Optional[float], dict]]
+
+
+def load_snapshot_series(path: Union[str, Path]) -> SnapshotSeries:
+    """A plain snapshot *or* a ``repro-loadgen`` soak document.
+
+    A soak document (``{"checkpoints": [{"sim_seconds": ...,
+    "snapshot": {...}}, ...]}``) yields the full simulated-time series
+    the burn-rate windows slice; a plain snapshot yields a single
+    un-timestamped entry evaluated as one ``total`` window.
+    """
+    data = json.loads(Path(path).read_text(encoding="utf-8"))
+    if isinstance(data, dict) and "checkpoints" in data:
+        series: SnapshotSeries = []
+        for checkpoint in data["checkpoints"]:
+            series.append(
+                (float(checkpoint["sim_seconds"]), checkpoint["snapshot"])
+            )
+        if not series:
+            raise ValueError(f"{path}: soak document has no checkpoints")
+        if any(
+            later <= earlier
+            for (earlier, _), (later, _) in zip(series, series[1:])
+        ):
+            raise ValueError(
+                f"{path}: checkpoint sim_seconds must be strictly "
+                f"increasing"
+            )
+        return series
+    if isinstance(data, dict) and "metrics" in data:
+        return [(None, data)]
+    # Re-raise load_snapshot's uniform error for anything else.
+    load_snapshot(path)
+    raise ValueError(f"{path}: not a snapshot or soak document")
+
+
+# ----------------------------------------------------------------------
+# Aggregation: select + sum matching series out of one snapshot.
+# ----------------------------------------------------------------------
+def _matches(labels: Mapping[str, str],
+             selector: Tuple[Tuple[str, str], ...]) -> bool:
+    return all(labels.get(key) == value for key, value in selector)
+
+
+def _aggregate(
+    snapshot: dict, metric: str, selector: Tuple[Tuple[str, str], ...]
+) -> Optional[dict]:
+    """Sum every sample of ``metric`` matching ``selector``.
+
+    Returns ``{"kind", "value"}`` for counters/gauges or ``{"kind",
+    "bounds", "cumulative", "count", "sum"}`` for histograms; None when
+    no series matches (distinct from a matching-but-empty histogram).
+    """
+    for family in snapshot.get("metrics", []):
+        if family["name"] != metric:
+            continue
+        matching = [
+            sample for sample in family["samples"]
+            if _matches(sample.get("labels", {}), selector)
+        ]
+        if not matching:
+            return None
+        if family["kind"] != "histogram":
+            return {
+                "kind": family["kind"],
+                "value": float(sum(s["value"] for s in matching)),
+            }
+        bounds: List[float] = []
+        for label, _ in matching[0]["buckets"]:
+            bound = float(label)
+            if bound != float("inf"):
+                bounds.append(bound)
+        cumulative = [0.0] * (len(bounds) + 1)
+        for sample in matching:
+            if len(sample["buckets"]) != len(cumulative):
+                raise ValueError(
+                    f"metric {metric!r}: matching series use different "
+                    f"bucket layouts; narrow the label selector"
+                )
+            for index, (_, count) in enumerate(sample["buckets"]):
+                cumulative[index] += float(count)
+        return {
+            "kind": "histogram",
+            "bounds": bounds,
+            "cumulative": cumulative,
+            "count": float(sum(s["count"] for s in matching)),
+            "sum": float(sum(s["sum"] for s in matching)),
+        }
+    return None
+
+
+def _delta(newer: Optional[dict], older: Optional[dict]) -> Optional[dict]:
+    """``newer - older`` for cumulative aggregates (older=None keeps
+    newer unchanged: the window starts before the metric existed)."""
+    if newer is None:
+        return None
+    if older is None:
+        return newer
+    if newer["kind"] != "histogram":
+        return {"kind": newer["kind"],
+                "value": newer["value"] - older["value"]}
+    if newer["bounds"] != older["bounds"]:
+        return newer  # re-registered mid-run; fall back to totals
+    return {
+        "kind": "histogram",
+        "bounds": newer["bounds"],
+        "cumulative": [
+            late - early
+            for late, early in zip(newer["cumulative"], older["cumulative"])
+        ],
+        "count": newer["count"] - older["count"],
+        "sum": newer["sum"] - older["sum"],
+    }
+
+
+# ----------------------------------------------------------------------
+# Evaluation
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class WindowEval:
+    """One burn-rate window's verdict for one SLO."""
+
+    window: str  # "5m" | "1h" | ... | "total"
+    span_seconds: Optional[float]  # simulated span actually covered
+    value: Optional[float]  # quantile estimate / observed ratio
+    error_ratio: Optional[float]
+    burn_rate: Optional[float]
+    breached: Optional[bool]  # None = no data in this window
+
+    def as_dict(self) -> dict:
+        return {
+            "window": self.window,
+            "span_seconds": self.span_seconds,
+            "value": self.value,
+            "error_ratio": self.error_ratio,
+            "burn_rate": self.burn_rate,
+            "breached": self.breached,
+        }
+
+
+@dataclass(frozen=True)
+class SLOResult:
+    """One SLO's verdict across its windows."""
+
+    spec: SLOSpec
+    windows: Tuple[WindowEval, ...]
+    violated: bool
+    reason: str
+
+    def as_dict(self) -> dict:
+        return {
+            "name": self.spec.name,
+            "objective": self.spec.objective,
+            "metric": self.spec.metric,
+            "labels": dict(self.spec.labels),
+            "target": self.spec.target,
+            "quantile": self.spec.quantile,
+            "burn_rate_limit": self.spec.burn_rate_limit,
+            "violated": self.violated,
+            "reason": self.reason,
+            "windows": [window.as_dict() for window in self.windows],
+        }
+
+
+@dataclass(frozen=True)
+class SLOReport:
+    """Every SLO's verdict; ``ok`` gates the CLI exit code."""
+
+    results: Tuple[SLOResult, ...] = field(default_factory=tuple)
+
+    @property
+    def violations(self) -> List[SLOResult]:
+        return [result for result in self.results if result.violated]
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def as_dict(self) -> dict:
+        return {
+            "version": 1,
+            "ok": self.ok,
+            "violations": [result.spec.name for result in self.violations],
+            "results": [result.as_dict() for result in self.results],
+        }
+
+    def render(self) -> str:
+        """A fixed-width operator table, one row per (SLO, window)."""
+        header = (
+            f"{'SLO':<26} {'OBJECTIVE':<17} {'WINDOW':<7} "
+            f"{'VALUE':>12} {'TARGET':>12} {'BURN':>8}  STATUS"
+        )
+        lines = [header, "-" * len(header)]
+        for result in self.results:
+            label = result.spec.name
+            for window in result.windows:
+                value = "-" if window.value is None else f"{window.value:.6g}"
+                burn = (
+                    "-" if window.burn_rate is None
+                    else f"{window.burn_rate:.3g}"
+                )
+                status = (
+                    "no data" if window.breached is None
+                    else ("BREACH" if window.breached else "ok")
+                )
+                lines.append(
+                    f"{label:<26} {result.spec.objective:<17} "
+                    f"{window.window:<7} {value:>12} "
+                    f"{result.spec.target:>12.6g} {burn:>8}  {status}"
+                )
+                label = ""  # name only on the first row of the group
+            verdict = "VIOLATED" if result.violated else "met"
+            lines.append(f"{'':<26} -> {verdict}: {result.reason}")
+        lines.append("-" * len(header))
+        lines.append(
+            f"{len(self.results)} SLOs, "
+            f"{len(self.violations)} violated"
+        )
+        return "\n".join(lines)
+
+
+def _window_eval(
+    spec: SLOSpec, window_name: str, span: Optional[float],
+    numerator: Optional[dict], denominator: Optional[dict],
+) -> WindowEval:
+    """Judge one window's delta aggregates against the objective."""
+    no_data = WindowEval(
+        window=window_name, span_seconds=span, value=None,
+        error_ratio=None, burn_rate=None, breached=None,
+    )
+    if spec.objective == "latency_quantile":
+        if numerator is None or numerator.get("kind") != "histogram":
+            return no_data
+        assert spec.quantile is not None
+        value = estimate_percentile(
+            numerator["bounds"], numerator["cumulative"], spec.quantile
+        )
+        below = estimate_cdf(
+            numerator["bounds"], numerator["cumulative"], spec.target
+        )
+        if value is None or below is None:
+            return no_data
+        error_ratio = 1.0 - below
+    else:
+        if numerator is None or denominator is None:
+            return no_data
+        total = denominator["value"]
+        if total <= 0:
+            return no_data
+        ratio = numerator["value"] / total
+        if spec.objective == "availability":
+            value = 1.0 - ratio
+            error_ratio = ratio
+        else:
+            value = ratio
+            error_ratio = ratio
+    budget = spec.budget
+    burn_rate = error_ratio / budget if budget > 0 else float("inf")
+    return WindowEval(
+        window=window_name,
+        span_seconds=span,
+        value=value,
+        error_ratio=error_ratio,
+        burn_rate=burn_rate,
+        breached=burn_rate > spec.burn_rate_limit,
+    )
+
+
+def _baseline_index(series: SnapshotSeries, window_seconds: float) -> int:
+    """The newest checkpoint at least ``window_seconds`` of simulated
+    time before the final one (falling back to the oldest)."""
+    end = series[-1][0]
+    assert end is not None
+    cutoff = end - window_seconds
+    best = 0
+    for index, (sim, _) in enumerate(series[:-1]):
+        if sim is not None and sim <= cutoff:
+            best = index
+    return best
+
+
+def evaluate_slo(spec: SLOSpec, series: SnapshotSeries) -> SLOResult:
+    """One spec against a snapshot series (see :func:`evaluate_slos`)."""
+    final_sim, final = series[-1]
+    final_num = _aggregate(final, spec.metric, spec.labels)
+    final_den = (
+        _aggregate(final, spec.denominator, spec.denominator_labels)
+        if spec.denominator is not None
+        else None
+    )
+
+    windows: List[WindowEval] = []
+    if len(series) < 2 or final_sim is None:
+        windows.append(
+            _window_eval(spec, "total", final_sim, final_num, final_den)
+        )
+    else:
+        for window_name in spec.windows:
+            window_seconds = parse_window(window_name)
+            baseline_sim, baseline = series[
+                _baseline_index(series, window_seconds)
+            ]
+            assert baseline_sim is not None
+            numerator = _delta(
+                final_num, _aggregate(baseline, spec.metric, spec.labels)
+            )
+            denominator = (
+                _delta(
+                    final_den,
+                    _aggregate(
+                        baseline, spec.denominator, spec.denominator_labels
+                    ),
+                )
+                if spec.denominator is not None
+                else None
+            )
+            windows.append(
+                _window_eval(
+                    spec, window_name, final_sim - baseline_sim,
+                    numerator, denominator,
+                )
+            )
+
+    evaluated = [w for w in windows if w.breached is not None]
+    if not evaluated:
+        return SLOResult(
+            spec=spec,
+            windows=tuple(windows),
+            violated=True,
+            reason=(
+                f"no data for metric {spec.metric!r}"
+                + (f" with labels {dict(spec.labels)}" if spec.labels else "")
+                + " — a gate that measures nothing must not pass"
+            ),
+        )
+    violated = all(w.breached for w in evaluated)
+    burns = ", ".join(
+        f"{w.window}={w.burn_rate:.3g}x" for w in evaluated
+    )
+    if violated:
+        reason = (
+            f"burn rate over {spec.burn_rate_limit:g}x in every "
+            f"evaluated window ({burns})"
+        )
+    elif any(w.breached for w in evaluated):
+        reason = (
+            f"transient burn ({burns}); not every window agrees, "
+            f"budget is recovering"
+        )
+    else:
+        reason = f"within budget ({burns})"
+    return SLOResult(
+        spec=spec, windows=tuple(windows), violated=violated, reason=reason
+    )
+
+
+def evaluate_slos(
+    specs: Sequence[SLOSpec], series: SnapshotSeries
+) -> SLOReport:
+    """Judge every spec against the same snapshot series."""
+    if not series:
+        raise ValueError("cannot evaluate SLOs against an empty series")
+    return SLOReport(
+        results=tuple(evaluate_slo(spec, series) for spec in specs)
+    )
+
+
+__all__ = [
+    "OBJECTIVE_TYPES",
+    "DEFAULT_WINDOWS",
+    "SLOSpecError",
+    "SLOSpec",
+    "WindowEval",
+    "SLOResult",
+    "SLOReport",
+    "parse_window",
+    "parse_slo_spec",
+    "parse_slo_specs",
+    "load_slo_specs",
+    "load_snapshot_series",
+    "evaluate_slo",
+    "evaluate_slos",
+]

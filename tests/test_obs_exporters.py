@@ -7,9 +7,12 @@ import pytest
 
 from repro.obs import (
     MetricsRegistry,
+    combine_snapshots,
     diff_snapshots,
     disable,
+    histogram_sample_percentiles,
     load_snapshot,
+    merge_snapshots,
     render_diff_text,
     render_prometheus,
     render_snapshot_json,
@@ -169,3 +172,147 @@ class TestCli:
         code = obs_main(["dump", str(tmp_path / "nope.json")])
         assert code == 2
         assert "repro-obs:" in capsys.readouterr().err
+
+    def test_dump_table_shows_percentiles(self, snapshot_path, capsys):
+        code = obs_main(["dump", str(snapshot_path), "--format", "table"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "P50" in out and "P90" in out and "P99" in out
+        assert "repro_ingest_seconds" in out
+        # Four observations (0.0005, 0.05, 0.5, 2.0) over buckets
+        # (0.001, 0.1, 1.0): the p50 rank lands exactly on the second
+        # bucket boundary, and the p99 rank in the overflow bucket
+        # clamps to the highest finite bound.
+        row = next(
+            line for line in out.splitlines()
+            if line.startswith("repro_ingest_seconds")
+        )
+        assert row.split()[-3:] == ["0.1", "1", "1"]
+
+
+class TestMergeSemantics:
+    """Per-kind collision rules: counters/histograms add, gauges take
+    the last write (regression: gauges used to be summed)."""
+
+    def _source(self, queue_depth, points, latency):
+        registry = MetricsRegistry()
+        registry.gauge("repro_fleet_queue_depth", "depth").set(queue_depth)
+        registry.counter("repro_points_ingested_total", "points").inc(points)
+        registry.histogram(
+            "repro_ingest_seconds", "latency", buckets=(0.01, 1.0)
+        ).observe(latency)
+        return registry.snapshot()
+
+    def _series(self, merged, name):
+        (family,) = [f for f in merged["metrics"] if f["name"] == name]
+        return family["samples"]
+
+    def test_merge_tags_sources_without_collisions(self):
+        merged = merge_snapshots(
+            {"b": self._source(3, 10, 0.005), "a": self._source(7, 20, 0.5)},
+            label="kpi",
+        )
+        gauges = self._series(merged, "repro_fleet_queue_depth")
+        assert {s["labels"]["kpi"]: s["value"] for s in gauges} == {
+            "a": 7.0, "b": 3.0,
+        }
+
+    def test_colliding_gauge_takes_last_write_not_sum(self):
+        # Same series after tagging (the sources' samples carry a
+        # conflicting kpi label already): gauges must NOT add.
+        registry_one = MetricsRegistry()
+        registry_one.gauge("g", "gauge", kpi="X").set(5)
+        registry_two = MetricsRegistry()
+        registry_two.gauge("g", "gauge", kpi="X").set(11)
+        merged = combine_snapshots(
+            [registry_one.snapshot(), registry_two.snapshot()]
+        )
+        (sample,) = self._series(merged, "g")
+        assert sample["value"] == 11.0  # last write, not 16
+
+    def test_colliding_counter_and_histogram_add(self):
+        registry_one = MetricsRegistry()
+        registry_one.counter("c_total", "c").inc(5)
+        registry_one.histogram("h", "h", buckets=(1.0,)).observe(0.5)
+        registry_two = MetricsRegistry()
+        registry_two.counter("c_total", "c").inc(7)
+        registry_two.histogram("h", "h", buckets=(1.0,)).observe(2.0)
+        merged = combine_snapshots(
+            [registry_one.snapshot(), registry_two.snapshot()]
+        )
+        (counter,) = self._series(merged, "c_total")
+        assert counter["value"] == 12.0
+        (histogram,) = self._series(merged, "h")
+        assert histogram["count"] == 2
+        assert histogram["sum"] == pytest.approx(2.5)
+        assert histogram["buckets"] == [["1", 1], ["+Inf", 2]]
+
+    def test_kind_clash_across_sources_rejected(self):
+        registry_one = MetricsRegistry()
+        registry_one.counter("m_total", "m").inc()
+        registry_two = MetricsRegistry()
+        registry_two.gauge("m_total", "m").set(1)
+        with pytest.raises(ValueError, match="kind"):
+            merge_snapshots(
+                {"a": registry_one.snapshot(), "b": registry_two.snapshot()}
+            )
+
+    def test_colliding_histogram_layout_mismatch_rejected(self):
+        registry_one = MetricsRegistry()
+        registry_one.histogram("h", "h", buckets=(1.0,), kpi="X").observe(0.5)
+        registry_two = MetricsRegistry()
+        registry_two.histogram(
+            "h", "h", buckets=(1.0, 2.0), kpi="X"
+        ).observe(0.5)
+        with pytest.raises(ValueError, match="bucket"):
+            combine_snapshots(
+                [registry_one.snapshot(), registry_two.snapshot()]
+            )
+
+    def test_merge_does_not_mutate_inputs(self):
+        source = self._source(3, 10, 0.005)
+        frozen = json.loads(json.dumps(source))
+        merge_snapshots({"a": source, "b": self._source(1, 2, 0.5)})
+        assert source == frozen
+
+
+class TestWindowPercentiles:
+    def test_histogram_sample_percentiles(self, registry):
+        snapshot = registry.snapshot()
+        (family,) = [
+            f for f in snapshot["metrics"]
+            if f["name"] == "repro_ingest_seconds"
+        ]
+        percentiles = histogram_sample_percentiles(family["samples"][0])
+        assert set(percentiles) == {"p50", "p90", "p99"}
+        assert percentiles["p50"] == pytest.approx(0.1)
+        # p99 rank lands in the overflow bucket -> highest finite bound.
+        assert percentiles["p99"] == pytest.approx(1.0)
+
+    def test_empty_sample_is_none(self):
+        registry = MetricsRegistry()
+        registry.histogram("h", "h", buckets=(1.0,))
+        snapshot = registry.snapshot()
+        assert histogram_sample_percentiles(
+            snapshot["metrics"][0]["samples"][0]
+        ) is None
+
+    def test_diff_reports_window_percentiles(self, registry):
+        before = registry.snapshot()
+        histogram = registry.histogram(
+            "repro_ingest_seconds", buckets=(0.001, 0.1, 1.0)
+        )
+        for _ in range(10):
+            histogram.observe(0.05)  # all new points in (0.001, 0.1]
+        after = registry.snapshot()
+        diff = diff_snapshots(before, after)
+        (entry,) = [
+            e for e in diff["changed"]
+            if e["name"] == "repro_ingest_seconds"
+        ]
+        window = entry["window_percentiles"]
+        # Percentiles of ONLY the 10 new observations, not the mixed
+        # cumulative distribution.
+        assert 0.001 < window["p50"] < 0.1
+        assert 0.001 < window["p99"] < 0.1
+        assert "p50=" in render_diff_text(diff)

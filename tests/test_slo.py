@@ -1,0 +1,438 @@
+"""SLO engine: spec parsing, percentile math, burn-rate windows, CLI."""
+
+import json
+
+import pytest
+
+from repro.obs import MetricsRegistry, estimate_cdf, estimate_percentile
+from repro.obs.cli import main as obs_main
+from repro.obs.slo import (
+    SLOSpec,
+    SLOSpecError,
+    evaluate_slo,
+    evaluate_slos,
+    load_slo_specs,
+    load_snapshot_series,
+    parse_slo_spec,
+    parse_slo_specs,
+    parse_window,
+)
+
+
+def _spec(**overrides) -> SLOSpec:
+    raw = {
+        "name": "ingest-p99",
+        "objective": "p99_latency",
+        "metric": "repro_ingest_seconds",
+        "target": 0.1,
+    }
+    raw.update(overrides)
+    return parse_slo_spec(raw)
+
+
+def _snapshot_with_latencies(values, buckets=(0.01, 0.1, 1.0)):
+    registry = MetricsRegistry()
+    histogram = registry.histogram(
+        "repro_ingest_seconds", "Ingest latency", buckets=buckets
+    )
+    for value in values:
+        histogram.observe(value)
+    return registry.snapshot()
+
+
+class TestParseWindow:
+    def test_units(self):
+        assert parse_window("30s") == 30.0
+        assert parse_window("5m") == 300.0
+        assert parse_window("1h") == 3600.0
+        assert parse_window("2d") == 2 * 86400.0
+        assert parse_window("1w") == 604800.0
+
+    @pytest.mark.parametrize("bad", ["", "5", "m5", "5 minutes", "-5m"])
+    def test_rejects_malformed(self, bad):
+        with pytest.raises(SLOSpecError):
+            parse_window(bad)
+
+
+class TestSpecParsing:
+    def test_p99_sugar_normalises(self):
+        spec = _spec()
+        assert spec.objective == "latency_quantile"
+        assert spec.quantile == pytest.approx(0.99)
+        assert spec.budget == pytest.approx(0.01)
+
+    def test_ratio_budget_is_the_target(self):
+        spec = _spec(
+            objective="drop_ratio",
+            metric="repro_fleet_dropped_points_total",
+            denominator="repro_loadgen_points_offered_total",
+            target=0.05,
+        )
+        assert spec.budget == pytest.approx(0.05)
+
+    def test_availability_budget_is_one_minus_target(self):
+        spec = _spec(
+            objective="availability",
+            metric="bad_total",
+            denominator="all_total",
+            target=0.999,
+        )
+        assert spec.budget == pytest.approx(0.001)
+
+    @pytest.mark.parametrize(
+        "overrides",
+        [
+            {"objective": "p99_tail"},  # unknown objective
+            {"name": ""},  # empty name
+            {"metric": None},  # missing metric
+            {"target": "fast"},  # non-numeric target
+            {"target": True},  # bool is not a number
+            {"target": -0.1},  # latency target must be positive
+            {"quantile": 0.5},  # p99 sugar forbids explicit quantile
+            {"objective": "latency_quantile", "quantile": 1.5},
+            {"objective": "latency_quantile"},  # quantile required
+            {"objective": "error_ratio"},  # denominator required
+            {"objective": "error_ratio", "denominator": "d", "target": 1.5},
+            {"denominator": "d"},  # denominator on a latency SLO
+            {"windows": []},
+            {"windows": ["5 minutes"]},
+            {"burn_rate_limit": 0},
+            {"nonsense_key": 1},
+        ],
+    )
+    def test_rejects_bad_specs(self, overrides):
+        with pytest.raises(SLOSpecError):
+            _spec(**overrides)
+
+    def test_duplicate_names_rejected(self):
+        raw = {
+            "name": "x",
+            "objective": "p99_latency",
+            "metric": "m",
+            "target": 1.0,
+        }
+        with pytest.raises(SLOSpecError, match="duplicate"):
+            parse_slo_specs({"slo": [raw, dict(raw)]})
+
+    def test_document_without_tables_rejected(self):
+        with pytest.raises(SLOSpecError):
+            parse_slo_specs({})
+
+    def test_load_toml_and_json(self, tmp_path):
+        toml_path = tmp_path / "targets.toml"
+        toml_path.write_text(
+            '[[slo]]\nname = "a"\nobjective = "p99_latency"\n'
+            'metric = "m"\ntarget = 0.5\n'
+        )
+        json_path = tmp_path / "targets.json"
+        json_path.write_text(json.dumps({
+            "slo": [{"name": "a", "objective": "p99_latency",
+                     "metric": "m", "target": 0.5}],
+        }))
+        for path in (toml_path, json_path):
+            (spec,) = load_slo_specs(path)
+            assert spec.name == "a"
+            assert spec.quantile == pytest.approx(0.99)
+
+    def test_load_invalid_toml_is_spec_error(self, tmp_path):
+        path = tmp_path / "broken.toml"
+        path.write_text("[[slo\n")
+        with pytest.raises(SLOSpecError, match="invalid TOML"):
+            load_slo_specs(path)
+
+
+class TestPercentileEstimation:
+    BOUNDS = [1.0, 2.0, 4.0]
+
+    def test_interpolates_inside_bucket(self):
+        # 10 observations uniformly in (1, 2]: cumulative [0, 10, 10, 10]
+        value = estimate_percentile(self.BOUNDS, [0, 10, 10, 10], 0.5)
+        assert value == pytest.approx(1.5)
+
+    def test_rank_exactly_on_bucket_boundary(self):
+        # 4 in (0,1], 4 in (1,2]: the 0.5 rank (4 of 8) sits exactly on
+        # the first bound.
+        value = estimate_percentile(self.BOUNDS, [4, 8, 8, 8], 0.5)
+        assert value == pytest.approx(1.0)
+
+    def test_first_bucket_lower_edge_is_zero(self):
+        value = estimate_percentile(self.BOUNDS, [10, 10, 10, 10], 0.5)
+        assert value == pytest.approx(0.5)
+
+    def test_overflow_bucket_clamps_to_highest_bound(self):
+        # Everything beyond the last finite bound.
+        value = estimate_percentile(self.BOUNDS, [0, 0, 0, 10], 0.99)
+        assert value == pytest.approx(4.0)
+
+    def test_q_one_in_overflow(self):
+        value = estimate_percentile(self.BOUNDS, [5, 5, 5, 10], 1.0)
+        assert value == pytest.approx(4.0)
+
+    def test_empty_histogram_is_none(self):
+        assert estimate_percentile(self.BOUNDS, [0, 0, 0, 0], 0.99) is None
+
+    def test_cdf_inverse_view(self):
+        cumulative = [0, 10, 10, 10]
+        assert estimate_cdf(self.BOUNDS, cumulative, 1.5) == pytest.approx(0.5)
+        assert estimate_cdf(self.BOUNDS, cumulative, 2.0) == pytest.approx(1.0)
+
+    def test_cdf_beyond_last_bound_counts_overflow_as_violations(self):
+        # 5 below 4.0, 5 in overflow: fraction <= anything >= 4.0 stays
+        # 0.5 — the overflow observations count against the target.
+        assert estimate_cdf(self.BOUNDS, [5, 5, 5, 10], 9.0) == pytest.approx(0.5)
+
+
+def _checkpoint_series(latencies_by_time, buckets=(0.01, 0.1, 1.0)):
+    """Build a soak-style series: cumulative histograms at each time."""
+    registry = MetricsRegistry()
+    histogram = registry.histogram(
+        "repro_ingest_seconds", "Ingest latency", buckets=buckets
+    )
+    series = []
+    for sim_seconds, latencies in latencies_by_time:
+        for value in latencies:
+            histogram.observe(value)
+        series.append((float(sim_seconds), registry.snapshot()))
+    return series
+
+
+class TestBurnRateWindows:
+    def test_plain_snapshot_evaluates_total_window(self):
+        snapshot = _snapshot_with_latencies([0.005] * 99 + [0.5])
+        result = evaluate_slo(_spec(target=0.6), [(None, snapshot)])
+        assert [w.window for w in result.windows] == ["total"]
+        assert not result.violated
+
+    def test_all_windows_breached_violates(self):
+        # Slow from the start: both the fast and slow window burn hot.
+        series = _checkpoint_series([
+            (0, [0.5] * 50),
+            (3300, [0.5] * 50),
+            (3600, [0.5] * 50),
+        ])
+        result = evaluate_slo(_spec(windows=["5m", "1h"]), series)
+        assert result.violated
+        assert all(w.breached for w in result.windows)
+        assert "every" in result.reason
+
+    def test_fast_spike_slow_ok_is_transient_not_violated(self):
+        # 1000 fast points early, then a burst of slow ones at the end:
+        # the 5m window burns, the 1h window has absorbed it.
+        series = _checkpoint_series([
+            (0, [0.005] * 1000),
+            (3300, [0.005] * 1000),
+            (3600, [0.5] * 5),
+        ])
+        spec = _spec(windows=["5m", "1h"])
+        result = evaluate_slo(spec, series)
+        by_window = {w.window: w for w in result.windows}
+        assert by_window["5m"].breached is True
+        assert by_window["1h"].breached is False
+        assert not result.violated
+        assert "transient" in result.reason
+
+    def test_windows_within_budget(self):
+        series = _checkpoint_series([
+            (0, [0.005] * 1000),
+            (3300, [0.005] * 1000),
+            (3600, [0.005] * 995 + [0.5] * 5),
+        ])
+        result = evaluate_slo(_spec(windows=["5m", "1h"]), series)
+        assert not result.violated
+        for window in result.windows:
+            assert window.breached is False
+            assert window.burn_rate is not None
+
+    def test_no_data_is_a_violation(self):
+        snapshot = MetricsRegistry().snapshot()
+        result = evaluate_slo(_spec(), [(None, snapshot)])
+        assert result.violated
+        assert "no data" in result.reason
+
+    def test_window_with_no_new_points_is_not_evaluated(self):
+        # Nothing lands between the last two checkpoints: the fast
+        # window has no delta, so only the slow window decides.
+        series = _checkpoint_series([
+            (0, [0.005] * 100),
+            (3300, [0.005] * 100),
+            (3600, []),
+        ])
+        result = evaluate_slo(_spec(windows=["5m", "1h"]), series)
+        by_window = {w.window: w for w in result.windows}
+        assert by_window["5m"].breached is None
+        assert by_window["1h"].breached is False
+        assert not result.violated
+
+    def test_drop_ratio_burn_rate(self):
+        registry = MetricsRegistry()
+        dropped = registry.counter("dropped_total", "d")
+        offered = registry.counter("offered_total", "o")
+        series = []
+        offered.inc(1000)
+        dropped.inc(10)  # 1% over the first hour
+        series.append((3600.0, registry.snapshot()))
+        offered.inc(1000)
+        dropped.inc(100)  # 10% over the second hour: 2x the budget
+        series.append((7200.0, registry.snapshot()))
+        spec = parse_slo_spec({
+            "name": "drops",
+            "objective": "drop_ratio",
+            "metric": "dropped_total",
+            "denominator": "offered_total",
+            "target": 0.05,
+            "windows": ["1h"],
+        })
+        result = evaluate_slo(spec, series)
+        (window,) = result.windows
+        assert window.error_ratio == pytest.approx(0.1)
+        assert window.burn_rate == pytest.approx(2.0)
+        assert result.violated
+
+    def test_label_selector_aggregates_matching_series_only(self):
+        registry = MetricsRegistry()
+        registry.histogram(
+            "m", "h", buckets=(1.0,), kpi="a"
+        ).observe(0.5)
+        registry.histogram(
+            "m", "h", buckets=(1.0,), kpi="b"
+        ).observe(10.0)
+        snapshot = registry.snapshot()
+        spec_a = parse_slo_spec({
+            "name": "a", "objective": "p99_latency", "metric": "m",
+            "target": 2.0, "labels": {"kpi": "a"},
+        })
+        result = evaluate_slo(spec_a, [(None, snapshot)])
+        assert not result.violated
+        spec_b = parse_slo_spec({
+            "name": "b", "objective": "p99_latency", "metric": "m",
+            "target": 2.0, "labels": {"kpi": "b"},
+        })
+        assert evaluate_slo(spec_b, [(None, snapshot)]).violated
+
+    def test_report_shape_and_render(self):
+        snapshot = _snapshot_with_latencies([0.005] * 10)
+        report = evaluate_slos(
+            [_spec(), _spec(name="other", target=0.001)],
+            [(None, snapshot)],
+        )
+        data = report.as_dict()
+        assert data["ok"] is False
+        assert data["violations"] == ["other"]
+        text = report.render()
+        assert "ingest-p99" in text
+        assert "VIOLATED" in text
+        assert "2 SLOs, 1 violated" in text
+
+
+class TestSnapshotSeriesLoading:
+    def test_soak_document(self, tmp_path):
+        registry = MetricsRegistry()
+        registry.counter("c_total", "c").inc()
+        path = tmp_path / "soak.json"
+        path.write_text(json.dumps({
+            "checkpoints": [
+                {"sim_seconds": 60, "snapshot": registry.snapshot()},
+                {"sim_seconds": 120, "snapshot": registry.snapshot()},
+            ],
+        }))
+        series = load_snapshot_series(path)
+        assert [sim for sim, _ in series] == [60.0, 120.0]
+
+    def test_non_increasing_checkpoints_rejected(self, tmp_path):
+        snapshot = MetricsRegistry().snapshot()
+        path = tmp_path / "soak.json"
+        path.write_text(json.dumps({
+            "checkpoints": [
+                {"sim_seconds": 120, "snapshot": snapshot},
+                {"sim_seconds": 60, "snapshot": snapshot},
+            ],
+        }))
+        with pytest.raises(ValueError, match="increasing"):
+            load_snapshot_series(path)
+
+    def test_plain_snapshot_is_a_single_entry(self, tmp_path):
+        path = tmp_path / "snap.json"
+        path.write_text(json.dumps(MetricsRegistry().snapshot()))
+        ((sim, _),) = load_snapshot_series(path)
+        assert sim is None
+
+
+class TestSloCli:
+    @pytest.fixture()
+    def soak_path(self, tmp_path):
+        series = _checkpoint_series([
+            (0, [0.005] * 100),
+            (3300, [0.005] * 100),
+            (3600, [0.005] * 100),
+        ])
+        path = tmp_path / "soak.json"
+        path.write_text(json.dumps({
+            "checkpoints": [
+                {"sim_seconds": sim, "snapshot": snapshot}
+                for sim, snapshot in series
+            ],
+        }))
+        return str(path)
+
+    def _targets(self, tmp_path, target):
+        path = tmp_path / "targets.toml"
+        path.write_text(
+            '[[slo]]\nname = "ingest-p99"\nobjective = "p99_latency"\n'
+            f'metric = "repro_ingest_seconds"\ntarget = {target}\n'
+            'windows = ["5m", "1h"]\n'
+        )
+        return str(path)
+
+    def test_meeting_targets_exits_zero(self, tmp_path, soak_path, capsys):
+        code = obs_main([
+            "slo", "--targets", self._targets(tmp_path, 0.5),
+            "--snapshot", soak_path,
+        ])
+        assert code == 0
+        assert "0 violated" in capsys.readouterr().out
+
+    def test_violation_exits_one_with_table(
+        self, tmp_path, soak_path, capsys
+    ):
+        code = obs_main([
+            "slo", "--targets", self._targets(tmp_path, 0.000001),
+            "--snapshot", soak_path,
+        ])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "VIOLATED" in out
+        assert "BREACH" in out
+
+    def test_json_out_writes_full_report(self, tmp_path, soak_path, capsys):
+        report_path = tmp_path / "report.json"
+        code = obs_main([
+            "slo", "--targets", self._targets(tmp_path, 0.000001),
+            "--snapshot", soak_path, "--format", "json",
+            "--json-out", str(report_path),
+        ])
+        assert code == 1
+        on_disk = json.loads(report_path.read_text())
+        printed = json.loads(capsys.readouterr().out)
+        assert on_disk == printed
+        assert on_disk["ok"] is False
+        assert on_disk["violations"] == ["ingest-p99"]
+
+    def test_bad_spec_exits_two(self, tmp_path, soak_path, capsys):
+        bad = tmp_path / "bad.toml"
+        bad.write_text('[[slo]]\nname = "x"\nobjective = "nope"\n')
+        code = obs_main([
+            "slo", "--targets", str(bad), "--snapshot", soak_path,
+        ])
+        assert code == 2
+        assert "invalid SLO spec" in capsys.readouterr().err
+
+    def test_committed_targets_parse(self):
+        import pathlib
+
+        root = pathlib.Path(__file__).resolve().parent.parent / "slo"
+        specs = load_slo_specs(root / "targets.toml")
+        assert {spec.name for spec in specs} == {
+            "fleet-ingest-p99", "alert-delay-p90", "ingest-drop-ratio"
+        }
+        (impossible,) = load_slo_specs(root / "impossible.toml")
+        assert impossible.target == pytest.approx(1e-9)
