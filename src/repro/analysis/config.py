@@ -22,7 +22,7 @@ Recognised keys::
                                    # (relative to the pyproject's dir)
 
     [tool.repro-lint.worker-reachability]
-    entry-points = ["_process_worker_init", "_process_worker_run"]
+    entry-points = ["_process_worker_run", "_process_worker_attach"]
 
 Unknown keys are rejected so typos fail loudly instead of silently
 disabling a contract check. TOML parsing uses the stdlib ``tomllib``
@@ -52,7 +52,7 @@ _KNOWN_OBS_KEYS = {"doc"}
 _KNOWN_WORKER_KEYS = {"entry-points"}
 
 #: Worker entry points assumed when the config does not override them.
-DEFAULT_WORKER_ENTRY_POINTS = ["_process_worker_init", "_process_worker_run"]
+DEFAULT_WORKER_ENTRY_POINTS = ["_process_worker_run", "_process_worker_attach"]
 
 
 class ConfigError(ValueError):

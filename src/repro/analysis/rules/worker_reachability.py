@@ -5,7 +5,7 @@ import the library fresh; any module- or class-level state a worker
 mutates is silently process-local and never reaches the parent. Instead
 of heuristically scanning ``Detector`` methods, this rule walks the
 approximate project call graph from the configured worker entry points
-(``_process_worker_init`` / ``_process_worker_run`` by default, see
+(``_process_worker_run`` / ``_process_worker_attach`` by default, see
 ``[tool.repro-lint.worker-reachability] entry-points``) and flags every
 *transitively reachable* function that:
 
@@ -37,7 +37,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 RULE_ID = "worker-reachability"
 
 #: Entry points used when the config does not override them.
-DEFAULT_ENTRY_POINTS = ("_process_worker_init", "_process_worker_run")
+DEFAULT_ENTRY_POINTS = ("_process_worker_run", "_process_worker_attach")
 
 
 @register

@@ -6,14 +6,18 @@ of severities. Feature extraction, training and classification all work
 on individual data points (§4.3.1), so the matrix has one row per grid
 point of the KPI.
 
-Holt-Winters configurations are computed through the vectorised batch
-runner (64 configurations in one pass); everything else is already
-vectorised per configuration. *Where* the work runs is delegated to an
-execution backend (``serial`` / ``thread`` / ``process``, see
-:mod:`repro.core.execution`), and already-computed columns are served
-from an optional content-addressed :class:`~repro.core.severity_cache.
-SeverityCache` — the matrix is bit-identical whichever combination is
-active (see docs/performance.md).
+Extraction is compiled at the detector-*family* level: sibling
+configurations (the window bank, the Holt-Winters sweep, the seasonal
+and historical grids, the wavelet bands) share one fused numpy pass
+each (see :func:`repro.detectors.build_family_evaluators`). *Where* the
+work runs is delegated to an execution backend (``serial`` / ``thread``
+/ ``process``, see :mod:`repro.core.execution`), and already-computed
+columns are served from an optional content-addressed
+:class:`~repro.core.severity_cache.SeverityCache` — the matrix is
+bit-identical whichever combination is active (see
+docs/performance.md). For the online loop, :meth:`FeatureExtractor.
+extract_point` feeds one point through warm per-family streams instead
+of re-running any batch pass.
 """
 
 from __future__ import annotations
@@ -23,7 +27,7 @@ from typing import List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-from ..detectors import DetectorConfig, configs_for
+from ..detectors import DetectorConfig, StreamBank, configs_for
 from ..obs import get_provider
 from ..timeseries import TimeSeries
 from .execution import (
@@ -121,6 +125,7 @@ class FeatureExtractor:
         self._configs: Optional[List[DetectorConfig]] = (
             list(configs) if configs is not None else None
         )
+        self._stream_bank: Optional[StreamBank] = None
         self.backend: ExecutionBackend = resolve_backend(backend, self.workers)
         if cache is True:
             self.cache: Optional[SeverityCache] = SeverityCache.from_env() or SeverityCache()
@@ -160,9 +165,10 @@ class FeatureExtractor:
         """The full severity matrix for ``series``.
 
         Cached columns are filled first (a column hit costs one dict or
-        file lookup, no detector runs); only the remaining tasks go to
-        the execution backend. A fully warm cache therefore performs
-        zero detector evaluations.
+        file lookup, no detector runs); only the *missing* configs are
+        compiled into fused family tasks for the execution backend, so
+        a partial hit reruns exactly the cold columns. A fully warm
+        cache therefore performs zero detector evaluations.
         """
         configs = self.configs(series)
         n = len(series)
@@ -179,27 +185,24 @@ class FeatureExtractor:
                 "Workers used by the active extraction backend",
             ).set(self.backend.workers)
             matrix = np.full((n, len(configs)), np.nan)
-            tasks = build_tasks(configs)
 
+            key_for: dict = {}
             if self.cache is not None:
                 digest = series_digest(series)
-                keys = {
-                    task: [column_key(name, digest) for name in task.names]
-                    for task in tasks
+                key_for = {
+                    config.index: column_key(config.name, digest)
+                    for config in configs
                 }
-                remaining = []
+                missing: List[DetectorConfig] = []
                 hits = misses = 0
-                for task in tasks:
-                    columns = [self.cache.get(key) for key in keys[task]]
-                    if all(column is not None for column in columns):
-                        # Every column of the task is warm: no detector
-                        # evaluation needed.
-                        hits += len(columns)
-                        for index, column in zip(task.indices, columns):
-                            matrix[:, index] = column
+                for config in configs:
+                    column = self.cache.get(key_for[config.index])
+                    if column is not None:
+                        hits += 1
+                        matrix[:, config.index] = column
                     else:
-                        misses += len(columns)
-                        remaining.append(task)
+                        misses += 1
+                        missing.append(config)
                 obs.counter(
                     "repro_extract_cache_hits_total",
                     "Severity columns served from the cache",
@@ -209,21 +212,56 @@ class FeatureExtractor:
                     "Severity columns that had to be recomputed",
                 ).inc(misses)
             else:
-                keys = {}
-                remaining = list(tasks)
+                missing = list(configs)
 
-            if remaining:
-                for task, columns in self.backend.run_tasks(remaining, series):
+            if missing:
+                tasks = build_tasks(missing)
+                for task, columns in self.backend.run_tasks(tasks, series):
                     for j, index in enumerate(task.indices):
                         matrix[:, index] = columns[:, j]
-                    if self.cache is not None:
-                        for j, key in enumerate(keys[task]):
-                            self.cache.put(key, columns[:, j])
+                        if self.cache is not None:
+                            self.cache.put(key_for[index], columns[:, j])
         obs.counter(
             "repro_feature_points_total",
             "Points x extraction passes through the detector bank",
         ).inc(n)
         return FeatureMatrix(values=matrix, names=[c.name for c in configs])
+
+    # ------------------------------------------------------------------
+    # Incremental path and lifecycle
+    # ------------------------------------------------------------------
+    def stream_bank(self) -> StreamBank:
+        """The extractor's warm per-point bank (built lazily; the
+        configs must be resolved first). One fused stream per family —
+        see :class:`repro.detectors.StreamBank`."""
+        if self._stream_bank is None:
+            if self._configs is None:
+                raise RuntimeError("extractor has no configs yet")
+            self._stream_bank = StreamBank(self._configs)
+        return self._stream_bank
+
+    def extract_point(self, value: float) -> np.ndarray:
+        """Severity row for one new point via warm family streams.
+
+        This is the §4.3.2 online path: no batch recompute, one fused
+        state update per family, microseconds per point. The row is
+        bit-identical (or documented-ULP-close, see
+        docs/performance.md) to the corresponding row of
+        :meth:`extract` over the same prefix.
+        """
+        return self.stream_bank().extract_point(value)
+
+    def close(self) -> None:
+        """Release backend resources (the persistent process pool and
+        its shared-memory segment). Safe to call more than once; the
+        extractor remains usable and re-acquires resources on demand."""
+        self.backend.close()
+
+    def __enter__(self) -> "FeatureExtractor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
 
 def extract_features(

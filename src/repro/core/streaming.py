@@ -19,7 +19,7 @@ from typing import Any, Dict, List, Mapping, Optional
 
 import numpy as np
 
-from ..detectors import SeverityStream
+from ..detectors import StreamBank
 from ..obs import get_provider
 from ..timeseries import TimeSeries
 from .opprentice import Opprentice
@@ -87,9 +87,10 @@ class StreamingDetector:
                 "series (or pass configs explicitly) first"
             )
         self._configs = configs
-        self._streams: List[SeverityStream] = [
-            config.detector.stream() for config in configs
-        ]
+        # One fused stream per detector family (the Holt-Winters sweep
+        # is a single vectorised update instead of 64 scalar ones);
+        # checkpoints stay per-config — see StreamBank.
+        self._bank = StreamBank(configs)
         self._index = -1
         if checkpoint is not None:
             self.restore(checkpoint)
@@ -98,7 +99,7 @@ class StreamingDetector:
 
     @property
     def n_configs(self) -> int:
-        return len(self._streams)
+        return len(self._bank)
 
     @property
     def points_seen(self) -> int:
@@ -115,7 +116,7 @@ class StreamingDetector:
             "format_version": STREAM_CHECKPOINT_VERSION,
             "index": self._index,
             "feature_names": [config.name for config in self._configs],
-            "streams": [stream.snapshot() for stream in self._streams],
+            "streams": self._bank.snapshots(),
         }
 
     def restore(self, checkpoint: Mapping[str, Any]) -> "StreamingDetector":
@@ -134,10 +135,9 @@ class StreamingDetector:
                 "different feature set"
             )
         with get_provider().span(
-            "stream.restore", n_streams=len(self._streams)
+            "stream.restore", n_streams=len(self._bank)
         ):
-            for stream, state in zip(self._streams, checkpoint["streams"]):
-                stream.restore(state)
+            self._bank.restore(list(checkpoint["streams"]))
         self._index = int(checkpoint["index"])
         return self
 
@@ -145,7 +145,7 @@ class StreamingDetector:
         """Total points buffered across all detector streams — the value
         behind the ``repro_stream_buffer_points`` gauge. Flat over time
         for the bounded streams every registered detector uses."""
-        return sum(stream.buffered_points() for stream in self._streams)
+        return self._bank.buffered_points()
 
     def replay(self, series: TimeSeries) -> None:
         """Warm the detector streams with historical data (no decisions
@@ -158,9 +158,7 @@ class StreamingDetector:
 
     def _advance(self, value: float) -> np.ndarray:
         self._index += 1
-        return np.array(
-            [stream.update(value) for stream in self._streams]
-        )
+        return self._bank.extract_point(value)
 
     def push(self, value: float) -> StreamDecision:
         """Consume the next data point and classify it."""

@@ -8,9 +8,18 @@ from .base import (
     Detector,
     DetectorConfig,
     DetectorError,
+    FamilyEvaluator,
+    FamilyKey,
+    FamilyStream,
+    PerConfigStreams,
     SeverityStream,
+    SoloEvaluator,
+    StreamBank,
     build_configs,
+    build_family_evaluators,
     phase_view,
+    prefix_sums,
+    register_family_builder,
     rolling_mean,
     rolling_std,
 )
@@ -38,8 +47,17 @@ __all__ = [
     "DetectorConfig",
     "DetectorError",
     "SeverityStream",
+    "FamilyEvaluator",
+    "FamilyKey",
+    "FamilyStream",
+    "PerConfigStreams",
+    "SoloEvaluator",
+    "StreamBank",
     "STREAM_BUFFER_SLACK",
     "build_configs",
+    "build_family_evaluators",
+    "register_family_builder",
+    "prefix_sums",
     "rolling_mean",
     "rolling_std",
     "phase_view",

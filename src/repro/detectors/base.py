@@ -28,13 +28,31 @@ from __future__ import annotations
 import abc
 from collections import deque
 from dataclasses import dataclass
-from typing import Any, Dict, Iterable, List, Mapping, Optional, Tuple, Union
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Hashable,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 import numpy as np
 
 from ..timeseries import TimeSeries
 
 ParamValue = Union[int, float, str]
+
+#: A detector's family membership: ``(builder name, subgroup key)``.
+#: Configurations sharing the same family key are fused into one
+#: :class:`FamilyEvaluator` pass; ``None`` means "no family" (the
+#: configuration runs solo).
+FamilyKey = Tuple[str, Hashable]
 
 #: Extra points kept beyond the warm-up window by the generic bounded
 #: buffer, so boundary effects (e.g. a window that straddles the oldest
@@ -203,6 +221,20 @@ class Detector(abc.ABC):
         """
         return self.warmup() + max(self.warmup(), STREAM_BUFFER_SLACK)
 
+    def family(self) -> Optional[FamilyKey]:
+        """Fusion family of this detector, or ``None`` to run solo.
+
+        Configurations whose detectors report the same ``(builder,
+        subgroup)`` key are handed together to the registered
+        :class:`FamilyEvaluator` builder (see
+        :func:`register_family_builder`), which computes all their
+        severity columns in one fused pass sharing window sums,
+        seasonal gathers, or smoothing sweeps. The contract is strict:
+        the fused columns must be bit-identical to calling each
+        config's :meth:`severities` on its own.
+        """
+        return None
+
     # ------------------------------------------------------------------
     @property
     def feature_name(self) -> str:
@@ -275,7 +307,19 @@ class DetectorConfig:
         return self.detector.feature_name
 
 
-def rolling_mean(values: np.ndarray, window: int) -> np.ndarray:
+def prefix_sums(values: np.ndarray) -> np.ndarray:
+    """Zero-prefixed cumulative sum, the shared building block of the
+    clean-data :func:`rolling_mean` path. A family evaluator computes
+    this once per series and hands it to every window size."""
+    return np.cumsum(np.concatenate([[0.0], values]))
+
+
+def rolling_mean(
+    values: np.ndarray,
+    window: int,
+    *,
+    cumsum: Optional[np.ndarray] = None,
+) -> np.ndarray:
     """Causal rolling mean of the *previous* ``window`` points.
 
     ``out[t]`` is the mean of ``values[t-window : t]`` — the current
@@ -283,6 +327,10 @@ def rolling_mean(values: np.ndarray, window: int) -> np.ndarray:
     first ``window`` entries are NaN. A missing (NaN) point makes only
     the windows that contain it NaN; it does not poison the rest of the
     series (dirty-data handling, §6).
+
+    ``cumsum`` may carry :func:`prefix_sums` of ``values`` precomputed
+    by a fused family pass; it is only consulted on the clean-data
+    branch, where it is bit-identical to recomputing it here.
     """
     if window <= 0:
         raise DetectorError(f"window must be positive, got {window}")
@@ -292,7 +340,8 @@ def rolling_mean(values: np.ndarray, window: int) -> np.ndarray:
         return out
     if np.isfinite(values).all():
         # Fast cumulative-sum path for clean data.
-        cumsum = np.cumsum(np.concatenate([[0.0], values]))
+        if cumsum is None:
+            cumsum = prefix_sums(values)
         out[window:] = (cumsum[window:-1] - cumsum[:-window - 1]) / window
     else:
         windows = np.lib.stride_tricks.sliding_window_view(values, window)
@@ -303,7 +352,17 @@ def rolling_mean(values: np.ndarray, window: int) -> np.ndarray:
 def rolling_std(values: np.ndarray, window: int) -> np.ndarray:
     """Causal rolling standard deviation of the previous ``window``
     points (current point excluded), NaN during warm-up. NaN points
-    invalidate only the windows containing them."""
+    invalidate only the windows containing them.
+
+    The clean-data fast path centres the series on its global mean
+    before taking cumulative sums: ``sum(x**2)`` of raw values near 1e8
+    reaches 1e16 per point, where float64 spacing (~1) wipes out the
+    entire variance of a modest-spread window — the uncentred formula
+    returned stds that were wrong or clamped to zero. Variance is
+    shift-invariant, so centring changes nothing mathematically while
+    keeping the summed squares on the order of the spread, not the
+    offset.
+    """
     if window <= 1:
         raise DetectorError(f"window must be > 1 for std, got {window}")
     n = len(values)
@@ -311,8 +370,9 @@ def rolling_std(values: np.ndarray, window: int) -> np.ndarray:
     if n <= window:
         return out
     if np.isfinite(values).all():
-        cumsum = np.cumsum(np.concatenate([[0.0], values]))
-        cumsq = np.cumsum(np.concatenate([[0.0], values * values]))
+        centered = values - values.mean()
+        cumsum = np.cumsum(np.concatenate([[0.0], centered]))
+        cumsq = np.cumsum(np.concatenate([[0.0], centered * centered]))
         total = cumsum[window:-1] - cumsum[:-window - 1]
         total_sq = cumsq[window:-1] - cumsq[:-window - 1]
         variance = np.maximum(total_sq / window - (total / window) ** 2, 0.0)
@@ -339,3 +399,243 @@ def phase_view(values: np.ndarray, period: int) -> np.ndarray:
 def build_configs(detectors: Iterable[Detector]) -> List[DetectorConfig]:
     """Assign stable feature-column indices to a detector list."""
     return [DetectorConfig(i, d) for i, d in enumerate(detectors)]
+
+
+# ----------------------------------------------------------------------
+# Family-fused evaluation (the §5.8 hot-path contract)
+# ----------------------------------------------------------------------
+class FamilyStream(abc.ABC):
+    """Online counterpart of :class:`FamilyEvaluator`: one
+    :meth:`update` per point returns the severity of *every* config in
+    the family, and checkpoints decompose into the same per-config
+    dicts the individual :class:`SeverityStream` classes produce, so
+    the :class:`~repro.core.StreamingDetector` checkpoint format is
+    unchanged."""
+
+    @abc.abstractmethod
+    def update(self, value: float) -> np.ndarray:
+        """Severity of the new point for each config, in family order."""
+
+    @abc.abstractmethod
+    def snapshots(self) -> List[Dict[str, Any]]:
+        """Per-config checkpoint dicts, in family order. Each dict must
+        be loadable by the config's own solo stream (and vice versa)."""
+
+    @abc.abstractmethod
+    def restore(self, states: Sequence[Mapping[str, Any]]) -> "FamilyStream":
+        """Load per-config snapshots (family order) into this fresh
+        stream and return it."""
+
+    def buffered_points(self) -> int:
+        """Buffered container state, aggregated across the family."""
+        total = 0
+        for value in self.__dict__.values():
+            if isinstance(value, (list, deque, np.ndarray)):
+                total += len(value)
+        return total
+
+
+class PerConfigStreams(FamilyStream):
+    """Default family stream: one solo :class:`SeverityStream` per
+    config, advanced in lockstep. Used whenever a family has no fused
+    streaming recurrence."""
+
+    def __init__(self, streams: Sequence[SeverityStream]):
+        self._streams = list(streams)
+
+    def update(self, value: float) -> np.ndarray:
+        return np.array(
+            [stream.update(value) for stream in self._streams],
+            dtype=np.float64,
+        )
+
+    def snapshots(self) -> List[Dict[str, Any]]:
+        return [stream.snapshot() for stream in self._streams]
+
+    def restore(self, states: Sequence[Mapping[str, Any]]) -> "PerConfigStreams":
+        if len(states) != len(self._streams):
+            raise DetectorError(
+                f"expected {len(self._streams)} stream states, got {len(states)}"
+            )
+        for stream, state in zip(self._streams, states):
+            stream.restore(state)
+        return self
+
+    def buffered_points(self) -> int:
+        return sum(stream.buffered_points() for stream in self._streams)
+
+
+class FamilyEvaluator(abc.ABC):
+    """Fused severity computation for a group of sibling configs.
+
+    One :meth:`evaluate` call produces the severity columns of every
+    config in the family from a single pass over the series, sharing
+    whatever intermediate the family's detectors recompute per config
+    in solo mode (window prefix sums, seasonal history gathers, the
+    Holt-Winters state sweep). Instances must be picklable — the
+    process backend ships them to pool workers.
+    """
+
+    #: Display name used for observability labels (span/timer
+    #: ``detector=`` tags) when the family runs as one task.
+    kind: str = "family"
+
+    def __init__(self, configs: Sequence[DetectorConfig]):
+        self.configs: Tuple[DetectorConfig, ...] = tuple(configs)
+        if not self.configs:
+            raise DetectorError("a family evaluator needs at least one config")
+
+    @property
+    def indices(self) -> Tuple[int, ...]:
+        """Feature-matrix column index of each config, family order."""
+        return tuple(config.index for config in self.configs)
+
+    @property
+    def names(self) -> Tuple[str, ...]:
+        return tuple(config.name for config in self.configs)
+
+    @abc.abstractmethod
+    def evaluate(self, series: TimeSeries) -> np.ndarray:
+        """``(n_points, n_configs)`` severity matrix, columns in family
+        order — bit-identical to stacking each config's solo
+        :meth:`Detector.severities`."""
+
+    def make_stream(self) -> FamilyStream:
+        """Online streams for the family; the default advances each
+        config's solo stream."""
+        return PerConfigStreams(
+            [config.detector.stream() for config in self.configs]
+        )
+
+
+class SoloEvaluator(FamilyEvaluator):
+    """Wraps a single config that has no family (or whose family has no
+    registered builder) in the :class:`FamilyEvaluator` contract."""
+
+    def __init__(self, config: DetectorConfig):
+        super().__init__([config])
+        self.kind = config.detector.kind
+
+    def evaluate(self, series: TimeSeries) -> np.ndarray:
+        return self.configs[0].detector.severities(series).reshape(-1, 1)
+
+
+#: Registered family builders: name -> callable(configs) -> evaluator.
+#: Detector modules register theirs at import time via
+#: :func:`register_family_builder`, which keeps this module free of
+#: circular imports.
+_FAMILY_BUILDERS: Dict[
+    str, Callable[[Sequence[DetectorConfig]], FamilyEvaluator]
+] = {}
+
+
+def register_family_builder(
+    name: str,
+) -> Callable[
+    [Callable[[Sequence[DetectorConfig]], FamilyEvaluator]],
+    Callable[[Sequence[DetectorConfig]], FamilyEvaluator],
+]:
+    """Class/function decorator registering a family evaluator builder
+    under ``name`` (the first element of :meth:`Detector.family`)."""
+
+    def decorate(builder):
+        if name in _FAMILY_BUILDERS:
+            raise DetectorError(f"family builder {name!r} already registered")
+        _FAMILY_BUILDERS[name] = builder
+        return builder
+
+    return decorate
+
+
+def build_family_evaluators(
+    configs: Sequence[DetectorConfig],
+) -> List[FamilyEvaluator]:
+    """Group a config bank into fused family evaluators.
+
+    Configs sharing a :meth:`Detector.family` key collapse into one
+    evaluator (placed at the first member's position); configs with no
+    family — or a family with no registered builder — become
+    :class:`SoloEvaluator`s. Every config appears in exactly one
+    returned evaluator.
+    """
+    grouped: Dict[FamilyKey, List[DetectorConfig]] = {}
+    order: List[Tuple[str, Any]] = []
+    for config in configs:
+        key = config.detector.family()
+        if key is not None and key[0] in _FAMILY_BUILDERS:
+            if key not in grouped:
+                grouped[key] = []
+                order.append(("family", key))
+            grouped[key].append(config)
+        else:
+            order.append(("solo", config))
+    evaluators: List[FamilyEvaluator] = []
+    for tag, item in order:
+        if tag == "solo":
+            evaluators.append(SoloEvaluator(item))
+        else:
+            evaluators.append(_FAMILY_BUILDERS[item[0]](grouped[item]))
+    return evaluators
+
+
+class StreamBank:
+    """Warm per-point extraction over a whole configuration bank.
+
+    Builds the family evaluators for the bank once, keeps one
+    :class:`FamilyStream` per family, and maps each family's outputs
+    back to the bank's column order, so :meth:`extract_point` fills a
+    full feature row with one fused update per family (§4.3.2: the
+    severity of a new point is computed the moment it arrives).
+    Checkpoints stay per-config — :meth:`snapshots` returns one dict
+    per bank position, interchangeable with the solo streams'.
+    """
+
+    def __init__(self, configs: Sequence[DetectorConfig]):
+        self._configs: Tuple[DetectorConfig, ...] = tuple(configs)
+        self._evaluators = build_family_evaluators(self._configs)
+        position = {id(config): i for i, config in enumerate(self._configs)}
+        self._positions: List[np.ndarray] = [
+            np.array(
+                [position[id(config)] for config in evaluator.configs],
+                dtype=np.intp,
+            )
+            for evaluator in self._evaluators
+        ]
+        self._streams: List[FamilyStream] = [
+            evaluator.make_stream() for evaluator in self._evaluators
+        ]
+
+    def __len__(self) -> int:
+        return len(self._configs)
+
+    @property
+    def configs(self) -> Tuple[DetectorConfig, ...]:
+        return self._configs
+
+    def extract_point(self, value: float) -> np.ndarray:
+        """Severity row for the new point, in bank (column) order."""
+        row = np.empty(len(self._configs), dtype=np.float64)
+        for stream, positions in zip(self._streams, self._positions):
+            row[positions] = stream.update(value)
+        return row
+
+    def snapshots(self) -> List[Dict[str, Any]]:
+        """Per-config checkpoint dicts, in bank order."""
+        states: List[Optional[Dict[str, Any]]] = [None] * len(self._configs)
+        for stream, positions in zip(self._streams, self._positions):
+            for pos, state in zip(positions, stream.snapshots()):
+                states[pos] = state
+        return states  # type: ignore[return-value]
+
+    def restore(self, states: Sequence[Mapping[str, Any]]) -> "StreamBank":
+        """Load per-config snapshots (bank order) into fresh streams."""
+        if len(states) != len(self._configs):
+            raise DetectorError(
+                f"expected {len(self._configs)} stream states, got {len(states)}"
+            )
+        for stream, positions in zip(self._streams, self._positions):
+            stream.restore([states[pos] for pos in positions])
+        return self
+
+    def buffered_points(self) -> int:
+        return sum(stream.buffered_points() for stream in self._streams)

@@ -13,12 +13,21 @@ standard robust scale estimate, improving robustness to dirty data
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
 from ..timeseries import TimeSeries
-from .base import Detector, DetectorError, ParamValue, SeverityStream
+from .base import (
+    Detector,
+    DetectorConfig,
+    DetectorError,
+    FamilyEvaluator,
+    FamilyKey,
+    ParamValue,
+    SeverityStream,
+    register_family_builder,
+)
 
 #: Table 3 window grid, in weeks.
 HISTORICAL_WINDOWS_WEEKS = (1, 2, 3, 4, 5)
@@ -48,6 +57,30 @@ class _HistoricalBase(Detector):
 
     def warmup(self) -> int:
         return self.window_days * self.points_per_day
+
+    def family(self) -> Optional[FamilyKey]:
+        # Average and MAD configs of one grid share the history gather
+        # and scale floor (one per window size).
+        return ("historical", self.points_per_day)
+
+    def severities(self, series: TimeSeries) -> np.ndarray:
+        values = self._validate(series)
+        n = len(values)
+        out = np.full(n, np.nan)
+        start = self.warmup()
+        if n <= start:
+            return out
+        history = self._history(values)
+        floor = self._scale_floor(values)
+        out[start:] = self._score_columns(values[start:], history, floor)
+        return out
+
+    def _score_columns(
+        self, tail: np.ndarray, history: np.ndarray, floor: float
+    ) -> np.ndarray:
+        """Severity of each post-warm-up point given its same-time-of-day
+        ``history`` rows and the fixed scale ``floor``."""
+        raise NotImplementedError
 
     def stream_memory(self) -> None:
         # The scale floor is fixed from the *original* warm-up prefix
@@ -141,20 +174,13 @@ class HistoricalAverage(_HistoricalBase):
         std = float(finite.std())
         return abs(value - mean) / max(std, floor)
 
-    def severities(self, series: TimeSeries) -> np.ndarray:
-        values = self._validate(series)
-        n = len(values)
-        out = np.full(n, np.nan)
-        start = self.warmup()
-        if n <= start:
-            return out
-        history = self._history(values)
+    def _score_columns(
+        self, tail: np.ndarray, history: np.ndarray, floor: float
+    ) -> np.ndarray:
         with np.errstate(invalid="ignore"):
             mean = np.nanmean(history, axis=1)
             std = np.nanstd(history, axis=1)
-        floor = self._scale_floor(values)
-        out[start:] = np.abs(values[start:] - mean) / np.maximum(std, floor)
-        return out
+        return np.abs(tail - mean) / np.maximum(std, floor)
 
 
 class HistoricalMad(_HistoricalBase):
@@ -175,20 +201,54 @@ class HistoricalMad(_HistoricalBase):
         mad = float(np.median(np.abs(finite - median)))
         return abs(value - median) / max(MAD_TO_SIGMA * mad, floor)
 
-    def severities(self, series: TimeSeries) -> np.ndarray:
-        values = self._validate(series)
-        n = len(values)
-        out = np.full(n, np.nan)
-        start = self.warmup()
-        if n <= start:
-            return out
-        history = self._history(values)
+    def _score_columns(
+        self, tail: np.ndarray, history: np.ndarray, floor: float
+    ) -> np.ndarray:
         with np.errstate(invalid="ignore"):
             median = np.nanmedian(history, axis=1)
             mad = np.nanmedian(
                 np.abs(history - median[:, np.newaxis]), axis=1
             )
-        floor = self._scale_floor(values)
         scale = np.maximum(MAD_TO_SIGMA * mad, floor)
-        out[start:] = np.abs(values[start:] - median) / scale
+        return np.abs(tail - median) / scale
+
+
+@register_family_builder("historical")
+class HistoricalBankEvaluator(FamilyEvaluator):
+    """Fused pass over historical average + historical MAD: one
+    same-time-of-day history gather and one scale floor per window size
+    feed both variants' statistics."""
+
+    kind = "historical"
+
+    def __init__(self, configs):
+        super().__init__(configs)
+        grids = {config.detector.points_per_day for config in self.configs}
+        if len(grids) != 1:
+            raise DetectorError(
+                f"historical family spans several day grids: {sorted(grids)}"
+            )
+        self.points_per_day = grids.pop()
+
+    def evaluate(self, series: TimeSeries) -> np.ndarray:
+        values = Detector._validate(series)
+        n = len(values)
+        out = np.full((n, len(self.configs)), np.nan)
+        by_window: Dict[int, List[Tuple[int, DetectorConfig]]] = {}
+        for j, config in enumerate(self.configs):
+            by_window.setdefault(config.detector.window_weeks, []).append(
+                (j, config)
+            )
+        for _, items in sorted(by_window.items()):
+            lead = items[0][1].detector
+            start = lead.warmup()
+            if n <= start:
+                continue
+            history = lead._history(values)
+            floor = lead._scale_floor(values)
+            tail = values[start:]
+            for j, config in items:
+                out[start:, j] = config.detector._score_columns(
+                    tail, history, floor
+                )
         return out

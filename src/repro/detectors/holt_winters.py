@@ -21,12 +21,22 @@ and get NaN severity.
 from __future__ import annotations
 
 import math
-from typing import Dict
+from typing import Any, Dict, List, Mapping, Optional, Sequence
 
 import numpy as np
 
 from ..timeseries import TimeSeries
-from .base import Detector, DetectorError, ParamValue, SeverityStream
+from .base import (
+    Detector,
+    DetectorConfig,
+    DetectorError,
+    FamilyEvaluator,
+    FamilyKey,
+    FamilyStream,
+    ParamValue,
+    SeverityStream,
+    register_family_builder,
+)
 
 #: Table 3 smoothing-parameter grid.
 HW_GRID = (0.2, 0.4, 0.6, 0.8)
@@ -55,6 +65,11 @@ class HoltWinters(Detector):
 
     def warmup(self) -> int:
         return self.season_points
+
+    def family(self) -> Optional[FamilyKey]:
+        # All configs of one season share the state sweep: one fused
+        # time loop emits every (alpha, beta, gamma) combination.
+        return ("holt-winters", self.season_points)
 
     def stream_memory(self) -> None:
         # Triple exponential smoothing remembers the whole prefix; the
@@ -145,8 +160,11 @@ class _HoltWintersStream(SeverityStream):
         self._t = 0
 
     def _initialise(self) -> None:
-        buffer = [v for v in self._init_buffer if not math.isnan(v)]
-        mean = sum(buffer) / len(buffer) if buffer else 0.0
+        init = np.asarray(self._init_buffer, dtype=np.float64)
+        finite = init[np.isfinite(init)]
+        # numpy's pairwise-summation mean, so the initial level is
+        # bit-identical to the fused batch sweep's.
+        mean = float(finite.mean()) if len(finite) else 0.0
         self._level = mean
         self._trend = 0.0
         self._seasonals = [
@@ -185,3 +203,160 @@ class _HoltWintersStream(SeverityStream):
             self._gamma * (value - self._level) + (1.0 - self._gamma) * seasonal
         )
         return severity
+
+
+# ----------------------------------------------------------------------
+# Fused family evaluation
+# ----------------------------------------------------------------------
+@register_family_builder("holt-winters")
+class HoltWintersBankEvaluator(FamilyEvaluator):
+    """All (alpha, beta, gamma) configurations of one season in a
+    single :func:`batch_severities` state sweep."""
+
+    kind = "holt-winters"
+
+    def __init__(self, configs: Sequence[DetectorConfig]):
+        super().__init__(configs)
+        seasons = {config.detector.season_points for config in self.configs}
+        if len(seasons) != 1:
+            raise DetectorError(
+                f"holt-winters family spans several seasons: {sorted(seasons)}"
+            )
+        self.season = seasons.pop()
+        self.alphas = np.array(
+            [config.detector.alpha for config in self.configs], dtype=np.float64
+        )
+        self.betas = np.array(
+            [config.detector.beta for config in self.configs], dtype=np.float64
+        )
+        self.gammas = np.array(
+            [config.detector.gamma for config in self.configs], dtype=np.float64
+        )
+
+    def evaluate(self, series: TimeSeries) -> np.ndarray:
+        values = Detector._validate(series)
+        return batch_severities(
+            values, self.alphas, self.betas, self.gammas, self.season
+        )
+
+    def make_stream(self) -> FamilyStream:
+        return _HoltWintersBankStream(
+            self.alphas, self.betas, self.gammas, self.season
+        )
+
+
+class _HoltWintersBankStream(FamilyStream):
+    """Online counterpart of :func:`batch_severities`: one vectorised
+    state update per point covers every configuration of the family.
+    Checkpoints decompose into the exact per-config dicts
+    :class:`_HoltWintersStream` snapshots produce, so bank checkpoints
+    stay interchangeable with solo-stream checkpoints."""
+
+    def __init__(
+        self,
+        alphas: np.ndarray,
+        betas: np.ndarray,
+        gammas: np.ndarray,
+        season: int,
+    ):
+        self._alphas = np.asarray(alphas, dtype=np.float64)
+        self._betas = np.asarray(betas, dtype=np.float64)
+        self._gammas = np.asarray(gammas, dtype=np.float64)
+        self._season = int(season)
+        self._k = len(self._alphas)
+        self._init_buffer: List[float] = []
+        self._level = np.zeros(self._k)
+        self._trend = np.zeros(self._k)
+        self._seasonals = np.zeros((self._k, self._season))
+        self._t = 0
+
+    def _initialise(self) -> None:
+        init = np.asarray(self._init_buffer, dtype=np.float64)
+        finite = init[np.isfinite(init)]
+        mean = finite.mean() if len(finite) else 0.0
+        self._level = np.full(self._k, mean)
+        self._trend = np.zeros(self._k)
+        self._seasonals = np.tile(
+            np.where(np.isfinite(init), init - mean, 0.0), (self._k, 1)
+        )
+
+    def update(self, value: float) -> np.ndarray:
+        value = float(value)
+        season = self._season
+        if self._t < season:
+            self._init_buffer.append(value)
+            self._t += 1
+            if self._t == season:
+                self._initialise()
+            return np.full(self._k, np.nan)
+
+        phase = self._t % season
+        seasonal = self._seasonals[:, phase]
+        self._t += 1
+        if math.isnan(value):
+            # Missing point: freeze the state, no severity.
+            return np.full(self._k, np.nan)
+        forecast = self._level + self._trend + seasonal
+        severity = np.abs(value - forecast)
+        new_level = self._alphas * (value - seasonal) + (
+            1.0 - self._alphas
+        ) * (self._level + self._trend)
+        self._trend = (
+            self._betas * (new_level - self._level)
+            + (1.0 - self._betas) * self._trend
+        )
+        self._seasonals[:, phase] = (
+            self._gammas * (value - new_level) + (1.0 - self._gammas) * seasonal
+        )
+        self._level = new_level
+        return severity
+
+    def snapshots(self) -> List[Dict[str, Any]]:
+        warmed = self._t >= self._season
+        states: List[Dict[str, Any]] = []
+        for j in range(self._k):
+            states.append(
+                {
+                    "_alpha": float(self._alphas[j]),
+                    "_beta": float(self._betas[j]),
+                    "_gamma": float(self._gammas[j]),
+                    "_season": self._season,
+                    "_init_buffer": [float(v) for v in self._init_buffer],
+                    "_seasonals": (
+                        [float(v) for v in self._seasonals[j]] if warmed else []
+                    ),
+                    "_level": float(self._level[j]),
+                    "_trend": float(self._trend[j]),
+                    "_t": self._t,
+                }
+            )
+        return states
+
+    def restore(
+        self, states: Sequence[Mapping[str, Any]]
+    ) -> "_HoltWintersBankStream":
+        if len(states) != self._k:
+            raise DetectorError(
+                f"expected {self._k} holt-winters states, got {len(states)}"
+            )
+        ticks = {int(state["_t"]) for state in states}
+        if len(ticks) != 1:
+            raise DetectorError(
+                f"holt-winters family states out of sync: t={sorted(ticks)}"
+            )
+        self._t = ticks.pop()
+        self._init_buffer = [float(v) for v in states[0]["_init_buffer"]]
+        if self._t >= self._season:
+            self._level = np.array(
+                [state["_level"] for state in states], dtype=np.float64
+            )
+            self._trend = np.array(
+                [state["_trend"] for state in states], dtype=np.float64
+            )
+            self._seasonals = np.array(
+                [state["_seasonals"] for state in states], dtype=np.float64
+            )
+        return self
+
+    def buffered_points(self) -> int:
+        return len(self._init_buffer) + int(self._seasonals.size)

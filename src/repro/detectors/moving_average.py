@@ -14,7 +14,7 @@ detectors and ``alpha = 0.1, 0.3, 0.5, 0.7, 0.9`` for EWMA.
 from __future__ import annotations
 
 from collections import deque
-from typing import Dict
+from typing import Dict, Optional
 
 import numpy as np
 
@@ -22,10 +22,15 @@ from ..timeseries import TimeSeries
 from .base import (
     Detector,
     DetectorError,
+    FamilyEvaluator,
+    FamilyKey,
     ParamValue,
     SeverityStream,
+    prefix_sums,
+    register_family_builder,
     rolling_mean,
 )
+from .threshold import SimpleThreshold
 
 #: Table 3 window grid (points).
 MA_WINDOWS = (10, 20, 30, 40, 50)
@@ -48,6 +53,9 @@ class SimpleMA(Detector):
 
     def warmup(self) -> int:
         return self.window
+
+    def family(self) -> Optional[FamilyKey]:
+        return ("window-bank", None)
 
     def severities(self, series: TimeSeries) -> np.ndarray:
         values = self._validate(series)
@@ -78,6 +86,9 @@ class WeightedMA(Detector):
 
     def warmup(self) -> int:
         return self.window
+
+    def family(self) -> Optional[FamilyKey]:
+        return ("window-bank", None)
 
     def severities(self, series: TimeSeries) -> np.ndarray:
         values = self._validate(series)
@@ -117,6 +128,9 @@ class MAOfDiff(Detector):
 
     def warmup(self) -> int:
         return self.window
+
+    def family(self) -> Optional[FamilyKey]:
+        return ("window-bank", None)
 
     def severities(self, series: TimeSeries) -> np.ndarray:
         values = self._validate(series)
@@ -198,6 +212,53 @@ class EWMA(Detector):
 
     def stream(self) -> SeverityStream:
         return _EWMAStream(self.alpha)
+
+
+# ----------------------------------------------------------------------
+# Fused family evaluation
+# ----------------------------------------------------------------------
+@register_family_builder("window-bank")
+class WindowBankEvaluator(FamilyEvaluator):
+    """Fused pass over the trailing-window prediction detectors (plus
+    the parameterless static threshold, which rides along for free).
+
+    The clean-data prefix-sum array is computed once and shared by
+    every simple-MA window size; the one-slot absolute differences are
+    computed once and shared by every MA-of-diff window. Each column is
+    bit-identical to the solo detector: the same :func:`rolling_mean`
+    branch runs with the same cumulative sums, and the MA-of-diff
+    sliding windows see the same ``diffs`` array.
+    """
+
+    kind = "window-bank"
+
+    def evaluate(self, series: TimeSeries) -> np.ndarray:
+        values = Detector._validate(series)
+        n = len(values)
+        out = np.full((n, len(self.configs)), np.nan)
+        clean = bool(np.isfinite(values).all())
+        shared_cumsum = prefix_sums(values) if clean else None
+        diffs: Optional[np.ndarray] = None
+        for j, config in enumerate(self.configs):
+            detector = config.detector
+            if isinstance(detector, SimpleMA):
+                out[:, j] = np.abs(
+                    values
+                    - rolling_mean(values, detector.window, cumsum=shared_cumsum)
+                )
+            elif isinstance(detector, MAOfDiff):
+                if n > detector.window:
+                    if diffs is None:
+                        diffs = np.abs(np.diff(values))
+                    windows = np.lib.stride_tricks.sliding_window_view(
+                        diffs, detector.window
+                    )
+                    out[detector.window:, j] = windows.mean(axis=1)
+            elif isinstance(detector, SimpleThreshold):
+                out[:, j] = values
+            else:
+                out[:, j] = detector.severities(series)
+        return out
 
 
 # ----------------------------------------------------------------------

@@ -13,12 +13,12 @@ for the strongly seasonal PV.
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, Optional
 
 import numpy as np
 
 from ..timeseries import TimeSeries
-from .base import Detector, ParamValue, SeverityStream
+from .base import Detector, FamilyKey, ParamValue, SeverityStream
 
 
 class SimpleThreshold(Detector):
@@ -31,6 +31,11 @@ class SimpleThreshold(Detector):
 
     def warmup(self) -> int:
         return 0
+
+    def family(self) -> Optional[FamilyKey]:
+        # Rides in the moving-average window bank: its severity column
+        # is the raw series, free once that pass has validated it.
+        return ("window-bank", None)
 
     def severities(self, series: TimeSeries) -> np.ndarray:
         return self._validate(series).copy()

@@ -20,15 +20,37 @@ nan-aware statistics.
 from __future__ import annotations
 
 import warnings
-from typing import Callable, Dict
+from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
 from ..timeseries import TimeSeries
-from .base import Detector, DetectorError, ParamValue, SeverityStream
+from .base import (
+    Detector,
+    DetectorConfig,
+    DetectorError,
+    FamilyEvaluator,
+    FamilyKey,
+    ParamValue,
+    SeverityStream,
+    register_family_builder,
+)
 
 #: Table 3 window grid, in weeks.
 TSD_WINDOWS_WEEKS = (1, 2, 3, 4, 5)
+
+
+def _history_matrix(
+    values: np.ndarray, window_periods: int, period_points: int
+) -> np.ndarray:
+    """``history[t, k]`` = value at the same phase, k+1 periods before
+    point ``window * period + t``. Shared by TSD and TSD MAD configs of
+    one window size — the gather depends only on the geometry, not the
+    baseline statistic."""
+    n = len(values)
+    indices = np.arange(window_periods * period_points, n)
+    offsets = (np.arange(1, window_periods + 1) * period_points)[np.newaxis, :]
+    return values[indices[:, np.newaxis] - offsets]
 
 
 class _SeasonalResidual(Detector):
@@ -49,6 +71,11 @@ class _SeasonalResidual(Detector):
     def warmup(self) -> int:
         return self.window_periods * self.period_points
 
+    def family(self) -> Optional[FamilyKey]:
+        # TSD and TSD MAD configs of one period share the same-phase
+        # history gathers (one per window size).
+        return ("seasonal-residual", self.period_points)
+
     def _baseline(self, history: np.ndarray) -> np.ndarray:
         raise NotImplementedError
 
@@ -60,10 +87,7 @@ class _SeasonalResidual(Detector):
         out = np.full(n, np.nan)
         if n <= w * period:
             return out
-        # history[t, k] = value at the same phase, k+1 periods earlier.
-        indices = np.arange(w * period, n)
-        offsets = (np.arange(1, w + 1) * period)[np.newaxis, :]
-        history = values[indices[:, np.newaxis] - offsets]
+        history = _history_matrix(values, w, period)
         with np.errstate(invalid="ignore"), warnings.catch_warnings():
             # Rows whose entire same-phase history is missing produce a
             # NaN baseline, which is the intended output.
@@ -160,3 +184,45 @@ class TSDMad(_SeasonalResidual):
 
     def _baseline(self, history: np.ndarray) -> np.ndarray:
         return np.nanmedian(history, axis=1)
+
+
+@register_family_builder("seasonal-residual")
+class SeasonalResidualEvaluator(FamilyEvaluator):
+    """Fused pass over TSD + TSD MAD: one same-phase history gather per
+    window size feeds both the mean and median baselines. Columns are
+    bit-identical to the solo detectors — the gather, error-state guard
+    and residual arithmetic are the same code path."""
+
+    kind = "seasonal-residual"
+
+    def __init__(self, configs):
+        super().__init__(configs)
+        periods = {config.detector.period_points for config in self.configs}
+        if len(periods) != 1:
+            raise DetectorError(
+                f"seasonal-residual family spans several periods: {sorted(periods)}"
+            )
+        self.period_points = periods.pop()
+
+    def evaluate(self, series: TimeSeries) -> np.ndarray:
+        values = Detector._validate(series)
+        n = len(values)
+        out = np.full((n, len(self.configs)), np.nan)
+        period = self.period_points
+        by_window: Dict[int, List[Tuple[int, DetectorConfig]]] = {}
+        for j, config in enumerate(self.configs):
+            by_window.setdefault(config.detector.window_periods, []).append(
+                (j, config)
+            )
+        for w, items in sorted(by_window.items()):
+            start = w * period
+            if n <= start:
+                continue
+            history = _history_matrix(values, w, period)
+            tail = values[start:]
+            with np.errstate(invalid="ignore"), warnings.catch_warnings():
+                warnings.simplefilter("ignore", category=RuntimeWarning)
+                for j, config in items:
+                    baseline = config.detector._baseline(history)
+                    out[start:, j] = np.abs(tail - baseline)
+        return out

@@ -21,12 +21,22 @@ configurations.
 from __future__ import annotations
 
 from collections import deque
-from typing import Dict
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
 from ..timeseries import TimeSeries
-from .base import Detector, DetectorError, ParamValue, SeverityStream, rolling_std
+from .base import (
+    Detector,
+    DetectorConfig,
+    DetectorError,
+    FamilyEvaluator,
+    FamilyKey,
+    ParamValue,
+    SeverityStream,
+    register_family_builder,
+    rolling_std,
+)
 
 #: Table 3 grids.
 WAVELET_WINDOWS_DAYS = (3, 5, 7)
@@ -84,16 +94,30 @@ class WaveletDetector(Detector):
         details[2 * s - 1:] = means[s:] - means[: n - 2 * s + 1]
         return details
 
+    def family(self) -> Optional[FamilyKey]:
+        # All windows of one grid share the per-band detail signals.
+        return ("wavelet", self.points_per_day)
+
     def severities(self, series: TimeSeries) -> np.ndarray:
         values = self._validate(series)
+        details = self._details(values)
+        return self._column(values, details, np.nan_to_num(details, nan=0.0))
+
+    def _column(
+        self,
+        values: np.ndarray,
+        details: np.ndarray,
+        nan_details: np.ndarray,
+    ) -> np.ndarray:
+        """Severity column given this band's (shared) detail signal and
+        its NaN-zeroed copy (the rolling-std input)."""
         n = len(values)
         out = np.full(n, np.nan)
         start = self.warmup()
         if n <= start:
             return out
-        details = self._details(values)
         norm_window = self.window_days * self.points_per_day
-        scale = rolling_std(np.nan_to_num(details, nan=0.0), norm_window)
+        scale = rolling_std(nan_details, norm_window)
         # Floor from the warm-up prefix only, so severities stay causal.
         prefix = details[: start]
         prefix_finite = prefix[np.isfinite(prefix)]
@@ -107,6 +131,38 @@ class WaveletDetector(Detector):
 
     def stream(self) -> SeverityStream:
         return _WaveletStream(self)
+
+
+@register_family_builder("wavelet")
+class WaveletBankEvaluator(FamilyEvaluator):
+    """Fused pass over the wavelet grid: the Haar detail signal (and
+    its NaN-zeroed copy) is computed once per band and shared by every
+    normalisation window of that band."""
+
+    kind = "wavelet"
+
+    def __init__(self, configs):
+        super().__init__(configs)
+        grids = {config.detector.points_per_day for config in self.configs}
+        if len(grids) != 1:
+            raise DetectorError(
+                f"wavelet family spans several day grids: {sorted(grids)}"
+            )
+
+    def evaluate(self, series: TimeSeries) -> np.ndarray:
+        values = Detector._validate(series)
+        out = np.full((len(values), len(self.configs)), np.nan)
+        by_band: Dict[str, List[Tuple[int, DetectorConfig]]] = {}
+        for j, config in enumerate(self.configs):
+            by_band.setdefault(config.detector.band, []).append((j, config))
+        for _, items in sorted(by_band.items()):
+            details = items[0][1].detector._details(values)
+            nan_details = np.nan_to_num(details, nan=0.0)
+            for j, config in items:
+                out[:, j] = config.detector._column(
+                    values, details, nan_details
+                )
+        return out
 
 
 class _WaveletStream(SeverityStream):

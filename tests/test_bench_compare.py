@@ -70,12 +70,25 @@ def test_real_regression_fails(tmp_path):
     assert result.returncode == 1
 
 
-def test_missing_baseline_bench_fails(tmp_path):
+def test_removed_baseline_bench_warns_but_passes(tmp_path):
+    """Retiring a benchmark (or a whole backend) must not wedge the gate."""
     baseline = bench_json(tmp_path / "b.json", {"bench::a": 1.0, "bench::gone": 1.0})
     current = bench_json(tmp_path / "c.json", {"bench::a": 1.0})
     result = run_tool(baseline, current)
+    assert result.returncode == 0, result.stdout + result.stderr
+    assert "WARNING" in result.stdout
+    assert "bench::gone" in result.stdout
+
+
+def test_empty_gated_overlap_fails(tmp_path):
+    """A gate that measures nothing must not pass: disjoint runs fail
+    even though every baseline benchmark is 'only' removed."""
+    baseline = bench_json(tmp_path / "b.json", {"bench::old": 1.0})
+    current = bench_json(tmp_path / "c.json", {"bench::new": 1.0})
+    result = run_tool(baseline, current)
     assert result.returncode == 1
-    assert "missing" in result.stdout
+    assert "FAIL" in result.stdout
+    assert "no benchmark" in result.stdout
 
 
 def test_new_benchmarks_are_not_gated(tmp_path):
