@@ -7,9 +7,19 @@ amortized noise next to the per-point work itself: the acceptance
 target is a per-point ingest cost at 64 KPIs within 2x of the
 single-KPI cost. The CI ``bench-regression`` job records these timings
 in BENCH_4.json and gates median slowdowns via tools/bench_compare.py.
+
+The cross-process extension scales the same question past one process:
+``REPRO_BENCH_SERVE_KPIS`` KPIs (default 10,000) sharded over
+``ShardSupervisor`` worker processes, one point per KPI per round
+through the serve data plane. Its aggregate throughput lands in
+BENCH_4.json with ``n_kpis``/``n_shards`` extra-info, and the
+machine-info hook stamps ``os.cpu_count()`` so tools/bench_compare.py
+can warn when runs on differently-sized machines are compared.
 """
 
+import os
 import time
+from concurrent.futures import ThreadPoolExecutor
 
 import numpy as np
 import pytest
@@ -27,12 +37,22 @@ from repro.detectors import (
 )
 from repro.fleet import FleetManager
 from repro.ml import RandomForest
+from repro.serve import ShardSupervisor
 
 from _common import print_header, write_metrics_snapshot
 
 BOOTSTRAP_WEEKS = 2
 LIVE_POINTS = 48
 FLEET_SIZES = [1, 8, 64]
+
+#: Cross-process scale knobs. The default hits the 10k-KPI acceptance
+#: bar; lower REPRO_BENCH_SERVE_KPIS for a laptop smoke run. Shards
+#: default to one per spare core (at least 2, at most 8).
+SERVE_KPIS = int(os.environ.get("REPRO_BENCH_SERVE_KPIS", "10000"))
+SERVE_SHARDS = int(os.environ.get("REPRO_BENCH_SERVE_SHARDS", "0")) or min(
+    8, max(2, (os.cpu_count() or 4) - 2)
+)
+SERVE_ROUNDS = 4
 
 #: Median per-point milliseconds per fleet size, filled in
 #: parametrization order so the 64-KPI case can check the 2x budget.
@@ -157,3 +177,142 @@ def test_fleet_ingest_scaling(benchmark, fleet_template, n_kpis):
             f"{n_kpis} KPIs"
         )
         write_metrics_snapshot("fleet_scaling")
+
+
+# ----------------------------------------------------------------------
+# Cross-process extension: 10k KPIs over ShardSupervisor processes
+# ----------------------------------------------------------------------
+def _light_service(ppw: int) -> MonitoringService:
+    """O(1)-state detectors and a small forest: at 10k KPIs the bench
+    prices the *serve plane* (routing, framing, per-shard fleets), and
+    the per-KPI memory footprint (~35 KB) is what makes one machine
+    hold the whole fleet."""
+    return MonitoringService(
+        configs=build_configs(
+            [SimpleThreshold(), Diff("last-slot", 1), EWMA(0.5)]
+        ),
+        classifier_factory=lambda: RandomForest(n_estimators=5, seed=0),
+    )
+
+
+@pytest.fixture(scope="module")
+def serve_template(tmp_path_factory):
+    """One bootstrapped light service; shard processes clone it per KPI
+    through the checkpoint path (inherited across the fork)."""
+    generated = generate_kpi(
+        weeks=2,
+        interval=3600,
+        profile=SeasonalProfile(
+            base_level=100.0, daily_amplitude=0.5, noise_scale=0.02, trend=0.0
+        ),
+        seed=63,
+        name="serve-template",
+    )
+    result = inject_anomalies(
+        generated.series, target_fraction=0.05, seed=64, mean_window=4.0
+    )
+    series = result.series
+    ppw = series.points_per_week
+    service = _light_service(ppw)
+    service.bootstrap(series.slice(0, ppw))
+    model_path = tmp_path_factory.mktemp("serve-bench") / "model.json"
+    save_model(service.opprentice, model_path)
+    return {
+        "snapshot": service.snapshot(),
+        "model_path": model_path,
+        "ppw": ppw,
+        "live": [float(v) for v in series.values[ppw:ppw + SERVE_ROUNDS]],
+    }
+
+
+def test_cross_process_fleet_scaling(benchmark, serve_template, tmp_path):
+    """One point per KPI per round through the multi-process data plane.
+
+    ``SERVE_KPIS`` KPIs are consistent-hash routed over ``SERVE_SHARDS``
+    forked shard processes; every round fans one NDJSON-sized batch per
+    shard out concurrently (the same shape the HTTP plane produces) and
+    waits for all accepts. Aggregate points/s is the headline number;
+    the per-KPI count is recorded as extra-info so BENCH_4.json proves
+    the 10k-KPI bar was actually exercised.
+    """
+    template = serve_template
+
+    def clone(kpi_id: str) -> MonitoringService:
+        service = _light_service(template["ppw"])
+        load_model(template["model_path"], opprentice=service.opprentice)
+        snapshot = template["snapshot"]
+        snapshot["kpi"] = kpi_id
+        snapshot["history"]["name"] = kpi_id
+        service.restore_snapshot(snapshot)
+        return service
+
+    def builder(index: int, shard_ids) -> FleetManager:
+        fleet = FleetManager(n_shards=1, queue_depth=8, batch_points=64)
+        for kpi_id in shard_ids:
+            fleet.add_kpi(kpi_id, service=clone(kpi_id))
+        return fleet
+
+    kpi_ids = [f"kpi-{index:05d}" for index in range(SERVE_KPIS)]
+    supervisor = ShardSupervisor(
+        kpi_ids,
+        builder,
+        workdir=str(tmp_path / "serve-bench"),
+        n_shards=SERVE_SHARDS,
+        service_factory=clone,
+        # The in-process benches price ingest, not durability; per-batch
+        # checkpoints of a 10k-KPI fleet would measure the filesystem.
+        checkpoint_every_batches=0,
+    )
+    started = time.perf_counter()
+    supervisor.start()
+    startup_seconds = time.perf_counter() - started
+    populated = [
+        shard for shard, ids in supervisor.assignment.items() if ids
+    ]
+    accepted_total = 0
+    round_seconds = []
+
+    try:
+        with ThreadPoolExecutor(max_workers=len(populated)) as pool:
+            def run():
+                nonlocal accepted_total
+                for value in template["live"]:
+                    began = time.perf_counter()
+                    futures = [
+                        pool.submit(
+                            supervisor.offer_batch,
+                            shard,
+                            [
+                                (kpi_id, value)
+                                for kpi_id in supervisor.assignment[shard]
+                            ],
+                        )
+                        for shard in populated
+                    ]
+                    accepted_total += sum(
+                        future.result()["accepted"] for future in futures
+                    )
+                    round_seconds.append(time.perf_counter() - began)
+
+            benchmark.pedantic(run, rounds=1, iterations=1)
+    finally:
+        supervisor.stop(checkpoint=False)
+
+    assert accepted_total == SERVE_ROUNDS * SERVE_KPIS
+    total_seconds = float(np.sum(round_seconds))
+    throughput = accepted_total / total_seconds
+    benchmark.extra_info["n_kpis"] = SERVE_KPIS
+    benchmark.extra_info["n_shards"] = SERVE_SHARDS
+    benchmark.extra_info["points_per_second"] = round(throughput)
+    benchmark.extra_info["startup_seconds"] = round(startup_seconds, 3)
+
+    print_header(
+        f"Cross-process fleet scaling [{SERVE_KPIS} KPIs / "
+        f"{SERVE_SHARDS} shards]"
+    )
+    print(
+        f"{SERVE_ROUNDS} rounds x {SERVE_KPIS} KPIs over "
+        f"{SERVE_SHARDS} shard processes: {throughput:,.0f} points/s "
+        f"(startup {startup_seconds:.1f}s, per round median "
+        f"{np.median(round_seconds) * 1000.0:.0f} ms)"
+    )

@@ -26,6 +26,12 @@ def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Opprentice (IMC 2015) KPI anomaly detection",
+        epilog=(
+            "companion CLIs: repro-fleet (multi-KPI orchestration), "
+            "repro-serve (sharded fleet behind HTTP), repro-loadgen "
+            "(soak / networked replay), repro-obs (metrics + SLOs), "
+            "repro-lint (static analysis)"
+        ),
     )
     commands = parser.add_subparsers(dest="command", required=True)
 

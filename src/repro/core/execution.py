@@ -53,6 +53,24 @@ from ..timeseries import TimeSeries
 BACKEND_NAMES = ("serial", "thread", "process")
 
 
+def get_fork_context():
+    """The ``fork`` multiprocessing context (or the platform default
+    where fork is unavailable).
+
+    Shared by the persistent extraction pool below and the serve
+    plane's :class:`~repro.serve.ShardSupervisor`: forked children
+    inherit the parent's memory copy-on-write, so a bootstrapped
+    template service (or a compiled detector bank) crosses into the
+    worker for free instead of being pickled.
+    """
+    import multiprocessing
+
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX platforms
+        return multiprocessing.get_context()
+
+
 def resolve_workers(workers: int) -> int:
     """Validate and resolve a worker count.
 
@@ -397,15 +415,10 @@ class ProcessBackend(ExecutionBackend):
     def _ensure_pool(self):
         resources = self._ensure_resources()
         if resources.pool is None:
-            import multiprocessing
             from concurrent.futures import ProcessPoolExecutor
 
-            try:
-                context = multiprocessing.get_context("fork")
-            except ValueError:  # pragma: no cover - non-POSIX platforms
-                context = multiprocessing.get_context()
             resources.pool = ProcessPoolExecutor(
-                max_workers=self.workers, mp_context=context
+                max_workers=self.workers, mp_context=get_fork_context()
             )
         return resources.pool
 

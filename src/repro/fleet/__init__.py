@@ -39,8 +39,11 @@ from .status import (
     KPI_STATES,
     QUARANTINED,
     RECOVERED,
+    STATUS_DOCUMENT_VERSION,
     FleetStatus,
     KpiStatus,
+    merge_statuses,
+    status_document,
 )
 
 __all__ = [
@@ -56,8 +59,11 @@ __all__ = [
     "FleetStatus",
     "KpiStatus",
     "KPI_STATES",
+    "STATUS_DOCUMENT_VERSION",
     "ACTIVE",
     "QUARANTINED",
     "RECOVERED",
     "DEGRADED",
+    "merge_statuses",
+    "status_document",
 ]

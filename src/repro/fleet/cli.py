@@ -37,7 +37,7 @@ from ..timeseries import TimeSeries
 from ..timeseries.io import read_csv
 from .banks import small_bank
 from .manager import FleetManager
-from .status import DEGRADED
+from .status import DEGRADED, FleetStatus, status_document
 
 
 def _service_factory(args, points_per_week: int):
@@ -165,7 +165,7 @@ def _cmd_run(args) -> int:
         write_snapshot(fleet.metrics_snapshot(), args.obs_out)
         print(f"merged metrics snapshot written to {args.obs_out}")
     if args.json:
-        print(json.dumps(status.as_dict(), indent=2))
+        print(json.dumps(status_document(status), indent=2))
     return 0
 
 
@@ -176,6 +176,14 @@ def _cmd_status(args) -> int:
         print(f"{root}: no fleet.json manifest", file=sys.stderr)
         return 2
     manifest = json.loads(manifest_path.read_text())
+    if args.json:
+        # The same serializer the live `run --json` path and the
+        # repro-serve /status endpoint use — one schema, three surfaces.
+        document = status_document(
+            FleetStatus.from_manifest(manifest), source="manifest"
+        )
+        print(json.dumps(document, indent=2))
+        return 0
     entries = manifest.get("kpis", [])
     print(
         f"fleet at {root}: {len(entries)} KPIs, "
@@ -282,6 +290,11 @@ def _build_parser() -> argparse.ArgumentParser:
         "status", help="summarize a saved fleet directory"
     )
     status.add_argument("directory", help="fleet checkpoint directory")
+    status.add_argument(
+        "--json", action="store_true",
+        help="emit the shared status document (same schema as "
+             "`run --json` and the repro-serve /status endpoint)",
+    )
 
     replay = commands.add_parser(
         "replay", help="restore a fleet and stream new CSV points"

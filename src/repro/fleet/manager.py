@@ -208,6 +208,15 @@ class FleetManager:
             )
         self._scheduler.register(kpi_id)
         self._kpis[kpi_id] = _KpiHandle(service=service)
+        # Pre-register the drop counter at zero so a clean run reports
+        # a *measured* zero drop ratio instead of "no data" (the SLO
+        # gate rightly refuses to pass an absent numerator).
+        get_provider().counter(
+            "repro_fleet_dropped_points_total",
+            "Fleet ingest points dropped, by KPI and reason",
+            kpi=kpi_id,
+            reason=self._scheduler.queue_policy,
+        )
         self._refresh_state_gauges()
         return service
 
@@ -565,15 +574,31 @@ class FleetManager:
                     kpi_dir / "service.json",
                     include_features=include_features,
                 )
+                stats = handle.service.stats
                 entries.append(
                     {
                         "kpi_id": kpi_id,
                         "state": handle.state,
+                        "shard": self._scheduler.shard_of(kpi_id),
                         "retries": handle.retries,
                         "backoff_remaining": handle.backoff_remaining,
                         "quarantines": handle.quarantines,
                         "last_error": handle.last_error,
                         "dropped": dict(handle.dropped),
+                        # Headline service numbers, embedded so
+                        # `repro-fleet status --json` can render a full
+                        # FleetStatus without loading any model
+                        # (restore ignores them: they live in the
+                        # service checkpoint too).
+                        "stats": {
+                            "points_ingested": stats.points_ingested,
+                            "anomalous_points": stats.anomalous_points,
+                            "alerts_opened": stats.alerts_opened,
+                            "retrain_rounds": stats.retrain_rounds,
+                            "callback_errors": stats.callback_errors,
+                            "pending_points": handle.service.pending_points,
+                            "cthld": handle.service.cthld,
+                        },
                         "queue": self._scheduler.queue(kpi_id).drain(None),
                     }
                 )
@@ -606,6 +631,7 @@ class FleetManager:
         *,
         service_factory: Optional[ServiceFactory] = None,
         dispatch_workers: Optional[int] = None,
+        kpi_ids: Optional[Sequence[str]] = None,
     ) -> "FleetManager":
         """Rebuild a fleet from a :meth:`save` directory.
 
@@ -616,6 +642,12 @@ class FleetManager:
         :meth:`pump`/:meth:`retrain` behave exactly as the uninterrupted
         fleet's would — queued points, backoffs, quarantine states and
         open alert runs all survive.
+
+        ``kpi_ids`` restores only that subset of the checkpoint — the
+        serve plane's shard processes use this to load exactly the
+        KPIs their consistent-hash slice owns out of one shared fleet
+        directory. Unknown ids raise (a partition that silently loses
+        KPIs would drop their traffic on the floor).
         """
         root = Path(directory)
         manifest = json.loads((root / "fleet.json").read_text())
@@ -625,6 +657,21 @@ class FleetManager:
                 f"unsupported fleet format {version!r} "
                 f"(expected {FLEET_FORMAT_VERSION})"
             )
+        if kpi_ids is not None:
+            known = {entry["kpi_id"] for entry in manifest["kpis"]}
+            missing = sorted(set(kpi_ids) - known)
+            if missing:
+                raise ValueError(
+                    f"checkpoint {root} has no KPI(s) {missing}; "
+                    f"it holds {sorted(known)}"
+                )
+            wanted = set(kpi_ids)
+            manifest = dict(manifest)
+            manifest["kpis"] = [
+                entry
+                for entry in manifest["kpis"]
+                if entry["kpi_id"] in wanted
+            ]
         config = manifest["config"]
         manager = cls(
             n_shards=config["n_shards"],

@@ -5,12 +5,22 @@ fleet — every KPI's lifecycle state, queue depth, drop/quarantine
 counters, and the headline service numbers — as plain data
 (:meth:`FleetStatus.as_dict`) plus a terminal rendering
 (:meth:`FleetStatus.render`) for the ``repro-fleet status`` CLI.
+
+Every JSON surface renders through one serializer,
+:func:`status_document`: ``repro-fleet run --json``, ``repro-fleet
+status --json`` (via :meth:`FleetStatus.from_manifest` over a saved
+``fleet.json``), and the ``repro-serve`` ingest plane's ``GET /status``
+endpoint all emit the same document shape, so operator tooling parses
+one schema no matter which surface produced it.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
+
+#: Version tag of the JSON document produced by :func:`status_document`.
+STATUS_DOCUMENT_VERSION = 1
 
 #: KPI lifecycle states (see docs/architecture.md, fleet layer):
 #: ``active`` — dispatching normally; ``quarantined`` — last batch
@@ -53,6 +63,33 @@ class KpiStatus:
     def dropped_total(self) -> int:
         return sum(self.dropped.values())
 
+    @classmethod
+    def from_dict(cls, data: dict) -> "KpiStatus":
+        """Inverse of :meth:`as_dict` (used to rebuild statuses that
+        crossed a process boundary as JSON)."""
+        return cls(
+            kpi_id=data["kpi_id"],
+            state=data.get("state", ACTIVE),
+            shard=int(data.get("shard", 0)),
+            queue_depth=int(data.get("queue_depth", 0)),
+            points_ingested=int(data.get("points_ingested", 0)),
+            anomalous_points=int(data.get("anomalous_points", 0)),
+            alerts_opened=int(data.get("alerts_opened", 0)),
+            retrain_rounds=int(data.get("retrain_rounds", 0)),
+            callback_errors=int(data.get("callback_errors", 0)),
+            pending_points=int(data.get("pending_points", 0)),
+            cthld=float(data.get("cthld", 0.0)),
+            retries=int(data.get("retries", 0)),
+            backoff_remaining=int(data.get("backoff_remaining", 0)),
+            quarantines=int(data.get("quarantines", 0)),
+            last_error=data.get("last_error"),
+            dropped={
+                reason: int(count)
+                for reason, count in data.get("dropped", {}).items()
+            },
+            ingest_p99=data.get("ingest_p99"),
+        )
+
     def as_dict(self) -> dict:
         return {
             "kpi_id": self.kpi_id,
@@ -81,6 +118,53 @@ class FleetStatus:
 
     kpis: Tuple[KpiStatus, ...]
     cycles: int = 0
+
+    @classmethod
+    def from_manifest(cls, manifest: dict) -> "FleetStatus":
+        """Rebuild a status snapshot from a saved ``fleet.json``.
+
+        Manifests written before the per-KPI service stats were
+        embedded (format 1, pre-serve) simply default the missing
+        numbers to zero — the lifecycle fields were always there.
+        """
+        kpis = []
+        for entry in manifest.get("kpis", []):
+            stats = entry.get("stats", {})
+            kpis.append(
+                KpiStatus(
+                    kpi_id=entry["kpi_id"],
+                    state=entry.get("state", ACTIVE),
+                    shard=int(entry.get("shard", 0)),
+                    queue_depth=len(entry.get("queue", [])),
+                    points_ingested=int(stats.get("points_ingested", 0)),
+                    anomalous_points=int(stats.get("anomalous_points", 0)),
+                    alerts_opened=int(stats.get("alerts_opened", 0)),
+                    retrain_rounds=int(stats.get("retrain_rounds", 0)),
+                    callback_errors=int(stats.get("callback_errors", 0)),
+                    pending_points=int(stats.get("pending_points", 0)),
+                    cthld=float(stats.get("cthld", 0.0)),
+                    retries=int(entry.get("retries", 0)),
+                    backoff_remaining=int(entry.get("backoff_remaining", 0)),
+                    quarantines=int(entry.get("quarantines", 0)),
+                    last_error=entry.get("last_error"),
+                    dropped={
+                        reason: int(count)
+                        for reason, count in entry.get("dropped", {}).items()
+                    },
+                )
+            )
+        return cls(kpis=tuple(kpis), cycles=int(manifest.get("cycles", 0)))
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FleetStatus":
+        """Inverse of :meth:`as_dict`. The aggregate totals are
+        recomputed from the per-KPI rows, not trusted from the wire."""
+        return cls(
+            kpis=tuple(
+                KpiStatus.from_dict(kpi) for kpi in data.get("kpis", [])
+            ),
+            cycles=int(data.get("cycles", 0)),
+        )
 
     @property
     def n_kpis(self) -> int:
@@ -162,12 +246,56 @@ class FleetStatus:
         return "\n".join(lines)
 
 
+def merge_statuses(statuses: Sequence[FleetStatus]) -> FleetStatus:
+    """Concatenate per-shard-process statuses into one fleet view.
+
+    The serve plane's shards are disjoint sub-fleets (each KPI lives in
+    exactly one shard process), so the merge is a plain concatenation
+    in shard order; ``cycles`` sums because every shard pumps its own
+    dispatch loop independently.
+    """
+    kpis: List[KpiStatus] = []
+    for status in statuses:
+        kpis.extend(status.kpis)
+    return FleetStatus(
+        kpis=tuple(kpis),
+        cycles=sum(status.cycles for status in statuses),
+    )
+
+
+def status_document(
+    status: FleetStatus,
+    *,
+    source: str = "live",
+    shards: Optional[Sequence[dict]] = None,
+) -> dict:
+    """The one JSON document every status surface renders.
+
+    ``source`` names the producing surface (``live`` for an in-process
+    fleet, ``manifest`` for a saved directory, ``serve`` for the HTTP
+    plane); ``shards`` optionally carries the serve plane's per-process
+    supervision table (pid, restarts, liveness) alongside the fleet
+    rollup.
+    """
+    document = {
+        "version": STATUS_DOCUMENT_VERSION,
+        "source": source,
+        "fleet": status.as_dict(),
+    }
+    if shards is not None:
+        document["shards"] = [dict(shard) for shard in shards]
+    return document
+
+
 __all__ = [
     "ACTIVE",
     "QUARANTINED",
     "RECOVERED",
     "DEGRADED",
     "KPI_STATES",
+    "STATUS_DOCUMENT_VERSION",
     "KpiStatus",
     "FleetStatus",
+    "merge_statuses",
+    "status_document",
 ]

@@ -12,11 +12,26 @@ weeks. This package is the harness that finds out:
 * :class:`FaultInjectingService` — a :class:`~repro.core.
   MonitoringService` that fails every Nth ingest, exercising the
   fleet's quarantine/recovery lifecycle under load;
+* :class:`ScenarioSpec` / :func:`build_scenario` — the deterministic
+  scenario description the harness, the ``repro-serve`` shards and the
+  networked replay all regenerate bit-identically from seeds;
+* :class:`ReplayClient` — the networked twin: streams the same
+  scenario at a ``repro-serve`` plane over HTTP (``repro-loadgen
+  --target``), records the same SLO inputs client-side, and can drill
+  shard kills / graceful restarts mid-stream;
 * the ``repro-loadgen`` CLI (``python -m repro.loadgen``) — the
-  entry point the CI ``slo-gate`` job runs; its soak document feeds
-  ``repro-obs slo`` (see :mod:`repro.obs.slo`).
+  entry point the CI ``slo-gate`` and ``networked-slo-gate`` jobs run;
+  both document flavours feed ``repro-obs slo`` (see
+  :mod:`repro.obs.slo`).
 """
 
+from .client import (
+    HttpTarget,
+    ReplayClient,
+    ReplayConfig,
+    ReplayResult,
+    TargetError,
+)
 from .harness import (
     DEFAULT_ALERT_DELAY_BUCKETS,
     FaultInjectingService,
@@ -24,6 +39,13 @@ from .harness import (
     SoakConfig,
     SoakHarness,
     SoakResult,
+)
+from .scenario import (
+    ScenarioKpi,
+    ScenarioSpec,
+    build_scenario,
+    build_scenario_kpi,
+    kpi_identifier,
 )
 
 __all__ = [
@@ -33,4 +55,14 @@ __all__ = [
     "SoakConfig",
     "SoakHarness",
     "SoakResult",
+    "ScenarioKpi",
+    "ScenarioSpec",
+    "build_scenario",
+    "build_scenario_kpi",
+    "kpi_identifier",
+    "HttpTarget",
+    "ReplayClient",
+    "ReplayConfig",
+    "ReplayResult",
+    "TargetError",
 ]

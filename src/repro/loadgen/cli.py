@@ -3,15 +3,25 @@
 Usage::
 
     repro-loadgen --kpis 8 --weeks 0.25 --out soak.json
+    repro-loadgen --target http://127.0.0.1:8123 --kpis 8 --out replay.json
     repro-obs slo --targets slo/targets.toml --snapshot soak.json
 
-The CLI enables observability unconditionally (a soak without metrics
-would gate on nothing), streams the configured simulated span through a
-:class:`~repro.loadgen.SoakHarness`, prints the fleet status table and
-a one-line summary, and writes the checkpointed soak document that
-``repro-obs slo`` evaluates. Exit code 0 when the soak streamed the
-whole simulated span, 3 when the wall-clock budget cut it short
-(``--max-wall-seconds``), 2 on bad arguments.
+Without ``--target`` the CLI streams the configured simulated span
+through an in-process :class:`~repro.loadgen.SoakHarness`. With
+``--target`` it becomes the networked replay client: the *same*
+deterministic scenario is regenerated locally and streamed at a
+running ``repro-serve`` plane over HTTP (one NDJSON batch per
+simulated tick), with optional mid-stream fault drills
+(``--kill-shard`` SIGKILLs a shard process and asserts the supervisor
+recovered it; ``--restart-shard`` exercises the graceful path).
+
+Either way the CLI enables observability unconditionally (a soak
+without metrics would gate on nothing), prints a one-line summary, and
+writes a checkpointed document ``repro-obs slo`` evaluates — the same
+``slo/targets.toml`` gate judges both flavours. Exit codes: 0 on a
+full clean run, 3 when the wall-clock budget cut it short
+(``--max-wall-seconds``), 4 when a fault drill did not recover, 2 on
+bad arguments or an unreachable/mismatched target.
 """
 
 from __future__ import annotations
@@ -22,7 +32,9 @@ import sys
 from typing import List, Optional
 
 from ..obs import enable
+from .client import ReplayClient, ReplayConfig, TargetError
 from .harness import SoakConfig, SoakHarness
+from .scenario import ScenarioSpec
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -89,11 +101,106 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true",
         help="print the run summary as JSON instead of text",
     )
+    replay = parser.add_argument_group(
+        "networked replay (repro-serve target)"
+    )
+    replay.add_argument(
+        "--target", default=None,
+        help="replay the scenario at this repro-serve base URL "
+             "(e.g. http://127.0.0.1:8123) instead of in-process",
+    )
+    replay.add_argument(
+        "--kill-shard", type=int, default=-1,
+        help="replay: SIGKILL this shard process mid-stream and "
+             "assert the supervisor recovers it",
+    )
+    replay.add_argument(
+        "--kill-after-batches", type=int, default=0,
+        help="replay: inject the kill after this many batch posts",
+    )
+    replay.add_argument(
+        "--restart-shard", type=int, default=-1,
+        help="replay: gracefully restart this shard mid-stream "
+             "(POST /shards/<i>/restart) instead of killing it",
+    )
+    replay.add_argument(
+        "--restart-after-batches", type=int, default=0,
+        help="replay: inject the graceful restart after this many "
+             "batch posts",
+    )
     return parser
+
+
+def _main_replay(args) -> int:
+    try:
+        config = ReplayConfig(
+            target=args.target,
+            scenario=ScenarioSpec(
+                n_kpis=args.kpis,
+                weeks=args.weeks,
+                bootstrap_weeks=args.bootstrap_weeks,
+                profiles=tuple(args.profiles),
+                seed_offset=args.seed_offset,
+            ),
+            checkpoint_every=args.checkpoint_every,
+            retrain_every=args.retrain_every,
+            points_per_second=args.points_per_second,
+            max_wall_seconds=args.max_wall_seconds,
+            kill_shard=args.kill_shard,
+            kill_after_batches=args.kill_after_batches,
+            restart_shard=args.restart_shard,
+            restart_after_batches=args.restart_after_batches,
+        )
+        enable()
+        result = ReplayClient(config).run()
+    except (ValueError, TargetError) as error:
+        print(f"repro-loadgen: {error}", file=sys.stderr)
+        return 2
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(result.document, handle, indent=None, sort_keys=True)
+            handle.write("\n")
+    if args.json:
+        summary = dict(result.document)
+        for bulky in ("checkpoints", "alerts", "fleet"):
+            del summary[bulky]
+        print(json.dumps(summary, indent=2, sort_keys=True))
+    else:
+        drill = ""
+        if result.recovered is not None:
+            drill = (
+                f", fault drill {'recovered' if result.recovered else 'NOT RECOVERED'}"
+            )
+        print(
+            f"replay: {result.points_offered} points "
+            f"({result.accepted} accepted, {result.rejected} rejected) "
+            f"over {result.sim_seconds / 3600.0:.1f} simulated hours in "
+            f"{result.wall_seconds:.1f}s wall "
+            f"({len(result.document['checkpoints'])} checkpoints, "
+            f"{result.alerts_opened} alerts{drill})"
+        )
+        if args.out:
+            print(f"replay document written to {args.out}")
+    if result.recovered is False:
+        print(
+            "repro-loadgen: fault drill did not recover the shard",
+            file=sys.stderr,
+        )
+        return 4
+    if not result.completed:
+        print(
+            "repro-loadgen: wall budget expired before the simulated "
+            "span finished",
+            file=sys.stderr,
+        )
+        return 3
+    return 0
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    if args.target:
+        return _main_replay(args)
     try:
         config = SoakConfig(
             n_kpis=args.kpis,

@@ -43,12 +43,13 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..core.service import AlertEvent, MonitoringService
-from ..data.datasets import PROFILES, make_kpi
+from ..data.datasets import PROFILES
 from ..fleet.banks import small_bank
 from ..fleet.manager import FleetManager
 from ..ml import RandomForest
 from ..obs import combine_snapshots, get_provider
 from ..timeseries.windows import AnomalyWindow
+from .scenario import ScenarioSpec, build_scenario, kpi_identifier
 
 #: Point-valued buckets for ``repro_alert_delay_points`` — spanning the
 #: duration filter's floor (alerts open after ``min_duration_points``)
@@ -156,13 +157,10 @@ class SoakResult:
     document: dict = field(repr=False, default_factory=dict)
 
 
-def _kpi_identifier(profile_name: str, index: int) -> str:
-    """A fleet-legal KPI id (``#SR`` itself is not: ids must start
-    alphanumeric), keeping the profile recognisable: ``SR-003``."""
-    clean = "".join(
-        ch for ch in profile_name if ch.isalnum() or ch in "._-"
-    ) or "KPI"
-    return f"{clean}-{index:03d}"
+#: Kept as the historical import site; the implementation moved to
+#: :func:`repro.loadgen.scenario.kpi_identifier` when the serve plane
+#: started sharing scenarios with the harness.
+_kpi_identifier = kpi_identifier
 
 
 class SoakHarness:
@@ -205,7 +203,6 @@ class SoakHarness:
 
     def _build_fleet(self) -> FleetManager:
         config = self.config
-        total_weeks = config.bootstrap_weeks + config.weeks
         fleet = FleetManager(
             n_shards=config.n_shards,
             queue_depth=config.queue_depth,
@@ -213,37 +210,23 @@ class SoakHarness:
             max_concurrent_retrains=config.max_concurrent_retrains,
             service_factory=self._service_for,
         )
-        for index in range(config.n_kpis):
-            profile = PROFILES[config.profiles[index % len(config.profiles)]]
-            kpi_id = _kpi_identifier(profile.name, index)
-            generated = make_kpi(
-                profile,
-                seed_offset=config.seed_offset + index,
-                weeks=total_weeks,
-            )
-            series = generated.series
-            interval = series.interval
-            points_per_week = SECONDS_PER_WEEK // interval
-            bootstrap_points = int(config.bootstrap_weeks * points_per_week)
-            if len(series) <= bootstrap_points:
-                raise ValueError(
-                    f"{kpi_id}: {len(series)} points cannot cover the "
-                    f"{bootstrap_points}-point bootstrap"
-                )
-            self._intervals[kpi_id] = interval
-            self._bootstrap_points[kpi_id] = bootstrap_points
-            if index < config.fault_kpis:
-                self._fault_ids.append(kpi_id)
-            windows = sorted(generated.windows)
-            self._windows[kpi_id] = windows
-            self._window_begins[kpi_id] = [w.begin for w in windows]
-            self._live[kpi_id] = [
-                float(v)
-                for v in series.slice(bootstrap_points, len(series)).values
-            ]
-            fleet.add_kpi(
-                kpi_id, bootstrap=series.slice(0, bootstrap_points)
-            )
+        spec = ScenarioSpec(
+            n_kpis=config.n_kpis,
+            weeks=config.weeks,
+            bootstrap_weeks=config.bootstrap_weeks,
+            profiles=config.profiles,
+            seed_offset=config.seed_offset,
+        )
+        for kpi in build_scenario(spec):
+            self._intervals[kpi.kpi_id] = kpi.interval
+            self._bootstrap_points[kpi.kpi_id] = kpi.bootstrap_points
+            if kpi.index < config.fault_kpis:
+                self._fault_ids.append(kpi.kpi_id)
+            windows = list(kpi.windows)
+            self._windows[kpi.kpi_id] = windows
+            self._window_begins[kpi.kpi_id] = [w.begin for w in windows]
+            self._live[kpi.kpi_id] = kpi.live_values
+            fleet.add_kpi(kpi.kpi_id, bootstrap=kpi.bootstrap)
         return fleet
 
     # ------------------------------------------------------------------

@@ -1,0 +1,221 @@
+"""``repro-serve`` — the sharded fleet behind a networked ingest plane.
+
+Two ways to populate the shards::
+
+    repro-serve --kpis 8 --shards 4 --workdir serve/
+        # scenario mode: the Table 1 synthetic scenario (same spec
+        # language as repro-loadgen). Each forked shard generates and
+        # bootstraps only its consistent-hash slice, so startup cost
+        # parallelizes across shards; every shard then writes its
+        # initial checkpoint before serving.
+
+    repro-serve --fleet fleet-dir/ --shards 4 --workdir serve/
+        # fleet mode: shards restore disjoint slices of one saved
+        # fleet checkpoint directory (repro-fleet run --save).
+
+Either way the plane prints a ready line::
+
+    repro-serve: listening on http://127.0.0.1:8123 (4 shards, 8 KPIs)
+
+and serves until SIGINT/SIGTERM, shutting the shards down gracefully
+(final checkpoints included). ``--checkpoint-every-batches 1`` makes
+every acknowledged batch durable — the setting kill-recovery drills
+run with; larger cadences trade durability lag for throughput.
+
+Observability is always on (a serve plane without metrics cannot be
+SLO-gated); ``GET /metrics`` serves the cross-process rollup.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import signal
+import sys
+import threading
+from pathlib import Path
+from typing import List, Optional
+
+from ..core import MonitoringService
+from ..fleet.banks import small_bank
+from ..fleet.manager import FleetManager
+from ..loadgen.scenario import SECONDS_PER_WEEK, ScenarioSpec, build_scenario
+from ..ml import RandomForest
+from .server import ReproServer
+from .supervisor import ShardSupervisor
+
+
+def _scenario_spec(args) -> ScenarioSpec:
+    return ScenarioSpec(
+        n_kpis=args.kpis,
+        weeks=args.weeks,
+        bootstrap_weeks=args.bootstrap_weeks,
+        profiles=tuple(args.profiles),
+        seed_offset=args.seed_offset,
+    )
+
+
+def _scenario_service_factory(spec: ScenarioSpec, args):
+    """Rebuild a bare service for one scenario KPI (the restore path
+    after a shard re-fork; bank sized from the profile's interval)."""
+    intervals = spec.intervals()
+
+    def build(kpi_id: str) -> MonitoringService:
+        points_per_week = SECONDS_PER_WEEK // intervals[kpi_id]
+        return MonitoringService(
+            configs=small_bank(points_per_week),
+            classifier_factory=lambda: RandomForest(
+                n_estimators=args.trees, seed=0
+            ),
+            min_duration_points=args.min_duration,
+        )
+
+    return build
+
+
+def _fleet_service_factory(args):
+    points_per_week = SECONDS_PER_WEEK // args.interval
+
+    def build(kpi_id: str) -> MonitoringService:
+        return MonitoringService(
+            configs=small_bank(points_per_week),
+            classifier_factory=lambda: RandomForest(
+                n_estimators=args.trees, seed=0
+            ),
+            min_duration_points=args.min_duration,
+        )
+
+    return build
+
+
+def build_supervisor(args) -> ShardSupervisor:
+    """Compose the supervisor for either population mode."""
+    if args.fleet:
+        manifest_path = Path(args.fleet) / "fleet.json"
+        if not manifest_path.exists():
+            raise ValueError(f"{args.fleet}: no fleet.json manifest")
+        manifest = json.loads(manifest_path.read_text())
+        kpi_ids = [entry["kpi_id"] for entry in manifest.get("kpis", [])]
+        if not kpi_ids:
+            raise ValueError(f"{args.fleet}: fleet has no KPIs")
+        service_factory = _fleet_service_factory(args)
+        fleet_dir = args.fleet
+
+        def build_fleet(index: int, ids: List[str]) -> FleetManager:
+            return FleetManager.restore(
+                fleet_dir, kpi_ids=ids, service_factory=service_factory
+            )
+
+    else:
+        spec = _scenario_spec(args)
+        spec.validate()
+        kpi_ids = spec.kpi_ids()
+        service_factory = _scenario_service_factory(spec, args)
+        queue_depth = args.queue_depth
+        batch_points = args.batch_points
+
+        def build_fleet(index: int, ids: List[str]) -> FleetManager:
+            fleet = FleetManager(
+                n_shards=1,
+                queue_depth=queue_depth,
+                batch_points=batch_points,
+                service_factory=service_factory,
+            )
+            for kpi in build_scenario(spec, kpi_ids=ids):
+                fleet.add_kpi(kpi.kpi_id, bootstrap=kpi.bootstrap)
+            return fleet
+
+    return ShardSupervisor(
+        kpi_ids,
+        build_fleet,
+        workdir=args.workdir,
+        n_shards=args.shards,
+        service_factory=service_factory,
+        checkpoint_every_batches=args.checkpoint_every_batches,
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-serve",
+        description=(
+            "Serve a sharded multi-process fleet behind an HTTP/JSON "
+            "ingest plane with supervised checkpoint-restore shards."
+        ),
+    )
+    source = parser.add_argument_group("fleet population")
+    source.add_argument(
+        "--fleet", default=None,
+        help="restore shards from this saved fleet directory "
+             "(otherwise a synthetic scenario is generated)",
+    )
+    source.add_argument("--kpis", type=int, default=8,
+                        help="scenario mode: KPIs to serve (default 8)")
+    source.add_argument("--weeks", type=float, default=0.25,
+                        help="scenario mode: live span after bootstrap")
+    source.add_argument("--bootstrap-weeks", type=float, default=1.0,
+                        help="scenario mode: bootstrap history per KPI")
+    source.add_argument("--profiles", nargs="+",
+                        default=["PV", "#SR", "SRT"],
+                        help="scenario mode: Table 1 profiles to cycle")
+    source.add_argument("--seed-offset", type=int, default=0,
+                        help="scenario mode: shift every generation seed")
+    source.add_argument("--interval", type=int, default=3600,
+                        help="fleet mode: sampling interval seconds")
+
+    plane = parser.add_argument_group("serving")
+    plane.add_argument("--host", default="127.0.0.1")
+    plane.add_argument("--port", type=int, default=0,
+                       help="0 binds an ephemeral port (printed)")
+    plane.add_argument("--shards", type=int, default=4,
+                       help="shard processes to fork (default 4)")
+    plane.add_argument("--workdir", required=True,
+                       help="per-shard checkpoint directories live here")
+    plane.add_argument("--checkpoint-every-batches", type=int, default=1,
+                       help="shard checkpoint cadence in acknowledged "
+                            "batches (default 1: every batch durable; "
+                            "0: only startup/shutdown/on-demand)")
+
+    service = parser.add_argument_group("per-KPI services")
+    service.add_argument("--trees", type=int, default=10)
+    service.add_argument("--min-duration", type=int, default=2)
+    service.add_argument("--queue-depth", type=int, default=256)
+    service.add_argument("--batch-points", type=int, default=64)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        supervisor = build_supervisor(args)
+    except ValueError as error:
+        print(f"repro-serve: {error}", file=sys.stderr)
+        return 2
+    server = ReproServer(supervisor, host=args.host, port=args.port)
+    stop = threading.Event()
+
+    def _on_signal(signum, frame):
+        stop.set()
+
+    signal.signal(signal.SIGINT, _on_signal)
+    signal.signal(signal.SIGTERM, _on_signal)
+    server.start()
+    try:
+        print(
+            f"repro-serve: listening on {server.url} "
+            f"({supervisor.n_shards} shards, "
+            f"{len(supervisor.kpi_ids)} KPIs)",
+            flush=True,
+        )
+        stop.wait()
+    finally:
+        print("repro-serve: shutting down", flush=True)
+        server.close()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())
+
+
+__all__ = ["build_parser", "build_supervisor", "main"]

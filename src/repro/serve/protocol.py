@@ -1,0 +1,106 @@
+"""Length-prefixed JSON framing for the supervisor↔shard links.
+
+The serve plane's control and data traffic crosses process boundaries
+over plain stream sockets (``socket.socketpair`` between the ingest
+plane and its forked shards). Every message is one JSON document framed
+as a 4-byte big-endian length prefix followed by the UTF-8 payload —
+self-delimiting over a byte stream, no sentinel bytes to escape, and
+cheap to parse incrementally.
+
+Requests are ``{"op": <name>, ...payload}``; replies are ``{"ok": true,
+...result}`` or ``{"ok": false, "error": <repr>}``. The framing layer
+itself is shape-agnostic — it moves any JSON object — so the same two
+functions serve both directions of the conversation.
+
+A peer that disappears mid-frame (a ``kill -9``'d shard) surfaces as
+:class:`ConnectionClosed`, which the supervisor treats as the death
+signal that triggers a checkpoint-restore re-fork.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import struct
+
+#: Frame-size ceiling. Large enough for a 10k-KPI status rollup or a
+#: fat ingest batch, small enough that a corrupted length prefix cannot
+#: ask the receiver to allocate gigabytes.
+MAX_MESSAGE_BYTES = 256 * 1024 * 1024
+
+_LENGTH = struct.Struct(">I")
+
+
+class ProtocolError(RuntimeError):
+    """A malformed frame: oversized, truncated, or not a JSON object."""
+
+
+class ConnectionClosed(ConnectionError):
+    """The peer closed the stream (cleanly or by dying)."""
+
+
+def send_message(sock: socket.socket, message: dict) -> None:
+    """Frame and send one JSON message (blocking until fully sent)."""
+    payload = json.dumps(message, separators=(",", ":")).encode("utf-8")
+    if len(payload) > MAX_MESSAGE_BYTES:
+        raise ProtocolError(
+            f"message of {len(payload)} bytes exceeds the "
+            f"{MAX_MESSAGE_BYTES}-byte frame ceiling"
+        )
+    try:
+        sock.sendall(_LENGTH.pack(len(payload)) + payload)
+    except (BrokenPipeError, ConnectionResetError) as error:
+        raise ConnectionClosed(f"peer went away mid-send: {error}") from error
+
+
+def _recv_exact(sock: socket.socket, n_bytes: int) -> bytes:
+    """Read exactly ``n_bytes`` or raise :class:`ConnectionClosed`."""
+    chunks = []
+    remaining = n_bytes
+    while remaining:
+        try:
+            chunk = sock.recv(min(remaining, 1 << 20))
+        except ConnectionResetError as error:
+            raise ConnectionClosed(
+                f"peer reset mid-frame: {error}"
+            ) from error
+        if not chunk:
+            raise ConnectionClosed(
+                f"peer closed with {remaining} of {n_bytes} bytes unread"
+            )
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def recv_message(sock: socket.socket) -> dict:
+    """Receive one framed JSON message (blocking).
+
+    Raises :class:`ConnectionClosed` on EOF and :class:`ProtocolError`
+    on frames that cannot be a valid message.
+    """
+    (length,) = _LENGTH.unpack(_recv_exact(sock, _LENGTH.size))
+    if length > MAX_MESSAGE_BYTES:
+        raise ProtocolError(
+            f"frame of {length} bytes exceeds the "
+            f"{MAX_MESSAGE_BYTES}-byte ceiling (corrupt prefix?)"
+        )
+    payload = _recv_exact(sock, length)
+    try:
+        message = json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise ProtocolError(f"frame is not JSON: {error}") from error
+    if not isinstance(message, dict):
+        raise ProtocolError(
+            f"frame must be a JSON object, got {type(message).__name__}"
+        )
+    return message
+
+
+__all__ = [
+    "MAX_MESSAGE_BYTES",
+    "ConnectionClosed",
+    "ProtocolError",
+    "send_message",
+    "recv_message",
+]

@@ -20,6 +20,11 @@ warning, not a failure — retiring a benchmark (or a whole backend) must
 not wedge the gate; the real failure mode is an empty gated overlap,
 where nothing is being measured at all.
 
+When both files carry a recorded core count (the machine-info hook in
+``benchmarks/conftest.py`` stamps ``os.cpu_count()``), a mismatch is
+printed as a WARNING — never a failure — because cross-process scaling
+medians from differently-sized runners are not comparable.
+
 ``--inject-slowdown X`` multiplies every current median by X before
 comparing. It exists so CI can prove the gate actually fails on a
 synthetic 2x regression (a gate that cannot fail is not a gate).
@@ -38,12 +43,30 @@ from typing import Dict
 DEFAULT_MAX_SLOWDOWN = 1.25
 
 
-def load_medians(path: Path) -> Dict[str, float]:
-    """``fullname -> median seconds`` from a pytest-benchmark JSON file."""
+def load_payload(path: Path) -> dict:
     try:
-        payload = json.loads(path.read_text())
+        return json.loads(path.read_text())
     except (OSError, json.JSONDecodeError) as error:
         raise SystemExit(f"cannot read benchmark JSON {path}: {error}")
+
+
+def cpu_count_of(payload: dict):
+    """The recorded core count, from the machine-info hook in
+    benchmarks/conftest.py (older files fall back to pytest-benchmark's
+    own ``cpu.count``); None when neither is present."""
+    info = payload.get("machine_info", {})
+    count = info.get("cpu_count")
+    if count is None:
+        count = info.get("cpu", {}).get("count")
+    try:
+        return int(count)
+    except (TypeError, ValueError):
+        return None
+
+
+def load_medians(path: Path) -> Dict[str, float]:
+    """``fullname -> median seconds`` from a pytest-benchmark JSON file."""
+    payload = load_payload(path)
     medians: Dict[str, float] = {}
     for bench in payload.get("benchmarks", []):
         name = bench.get("fullname") or bench.get("name")
@@ -95,6 +118,21 @@ def main(argv=None) -> int:
         return 0
 
     baseline = load_medians(args.baseline)
+    baseline_cores = cpu_count_of(load_payload(args.baseline))
+    current_cores = cpu_count_of(load_payload(args.current))
+    if (
+        baseline_cores is not None
+        and current_cores is not None
+        and baseline_cores != current_cores
+    ):
+        # A warning, never a gate: cross-process scaling medians from a
+        # 4-core runner are not comparable to a 16-core baseline, but
+        # heterogeneous CI hardware must not flap the build.
+        print(
+            f"WARNING: core-count mismatch — baseline recorded on "
+            f"{baseline_cores} cores, current on {current_cores}; "
+            f"cross-process scaling ratios are not comparable"
+        )
     if args.inject_slowdown != 1.0:
         current = {
             name: median * args.inject_slowdown

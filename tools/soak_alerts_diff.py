@@ -1,0 +1,135 @@
+#!/usr/bin/env python3
+"""Assert alert-stream equality between two networked replay documents.
+
+The CI ``networked-slo-gate`` job runs the same deterministic scenario
+twice against two fresh ``repro-serve`` planes — once undisturbed, once
+with a shard SIGKILLed (or gracefully restarted) mid-stream — and then
+calls::
+
+    python tools/soak_alerts_diff.py baseline.json disturbed.json
+
+The promise under test: a shard restart must not disturb anything it
+does not own. Every KPI served by a *surviving* shard must produce a
+bit-identical alert stream (kind, begin/end indices, peak score) in
+both runs. KPIs on the drilled shard are compared too, but only
+reported — a ``kill -9`` may legitimately lose the un-checkpointed
+tail of that shard's stream, while a graceful restart (``--strict``)
+must not diverge anywhere.
+
+Exit codes: 0 — no forbidden divergence; 1 — a surviving-shard KPI
+diverged (or any KPI under ``--strict``); 2 — usage error / unreadable
+input / documents that do not describe the same scenario.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Dict, List, Tuple
+
+
+def load_document(path: str) -> dict:
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            document = json.load(handle)
+    except (OSError, json.JSONDecodeError) as error:
+        raise SystemExit(f"soak_alerts_diff: {path}: {error}")
+    for key in ("alerts", "fleet", "config"):
+        if key not in document:
+            raise SystemExit(
+                f"soak_alerts_diff: {path}: not a replay document "
+                f"(missing {key!r}; produced by repro-loadgen --target?)"
+            )
+    return document
+
+
+def alert_key(event: dict) -> Tuple:
+    return (
+        event.get("kind"),
+        event.get("begin_index"),
+        event.get("end_index"),
+        event.get("peak_score"),
+    )
+
+
+def shard_of_kpis(document: dict) -> Dict[str, int]:
+    return {
+        kpi["kpi_id"]: kpi.get("shard", -1)
+        for kpi in document.get("fleet", {}).get("kpis", [])
+    }
+
+
+def main(argv: List[str] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="diff per-KPI alert streams of two replay documents"
+    )
+    parser.add_argument("baseline", help="undisturbed replay document")
+    parser.add_argument("disturbed", help="replay document with the drill")
+    parser.add_argument(
+        "--strict", action="store_true",
+        help="require equality on the drilled shard's KPIs too "
+             "(graceful restarts promise zero divergence)",
+    )
+    args = parser.parse_args(argv)
+
+    baseline = load_document(args.baseline)
+    disturbed = load_document(args.disturbed)
+    if baseline["config"] != disturbed["config"]:
+        print(
+            "soak_alerts_diff: the two documents describe different "
+            "scenarios; their alert streams are not comparable:\n"
+            f"  baseline:  {json.dumps(baseline['config'], sort_keys=True)}\n"
+            f"  disturbed: {json.dumps(disturbed['config'], sort_keys=True)}",
+            file=sys.stderr,
+        )
+        return 2
+
+    fault = disturbed.get("fault") or {}
+    drilled_shard = fault.get("shard", -1)
+    shards = shard_of_kpis(disturbed)
+    kpis = sorted(set(baseline["alerts"]) | set(disturbed["alerts"]))
+
+    diverged_surviving: List[str] = []
+    diverged_drilled: List[str] = []
+    for kpi_id in kpis:
+        base_stream = [alert_key(e) for e in baseline["alerts"].get(kpi_id, [])]
+        dist_stream = [alert_key(e) for e in disturbed["alerts"].get(kpi_id, [])]
+        if base_stream == dist_stream:
+            continue
+        if shards.get(kpi_id, -1) == drilled_shard and drilled_shard >= 0:
+            diverged_drilled.append(kpi_id)
+        else:
+            diverged_surviving.append(kpi_id)
+
+    n_surviving = sum(
+        1 for kpi_id in kpis
+        if shards.get(kpi_id, -1) != drilled_shard or drilled_shard < 0
+    )
+    print(
+        f"compared {len(kpis)} KPI alert streams "
+        f"({n_surviving} on surviving shards"
+        + (f", drilled shard {drilled_shard}" if drilled_shard >= 0 else "")
+        + ")"
+    )
+    if diverged_drilled:
+        print(
+            f"drilled-shard divergence ({len(diverged_drilled)} KPIs, "
+            f"{'forbidden under --strict' if args.strict else 'allowed'}): "
+            f"{', '.join(diverged_drilled)}"
+        )
+    if diverged_surviving:
+        print(
+            f"SURVIVING-shard divergence ({len(diverged_surviving)} "
+            f"KPIs): {', '.join(diverged_surviving)}",
+            file=sys.stderr,
+        )
+        return 1
+    if args.strict and diverged_drilled:
+        return 1
+    print("no forbidden divergence: surviving shards are bit-identical")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
