@@ -51,6 +51,12 @@ class AlertEvent:
     #: hand stay source-compatible; fleet deployments rely on it to
     #: attribute alerts from many services on one sink.
     kpi: Optional[str] = None
+    #: The diagnosed anomaly *type* ("spike", "dip", "ramp", "jitter",
+    #: "level_shift") attached when a ``closed`` event ends a run and
+    #: the service carries a fitted diagnoser. None on ``opened``
+    #: events (the shape is only classifiable once the run is whole)
+    #: and on services without a diagnoser.
+    diagnosis: Optional[str] = None
 
 
 class ServiceStats:
@@ -90,6 +96,10 @@ class ServiceStats:
             "repro_alert_callback_errors_total",
             "Alert callbacks that raised (and were contained)",
         )
+        #: Closed-alert diagnoses by anomaly kind. Kept as a plain dict
+        #: alongside the kind-labelled registry counters so the counts
+        #: round-trip through as_dict()/checkpoints like the scalars.
+        self._alerts_diagnosed: Dict[str, int] = {}
 
     @property
     def points_ingested(self) -> int:
@@ -131,6 +141,22 @@ class ServiceStats:
     def callback_errors(self, value: int) -> None:
         self._callback_errors._set_total(value)
 
+    @property
+    def alerts_diagnosed(self) -> Dict[str, int]:
+        return dict(self._alerts_diagnosed)
+
+    @alerts_diagnosed.setter
+    def alerts_diagnosed(self, counts: Mapping[str, int]) -> None:
+        self._alerts_diagnosed = {
+            str(kind): int(count) for kind, count in counts.items()
+        }
+        for kind, count in self._alerts_diagnosed.items():
+            self.registry.counter(
+                "repro_alerts_diagnosed_total",
+                "Closed alerts by diagnosed anomaly kind",
+                kind=kind,
+            )._set_total(count)
+
     # ------------------------------------------------------------------
     # Atomic increments for live code paths.
     # ------------------------------------------------------------------
@@ -149,6 +175,16 @@ class ServiceStats:
     def inc_callback_errors(self, amount: int = 1) -> None:
         self._callback_errors.inc(amount)
 
+    def inc_alerts_diagnosed(self, kind: str, amount: int = 1) -> None:
+        self._alerts_diagnosed[kind] = (
+            self._alerts_diagnosed.get(kind, 0) + amount
+        )
+        self.registry.counter(
+            "repro_alerts_diagnosed_total",
+            "Closed alerts by diagnosed anomaly kind",
+            kind=kind,
+        ).inc(amount)
+
     def as_dict(self) -> dict:
         return {
             "points_ingested": self.points_ingested,
@@ -156,6 +192,7 @@ class ServiceStats:
             "alerts_opened": self.alerts_opened,
             "retrain_rounds": self.retrain_rounds,
             "callback_errors": self.callback_errors,
+            "alerts_diagnosed": self.alerts_diagnosed,
         }
 
     def __repr__(self) -> str:  # keeps the old dataclass-style repr
@@ -175,6 +212,7 @@ class MonitoringService:
         min_duration_points: int = 1,
         max_train_points: Optional[int] = None,
         alert_callback: Optional[Callable[[AlertEvent], None]] = None,
+        diagnoser=None,
         workers: int = 1,
         backend=None,
         cache=None,
@@ -195,6 +233,10 @@ class MonitoringService:
         )
         self.min_duration_points = min_duration_points
         self._alert_callback = alert_callback
+        #: Optional anomaly-type classifier
+        #: (:class:`repro.diagnosis.AnomalyDiagnoser`); when present,
+        #: every ``closed`` event carries its predicted kind.
+        self.diagnoser = diagnoser
         self.stats = ServiceStats()
 
         self._history: Optional[TimeSeries] = None
@@ -332,12 +374,56 @@ class MonitoringService:
                             end_index=index,
                             peak_score=max(self._run_scores),
                             kpi=self.kpi,
+                            diagnosis=self._diagnose_run(
+                                self._run_begin, index
+                            ),
                         )
                     )
                 self._run_begin = None
                 self._run_scores = []
         self._dispatch_events(events)
         return events
+
+    # ------------------------------------------------------------------
+    def _values_slice(self, begin: int, end: int) -> np.ndarray:
+        """Ingested values by absolute index, across the history/pending
+        boundary (the indices :class:`AlertEvent` uses)."""
+        base = len(self._history) if self._history is not None else 0
+        parts = []
+        if begin < base:
+            parts.append(self._history.values[begin:min(end, base)])
+        if end > base:
+            parts.append(
+                np.asarray(
+                    self._pending_values[max(begin - base, 0):end - base],
+                    dtype=np.float64,
+                )
+            )
+        return (
+            np.concatenate(parts) if parts else np.empty(0, dtype=np.float64)
+        )
+
+    def _diagnose_run(self, begin: int, end: int) -> Optional[str]:
+        """The diagnosed anomaly kind of a finished run, or None.
+
+        Consults only the run's values and the points before it, so
+        the diagnosis is a pure function of the ingested stream — an
+        interrupted-and-restored service reproduces it exactly.
+        """
+        if self.diagnoser is None or end <= begin:
+            return None
+        from ..diagnosis import CONTEXT_POINTS, series_period
+
+        interval = (
+            int(self._history.interval) if self._history is not None else 0
+        )
+        period = series_period(interval) if interval else None
+        context_len = max(period or 0, CONTEXT_POINTS)
+        window = self._values_slice(begin, end)
+        if not np.isfinite(window).any():
+            return None
+        context = self._values_slice(max(begin - context_len, 0), begin)
+        return self.diagnoser.diagnose(window, context, period=period)
 
     def _dispatch_events(self, events: List[AlertEvent]) -> None:
         """Record alert lifecycle events and notify the callback.
@@ -354,13 +440,22 @@ class MonitoringService:
                 "Alert lifecycle transitions",
                 event=event.kind,
             ).inc()
-            obs.emit(
-                f"alert_{event.kind}",
+            if event.diagnosis is not None:
+                self.stats.inc_alerts_diagnosed(event.diagnosis)
+                obs.counter(
+                    "repro_alerts_diagnosed_total",
+                    "Closed alerts by diagnosed anomaly kind",
+                    kind=event.diagnosis,
+                ).inc()
+            fields = dict(
                 kpi=event.kpi or "",
                 begin_index=event.begin_index,
                 end_index=event.end_index,
                 peak_score=event.peak_score,
             )
+            if event.diagnosis is not None:
+                fields["diagnosis"] = event.diagnosis
+            obs.emit(f"alert_{event.kind}", **fields)
         if self._alert_callback is not None:
             for event in events:
                 try:
@@ -394,6 +489,7 @@ class MonitoringService:
                         end_index=end,
                         peak_score=max(self._run_scores),
                         kpi=self.kpi,
+                        diagnosis=self._diagnose_run(self._run_begin, end),
                     )
                 )
             self._run_begin = None
@@ -587,6 +683,11 @@ class MonitoringService:
                 if include_features and features is not None
                 else None
             ),
+            "diagnoser": (
+                self.diagnoser.to_dict()
+                if self.diagnoser is not None
+                else None
+            ),
             "stats": self.stats.as_dict(),
         }
 
@@ -668,6 +769,11 @@ class MonitoringService:
                 if features is not None
                 else None
             )
+            diagnoser = snapshot.get("diagnoser")
+            if diagnoser is not None:
+                from ..diagnosis import AnomalyDiagnoser
+
+                self.diagnoser = AnomalyDiagnoser.from_dict(diagnoser)
             stats = snapshot.get("stats") or {}
             self.stats.points_ingested = int(stats.get("points_ingested", 0))
             self.stats.anomalous_points = int(
@@ -676,4 +782,5 @@ class MonitoringService:
             self.stats.alerts_opened = int(stats.get("alerts_opened", 0))
             self.stats.retrain_rounds = int(stats.get("retrain_rounds", 0))
             self.stats.callback_errors = int(stats.get("callback_errors", 0))
+            self.stats.alerts_diagnosed = stats.get("alerts_diagnosed") or {}
         return self

@@ -1,0 +1,54 @@
+"""The scenario corpus: pluggable labelled datasets beyond Table 1.
+
+Importing this package registers the built-in datasets (``table1``,
+``isp``, ``telecom``, ``hpc``, ``web-incidents``); see :mod:`.base`
+for the contract and :mod:`.files` for materialized directories.
+"""
+
+from .base import (
+    KNOWN_KINDS,
+    CorpusError,
+    Dataset,
+    DatasetItem,
+    dataset_names,
+    get_dataset,
+    register,
+)
+from .domains import (
+    HPC_PROFILES,
+    PHASE_KINDS,
+    TELECOM_PROFILES,
+    ProfileDataset,
+    ScenarioDataset,
+    phase_kind,
+)
+from .files import (
+    CORPUS_FORMAT_VERSION,
+    MANIFEST_NAME,
+    DirectoryDataset,
+    materialize,
+    read_series_file,
+    write_series_file,
+)
+
+__all__ = [
+    "KNOWN_KINDS",
+    "CorpusError",
+    "Dataset",
+    "DatasetItem",
+    "dataset_names",
+    "get_dataset",
+    "register",
+    "HPC_PROFILES",
+    "PHASE_KINDS",
+    "TELECOM_PROFILES",
+    "ProfileDataset",
+    "ScenarioDataset",
+    "phase_kind",
+    "CORPUS_FORMAT_VERSION",
+    "MANIFEST_NAME",
+    "DirectoryDataset",
+    "materialize",
+    "read_series_file",
+    "write_series_file",
+]

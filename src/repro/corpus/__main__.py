@@ -1,0 +1,8 @@
+"""``python -m repro.corpus`` — same entry point as ``repro-corpus``."""
+
+import sys
+
+from .cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

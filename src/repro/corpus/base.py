@@ -1,0 +1,208 @@
+"""The dataset contract and registry of the scenario corpus.
+
+Opprentice's evaluation is three KPIs from one search engine; §5.1
+argues the approach carries to "other kinds of volume data" and §6 to
+other domains entirely. The corpus makes that claim testable: every
+dataset — Table 1 reproductions, other-domain generators, scripted
+incidents, or files on disk — answers the same small contract, so the
+detection and diagnosis pipelines can sweep them uniformly.
+
+A :class:`Dataset` is a named, deterministic source of labelled KPIs.
+``load(kpi)`` returns a :class:`DatasetItem`: the labelled series, its
+ground-truth anomaly windows, and the *kind* of each window (the
+injector taxonomy: spike / dip / ramp / jitter / level_shift) — the
+supervision signal the diagnosis subsystem trains and scores against.
+Determinism is part of the contract, not a convention:
+:meth:`Dataset.validate` loads everything twice and fails on any drift,
+because the networked replay gates (client and server regenerate the
+same corpus independently) stand on bit-identical loads.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+import numpy as np
+
+from ..timeseries import TimeSeries
+from ..timeseries.windows import AnomalyWindow, windows_to_points
+
+#: The anomaly-kind taxonomy shared with ``repro.data.anomalies`` and
+#: ``repro.diagnosis``. Every labelled window carries one of these.
+KNOWN_KINDS = ("dip", "jitter", "level_shift", "ramp", "spike")
+
+
+class CorpusError(ValueError):
+    """Raised for unknown datasets, bad manifests, or contract abuse."""
+
+
+@dataclass
+class DatasetItem:
+    """One loaded KPI: labelled series plus per-window ground truth.
+
+    ``windows`` and ``kinds`` are parallel arrays — window ``i`` is an
+    anomaly of kind ``kinds[i]``. The series' point labels always equal
+    ``windows_to_points(windows)``; :meth:`Dataset.validate` enforces
+    the redundancy so consumers can use whichever view is convenient.
+    """
+
+    kpi: str
+    series: TimeSeries
+    windows: List[AnomalyWindow]
+    kinds: List[str]
+    metadata: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def labels(self) -> np.ndarray:
+        return windows_to_points(self.windows, len(self.series))
+
+
+class Dataset(ABC):
+    """A named, deterministic source of labelled KPI series.
+
+    Subclasses set ``name`` (registry key), ``description`` (one line,
+    shown by ``repro-corpus list``) and ``domain`` (a coarse grouping:
+    ``search-engine``, ``telecom``, ``hpc``, ``web``, ``file``).
+    """
+
+    name: str = ""
+    description: str = ""
+    domain: str = ""
+
+    @abstractmethod
+    def kpi_names(self) -> List[str]:
+        """All KPI names, without generating any series."""
+
+    @abstractmethod
+    def kpi_interval(self, kpi: str) -> int:
+        """Sampling interval in seconds of one KPI, without loading it."""
+
+    @abstractmethod
+    def load(
+        self,
+        kpi: str,
+        *,
+        weeks: Optional[float] = None,
+        seed_offset: int = 0,
+    ) -> DatasetItem:
+        """Load one KPI deterministically.
+
+        ``weeks`` overrides the dataset's default span where the source
+        supports it (generators do; file-backed datasets raise).
+        ``seed_offset`` draws an independent replica of the same KPI —
+        the held-out-split mechanism of the diagnosis evaluation.
+        """
+
+    def load_all(
+        self,
+        *,
+        weeks: Optional[float] = None,
+        seed_offset: int = 0,
+    ) -> Dict[str, DatasetItem]:
+        return {
+            kpi: self.load(kpi, weeks=weeks, seed_offset=seed_offset)
+            for kpi in self.kpi_names()
+        }
+
+    # ------------------------------------------------------------------
+    def validate(self, *, weeks: Optional[float] = None) -> List[str]:
+        """Check every KPI against the contract; return the violations.
+
+        An empty list means the dataset honours: a positive uniform
+        interval matching :meth:`kpi_interval`, sorted in-bounds
+        windows, kinds parallel to windows and drawn from
+        :data:`KNOWN_KINDS`, point labels equal to the window
+        rasterisation, and bit-identical series across repeated loads.
+        """
+        problems: List[str] = []
+        for kpi in self.kpi_names():
+            try:
+                first = self.load(kpi, weeks=weeks)
+                again = self.load(kpi, weeks=weeks)
+            except Exception as error:  # repro: disable=api-hygiene — validation must report a broken loader as a finding, not die on the first bad KPI
+                problems.append(f"{kpi}: load failed: {error!r}")
+                continue
+            problems.extend(
+                f"{kpi}: {problem}"
+                for problem in self._check_item(kpi, first, again)
+            )
+        return problems
+
+    def _check_item(
+        self, kpi: str, item: DatasetItem, again: DatasetItem
+    ) -> List[str]:
+        problems: List[str] = []
+        n = len(item.series)
+        if item.kpi != kpi:
+            problems.append(f"item says kpi={item.kpi!r}")
+        if item.series.interval != self.kpi_interval(kpi):
+            problems.append(
+                f"interval {item.series.interval} != declared "
+                f"{self.kpi_interval(kpi)}"
+            )
+        if len(item.kinds) != len(item.windows):
+            problems.append(
+                f"{len(item.kinds)} kinds for {len(item.windows)} windows"
+            )
+        unknown = sorted(set(item.kinds) - set(KNOWN_KINDS))
+        if unknown:
+            problems.append(f"unknown kinds {unknown}")
+        if item.windows != sorted(item.windows):
+            problems.append("windows are not sorted")
+        for window in item.windows:
+            if not (0 <= window.begin < window.end <= n):
+                problems.append(f"window {window} out of bounds for {n}")
+        if item.series.labels is None:
+            problems.append("series has no labels")
+        elif not np.array_equal(item.series.labels, item.labels):
+            problems.append("series labels disagree with windows")
+        if not np.array_equal(
+            item.series.values, again.series.values, equal_nan=True
+        ):
+            problems.append("values differ between loads")
+        if item.windows != again.windows or item.kinds != again.kinds:
+            problems.append("ground truth differs between loads")
+        return problems
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+_REGISTRY: Dict[str, Dataset] = {}
+
+
+def register(dataset: Dataset, *, replace: bool = False) -> Dataset:
+    """Add a dataset to the registry (importing ``repro.corpus``
+    registers the built-ins; plugins call this for their own)."""
+    if not dataset.name:
+        raise CorpusError("dataset has no name")
+    if dataset.name in _REGISTRY and not replace:
+        raise CorpusError(f"dataset {dataset.name!r} already registered")
+    _REGISTRY[dataset.name] = dataset
+    return dataset
+
+
+def get_dataset(name: str) -> Dataset:
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise CorpusError(
+            f"unknown dataset {name!r}; registered: {dataset_names()}"
+        ) from None
+
+
+def dataset_names() -> List[str]:
+    return sorted(_REGISTRY)
+
+
+__all__ = [
+    "KNOWN_KINDS",
+    "CorpusError",
+    "Dataset",
+    "DatasetItem",
+    "dataset_names",
+    "get_dataset",
+    "register",
+]

@@ -1,0 +1,419 @@
+"""Built-in datasets: Table 1 plus the beyond-the-paper domains.
+
+Three generator families back the built-ins:
+
+* :class:`ProfileDataset` wraps ``repro.data.datasets`` profiles —
+  the Table 1 trio (``table1``), the §5.1 ISP KPIs (``isp``), and two
+  new domain suites whose profiles live here: mobile-network KPIs
+  (``telecom``) following the taxonomy of arXiv 2308.16279 (throughput,
+  latency, drop rate and utilization, each with its own characteristic
+  anomaly mix), and HPC node metrics (``hpc``: temperature, power,
+  filesystem latency).
+* :class:`ScenarioDataset` (``web-incidents``) scripts the
+  ``repro.data.scenarios`` multi-phase incidents onto clean web-traffic
+  KPIs, mapping each incident phase to its anomaly kind — bursty
+  incident traffic whose ground truth is a *sequence* of kinds, unlike
+  the independent windows the injectors place.
+
+All are pure functions of their seeds: ``load(kpi, seed_offset=k)``
+draws replica ``k``, which is how held-out splits are made.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from ..data.datasets import EXTRA_PROFILES, KPIProfile, PROFILES, make_kpi
+from ..data.generator import SeasonalProfile, generate_kpi
+from ..data.scenarios import (
+    cascading_failure,
+    flash_crowd,
+    gradual_degradation,
+    outage_and_recovery,
+)
+from .base import CorpusError, Dataset, DatasetItem, register
+
+
+class ProfileDataset(Dataset):
+    """A dataset backed by ``KPIProfile`` generators (one per KPI)."""
+
+    def __init__(
+        self,
+        name: str,
+        description: str,
+        domain: str,
+        profiles: Dict[str, KPIProfile],
+    ):
+        self.name = name
+        self.description = description
+        self.domain = domain
+        self.profiles = dict(profiles)
+
+    def kpi_names(self) -> List[str]:
+        return list(self.profiles)
+
+    def _profile(self, kpi: str) -> KPIProfile:
+        try:
+            return self.profiles[kpi]
+        except KeyError:
+            raise CorpusError(
+                f"{self.name}: unknown KPI {kpi!r}; has "
+                f"{self.kpi_names()}"
+            ) from None
+
+    def kpi_interval(self, kpi: str) -> int:
+        return self._profile(kpi).interval
+
+    def load(
+        self,
+        kpi: str,
+        *,
+        weeks: Optional[float] = None,
+        seed_offset: int = 0,
+    ) -> DatasetItem:
+        profile = self._profile(kpi)
+        result = make_kpi(profile, weeks=weeks, seed_offset=seed_offset)
+        return DatasetItem(
+            kpi=kpi,
+            series=result.series,
+            windows=list(result.windows),
+            kinds=list(result.kinds),
+            metadata={
+                "domain": self.domain,
+                "anomaly_fraction": profile.anomaly_fraction,
+                "default_weeks": profile.weeks,
+            },
+        )
+
+
+# ----------------------------------------------------------------------
+# Telecom: mobile-network KPIs per the arXiv 2308.16279 taxonomy.
+# Each KPI's injector mix encodes how that KPI actually fails: cell
+# outages collapse throughput (dips), congestion spikes latency,
+# misconfigurations shift levels, load growth ramps utilization.
+# ----------------------------------------------------------------------
+TELECOM_PROFILES: Dict[str, KPIProfile] = {
+    "dl_throughput": KPIProfile(
+        name="dl_throughput",
+        weeks=4,
+        interval=300,
+        paper_interval_seconds=300,
+        anomaly_fraction=0.05,
+        signal=SeasonalProfile(
+            base_level=120.0,
+            daily_amplitude=0.7,
+            daily_harmonics=3,
+            weekend_factor=0.85,
+            trend=0.04,
+            noise_scale=0.03,
+            noise_ar=0.5,
+            multiplicative_noise=True,
+        ),
+        seed=6001,
+        mean_anomaly_window=6.0,
+        injector_mix={
+            "dip": 0.35, "level_shift": 0.25, "ramp": 0.2, "spike": 0.2
+        },
+    ),
+    "rtt_latency": KPIProfile(
+        name="rtt_latency",
+        weeks=4,
+        interval=300,
+        paper_interval_seconds=300,
+        anomaly_fraction=0.045,
+        signal=SeasonalProfile(
+            base_level=30.0,
+            daily_amplitude=0.15,
+            daily_harmonics=2,
+            weekend_factor=0.95,
+            trend=0.0,
+            noise_scale=0.04,
+            noise_ar=0.5,
+            multiplicative_noise=True,
+        ),
+        seed=6002,
+        mean_anomaly_window=5.0,
+        severity_range=(0.4, 1.6),
+        injector_mix={"spike": 0.45, "jitter": 0.3, "level_shift": 0.25},
+    ),
+    "call_drop_rate": KPIProfile(
+        name="call_drop_rate",
+        weeks=4,
+        interval=300,
+        paper_interval_seconds=300,
+        anomaly_fraction=0.035,
+        signal=SeasonalProfile(
+            base_level=1.5,
+            daily_amplitude=0.2,
+            daily_harmonics=2,
+            weekend_factor=0.9,
+            trend=0.0,
+            noise_scale=0.12,
+            noise_ar=0.3,
+            multiplicative_noise=False,
+            burst_rate=0.002,
+            burst_scale=0.8,
+            burst_length=3.0,
+        ),
+        seed=6003,
+        mean_anomaly_window=4.0,
+        severity_range=(2.0, 8.0),
+        injector_mix={"spike": 0.7, "level_shift": 0.15, "jitter": 0.15},
+    ),
+    "prb_utilization": KPIProfile(
+        name="prb_utilization",
+        weeks=4,
+        interval=300,
+        paper_interval_seconds=300,
+        anomaly_fraction=0.05,
+        signal=SeasonalProfile(
+            base_level=55.0,
+            daily_amplitude=0.55,
+            daily_harmonics=3,
+            weekend_factor=0.8,
+            trend=0.06,
+            noise_scale=0.025,
+            noise_ar=0.6,
+            multiplicative_noise=True,
+        ),
+        seed=6004,
+        mean_anomaly_window=7.0,
+        injector_mix={"ramp": 0.4, "level_shift": 0.3, "spike": 0.3},
+    ),
+}
+
+# ----------------------------------------------------------------------
+# HPC node metrics: tight operating bands where the interesting
+# failures are sustained (fan failure shifting temperature, thermal
+# ramps, I/O contention spiking filesystem latency).
+# ----------------------------------------------------------------------
+HPC_PROFILES: Dict[str, KPIProfile] = {
+    "cpu_temperature": KPIProfile(
+        name="cpu_temperature",
+        weeks=2,
+        interval=60,
+        paper_interval_seconds=60,
+        anomaly_fraction=0.04,
+        signal=SeasonalProfile(
+            base_level=62.0,
+            daily_amplitude=0.06,
+            daily_harmonics=2,
+            weekend_factor=0.98,
+            trend=0.0,
+            noise_scale=0.015,
+            noise_ar=0.7,
+            multiplicative_noise=True,
+        ),
+        seed=7001,
+        mean_anomaly_window=8.0,
+        severity_range=(0.15, 0.5),
+        injector_mix={"level_shift": 0.4, "ramp": 0.35, "spike": 0.25},
+    ),
+    "node_power": KPIProfile(
+        name="node_power",
+        weeks=2,
+        interval=60,
+        paper_interval_seconds=60,
+        anomaly_fraction=0.045,
+        signal=SeasonalProfile(
+            base_level=450.0,
+            daily_amplitude=0.3,
+            daily_harmonics=3,
+            weekend_factor=0.7,
+            trend=0.0,
+            noise_scale=0.03,
+            noise_ar=0.5,
+            multiplicative_noise=True,
+        ),
+        seed=7002,
+        mean_anomaly_window=6.0,
+        injector_mix={"spike": 0.4, "jitter": 0.3, "level_shift": 0.3},
+    ),
+    "fs_latency": KPIProfile(
+        name="fs_latency",
+        weeks=2,
+        interval=60,
+        paper_interval_seconds=60,
+        anomaly_fraction=0.035,
+        signal=SeasonalProfile(
+            base_level=8.0,
+            daily_amplitude=0.2,
+            daily_harmonics=2,
+            weekend_factor=0.9,
+            trend=0.0,
+            noise_scale=0.08,
+            noise_ar=0.4,
+            multiplicative_noise=False,
+            burst_rate=0.003,
+            burst_scale=1.0,
+            burst_length=4.0,
+        ),
+        seed=7003,
+        mean_anomaly_window=4.0,
+        severity_range=(3.0, 10.0),
+        injector_mix={"spike": 0.6, "jitter": 0.2, "level_shift": 0.2},
+    ),
+}
+
+
+# ----------------------------------------------------------------------
+# Web incidents: scripted multi-phase incidents on clean traffic KPIs.
+# ----------------------------------------------------------------------
+
+#: Incident phase → anomaly kind (cascade stages are all spikes).
+PHASE_KINDS: Dict[str, str] = {
+    "outage": "dip",
+    "recovery ramp": "ramp",
+    "gradual build-up": "ramp",
+    "degraded plateau": "level_shift",
+    "surge": "spike",
+    "decaying tail": "spike",
+}
+
+
+def phase_kind(phase: str) -> str:
+    """The anomaly kind one scripted incident phase presents as."""
+    if phase.startswith("cascade stage"):
+        return "spike"
+    try:
+        return PHASE_KINDS[phase]
+    except KeyError:
+        raise CorpusError(f"no kind mapping for phase {phase!r}") from None
+
+
+#: KPI name → (scenario builder, span the incident occupies in points).
+_WEB_SCENARIOS: Dict[str, tuple] = {
+    "web-outage": (outage_and_recovery, 12 + 24),
+    "web-degradation": (gradual_degradation, 36 + 24),
+    "web-flash-crowd": (flash_crowd, 8 + 16),
+    "web-cascade": (cascading_failure, 3 * 10 + 2 * 20),
+}
+
+_WEB_SIGNAL = SeasonalProfile(
+    base_level=5000.0,
+    daily_amplitude=0.7,
+    daily_harmonics=3,
+    weekend_factor=0.85,
+    trend=0.03,
+    noise_scale=0.03,
+    noise_ar=0.5,
+    multiplicative_noise=True,
+)
+
+
+class ScenarioDataset(Dataset):
+    """One KPI per scripted incident, phases labelled by kind."""
+
+    name = "web-incidents"
+    description = (
+        "Bursty web traffic with scripted multi-phase incidents "
+        "(outage, degradation, flash crowd, cascade)"
+    )
+    domain = "web"
+    interval = 600
+    default_weeks = 2.0
+
+    def kpi_names(self) -> List[str]:
+        return list(_WEB_SCENARIOS)
+
+    def kpi_interval(self, kpi: str) -> int:
+        if kpi not in _WEB_SCENARIOS:
+            raise CorpusError(
+                f"{self.name}: unknown KPI {kpi!r}; has "
+                f"{self.kpi_names()}"
+            )
+        return self.interval
+
+    def load(
+        self,
+        kpi: str,
+        *,
+        weeks: Optional[float] = None,
+        seed_offset: int = 0,
+    ) -> DatasetItem:
+        try:
+            build, span = _WEB_SCENARIOS[kpi]
+        except KeyError:
+            raise CorpusError(
+                f"{self.name}: unknown KPI {kpi!r}; has "
+                f"{self.kpi_names()}"
+            ) from None
+        weeks = self.default_weeks if weeks is None else weeks
+        index = list(_WEB_SCENARIOS).index(kpi)
+        seed = 9000 + 17 * index + seed_offset
+        base = generate_kpi(
+            weeks=weeks,
+            interval=self.interval,
+            profile=_WEB_SIGNAL,
+            seed=seed,
+            name=kpi,
+        ).series
+        n = len(base)
+        if n <= span + 16:
+            raise CorpusError(
+                f"{kpi}: {weeks} weeks ({n} points) cannot hold a "
+                f"{span}-point incident"
+            )
+        rng = np.random.default_rng(seed + 1)
+        at = int(rng.integers(n // 3, n - span - 8))
+        incident = build(base, at=at)
+        return DatasetItem(
+            kpi=kpi,
+            series=incident.series,
+            windows=list(incident.windows),
+            kinds=[phase_kind(phase) for phase in incident.phases],
+            metadata={
+                "domain": self.domain,
+                "scenario": build.__name__,
+                "phases": list(incident.phases),
+                "incident_at": at,
+            },
+        )
+
+
+#: Factory callables for the built-ins (each call makes a fresh
+#: instance; the module-level registrations below are the shared ones).
+def _builtins() -> List[Dataset]:
+    return [
+        ProfileDataset(
+            "table1",
+            "The paper's Table 1 KPIs (PV, #SR, SRT) as generated",
+            "search-engine",
+            PROFILES,
+        ),
+        ProfileDataset(
+            "isp",
+            "The §5.1 ISP volume/latency KPIs (TRAFFIC, RTT)",
+            "isp",
+            EXTRA_PROFILES,
+        ),
+        ProfileDataset(
+            "telecom",
+            "Mobile-network KPIs per the arXiv 2308.16279 taxonomy",
+            "telecom",
+            TELECOM_PROFILES,
+        ),
+        ProfileDataset(
+            "hpc",
+            "HPC node metrics (temperature, power, filesystem latency)",
+            "hpc",
+            HPC_PROFILES,
+        ),
+        ScenarioDataset(),
+    ]
+
+
+for _dataset in _builtins():
+    register(_dataset)
+
+
+__all__ = [
+    "HPC_PROFILES",
+    "PHASE_KINDS",
+    "TELECOM_PROFILES",
+    "ProfileDataset",
+    "ScenarioDataset",
+    "phase_kind",
+]

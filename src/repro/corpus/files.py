@@ -1,0 +1,220 @@
+"""Materialized datasets: corpus directories on disk.
+
+``materialize`` writes every KPI of a dataset as one series file
+(format picked by suffix: ``.csv``, ``.csv.gz`` or ``.ndjson`` — all
+stdlib-only ``repro.timeseries.io`` formats) plus a ``manifest.json``
+carrying what the point files cannot: per-window anomaly *kinds*, the
+declared interval, and dataset identity. :class:`DirectoryDataset`
+reads such a directory back through the same :class:`~.base.Dataset`
+contract, so a directory of real traces dropped next to a hand-written
+manifest plugs into every sweep exactly like a generator does.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from ..timeseries import (
+    TimeSeries,
+    read_csv,
+    read_csv_gz,
+    read_ndjson,
+    write_csv,
+    write_csv_gz,
+    write_ndjson,
+)
+from ..timeseries.windows import AnomalyWindow
+from .base import CorpusError, Dataset, DatasetItem
+
+MANIFEST_NAME = "manifest.json"
+
+#: Layout version of ``manifest.json``.
+CORPUS_FORMAT_VERSION = 1
+
+#: Suffix → (reader, writer). ``.jsonl`` is accepted as an NDJSON alias
+#: on read and write; the canonical materialize suffix is ``.ndjson``.
+_FORMATS = {
+    ".csv": (read_csv, write_csv),
+    ".csv.gz": (read_csv_gz, write_csv_gz),
+    ".ndjson": (read_ndjson, write_ndjson),
+    ".jsonl": (read_ndjson, write_ndjson),
+}
+
+
+def series_suffix(path: Path) -> str:
+    """The format-dispatch suffix of ``path`` (``.csv.gz`` is one unit)."""
+    name = path.name.lower()
+    for suffix in _FORMATS:
+        if name.endswith(suffix):
+            return suffix
+    raise CorpusError(
+        f"{path.name}: unsupported series format; expected one of "
+        f"{sorted(_FORMATS)}"
+    )
+
+
+def read_series_file(
+    path: Path, *, interval: Optional[int] = None, name: str = ""
+) -> TimeSeries:
+    reader = _FORMATS[series_suffix(path)][0]
+    return reader(path, interval=interval, name=name)
+
+
+def write_series_file(series: TimeSeries, path: Path) -> None:
+    writer = _FORMATS[series_suffix(path)][1]
+    writer(series, path)
+
+
+def _file_stem(kpi: str) -> str:
+    """A filesystem-safe stem for one KPI (``#SR`` → ``SR``)."""
+    stem = "".join(ch for ch in kpi if ch.isalnum() or ch in "._-")
+    return stem or "kpi"
+
+
+def materialize(
+    dataset: Dataset,
+    directory: Path,
+    *,
+    fmt: str = "csv.gz",
+    weeks: Optional[float] = None,
+    seed_offset: int = 0,
+) -> Path:
+    """Write ``dataset`` into ``directory`` and return the manifest path.
+
+    The result is self-describing: ``DirectoryDataset(directory)``
+    loads it back with the same ground truth, which is exactly what the
+    CI corpus-smoke job round-trips.
+    """
+    suffix = f".{fmt.lstrip('.')}"
+    if suffix not in _FORMATS:
+        raise CorpusError(
+            f"unsupported format {fmt!r}; expected one of "
+            f"{sorted(s.lstrip('.') for s in _FORMATS)}"
+        )
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    entries: List[dict] = []
+    stems = set()
+    for kpi in dataset.kpi_names():
+        item = dataset.load(kpi, weeks=weeks, seed_offset=seed_offset)
+        stem = _file_stem(kpi)
+        while stem in stems:  # two KPIs sanitising to the same file
+            stem += "_"
+        stems.add(stem)
+        filename = stem + suffix
+        write_series_file(item.series, directory / filename)
+        entries.append(
+            {
+                "kpi": kpi,
+                "file": filename,
+                "interval": item.series.interval,
+                "start": item.series.start,
+                "windows": [[w.begin, w.end] for w in item.windows],
+                "kinds": list(item.kinds),
+                "metadata": item.metadata,
+            }
+        )
+    manifest = {
+        "format_version": CORPUS_FORMAT_VERSION,
+        "name": dataset.name,
+        "description": dataset.description,
+        "domain": dataset.domain,
+        "weeks": weeks,
+        "seed_offset": seed_offset,
+        "kpis": entries,
+    }
+    manifest_path = directory / MANIFEST_NAME
+    manifest_path.write_text(json.dumps(manifest, indent=2) + "\n")
+    return manifest_path
+
+
+class DirectoryDataset(Dataset):
+    """A materialized corpus directory, loaded back via the manifest.
+
+    File-backed data is a fixed artifact: ``weeks`` and ``seed_offset``
+    cannot re-parameterize it, so non-default values raise instead of
+    silently returning the wrong slice.
+    """
+
+    domain = "file"
+
+    def __init__(self, directory: Path):
+        self.directory = Path(directory)
+        manifest_path = self.directory / MANIFEST_NAME
+        if not manifest_path.exists():
+            raise CorpusError(f"{self.directory}: no {MANIFEST_NAME}")
+        manifest = json.loads(manifest_path.read_text())
+        version = manifest.get("format_version")
+        if version != CORPUS_FORMAT_VERSION:
+            raise CorpusError(
+                f"{manifest_path}: unsupported corpus format {version!r} "
+                f"(expected {CORPUS_FORMAT_VERSION})"
+            )
+        self.name = str(manifest.get("name") or self.directory.name)
+        self.description = str(manifest.get("description", ""))
+        self.domain = str(manifest.get("domain") or "file")
+        self._entries: Dict[str, dict] = {}
+        for entry in manifest.get("kpis", []):
+            kpi = entry.get("kpi")
+            if not kpi or "file" not in entry:
+                raise CorpusError(
+                    f"{manifest_path}: manifest entry missing kpi/file"
+                )
+            self._entries[str(kpi)] = entry
+
+    def kpi_names(self) -> List[str]:
+        return list(self._entries)
+
+    def _entry(self, kpi: str) -> dict:
+        try:
+            return self._entries[kpi]
+        except KeyError:
+            raise CorpusError(
+                f"{self.name}: unknown KPI {kpi!r}; has "
+                f"{self.kpi_names()}"
+            ) from None
+
+    def kpi_interval(self, kpi: str) -> int:
+        return int(self._entry(kpi)["interval"])
+
+    def load(
+        self,
+        kpi: str,
+        *,
+        weeks: Optional[float] = None,
+        seed_offset: int = 0,
+    ) -> DatasetItem:
+        if weeks is not None or seed_offset != 0:
+            raise CorpusError(
+                f"{self.name} is file-backed; weeks/seed_offset cannot "
+                "re-parameterize it"
+            )
+        entry = self._entry(kpi)
+        series = read_series_file(
+            self.directory / entry["file"],
+            interval=int(entry["interval"]),
+            name=kpi,
+        )
+        return DatasetItem(
+            kpi=kpi,
+            series=series,
+            windows=[
+                AnomalyWindow(int(begin), int(end))
+                for begin, end in entry.get("windows", [])
+            ],
+            kinds=[str(kind) for kind in entry.get("kinds", [])],
+            metadata=dict(entry.get("metadata") or {}),
+        )
+
+
+__all__ = [
+    "CORPUS_FORMAT_VERSION",
+    "MANIFEST_NAME",
+    "DirectoryDataset",
+    "materialize",
+    "read_series_file",
+    "series_suffix",
+    "write_series_file",
+]

@@ -151,6 +151,11 @@ def inject_anomalies(
 
     if series.missing_mask.any():
         values[series.missing_mask] = np.nan
+    # Windows are placed in random order but reported sorted; kinds must
+    # follow their windows or the ground-truth pairing silently breaks.
+    order = sorted(range(len(windows)), key=lambda i: windows[i])
+    windows = [windows[i] for i in order]
+    kinds = [kinds[i] for i in order]
     windows = merge_windows(windows)
     labelled = TimeSeries(
         values=values,

@@ -1,0 +1,83 @@
+"""Multiclass evaluation for the diagnosis stage.
+
+`repro.evaluation` is built around the paper's binary precision/recall
+machinery; diagnosis needs the multiclass counterparts — a per-kind
+confusion matrix and macro-averaged F1 — in a JSON-friendly shape the
+CI corpus-smoke job can upload as an artifact.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence
+
+
+def kind_confusion(
+    true_kinds: Sequence[str],
+    predicted_kinds: Sequence[str],
+    *,
+    kinds: Optional[Sequence[str]] = None,
+) -> Dict[str, Any]:
+    """Confusion counts: ``matrix[i][j]`` = true kind i predicted as j."""
+    if len(true_kinds) != len(predicted_kinds):
+        raise ValueError(
+            f"{len(true_kinds)} true kinds vs {len(predicted_kinds)} predictions"
+        )
+    if kinds is None:
+        kinds = sorted(set(true_kinds) | set(predicted_kinds))
+    else:
+        kinds = list(kinds)
+        missing = (set(true_kinds) | set(predicted_kinds)) - set(kinds)
+        if missing:
+            raise ValueError(f"kinds {sorted(missing)} not in {kinds}")
+    index = {kind: i for i, kind in enumerate(kinds)}
+    matrix = [[0 for _ in kinds] for _ in kinds]
+    for truth, predicted in zip(true_kinds, predicted_kinds):
+        matrix[index[truth]][index[predicted]] += 1
+    return {"kinds": kinds, "matrix": matrix}
+
+
+def diagnosis_report(
+    true_kinds: Sequence[str], predicted_kinds: Sequence[str]
+) -> Dict[str, Any]:
+    """Per-kind precision/recall/F1, macro-F1 and the confusion matrix."""
+    confusion = kind_confusion(true_kinds, predicted_kinds)
+    kinds: List[str] = confusion["kinds"]
+    matrix = confusion["matrix"]
+    per_kind: Dict[str, Dict[str, float]] = {}
+    f1_values = []
+    for i, kind in enumerate(kinds):
+        true_positive = matrix[i][i]
+        predicted_total = sum(row[i] for row in matrix)
+        true_total = sum(matrix[i])
+        precision = true_positive / predicted_total if predicted_total else 0.0
+        recall = true_positive / true_total if true_total else 0.0
+        f1 = (
+            2 * precision * recall / (precision + recall)
+            if precision + recall
+            else 0.0
+        )
+        per_kind[kind] = {
+            "precision": precision,
+            "recall": recall,
+            "f1": f1,
+            "support": true_total,
+        }
+        f1_values.append(f1)
+    return {
+        "n_windows": len(true_kinds),
+        "macro_f1": sum(f1_values) / len(f1_values) if f1_values else 0.0,
+        "accuracy": (
+            sum(matrix[i][i] for i in range(len(kinds))) / len(true_kinds)
+            if true_kinds
+            else 0.0
+        ),
+        "per_kind": per_kind,
+        "confusion": confusion,
+    }
+
+
+def macro_f1(
+    true_kinds: Sequence[str], predicted_kinds: Sequence[str]
+) -> float:
+    """Unweighted mean of per-kind F1 scores."""
+    return diagnosis_report(true_kinds, predicted_kinds)["macro_f1"]

@@ -1,0 +1,177 @@
+"""Windowed shape features for anomaly-type classification.
+
+§2.1 of the paper lists the anomaly *patterns* operators react to
+differently — "jitters, slow ramp-ups, sudden spikes and dips" — and
+the telecom taxonomy of Bordeau-Aubert et al. (arXiv 2308.16279) adds
+sustained level shifts and variance changes. The features here are the
+minimal scale-free summary that separates those shapes: deviations of
+the alert window from its *expected* values, plus the window's internal
+geometry (slope, decay, alternation, roughness).
+
+The expectation is seasonal when it can be: given ``period`` (points
+per day) and at least one period of preceding context, each window
+point is compared against the value one period earlier — which is what
+makes a multiplicative dip (ratio to expectation constant) separable
+from an additive level shift (difference to expectation constant).
+With less context the features degrade gracefully to a local-median
+baseline.
+
+Everything is causal: only the window itself and the points before it
+are consulted, so the same function serves training (injected windows
+with known kinds) and live diagnosis at alert-close time.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+#: Preceding points used for the local level/roughness baseline. The
+#: seasonal expectation wants a full period of context on top of this;
+#: callers should pass ``max(period, CONTEXT_POINTS)`` context points.
+CONTEXT_POINTS = 32
+
+FEATURE_NAMES = [
+    "mean_dev",        # mean deviation from expectation, in units of
+                       # the local level: sign separates up from down
+    "abs_mean_dev",    # mean |deviation|: overall anomaly magnitude
+    "direction",       # mean_dev / abs_mean_dev: +1 all-up, -1 all-down,
+                       # ~0 alternating (jitter)
+    "std_dev",         # spread of the additive deviations: small for a
+                       # clean level shift, larger when the anomaly
+                       # scales with the signal
+    "first_dev",       # deviation of the first window point
+    "last_dev",        # deviation of the last window point
+    "max_dev",
+    "min_dev",
+    "argmax_pos",      # where the peak sits, 0..1 (spikes peak early)
+    "argmin_pos",
+    "slope",           # linear-fit slope of deviation over 0..1 (ramps)
+    "decay",           # first_dev - last_dev (spikes decay, ramps climb)
+    "late_minus_early",  # mean of the 2nd half minus mean of the 1st
+    "alternation",     # fraction of sign flips in the first differences
+                       # (the jitter injector alternates every point)
+    "roughness",       # median |first difference|, in local-level units
+    "rough_ratio",     # window roughness / context roughness: a
+                       # multiplicative dip compresses the local texture
+                       # (< 1), an additive level shift preserves it (~1)
+    "mult_mean",       # mean(window/expected) - 1: the §2.1 "sudden
+                       # drop by 20% or 50%" fraction, signed
+    "mult_std",        # spread of window/expected: ~0 when the anomaly
+                       # is a constant factor (dip)
+    "affinity",        # log(mult_std / std_dev): negative favours a
+                       # multiplicative shape, positive an additive one
+    "has_seasonal",    # 1.0 when a full period of context backed the
+                       # expectation, 0.0 on the local-median fallback
+    "length",          # log1p(window length)
+]
+
+
+def _expected_values(
+    window: np.ndarray,
+    context: np.ndarray,
+    level: float,
+    period: Optional[int],
+) -> tuple:
+    """Per-point expectation for the window, and whether it is seasonal.
+
+    With ``period`` points per day and at least a period of context,
+    the expectation is the value one period before each window point
+    (NaNs fall back to the level). Otherwise it is the flat local
+    level.
+    """
+    n = len(window)
+    if period and period >= 4 and len(context) >= period and n <= period:
+        expected = context[len(context) - period:len(context) - period + n]
+        expected = np.where(np.isfinite(expected), expected, level)
+        return expected.astype(np.float64), True
+    return np.full(n, level, dtype=np.float64), False
+
+
+def window_shape_features(
+    window: Sequence[float],
+    context: Sequence[float],
+    *,
+    period: Optional[int] = None,
+) -> np.ndarray:
+    """Shape features of an anomalous window against its context.
+
+    ``window`` is the alerted run of values, ``context`` the points
+    immediately preceding it, ``period`` the seasonal period in points
+    (points per day for daily KPIs). Missing (NaN) points are ignored;
+    an all-missing window yields all zeros. Returns a vector aligned
+    with :data:`FEATURE_NAMES`.
+    """
+    w_raw = np.asarray(window, dtype=np.float64)
+    c_raw = np.asarray(context, dtype=np.float64)
+    keep = np.isfinite(w_raw)
+    out = np.zeros(len(FEATURE_NAMES), dtype=np.float64)
+    if not keep.any():
+        return out
+
+    tail = c_raw[-CONTEXT_POINTS:]
+    tail = tail[np.isfinite(tail)]
+    reference = tail if len(tail) else w_raw[keep]
+    level = float(np.median(reference))
+    scale = max(abs(level), 1e-9)
+
+    expected, seasonal = _expected_values(w_raw, c_raw, level, period)
+    w = w_raw[keep]
+    e = expected[keep]
+    d = (w - e) / scale
+    ratio = w / np.where(np.abs(e) > 1e-9, e, scale)
+    n = len(d)
+
+    mean_dev = float(d.mean())
+    abs_mean = float(np.abs(d).mean())
+    positions = np.linspace(0.0, 1.0, n) if n > 1 else np.zeros(1)
+    diffs = np.diff(w) / scale
+    if n > 1:
+        centred = positions - positions.mean()
+        slope = float(
+            np.dot(centred, d - d.mean()) / max(np.dot(centred, centred), 1e-12)
+        )
+        flips = np.sign(diffs[1:]) * np.sign(diffs[:-1]) < 0
+        alternation = float(flips.mean()) if len(flips) else (
+            1.0 if diffs[0] != 0 else 0.0
+        )
+        roughness = float(np.median(np.abs(diffs)))
+    else:
+        slope = 0.0
+        alternation = 0.0
+        roughness = 0.0
+    context_rough = (
+        float(np.median(np.abs(np.diff(tail))) / scale)
+        if len(tail) > 1
+        else 0.0
+    )
+    half = max(n // 2, 1)
+    late_minus_early = (
+        float(d[half:].mean() - d[:half].mean()) if n > 1 else 0.0
+    )
+    mult_std = float(ratio.std())
+    std_dev = float(d.std())
+
+    out[0] = mean_dev
+    out[1] = abs_mean
+    out[2] = mean_dev / max(abs_mean, 1e-9)
+    out[3] = std_dev
+    out[4] = float(d[0])
+    out[5] = float(d[-1])
+    out[6] = float(d.max())
+    out[7] = float(d.min())
+    out[8] = float(np.argmax(d)) / max(n - 1, 1)
+    out[9] = float(np.argmin(d)) / max(n - 1, 1)
+    out[10] = slope
+    out[11] = float(d[0] - d[-1])
+    out[12] = late_minus_early
+    out[13] = alternation
+    out[14] = roughness
+    out[15] = roughness / max(context_rough, 1e-9) if context_rough else 0.0
+    out[16] = float(ratio.mean()) - 1.0
+    out[17] = mult_std
+    out[18] = float(np.log((mult_std + 1e-3) / (std_dev + 1e-3)))
+    out[19] = 1.0 if seasonal else 0.0
+    out[20] = float(np.log1p(n))
+    return out

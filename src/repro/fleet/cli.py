@@ -41,6 +41,12 @@ from .status import DEGRADED, FleetStatus, status_document
 
 
 def _service_factory(args, points_per_week: int):
+    diagnoser = None
+    if getattr(args, "diagnose", False):
+        from ..diagnosis import default_diagnoser
+
+        diagnoser = default_diagnoser()
+
     def build(kpi_id: str) -> MonitoringService:
         configs = (
             None if args.bank == "full" else small_bank(points_per_week)
@@ -51,6 +57,7 @@ def _service_factory(args, points_per_week: int):
                 n_estimators=args.trees, seed=0
             ),
             min_duration_points=args.min_duration,
+            diagnoser=diagnoser,
         )
 
     return build
@@ -255,6 +262,9 @@ def _add_fleet_options(parser: argparse.ArgumentParser) -> None:
                              "the full Table 3 registry")
     parser.add_argument("--trees", type=int, default=15)
     parser.add_argument("--min-duration", type=int, default=1)
+    parser.add_argument("--diagnose", action="store_true",
+                        help="fit the anomaly-kind diagnoser and attach "
+                             "a diagnosis to every closed alert")
     parser.add_argument("--save", default=None,
                         help="write a fleet checkpoint directory at the end")
 

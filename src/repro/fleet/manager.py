@@ -509,6 +509,7 @@ class FleetManager:
                     quarantines=handle.quarantines,
                     last_error=handle.last_error,
                     dropped=dict(handle.dropped),
+                    diagnosed=stats.alerts_diagnosed,
                     ingest_p99=self._ingest_p99(kpi_id),
                 )
             )
@@ -596,6 +597,7 @@ class FleetManager:
                             "alerts_opened": stats.alerts_opened,
                             "retrain_rounds": stats.retrain_rounds,
                             "callback_errors": stats.callback_errors,
+                            "alerts_diagnosed": stats.alerts_diagnosed,
                             "pending_points": handle.service.pending_points,
                             "cthld": handle.service.cthld,
                         },

@@ -54,6 +54,9 @@ class KpiStatus:
     quarantines: int = 0
     last_error: Optional[str] = None
     dropped: Dict[str, int] = field(default_factory=dict)
+    #: Closed-alert diagnoses by anomaly kind (spike/dip/ramp/...),
+    #: empty when the KPI's service runs without a diagnoser.
+    diagnosed: Dict[str, int] = field(default_factory=dict)
     #: Estimated p99 of ``repro_fleet_ingest_seconds{kpi=...}`` in
     #: seconds; None when observability is disabled or no point has
     #: been pumped yet.
@@ -62,6 +65,10 @@ class KpiStatus:
     @property
     def dropped_total(self) -> int:
         return sum(self.dropped.values())
+
+    @property
+    def diagnosed_total(self) -> int:
+        return sum(self.diagnosed.values())
 
     @classmethod
     def from_dict(cls, data: dict) -> "KpiStatus":
@@ -87,6 +94,10 @@ class KpiStatus:
                 reason: int(count)
                 for reason, count in data.get("dropped", {}).items()
             },
+            diagnosed={
+                kind: int(count)
+                for kind, count in (data.get("diagnosed") or {}).items()
+            },
             ingest_p99=data.get("ingest_p99"),
         )
 
@@ -108,6 +119,7 @@ class KpiStatus:
             "quarantines": self.quarantines,
             "last_error": self.last_error,
             "dropped": dict(self.dropped),
+            "diagnosed": dict(self.diagnosed),
             "ingest_p99": self.ingest_p99,
         }
 
@@ -150,6 +162,12 @@ class FleetStatus:
                     dropped={
                         reason: int(count)
                         for reason, count in entry.get("dropped", {}).items()
+                    },
+                    diagnosed={
+                        kind: int(count)
+                        for kind, count in (
+                            stats.get("alerts_diagnosed") or {}
+                        ).items()
                     },
                 )
             )
@@ -198,6 +216,19 @@ class FleetStatus:
     def total_alerts_opened(self) -> int:
         return sum(kpi.alerts_opened for kpi in self.kpis)
 
+    @property
+    def total_alerts_diagnosed(self) -> int:
+        return sum(kpi.diagnosed_total for kpi in self.kpis)
+
+    @property
+    def diagnosed_kinds(self) -> Dict[str, int]:
+        """Fleet-wide closed-alert diagnoses summed per anomaly kind."""
+        counts: Dict[str, int] = {}
+        for kpi in self.kpis:
+            for kind, count in kpi.diagnosed.items():
+                counts[kind] = counts.get(kind, 0) + count
+        return dict(sorted(counts.items()))
+
     def as_dict(self) -> dict:
         return {
             "cycles": self.cycles,
@@ -208,6 +239,8 @@ class FleetStatus:
             "total_quarantines": self.total_quarantines,
             "total_points_ingested": self.total_points_ingested,
             "total_alerts_opened": self.total_alerts_opened,
+            "total_alerts_diagnosed": self.total_alerts_diagnosed,
+            "diagnosed_kinds": self.diagnosed_kinds,
             "kpis": [kpi.as_dict() for kpi in self.kpis],
         }
 
@@ -215,8 +248,8 @@ class FleetStatus:
         """A fixed-width table for terminals (the ``status`` CLI)."""
         header = (
             f"{'KPI':<20} {'STATE':<12} {'SHARD':>5} {'QUEUE':>6} "
-            f"{'POINTS':>8} {'ALERTS':>7} {'DROPPED':>8} {'QUAR':>5} "
-            f"{'CTHLD':>8} {'ING-P99':>9}"
+            f"{'POINTS':>8} {'ALERTS':>7} {'DIAG':>5} {'DROPPED':>8} "
+            f"{'QUAR':>5} {'CTHLD':>8} {'ING-P99':>9}"
         )
         lines = [header, "-" * len(header)]
         for kpi in self.kpis:
@@ -227,18 +260,26 @@ class FleetStatus:
             lines.append(
                 f"{kpi.kpi_id:<20} {kpi.state:<12} {kpi.shard:>5} "
                 f"{kpi.queue_depth:>6} {kpi.points_ingested:>8} "
-                f"{kpi.alerts_opened:>7} {kpi.dropped_total:>8} "
-                f"{kpi.quarantines:>5} {kpi.cthld:>8.4f} {p99:>9}"
+                f"{kpi.alerts_opened:>7} {kpi.diagnosed_total:>5} "
+                f"{kpi.dropped_total:>8} {kpi.quarantines:>5} "
+                f"{kpi.cthld:>8.4f} {p99:>9}"
             )
         states = self.states
         summary = ", ".join(
             f"{count} {state}" for state, count in states.items() if count
+        )
+        kinds = self.diagnosed_kinds
+        diagnosed = (
+            " [" + ", ".join(f"{k}: {v}" for k, v in kinds.items()) + "]"
+            if kinds
+            else ""
         )
         lines.append("-" * len(header))
         lines.append(
             f"{self.n_kpis} KPIs ({summary or 'none'}); "
             f"{self.total_points_ingested} points, "
             f"{self.total_alerts_opened} alerts, "
+            f"{self.total_alerts_diagnosed} diagnosed{diagnosed}, "
             f"{self.total_dropped} dropped, "
             f"{self.total_quarantines} quarantines, "
             f"{self.cycles} pump cycles"

@@ -62,6 +62,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="Table 1 profiles to cycle across KPIs",
     )
     parser.add_argument(
+        "--dataset", default=None,
+        help="draw KPIs from this repro-corpus dataset instead of "
+             "the Table 1 profiles (see `repro-corpus list`)",
+    )
+    parser.add_argument(
         "--checkpoint-every", type=float, default=3600.0,
         help="simulated seconds between metrics checkpoints",
     )
@@ -88,6 +93,11 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--trees", type=int, default=10,
         help="random-forest size per KPI (default 10)",
+    )
+    parser.add_argument(
+        "--diagnose", action="store_true",
+        help="in-process soak: attach the anomaly-kind diagnoser so "
+             "closed alerts carry a diagnosis",
     )
     parser.add_argument(
         "--seed-offset", type=int, default=0,
@@ -141,6 +151,7 @@ def _main_replay(args) -> int:
                 bootstrap_weeks=args.bootstrap_weeks,
                 profiles=tuple(args.profiles),
                 seed_offset=args.seed_offset,
+                dataset=args.dataset,
             ),
             checkpoint_every=args.checkpoint_every,
             retrain_every=args.retrain_every,
@@ -207,6 +218,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             weeks=args.weeks,
             bootstrap_weeks=args.bootstrap_weeks,
             profiles=tuple(args.profiles),
+            dataset=args.dataset,
             checkpoint_every=args.checkpoint_every,
             retrain_every=args.retrain_every,
             fault_kpis=args.fault_kpis,
@@ -214,6 +226,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             points_per_second=args.points_per_second,
             max_wall_seconds=args.max_wall_seconds,
             trees=args.trees,
+            diagnose=args.diagnose,
             seed_offset=args.seed_offset,
         )
         enable()

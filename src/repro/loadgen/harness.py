@@ -43,7 +43,6 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..core.service import AlertEvent, MonitoringService
-from ..data.datasets import PROFILES
 from ..fleet.banks import small_bank
 from ..fleet.manager import FleetManager
 from ..ml import RandomForest
@@ -100,8 +99,11 @@ class SoakConfig:
     weeks: float = 0.25
     #: Labelled history each KPI bootstraps on, in weeks.
     bootstrap_weeks: float = 1.0
-    #: Profiles cycled across KPIs (Table 1 names).
+    #: Profiles cycled across KPIs (Table 1 names). Ignored when
+    #: ``dataset`` names a ``repro.corpus`` dataset instead.
     profiles: Tuple[str, ...] = ("PV", "#SR", "SRT")
+    #: Draw KPIs from this registered corpus dataset (None: profiles).
+    dataset: Optional[str] = None
     #: Simulated seconds between metrics checkpoints.
     checkpoint_every: float = 3600.0
     #: Simulated seconds between label-submission + retrain waves
@@ -118,6 +120,9 @@ class SoakConfig:
     max_wall_seconds: float = 0.0
     #: Forest size for the per-KPI classifiers (small: soak, not F1).
     trees: int = 10
+    #: Attach the default anomaly-kind diagnoser to every service, so
+    #: closed alerts carry a diagnosis (one-time seeded fitting cost).
+    diagnose: bool = False
     min_duration_points: int = 2
     n_shards: int = 4
     queue_depth: int = 256
@@ -130,18 +135,21 @@ class SoakConfig:
             raise ValueError("n_kpis must be >= 1")
         if self.weeks <= 0 or self.bootstrap_weeks <= 0:
             raise ValueError("weeks and bootstrap_weeks must be > 0")
-        if not self.profiles:
-            raise ValueError("profiles must not be empty")
-        unknown = [p for p in self.profiles if p not in PROFILES]
-        if unknown:
-            raise ValueError(
-                f"unknown profile(s) {unknown}; Table 1 has "
-                f"{sorted(PROFILES)}"
-            )
+        self.scenario_spec().validate()
         if self.checkpoint_every <= 0:
             raise ValueError("checkpoint_every must be > 0")
         if self.fault_kpis < 0 or self.fault_kpis > self.n_kpis:
             raise ValueError("fault_kpis must be in [0, n_kpis]")
+
+    def scenario_spec(self) -> ScenarioSpec:
+        return ScenarioSpec(
+            n_kpis=self.n_kpis,
+            weeks=self.weeks,
+            bootstrap_weeks=self.bootstrap_weeks,
+            profiles=self.profiles,
+            seed_offset=self.seed_offset,
+            dataset=self.dataset,
+        )
 
 
 @dataclass
@@ -188,12 +196,18 @@ class SoakHarness:
     def _service_for(self, kpi_id: str) -> MonitoringService:
         points_per_week = SECONDS_PER_WEEK // self._intervals[kpi_id]
         config = self.config
+        diagnoser = None
+        if config.diagnose:
+            from ..diagnosis import default_diagnoser
+
+            diagnoser = default_diagnoser()
         kwargs = dict(
             configs=small_bank(points_per_week),
             classifier_factory=lambda: RandomForest(
                 n_estimators=config.trees, seed=0
             ),
             min_duration_points=config.min_duration_points,
+            diagnoser=diagnoser,
         )
         if kpi_id in self._fault_ids:
             return FaultInjectingService(
@@ -210,14 +224,7 @@ class SoakHarness:
             max_concurrent_retrains=config.max_concurrent_retrains,
             service_factory=self._service_for,
         )
-        spec = ScenarioSpec(
-            n_kpis=config.n_kpis,
-            weeks=config.weeks,
-            bootstrap_weeks=config.bootstrap_weeks,
-            profiles=config.profiles,
-            seed_offset=config.seed_offset,
-        )
-        for kpi in build_scenario(spec):
+        for kpi in build_scenario(config.scenario_spec()):
             self._intervals[kpi.kpi_id] = kpi.interval
             self._bootstrap_points[kpi.kpi_id] = kpi.bootstrap_points
             if kpi.index < config.fault_kpis:
@@ -363,6 +370,7 @@ class SoakHarness:
                 "weeks": config.weeks,
                 "bootstrap_weeks": config.bootstrap_weeks,
                 "profiles": list(config.profiles),
+                "dataset": config.dataset,
                 "checkpoint_every": config.checkpoint_every,
                 "retrain_every": config.retrain_every,
                 "fault_kpis": config.fault_kpis,

@@ -39,22 +39,41 @@ def kpi_identifier(profile_name: str, index: int) -> str:
 
 @dataclass(frozen=True)
 class ScenarioSpec:
-    """The full identity of a synthetic multi-KPI scenario."""
+    """The full identity of a synthetic multi-KPI scenario.
+
+    KPIs come from one of two sources: the Table 1 ``profiles`` tuple
+    (the default), or — when ``dataset`` names a registered
+    ``repro.corpus`` dataset — that dataset's KPIs, cycled the same
+    way. Either source is a pure function of the spec, so the
+    bit-identity guarantee carries over unchanged.
+    """
 
     n_kpis: int = 8
     #: Simulated stream length after bootstrap, in weeks.
     weeks: float = 0.25
     #: Labelled history each KPI bootstraps on, in weeks.
     bootstrap_weeks: float = 1.0
-    #: Profiles cycled across KPIs (Table 1 names).
+    #: Profiles cycled across KPIs (Table 1 names). Ignored when
+    #: ``dataset`` is set.
     profiles: Tuple[str, ...] = ("PV", "#SR", "SRT")
     seed_offset: int = 0
+    #: A ``repro.corpus`` dataset name to draw KPIs from instead of
+    #: the Table 1 profiles.
+    dataset: Optional[str] = None
+
+    def _corpus(self):
+        from ..corpus import get_dataset
+
+        return get_dataset(self.dataset)
 
     def validate(self) -> None:
         if self.n_kpis < 1:
             raise ValueError("n_kpis must be >= 1")
         if self.weeks <= 0 or self.bootstrap_weeks <= 0:
             raise ValueError("weeks and bootstrap_weeks must be > 0")
+        if self.dataset is not None:
+            self._corpus()  # CorpusError (a ValueError) on unknown
+            return
         if not self.profiles:
             raise ValueError("profiles must not be empty")
         unknown = [p for p in self.profiles if p not in PROFILES]
@@ -64,20 +83,40 @@ class ScenarioSpec:
                 f"{sorted(PROFILES)}"
             )
 
+    def source_name(self, index: int) -> str:
+        """The profile or dataset-KPI name behind scenario slot
+        ``index`` (cycled when ``n_kpis`` exceeds the source count)."""
+        if self.dataset is not None:
+            names = self._corpus().kpi_names()
+            return names[index % len(names)]
+        return self.profiles[index % len(self.profiles)]
+
     def profile_of(self, index: int):
+        if self.dataset is not None:
+            raise ValueError(
+                f"scenario draws from dataset {self.dataset!r}, "
+                "not Table 1 profiles"
+            )
         return PROFILES[self.profiles[index % len(self.profiles)]]
 
     def kpi_ids(self) -> List[str]:
         """Every KPI id, *without* generating any series — cheap enough
         for routing tables over 10k-KPI scenarios."""
         return [
-            kpi_identifier(self.profile_of(index).name, index)
+            kpi_identifier(self.source_name(index), index)
             for index in range(self.n_kpis)
         ]
 
     def intervals(self) -> dict:
         """``{kpi_id: sampling interval seconds}`` without generating
-        any series (profiles carry their interval)."""
+        any series (profiles and datasets declare their intervals)."""
+        if self.dataset is not None:
+            corpus = self._corpus()
+            return {
+                kpi_identifier(self.source_name(index), index):
+                    corpus.kpi_interval(self.source_name(index))
+                for index in range(self.n_kpis)
+            }
         return {
             kpi_identifier(self.profile_of(index).name, index):
                 self.profile_of(index).interval
@@ -91,6 +130,7 @@ class ScenarioSpec:
             "bootstrap_weeks": self.bootstrap_weeks,
             "profiles": list(self.profiles),
             "seed_offset": self.seed_offset,
+            "dataset": self.dataset,
         }
 
 
@@ -122,13 +162,20 @@ class ScenarioKpi:
 
 def build_scenario_kpi(spec: ScenarioSpec, index: int) -> ScenarioKpi:
     """Generate KPI ``index`` of the scenario (deterministic)."""
-    profile = spec.profile_of(index)
-    kpi_id = kpi_identifier(profile.name, index)
-    generated = make_kpi(
-        profile,
-        seed_offset=spec.seed_offset + index,
-        weeks=spec.bootstrap_weeks + spec.weeks,
-    )
+    source = spec.source_name(index)
+    kpi_id = kpi_identifier(source, index)
+    if spec.dataset is not None:
+        generated = spec._corpus().load(
+            source,
+            weeks=spec.bootstrap_weeks + spec.weeks,
+            seed_offset=spec.seed_offset + index,
+        )
+    else:
+        generated = make_kpi(
+            spec.profile_of(index),
+            seed_offset=spec.seed_offset + index,
+            weeks=spec.bootstrap_weeks + spec.weeks,
+        )
     series = generated.series
     points_per_week = SECONDS_PER_WEEK // series.interval
     bootstrap_points = int(spec.bootstrap_weeks * points_per_week)
@@ -139,7 +186,7 @@ def build_scenario_kpi(spec: ScenarioSpec, index: int) -> ScenarioKpi:
         )
     return ScenarioKpi(
         kpi_id=kpi_id,
-        profile=profile.name,
+        profile=source,
         index=index,
         interval=series.interval,
         bootstrap_points=bootstrap_points,
@@ -163,7 +210,7 @@ def build_scenario(
             build_scenario_kpi(spec, index) for index in range(spec.n_kpis)
         ]
     by_id = {
-        kpi_identifier(spec.profile_of(index).name, index): index
+        kpi_identifier(spec.source_name(index), index): index
         for index in range(spec.n_kpis)
     }
     missing = sorted(set(kpi_ids) - set(by_id))

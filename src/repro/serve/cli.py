@@ -52,13 +52,26 @@ def _scenario_spec(args) -> ScenarioSpec:
         bootstrap_weeks=args.bootstrap_weeks,
         profiles=tuple(args.profiles),
         seed_offset=args.seed_offset,
+        dataset=args.dataset,
     )
+
+
+def _diagnoser(args):
+    """Fit the shared diagnoser once, in the parent, before any shard
+    forks — the children inherit the fitted object by memory, so the
+    (seeded, deterministic) training cost is paid exactly once."""
+    if not args.diagnose:
+        return None
+    from ..diagnosis import default_diagnoser
+
+    return default_diagnoser()
 
 
 def _scenario_service_factory(spec: ScenarioSpec, args):
     """Rebuild a bare service for one scenario KPI (the restore path
     after a shard re-fork; bank sized from the profile's interval)."""
     intervals = spec.intervals()
+    diagnoser = _diagnoser(args)
 
     def build(kpi_id: str) -> MonitoringService:
         points_per_week = SECONDS_PER_WEEK // intervals[kpi_id]
@@ -68,6 +81,7 @@ def _scenario_service_factory(spec: ScenarioSpec, args):
                 n_estimators=args.trees, seed=0
             ),
             min_duration_points=args.min_duration,
+            diagnoser=diagnoser,
         )
 
     return build
@@ -75,6 +89,7 @@ def _scenario_service_factory(spec: ScenarioSpec, args):
 
 def _fleet_service_factory(args):
     points_per_week = SECONDS_PER_WEEK // args.interval
+    diagnoser = _diagnoser(args)
 
     def build(kpi_id: str) -> MonitoringService:
         return MonitoringService(
@@ -83,6 +98,7 @@ def _fleet_service_factory(args):
                 n_estimators=args.trees, seed=0
             ),
             min_duration_points=args.min_duration,
+            diagnoser=diagnoser,
         )
 
     return build
@@ -158,6 +174,9 @@ def build_parser() -> argparse.ArgumentParser:
     source.add_argument("--profiles", nargs="+",
                         default=["PV", "#SR", "SRT"],
                         help="scenario mode: Table 1 profiles to cycle")
+    source.add_argument("--dataset", default=None,
+                        help="scenario mode: draw KPIs from this "
+                             "repro-corpus dataset instead of profiles")
     source.add_argument("--seed-offset", type=int, default=0,
                         help="scenario mode: shift every generation seed")
     source.add_argument("--interval", type=int, default=3600,
@@ -179,6 +198,11 @@ def build_parser() -> argparse.ArgumentParser:
     service = parser.add_argument_group("per-KPI services")
     service.add_argument("--trees", type=int, default=10)
     service.add_argument("--min-duration", type=int, default=2)
+    service.add_argument(
+        "--no-diagnose", dest="diagnose", action="store_false",
+        help="skip fitting the anomaly-kind diagnoser (closed alerts "
+             "then carry diagnosis=null)",
+    )
     service.add_argument("--queue-depth", type=int, default=256)
     service.add_argument("--batch-points", type=int, default=64)
     return parser

@@ -138,6 +138,7 @@ def _serialize_events(events: Sequence[AlertEvent]) -> List[dict]:
             "begin_index": event.begin_index,
             "end_index": event.end_index,
             "peak_score": event.peak_score,
+            "diagnosis": event.diagnosis,
         }
         for event in events
     ]

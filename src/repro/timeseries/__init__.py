@@ -1,6 +1,15 @@
 """Time-series substrate: containers, window labels, and statistics."""
 
-from .io import from_csv_string, read_csv, to_csv_string, write_csv
+from .io import (
+    from_csv_string,
+    read_csv,
+    read_csv_gz,
+    read_ndjson,
+    to_csv_string,
+    write_csv,
+    write_csv_gz,
+    write_ndjson,
+)
 from .resample import downsample, to_interval
 from .series import DAY, MINUTE, WEEK, TimeSeries, TimeSeriesError
 from .stats import (
@@ -22,9 +31,13 @@ from .windows import (
 
 __all__ = [
     "read_csv",
+    "read_csv_gz",
+    "read_ndjson",
     "downsample",
     "to_interval",
     "write_csv",
+    "write_csv_gz",
+    "write_ndjson",
     "to_csv_string",
     "from_csv_string",
     "DAY",

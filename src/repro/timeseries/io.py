@@ -1,4 +1,4 @@
-"""CSV import/export for KPI series.
+"""File import/export for KPI series.
 
 Real deployments collect KPI data "from SNMP, syslogs, network traces,
 web access logs" (§2.1) and land it in flat files. This module reads
@@ -6,17 +6,22 @@ and writes the simple interchange format
 
     timestamp,value[,label]
 
-with ``timestamp`` in epoch seconds on a regular grid. Gaps in the grid
-become missing (NaN) points, so dirty data round-trips faithfully.
+with ``timestamp`` in epoch seconds on a regular grid, in three
+containers: plain CSV, gzip-compressed CSV, and NDJSON (one
+``{"timestamp": ..., "value": ..., "label": ...}`` object per line).
+Gaps in the grid become missing (NaN) points, so dirty data round-trips
+faithfully, in every container.
 """
 
 from __future__ import annotations
 
 import csv
+import gzip
 import io
+import json
 import math
 from pathlib import Path
-from typing import Optional, TextIO, Union
+from typing import List, Optional, TextIO, Tuple, Union
 
 import numpy as np
 
@@ -28,6 +33,12 @@ PathOrFile = Union[str, Path, TextIO]
 def _open_for(target: PathOrFile, mode: str):
     if isinstance(target, (str, Path)):
         return open(target, mode, newline=""), True
+    return target, False
+
+
+def _open_gzip(target: PathOrFile, mode: str):
+    if isinstance(target, (str, Path)):
+        return gzip.open(target, mode + "t", newline=""), True
     return target, False
 
 
@@ -97,12 +108,32 @@ def read_csv(
         if owned:
             handle.close()
 
+    return _assemble_rows(
+        rows, has_labels=has_labels, interval=interval, name=name,
+        what="CSV",
+    )
+
+
+def _assemble_rows(
+    rows: List[Tuple[int, float, int]],
+    *,
+    has_labels: bool,
+    interval: Optional[int],
+    name: str,
+    what: str,
+) -> TimeSeries:
+    """Turn parsed ``(timestamp, value, label)`` rows into a series.
+
+    Shared by every container format so the grid semantics (sorting,
+    duplicate rejection, interval inference, gap filling) are identical
+    whether the rows came from CSV, gzip-CSV or NDJSON.
+    """
     if not rows:
-        raise TimeSeriesError("CSV contains no data rows")
+        raise TimeSeriesError(f"{what} contains no data rows")
     rows.sort(key=lambda r: r[0])
     timestamps = np.array([r[0] for r in rows], dtype=np.int64)
     if len(np.unique(timestamps)) != len(timestamps):
-        raise TimeSeriesError("duplicate timestamps in CSV")
+        raise TimeSeriesError(f"duplicate timestamps in {what}")
 
     if interval is None:
         if len(timestamps) < 2:
@@ -130,6 +161,100 @@ def read_csv(
         start=int(timestamps[0]),
         labels=labels if has_labels else None,
         name=name,
+    )
+
+
+def write_csv_gz(series: TimeSeries, target: PathOrFile) -> None:
+    """Write :func:`write_csv` output through a gzip stream."""
+    handle, owned = _open_gzip(target, "w")
+    try:
+        write_csv(series, handle)
+    finally:
+        if owned:
+            handle.close()
+
+
+def read_csv_gz(
+    source: PathOrFile,
+    *,
+    interval: Optional[int] = None,
+    name: str = "",
+) -> TimeSeries:
+    """Read a gzip-compressed CSV (same semantics as :func:`read_csv`)."""
+    handle, owned = _open_gzip(source, "r")
+    try:
+        return read_csv(handle, interval=interval, name=name)
+    finally:
+        if owned:
+            handle.close()
+
+
+def write_ndjson(series: TimeSeries, target: PathOrFile) -> None:
+    """Write one ``{"timestamp", "value"[, "label"]}`` object per line.
+
+    Missing points are written with ``"value": null``.
+    """
+    handle, owned = _open_for(target, "w")
+    try:
+        timestamps = series.timestamps
+        for i, value in enumerate(series.values):
+            row = {
+                "timestamp": int(timestamps[i]),
+                "value": None if math.isnan(value) else float(value),
+            }
+            if series.is_labeled:
+                row["label"] = int(series.labels[i])
+            handle.write(json.dumps(row, separators=(",", ":")) + "\n")
+    finally:
+        if owned:
+            handle.close()
+
+
+def read_ndjson(
+    source: PathOrFile,
+    *,
+    interval: Optional[int] = None,
+    name: str = "",
+) -> TimeSeries:
+    """Read NDJSON rows into a :class:`TimeSeries`.
+
+    Same grid semantics as :func:`read_csv`: rows may arrive out of
+    order, gaps become NaN, duplicates and off-grid timestamps error.
+    ``"value": null`` (or a missing value field) is a missing point.
+    """
+    handle, owned = _open_for(source, "r")
+    try:
+        rows = []
+        has_labels = False
+        for lineno, line in enumerate(handle, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                obj = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise TimeSeriesError(
+                    f"line {lineno}: invalid JSON ({exc.msg})"
+                ) from exc
+            if not isinstance(obj, dict) or "timestamp" not in obj:
+                raise TimeSeriesError(
+                    f"line {lineno}: expected an object with a timestamp"
+                )
+            timestamp = int(obj["timestamp"])
+            raw_value = obj.get("value")
+            value = math.nan if raw_value is None else float(raw_value)
+            label = 0
+            if obj.get("label") is not None:
+                label = int(obj["label"])
+                has_labels = True
+            rows.append((timestamp, value, label))
+    finally:
+        if owned:
+            handle.close()
+
+    return _assemble_rows(
+        rows, has_labels=has_labels, interval=interval, name=name,
+        what="NDJSON",
     )
 
 

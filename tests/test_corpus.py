@@ -1,0 +1,243 @@
+"""repro.corpus: the pluggable dataset layer and its built-ins."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.corpus import (
+    KNOWN_KINDS,
+    CorpusError,
+    Dataset,
+    DatasetItem,
+    DirectoryDataset,
+    dataset_names,
+    get_dataset,
+    materialize,
+    phase_kind,
+    register,
+)
+from repro.corpus.base import _REGISTRY
+from repro.corpus.files import MANIFEST_NAME
+from repro.loadgen import ScenarioSpec, build_scenario
+
+BUILTINS = ("table1", "isp", "telecom", "hpc", "web-incidents")
+
+
+class TestRegistry:
+    def test_builtins_are_registered(self):
+        assert set(BUILTINS) <= set(dataset_names())
+
+    def test_unknown_dataset_names_the_alternatives(self):
+        with pytest.raises(CorpusError, match="registered.*table1"):
+            get_dataset("nope")
+
+    def test_duplicate_registration_requires_replace(self):
+        dataset = get_dataset("hpc")
+        with pytest.raises(CorpusError, match="already registered"):
+            register(dataset)
+        assert register(dataset, replace=True) is dataset
+
+    def test_nameless_dataset_rejected(self):
+        class Nameless(Dataset):
+            def kpi_names(self):
+                return []
+
+            def kpi_interval(self, kpi):
+                raise CorpusError(kpi)
+
+            def load(self, kpi, *, weeks=None, seed_offset=0):
+                raise CorpusError(kpi)
+
+        with pytest.raises(CorpusError, match="no name"):
+            register(Nameless())
+
+    def test_plugin_registration_round_trip(self):
+        hpc = get_dataset("hpc")
+
+        class Renamed(type(hpc)):
+            pass
+
+        plugin = Renamed("test-plugin", "a test plugin", "test", hpc.profiles)
+        try:
+            register(plugin)
+            assert get_dataset("test-plugin") is plugin
+        finally:
+            _REGISTRY.pop("test-plugin", None)
+
+
+class TestBuiltinContract:
+    @pytest.mark.parametrize("name", BUILTINS)
+    def test_validates_clean_on_a_short_slice(self, name):
+        assert get_dataset(name).validate(weeks=1.0) == []
+
+    @pytest.mark.parametrize("name", BUILTINS)
+    def test_declares_intervals_without_loading(self, name):
+        dataset = get_dataset(name)
+        for kpi in dataset.kpi_names():
+            assert dataset.kpi_interval(kpi) > 0
+
+    def test_seed_offset_draws_a_replica(self):
+        dataset = get_dataset("telecom")
+        base = dataset.load("rtt_latency", weeks=1.0)
+        replica = dataset.load("rtt_latency", weeks=1.0, seed_offset=1)
+        assert len(base.series) == len(replica.series)
+        assert not np.array_equal(
+            base.series.values, replica.series.values, equal_nan=True
+        )
+
+    def test_weeks_scales_the_span(self):
+        dataset = get_dataset("hpc")
+        assert len(dataset.load("node_power", weeks=2.0).series) == 2 * len(
+            dataset.load("node_power", weeks=1.0).series
+        )
+
+    def test_unknown_kpi_raises(self):
+        with pytest.raises(CorpusError, match="unknown KPI"):
+            get_dataset("telecom").load("nope")
+        with pytest.raises(CorpusError, match="unknown KPI"):
+            get_dataset("web-incidents").kpi_interval("nope")
+
+    def test_item_labels_follow_the_windows(self):
+        item = get_dataset("table1").load("PV", weeks=1.0)
+        assert set(item.kinds) <= set(KNOWN_KINDS)
+        assert np.array_equal(item.series.labels, item.labels)
+
+    def test_web_incident_kinds_follow_the_phases(self):
+        item = get_dataset("web-incidents").load("web-outage")
+        assert item.kinds == ["dip", "ramp"]
+        assert item.metadata["phases"] == ["outage", "recovery ramp"]
+        cascade = get_dataset("web-incidents").load("web-cascade")
+        assert set(cascade.kinds) == {"spike"}
+
+
+class TestPhaseKinds:
+    def test_known_phases(self):
+        assert phase_kind("outage") == "dip"
+        assert phase_kind("degraded plateau") == "level_shift"
+        assert phase_kind("cascade stage 3") == "spike"
+
+    def test_unknown_phase_raises(self):
+        with pytest.raises(CorpusError, match="no kind mapping"):
+            phase_kind("meteor strike")
+
+
+class TestMaterialize:
+    @pytest.fixture(scope="class")
+    def source(self):
+        return get_dataset("web-incidents")
+
+    @pytest.mark.parametrize("fmt", ["csv", "csv.gz", "ndjson"])
+    def test_directory_round_trip_is_exact(self, source, tmp_path, fmt):
+        manifest = materialize(source, tmp_path / fmt, fmt=fmt, weeks=1.0)
+        assert manifest.name == MANIFEST_NAME
+        stored = DirectoryDataset(tmp_path / fmt)
+        assert stored.name == source.name
+        assert stored.kpi_names() == source.kpi_names()
+        assert stored.validate() == []
+        for kpi in source.kpi_names():
+            item = stored.load(kpi)
+            original = source.load(kpi, weeks=1.0)
+            np.testing.assert_array_equal(
+                item.series.values, original.series.values
+            )
+            assert item.series.interval == original.series.interval
+            assert item.windows == original.windows
+            assert item.kinds == original.kinds
+            assert item.metadata == original.metadata
+
+    def test_file_backed_cannot_reparameterize(self, source, tmp_path):
+        materialize(source, tmp_path, weeks=1.0)
+        stored = DirectoryDataset(tmp_path)
+        with pytest.raises(CorpusError, match="file-backed"):
+            stored.load(stored.kpi_names()[0], weeks=2.0)
+        with pytest.raises(CorpusError, match="file-backed"):
+            stored.load(stored.kpi_names()[0], seed_offset=1)
+
+    def test_unsupported_format_raises(self, source, tmp_path):
+        with pytest.raises(CorpusError, match="unsupported format"):
+            materialize(source, tmp_path, fmt="parquet")
+
+    def test_missing_manifest_raises(self, tmp_path):
+        with pytest.raises(CorpusError, match=MANIFEST_NAME):
+            DirectoryDataset(tmp_path)
+
+    def test_wrong_manifest_version_raises(self, tmp_path):
+        (tmp_path / MANIFEST_NAME).write_text(
+            json.dumps({"format_version": 99, "name": "x", "kpis": []})
+        )
+        with pytest.raises(CorpusError, match="unsupported corpus format"):
+            DirectoryDataset(tmp_path)
+
+    def test_nan_gaps_survive_materialization(self, tmp_path):
+        from repro.timeseries import TimeSeries
+
+        values = np.array([1.0, np.nan, 3.0, 4.0])
+
+        class Gappy(Dataset):
+            name = "gappy"
+            description = "one KPI with a missing point"
+            domain = "test"
+
+            def kpi_names(self):
+                return ["g"]
+
+            def kpi_interval(self, kpi):
+                return 60
+
+            def load(self, kpi, *, weeks=None, seed_offset=0):
+                series = TimeSeries(
+                    values=values,
+                    interval=60,
+                    start=0,
+                    labels=np.array([0, 0, 1, 0], dtype=np.int8),
+                    name="g",
+                )
+                from repro.timeseries import AnomalyWindow
+
+                return DatasetItem(
+                    kpi="g", series=series,
+                    windows=[AnomalyWindow(2, 3)], kinds=["spike"],
+                )
+
+        materialize(Gappy(), tmp_path, fmt="ndjson")
+        stored = DirectoryDataset(tmp_path)
+        item = stored.load("g")
+        np.testing.assert_array_equal(item.series.values, values)
+        assert stored.validate() == []
+
+
+class TestScenarioDatasetMode:
+    def test_kpi_ids_cycle_the_dataset(self):
+        spec = ScenarioSpec(n_kpis=5, dataset="telecom")
+        ids = spec.kpi_ids()
+        assert len(ids) == 5
+        assert ids[0].startswith("dl_throughput-")
+        assert ids[4].startswith("dl_throughput-")  # 4 KPIs, 5th cycles
+        assert set(spec.intervals().values()) == {300}
+
+    def test_unknown_dataset_fails_validation(self):
+        with pytest.raises(ValueError, match="unknown dataset"):
+            ScenarioSpec(dataset="nope").validate()
+
+    def test_profiles_are_not_consulted_in_dataset_mode(self):
+        spec = ScenarioSpec(
+            n_kpis=2, dataset="hpc", profiles=("not-a-profile",)
+        )
+        spec.validate()  # bad profiles tuple is ignored
+        with pytest.raises(ValueError, match="dataset"):
+            spec.profile_of(0)
+
+    def test_build_scenario_is_deterministic(self):
+        spec = ScenarioSpec(
+            n_kpis=2, weeks=0.1, bootstrap_weeks=0.4,
+            dataset="web-incidents",
+        )
+        first = build_scenario(spec)
+        second = build_scenario(spec)
+        assert [k.kpi_id for k in first] == spec.kpi_ids()
+        for a, b in zip(first, second):
+            np.testing.assert_array_equal(a.series.values, b.series.values)
+            assert a.windows == b.windows
+            assert a.bootstrap.is_labeled
+            assert len(a.live_values) > 0

@@ -24,6 +24,7 @@ from repro.fleet import (
     IngestQueue,
     Scheduler,
 )
+from repro.fleet.status import FleetStatus
 
 from test_opprentice import fast_forest, small_bank
 
@@ -629,6 +630,64 @@ class TestRollups:
             s["labels"]["kpi"]: s["value"] for s in ingested["samples"]
         }
         assert samples == {"kpi-000": 4, "kpi-001": 0}
+
+    def test_diagnosed_counts_roll_up_with_kpi_and_kind(
+        self, fleet_kpi, template, tmp_path
+    ):
+        """Satellite of the diagnosis subsystem: per-KPI diagnosis
+        counts surface in FleetStatus (DIAG column, kind totals), in
+        the kpi-labelled metrics rollup, and survive save/restore."""
+        from repro.diagnosis import fit_diagnoser
+
+        series, _, split = fleet_kpi
+        fleet = build_fleet(template, ["kpi-000", "kpi-001"], n_shards=1)
+        diagnoser = fit_diagnoser(
+            seed=0, n_estimators=8, weeks=1.0, repeats=1
+        )
+        for service in (fleet.service("kpi-000"), fleet.service("kpi-001")):
+            service.diagnoser = diagnoser
+        # The 100–160 live window straddles injected anomalies.
+        fleet.offer_many(
+            "kpi-000",
+            [float(v) for v in series.values[split + 100:split + 160]],
+        )
+        fleet.drain_all()
+
+        status = fleet.status()
+        by_id = {k.kpi_id: k for k in status.kpis}
+        assert by_id["kpi-000"].diagnosed_total > 0
+        assert by_id["kpi-001"].diagnosed == {}
+        assert status.total_alerts_diagnosed == \
+            by_id["kpi-000"].diagnosed_total
+        assert status.diagnosed_kinds == by_id["kpi-000"].diagnosed
+        assert " DIAG" in status.render()
+        rebuilt = FleetStatus.from_dict(status.as_dict())
+        assert rebuilt.as_dict() == status.as_dict()
+
+        snapshot = fleet.metrics_snapshot()
+        by_name = {m["name"]: m for m in snapshot["metrics"]}
+        samples = {
+            (s["labels"]["kpi"], s["labels"]["kind"]): s["value"]
+            for s in by_name["repro_alerts_diagnosed_total"]["samples"]
+        }
+        assert samples == {
+            ("kpi-000", kind): count
+            for kind, count in by_id["kpi-000"].diagnosed.items()
+        }
+
+        fleet.save(tmp_path / "fleet")
+        restored = FleetManager.restore(
+            tmp_path / "fleet", service_factory=service_factory(template)
+        )
+        restored_status = {
+            k.kpi_id: k for k in restored.status().kpis
+        }
+        assert restored_status["kpi-000"].diagnosed == \
+            by_id["kpi-000"].diagnosed
+        assert (
+            restored.service("kpi-000").diagnoser.to_dict()
+            == diagnoser.to_dict()
+        )
 
     def test_fleet_metrics_reach_global_provider(self, fleet_kpi, template):
         from repro import obs

@@ -12,8 +12,12 @@ from repro.timeseries import (
     TimeSeriesError,
     from_csv_string,
     read_csv,
+    read_csv_gz,
+    read_ndjson,
     to_csv_string,
     write_csv,
+    write_csv_gz,
+    write_ndjson,
 )
 
 
@@ -114,3 +118,107 @@ class TestReadCsv:
     def test_name_passthrough(self):
         restored = from_csv_string("0,1.0\n60,2.0\n", name="PV")
         assert restored.name == "PV"
+
+
+class TestGzipCsv:
+    def test_file_roundtrip_with_labels_and_gaps(self, tmp_path):
+        path = tmp_path / "kpi.csv.gz"
+        original = series([5.0, np.nan, 7.0], labels=[1, 0, 0])
+        write_csv_gz(original, path)
+        restored = read_csv_gz(path)
+        np.testing.assert_array_equal(restored.values, original.values)
+        assert restored.labels.tolist() == [1, 0, 0]
+        assert restored.interval == 60
+        assert restored.start == 1000
+
+    def test_payload_is_actually_gzip(self, tmp_path):
+        path = tmp_path / "kpi.csv.gz"
+        write_csv_gz(series([1.0, 2.0]), path)
+        assert path.read_bytes()[:2] == b"\x1f\x8b"
+
+    def test_same_grid_semantics_as_csv(self, tmp_path):
+        path = tmp_path / "kpi.csv.gz"
+        write_csv_gz(series([1.0, 2.0, 3.0, 4.0]), path)
+        restored = read_csv_gz(path, interval=60)
+        assert restored.values.tolist() == [1.0, 2.0, 3.0, 4.0]
+
+    def test_awkward_floats_roundtrip_exactly(self, tmp_path):
+        path = tmp_path / "kpi.csv.gz"
+        original = series([0.1, 1e-12, -1e6, 2.0000000000000004])
+        write_csv_gz(original, path)
+        np.testing.assert_array_equal(
+            read_csv_gz(path).values, original.values
+        )
+
+
+class TestNdjson:
+    def roundtrip(self, original):
+        buffer = io.StringIO()
+        write_ndjson(original, buffer)
+        return buffer.getvalue(), read_ndjson(io.StringIO(buffer.getvalue()))
+
+    def test_values_and_labels_roundtrip(self):
+        original = series([1.5, 2.0, 3.25], labels=[0, 1, 0])
+        text, restored = self.roundtrip(original)
+        np.testing.assert_array_equal(restored.values, original.values)
+        assert restored.labels.tolist() == [0, 1, 0]
+        assert restored.start == 1000
+        first = text.splitlines()[0]
+        assert first == '{"timestamp":1000,"value":1.5,"label":0}'
+
+    def test_nan_gaps_become_null_and_back(self):
+        original = series([1.0, np.nan, 3.0])
+        text, restored = self.roundtrip(original)
+        assert '"value":null' in text
+        assert np.isnan(restored.values[1])
+        assert restored.values[2] == 3.0
+
+    def test_unlabeled_stays_unlabeled(self):
+        _, restored = self.roundtrip(series([1.0, 2.0]))
+        assert not restored.is_labeled
+
+    def test_rows_sorted_and_gaps_filled(self):
+        text = (
+            '{"timestamp":120,"value":3.0}\n'
+            '\n'
+            '{"timestamp":0,"value":1.0}\n'
+        )
+        restored = read_ndjson(io.StringIO(text), interval=60)
+        assert restored.values[0] == 1.0
+        assert np.isnan(restored.values[1])
+        assert restored.values[2] == 3.0
+
+    def test_missing_value_field_is_missing_point(self):
+        text = '{"timestamp":0}\n{"timestamp":60,"value":2.0}\n'
+        restored = read_ndjson(io.StringIO(text))
+        assert np.isnan(restored.values[0])
+
+    def test_invalid_json_line_rejected(self):
+        with pytest.raises(TimeSeriesError, match="line 2: invalid JSON"):
+            read_ndjson(io.StringIO('{"timestamp":0,"value":1}\n{oops\n'))
+
+    def test_non_object_line_rejected(self):
+        with pytest.raises(TimeSeriesError, match="object with a timestamp"):
+            read_ndjson(io.StringIO("[1,2]\n"))
+
+    def test_off_grid_timestamps_rejected(self):
+        text = '{"timestamp":0,"value":1.0}\n{"timestamp":90,"value":2.0}\n'
+        with pytest.raises(TimeSeriesError, match="grid"):
+            read_ndjson(io.StringIO(text), interval=60)
+
+    def test_duplicate_timestamps_rejected(self):
+        text = '{"timestamp":0,"value":1.0}\n{"timestamp":0,"value":2.0}\n'
+        with pytest.raises(TimeSeriesError, match="duplicate"):
+            read_ndjson(io.StringIO(text))
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(TimeSeriesError, match="no data"):
+            read_ndjson(io.StringIO("\n\n"))
+
+    def test_file_roundtrip(self, tmp_path):
+        path = tmp_path / "kpi.ndjson"
+        original = series([5.0, 6.0, np.nan], labels=[1, 0, 0])
+        write_ndjson(original, path)
+        restored = read_ndjson(path)
+        np.testing.assert_array_equal(restored.values, original.values)
+        assert restored.labels.tolist() == [1, 0, 0]

@@ -102,6 +102,73 @@ class TestCascadingFailure:
             cascading_failure(hourly_kpi, at=100, stages=1)
 
 
+class TestIncidentInvariants:
+    """The contract the corpus and diagnosis layers consume: labels are
+    exactly the window rasterisation, phases are parallel to windows,
+    and a scripted incident is a pure function of its base series."""
+
+    @pytest.mark.parametrize("name", sorted(SCENARIOS))
+    def test_labels_are_the_window_rasterisation(self, hourly_kpi, name):
+        from repro.timeseries import windows_to_points
+
+        incident = SCENARIOS[name](hourly_kpi, at=150)
+        np.testing.assert_array_equal(
+            incident.labels,
+            windows_to_points(incident.windows, len(incident.series)),
+        )
+        np.testing.assert_array_equal(
+            incident.series.labels, incident.labels
+        )
+
+    @pytest.mark.parametrize("name", sorted(SCENARIOS))
+    def test_phases_are_parallel_to_windows(self, hourly_kpi, name):
+        incident = SCENARIOS[name](hourly_kpi, at=150)
+        assert len(incident.phases) == len(incident.windows)
+        assert len(set(incident.phases)) == len(incident.phases)
+
+    @pytest.mark.parametrize("name", sorted(SCENARIOS))
+    def test_windows_sorted_and_in_bounds(self, hourly_kpi, name):
+        incident = SCENARIOS[name](hourly_kpi, at=150)
+        assert incident.windows == sorted(incident.windows)
+        for window in incident.windows:
+            assert 0 <= window.begin < window.end <= len(incident.series)
+
+    @pytest.mark.parametrize("name", sorted(SCENARIOS))
+    def test_same_seeded_base_gives_identical_incident(self, name):
+        from repro.data import SeasonalProfile, generate_kpi
+
+        def build():
+            base = generate_kpi(
+                weeks=2,
+                interval=3600,
+                profile=SeasonalProfile(base_level=90.0,
+                                        daily_amplitude=0.4,
+                                        noise_scale=0.03, trend=0.0),
+                seed=321,
+                name="determinism-kpi",
+            ).series
+            return SCENARIOS[name](base, at=120)
+
+        first, second = build(), build()
+        np.testing.assert_array_equal(
+            first.series.values, second.series.values
+        )
+        assert first.windows == second.windows
+        assert first.phases == second.phases
+
+    def test_adjacent_phases_stay_distinct_windows(self, hourly_kpi):
+        """outage/recovery touch (recovery begins where the outage
+        ends) but _finalize must not merge them: the corpus maps each
+        phase to its own anomaly kind."""
+        incident = outage_and_recovery(
+            hourly_kpi, at=100, outage_points=12, recovery_points=24
+        )
+        outage, recovery = incident.windows
+        assert outage.end == recovery.begin
+        assert (outage.end - outage.begin, recovery.end - recovery.begin) \
+            == (12, 24)
+
+
 class TestRegistry:
     def test_all_scenarios_runnable(self, hourly_kpi):
         for name, scenario in SCENARIOS.items():

@@ -213,6 +213,7 @@ def stream_batches(supervisor, values, disturb_at=None, disturb=None):
                         event["begin_index"],
                         event["end_index"],
                         event["peak_score"],
+                        event.get("diagnosis"),
                     )
                 )
     return events
@@ -380,6 +381,70 @@ class TestShardSupervisor:
         assert restarts and restarts[0]["labels"] == {
             "shard": "0",
             "reason": "graceful",
+        }
+
+
+# ----------------------------------------------------------------------
+# Diagnosis over the networked path
+# ----------------------------------------------------------------------
+class TestNetworkedDiagnosis:
+    def test_kind_sequence_matches_in_process_twin_across_kill9(
+        self, template, tmp_path, fleet_kpi
+    ):
+        """With a diagnoser in every service checkpoint, alert events
+        crossing the shard protocol carry the same diagnosis sequence
+        an in-process twin produces — and a SIGKILL mid-stream does not
+        change a single kind, because the fitted diagnoser rides the
+        shard checkpoints through the re-fork."""
+        import copy
+
+        from repro.diagnosis import fit_diagnoser
+
+        diagnoser = fit_diagnoser(
+            seed=0, n_estimators=8, weeks=1.0, repeats=1
+        )
+        snapshot = copy.deepcopy(template["snapshot"])
+        snapshot["diagnoser"] = diagnoser.to_dict()
+        diagnosing = {**template, "snapshot": snapshot}
+
+        series, _, split = fleet_kpi
+        # Same live window as the kill drill: it straddles injected
+        # anomalies, so closed (diagnosed) alerts are guaranteed.
+        values = series.values[split + 100 : split + 160]
+        kpi_ids = KPI_IDS[:3]
+
+        supervisor = make_supervisor(diagnosing, tmp_path, kpi_ids=kpi_ids)
+        with supervisor:
+            networked = stream_batches(
+                supervisor, values, disturb_at=20, disturb=sigkill_shard(0)
+            )
+            assert supervisor.shard_table()[0]["restarts"] == 1
+
+        twins = {}
+        for kpi_id in kpi_ids:
+            service = clone_service(diagnosing, kpi_id)
+            assert service.diagnoser is not None
+            collected = []
+            for value in values:
+                collected.extend(service.ingest(float(value)))
+            twins[kpi_id] = [
+                (e.kind, e.begin_index, e.end_index, e.peak_score,
+                 e.diagnosis)
+                for e in collected
+            ]
+
+        for kpi_id in kpi_ids:
+            assert networked.get(kpi_id, []) == twins[kpi_id]
+        closed_kinds = [
+            event[4]
+            for sequence in twins.values()
+            for event in sequence
+            if event[0] == "closed"
+        ]
+        assert closed_kinds, "drill window closed no alerts"
+        assert None not in closed_kinds
+        assert set(closed_kinds) <= {
+            "spike", "dip", "ramp", "jitter", "level_shift"
         }
 
 
